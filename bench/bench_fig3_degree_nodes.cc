@@ -1,0 +1,105 @@
+// Figure 3 (right): MPC time at block size B = 20 as a function of the
+// degree bound D (initialization, EN step, EGJ step with D = 10/40/70/100)
+// and of the node count N (aggregation with N = 50/100/150/200).
+//
+// Expected shape: roughly linear in D and in N — the circuits are simple,
+// so gate count is dominated by the number of inputs (paper §5.2).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/vertex_program.h"
+#include "src/mpc/sharing.h"
+
+namespace dstress::bench {
+namespace {
+
+int BlockSize() { return FullScale() ? 20 : 8; }
+
+void BM_InitializationVsDegree(benchmark::State& state) {
+  int degree = static_cast<int>(state.range(0));
+  int block_size = BlockSize();
+  auto program = finance::MakeEnProgram(EnParams(degree));
+  auto prg = crypto::ChaCha20Prg::FromSeed(1);
+  mpc::BitVector bits(program.state_bits, 1);
+  for (auto _ : state) {
+    net::SimNetwork net(block_size);
+    auto shares = mpc::ShareBits(bits, block_size, prg);
+    for (int m = 0; m < block_size; m++) {
+      Bytes packed((shares[m].size() + 7) / 8);
+      net.Send(0, m, std::move(packed));
+    }
+    for (int m = 0; m < block_size; m++) {
+      benchmark::DoNotOptimize(net.Recv(m, 0));
+    }
+  }
+  state.counters["state_bits"] = program.state_bits;
+}
+
+void BM_EnStepVsDegree(benchmark::State& state) {
+  int degree = static_cast<int>(state.range(0));
+  auto circuit = core::BuildUpdateCircuit(finance::MakeEnProgram(EnParams(degree)));
+  for (auto _ : state) {
+    BlockMpcResult result = RunBlockMpc(circuit, BlockSize());
+    state.SetIterationTime(result.seconds);
+  }
+  state.counters["and_gates"] = static_cast<double>(circuit.stats().num_and);
+}
+
+void BM_EgjStepVsDegree(benchmark::State& state) {
+  int degree = static_cast<int>(state.range(0));
+  auto circuit = core::BuildUpdateCircuit(finance::MakeEgjProgram(EgjParams(degree)));
+  for (auto _ : state) {
+    BlockMpcResult result = RunBlockMpc(circuit, BlockSize());
+    state.SetIterationTime(result.seconds);
+  }
+  state.counters["and_gates"] = static_cast<double>(circuit.stats().num_and);
+}
+
+void BM_AggregationVsNodes(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  auto program = finance::MakeEnProgram(EnParams(10));
+  auto circuit = core::BuildAggregateCircuit(program, nodes, /*with_noise=*/false);
+  for (auto _ : state) {
+    BlockMpcResult result = RunBlockMpc(circuit, BlockSize());
+    state.SetIterationTime(result.seconds);
+  }
+  state.counters["and_gates"] = static_cast<double>(circuit.stats().num_and);
+}
+
+BENCHMARK(BM_InitializationVsDegree)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(70)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_EnStepVsDegree)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(70)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_EgjStepVsDegree)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(70)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_AggregationVsNodes)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(150)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace dstress::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Figure 3 (left): MPC computation time of the five circuit kinds —
+// Initialization, EN step (D=100), EGJ step (D=100), Aggregation (N=100),
+// Noising — as a function of the block size {8, 12, 16, 20}.
+//
+// Expected shape (paper §5.2): end-to-end completion time is linear in the
+// block size, because GMW's total cost is quadratic but the members work in
+// parallel. Absolute values differ from the paper (software simulation vs
+// EC2 cluster); the block-size slope and the relative ordering of the
+// circuits are the reproduced quantities.
+//
+// Also includes the dealer-vs-OT triple ablation called out in DESIGN.md:
+// the EN step rerun with online IKNP OT-extension triples.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/vertex_program.h"
+#include "src/dp/noise_circuit.h"
+#include "src/mpc/sharing.h"
+
+namespace dstress::bench {
+namespace {
+
+int DegreeBound() { return FullScale() ? 100 : 30; }
+int AggNodes() { return FullScale() ? 100 : 100; }
+
+// Initialization: the share-split + distribution of a node's initial state
+// (2D value words) to its block. No MPC circuit — measured directly.
+void BM_Initialization(benchmark::State& state) {
+  int block_size = static_cast<int>(state.range(0));
+  auto params = EnParams(DegreeBound());
+  auto program = finance::MakeEnProgram(params);
+  auto prg = crypto::ChaCha20Prg::FromSeed(1);
+  mpc::BitVector bits(program.state_bits, 1);
+  for (auto _ : state) {
+    net::SimNetwork net(block_size);
+    auto shares = mpc::ShareBits(bits, block_size, prg);
+    for (int m = 0; m < block_size; m++) {
+      Bytes packed((shares[m].size() + 7) / 8);
+      for (size_t i = 0; i < shares[m].size(); i++) {
+        if (shares[m][i]) {
+          packed[i / 8] |= 1 << (i % 8);
+        }
+      }
+      net.Send(0, m, std::move(packed));
+    }
+    for (int m = 0; m < block_size; m++) {
+      benchmark::DoNotOptimize(net.Recv(m, 0));
+    }
+    state.counters["bytes_per_node"] = net.AverageBytesPerNode();
+  }
+}
+
+void RunCircuitBench(benchmark::State& state, const circuit::Circuit& circuit) {
+  int block_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BlockMpcResult result = RunBlockMpc(circuit, block_size);
+    state.SetIterationTime(result.seconds);
+    state.counters["bytes_per_node"] = result.bytes_per_node;
+  }
+  state.counters["and_gates"] = static_cast<double>(circuit.stats().num_and);
+}
+
+void BM_EnStep(benchmark::State& state) {
+  auto program = finance::MakeEnProgram(EnParams(DegreeBound()));
+  RunCircuitBench(state, core::BuildUpdateCircuit(program));
+}
+
+void BM_EgjStep(benchmark::State& state) {
+  auto program = finance::MakeEgjProgram(EgjParams(DegreeBound()));
+  RunCircuitBench(state, core::BuildUpdateCircuit(program));
+}
+
+void BM_Aggregation(benchmark::State& state) {
+  auto program = finance::MakeEnProgram(EnParams(10));
+  RunCircuitBench(state, core::BuildAggregateCircuit(program, AggNodes(), /*with_noise=*/false));
+}
+
+void BM_Noising(benchmark::State& state) {
+  circuit::Builder b;
+  dp::NoiseCircuitSpec spec;
+  spec.alpha = 0.5;
+  spec.magnitude_bits = 16;
+  spec.threshold_bits = 16;
+  circuit::Word total = b.InputWord(24);
+  circuit::Word noise = dp::BuildGeometricNoise(b, spec, 24);
+  b.OutputWord(b.Add(total, noise));
+  RunCircuitBench(state, b.Build());
+}
+
+void BM_EnStepOtTriples(benchmark::State& state) {
+  // Ablation: the same EN step with online OT-extension triples instead of
+  // the dealer (simulated offline phase).
+  auto program = finance::MakeEnProgram(EnParams(FullScale() ? 100 : 10));
+  circuit::Circuit circuit = core::BuildUpdateCircuit(program);
+  int block_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BlockMpcResult result = RunBlockMpc(circuit, block_size, /*use_ot=*/true);
+    state.SetIterationTime(result.seconds);
+    state.counters["bytes_per_node"] = result.bytes_per_node;
+  }
+  state.counters["and_gates"] = static_cast<double>(circuit.stats().num_and);
+}
+
+#define BLOCK_SIZES Arg(8)->Arg(12)->Arg(16)->Arg(20)
+
+BENCHMARK(BM_Initialization)->BLOCK_SIZES->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_EnStep)->BLOCK_SIZES->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_EgjStep)->BLOCK_SIZES->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Aggregation)
+    ->BLOCK_SIZES->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Noising)->BLOCK_SIZES->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_EnStepOtTriples)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace dstress::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Cost of the general-purpose program library (not a paper figure; supports
+// the §3.1 claim that the vertex-program model covers non-finance
+// workloads). Reports update-circuit complexity per program and a small
+// end-to-end run, so regressions in the generic programs are visible next
+// to the finance ones.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+#include "src/graph/generators.h"
+#include "src/programs/components.h"
+#include "src/programs/histogram.h"
+#include "src/programs/influence.h"
+#include "src/programs/private_sum.h"
+#include "src/programs/reachability.h"
+
+namespace dstress::bench {
+namespace {
+
+void CircuitComplexity() {
+  std::printf("# update-circuit complexity per program (degree bound 16)\n");
+  std::printf("%-14s %12s %12s %10s\n", "program", "AND gates", "AND depth", "inputs");
+  dp::NoiseCircuitSpec noise;
+
+  programs::PrivateSumParams sum;
+  sum.degree_bound = 16;
+  sum.noise = noise;
+  programs::ReachabilityParams reach;
+  reach.degree_bound = 16;
+  reach.hops = 1;
+  reach.noise = noise;
+  programs::InfluenceParams inf;
+  inf.degree_bound = 16;
+  inf.noise = noise;
+  programs::ComponentsParams comp;
+  comp.degree_bound = 16;
+  comp.label_bits = 10;
+  comp.noise = noise;
+  programs::HistogramParams hist;
+  hist.degree_bound = 16;
+  hist.num_buckets = 4;
+  hist.counter_bits = 8;
+  hist.noise = noise;
+
+  struct Row {
+    const char* name;
+    core::VertexProgram program;
+  };
+  const Row rows[] = {
+      {"private_sum", programs::BuildPrivateSumProgram(sum)},
+      {"reachability", programs::BuildReachabilityProgram(reach)},
+      {"influence", programs::BuildInfluenceProgram(inf)},
+      {"components", programs::BuildComponentsProgram(comp)},
+      {"histogram", programs::BuildHistogramProgram(hist)},
+  };
+  for (const Row& row : rows) {
+    circuit::Circuit c = core::BuildUpdateCircuit(row.program);
+    std::printf("%-14s %12zu %12zu %10zu\n", row.name, c.stats().num_and, c.stats().and_depth,
+                c.stats().num_inputs);
+  }
+  std::printf("# OR/min-compare programs are far cheaper per step than the fixed-point\n"
+              "# division in EN/EGJ (compare bench_fig3: ~4k-59k AND gates)\n\n");
+}
+
+void EndToEnd() {
+  std::printf("# end-to-end: influence diffusion, N=24 scale-free, block 4, 3 iterations\n");
+  Rng rng(6);
+  graph::Graph g = graph::GenerateScaleFree(24, 2, rng);
+  programs::InfluenceParams params;
+  params.degree_bound = g.MaxDegree();
+  params.iterations = 3;
+  params.noise.alpha = 0.5;
+  params.noise.magnitude_bits = 8;
+  params.noise.threshold_bits = 12;
+  core::VertexProgram program = programs::BuildInfluenceProgram(params);
+
+  std::vector<uint16_t> masses(24, 500);
+  core::RuntimeConfig config;
+  config.block_size = 4;
+  config.seed = 12;
+  core::Runtime runtime(config, g, program);
+  core::RunMetrics metrics;
+  int64_t released = runtime.Run(programs::MakeInfluenceStates(masses), &metrics);
+  auto reference = programs::PlaintextInfluence(g, masses, params);
+  int64_t expected = 0;
+  for (uint16_t mass : reference) {
+    expected += mass;
+  }
+  std::printf("released %lld (exact %lld), %s\n", static_cast<long long>(released),
+              static_cast<long long>(expected), metrics.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace dstress::bench
+
+int main() {
+  dstress::bench::CircuitComplexity();
+  dstress::bench::EndToEnd();
+  return 0;
+}

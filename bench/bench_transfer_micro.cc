@@ -1,0 +1,93 @@
+// §5.2 "Message transfers": end-to-end time to transfer a single 12-bit
+// message between two blocks, as a function of block size.
+//
+// Paper numbers: 285 ms with 8-node blocks to 610 ms with 20-node blocks,
+// roughly proportional to k (each member encrypts k+1 subshare columns)
+// with a milder quadratic component at node i (combining the (k+1)^2
+// encrypted subshares via cheap homomorphic additions; exponentiations
+// dominate). Our curve preserves exactly that shape: the wall time is
+// dominated by the (k+1)^2 * L variable-base scalar multiplications of the
+// sender members, which run in parallel across members.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/transfer/transfer.h"
+
+namespace dstress::bench {
+namespace {
+
+void BM_SingleMessageTransfer(benchmark::State& state) {
+  int block_size = static_cast<int>(state.range(0));
+  constexpr int kBits = 12;
+  auto prg = crypto::ChaCha20Prg::FromSeed(77);
+  transfer::TransferParams params;
+  params.block_size = block_size;
+  params.message_bits = kBits;
+  params.budget_alpha = 0.99;
+  params.dlog_range = params.RecommendedDlogRange(1e-12);
+
+  transfer::BlockKeys dest_keys = transfer::TransferSetup(block_size, kBits, prg);
+  crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
+  transfer::BlockCertificate cert =
+      transfer::MakeBlockCertificate(transfer::PublicKeysOf(dest_keys), neighbor_key);
+  crypto::DlogTable table(params.dlog_range);
+
+  mpc::BitVector message(kBits, 1);
+  auto shares = mpc::ShareBits(message, block_size, prg);
+
+  for (auto _ : state) {
+    // Nodes: 0 = i, 1 = j, 2.. = block members (distinct for clean
+    // per-role accounting).
+    net::SimNetwork net(2 + 2 * block_size);
+    std::vector<net::NodeId> members_i, members_j;
+    for (int m = 0; m < block_size; m++) {
+      members_i.push_back(2 + m);
+      members_j.push_back(2 + block_size + m);
+    }
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    for (int x = 0; x < block_size; x++) {
+      threads.emplace_back([&, x] {
+        auto role_prg = crypto::ChaCha20Prg::FromSeed(100 + x);
+        transfer::RunSenderMember(&net, members_i[x], 0, 1, shares[x], cert, role_prg);
+      });
+    }
+    threads.emplace_back([&] {
+      auto role_prg = crypto::ChaCha20Prg::FromSeed(200);
+      transfer::RunSourceEndpoint(&net, 0, members_i, 1, 1, params, role_prg);
+    });
+    threads.emplace_back(
+        [&] { transfer::RunDestEndpoint(&net, 1, 0, members_j, 1, neighbor_key, params); });
+    std::vector<mpc::BitVector> received(block_size);
+    for (int y = 0; y < block_size; y++) {
+      threads.emplace_back([&, y] {
+        received[y] = transfer::RunReceiverMember(&net, members_j[y], 1, 1,
+                                                  dest_keys.members[y], table, params);
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    state.SetIterationTime(timer.ElapsedSeconds());
+    if (mpc::ReconstructBits(received) != message) {
+      state.SkipWithError("transfer corrupted the message");
+    }
+  }
+}
+
+BENCHMARK(BM_SingleMessageTransfer)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace dstress::bench
+
+BENCHMARK_MAIN();

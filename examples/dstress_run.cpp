@@ -1,0 +1,58 @@
+// dstress_run: execute a stress-test scenario file under DStress.
+//
+//   ./build/examples/dstress_run <scenario-file>
+//   ./build/examples/dstress_run --demo      (built-in demo scenario)
+//
+// Scenario format: see src/cli/scenario.h. Example:
+//
+//   network core_periphery 30 6
+//   model egj
+//   block_size 4
+//   epsilon 0.23
+//   leverage 0.1
+//   shock 0 1
+//   seed 11
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/cli/scenario.h"
+
+namespace {
+
+constexpr char kDemoScenario[] = R"(# built-in demo: core shock on a 30-bank network
+network core_periphery 30 6
+model en
+block_size 4
+epsilon 0.23
+leverage 0.1
+shock 0 1
+seed 11
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dstress;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario-file> | --demo\n", argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  std::optional<cli::Scenario> scenario =
+      std::strcmp(argv[1], "--demo") == 0 ? cli::ParseScenario(kDemoScenario, &error)
+                                          : cli::LoadScenarioFile(argv[1], &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("running %s scenario under DStress...\n",
+              scenario->model == cli::Model::kEisenbergNoe ? "Eisenberg-Noe"
+                                                           : "Elliott-Golub-Jackson");
+  cli::ScenarioResult result = cli::RunScenario(*scenario);
+  std::printf("%s", cli::FormatReport(*scenario, result).c_str());
+  return 0;
+}

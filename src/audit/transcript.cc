@@ -1,0 +1,76 @@
+#include "src/audit/transcript.h"
+
+#include "src/common/check.h"
+#include "src/crypto/sha256.h"
+
+namespace dstress::audit {
+
+namespace {
+
+Digest ChainStep(const Digest& prev, const Event& event) {
+  crypto::Sha256 hasher;
+  hasher.Update(prev.data(), prev.size());
+  uint8_t header[1 + 8 + 8 + 8];
+  header[0] = static_cast<uint8_t>(event.direction);
+  uint64_t peer = static_cast<uint64_t>(event.peer);
+  for (int i = 0; i < 8; i++) {
+    header[1 + i] = static_cast<uint8_t>(peer >> (8 * i));
+    header[9 + i] = static_cast<uint8_t>(event.session >> (8 * i));
+    header[17 + i] = static_cast<uint8_t>(event.payload_size >> (8 * i));
+  }
+  hasher.Update(header, sizeof(header));
+  hasher.Update(event.payload_digest.data(), event.payload_digest.size());
+  return hasher.Finish();
+}
+
+}  // namespace
+
+TranscriptLog::TranscriptLog() { chain_.fill(0); }
+
+void TranscriptLog::Append(Direction direction, net::NodeId peer, net::SessionId session,
+                           const Bytes& payload) {
+  Event event;
+  event.direction = direction;
+  event.peer = peer;
+  event.session = session;
+  event.payload_size = payload.size();
+  event.payload_digest = crypto::Sha256::Hash(payload);
+  chain_ = ChainStep(chain_, event);
+  events_.push_back(event);
+}
+
+bool TranscriptLog::VerifyChain() const {
+  Digest seed;
+  seed.fill(0);
+  return FoldChain(seed, events_) == chain_;
+}
+
+Digest TranscriptLog::FoldChain(const Digest& seed, const std::vector<Event>& events) {
+  Digest chain = seed;
+  for (const Event& event : events) {
+    chain = ChainStep(chain, event);
+  }
+  return chain;
+}
+
+TranscriptRecorder::TranscriptRecorder(int num_nodes) : logs_(num_nodes) {
+  DSTRESS_CHECK(num_nodes > 0);
+  mus_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; i++) {
+    mus_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void TranscriptRecorder::OnSend(net::NodeId from, net::NodeId to, net::SessionId session,
+                                const Bytes& payload) {
+  std::lock_guard<std::mutex> lock(*mus_[from]);
+  logs_[from].Append(Direction::kSent, to, session, payload);
+}
+
+void TranscriptRecorder::OnRecv(net::NodeId to, net::NodeId from, net::SessionId session,
+                                const Bytes& payload) {
+  std::lock_guard<std::mutex> lock(*mus_[to]);
+  logs_[to].Append(Direction::kReceived, from, session, payload);
+}
+
+}  // namespace dstress::audit

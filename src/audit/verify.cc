@@ -1,0 +1,96 @@
+#include "src/audit/verify.h"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace dstress::audit {
+
+namespace {
+
+using StreamKey = std::tuple<net::NodeId, net::NodeId, net::SessionId>;  // sender, receiver, sess
+
+std::map<StreamKey, std::vector<Digest>> CollectStreams(const TranscriptRecorder& recorder,
+                                                        Direction direction) {
+  std::map<StreamKey, std::vector<Digest>> streams;
+  for (int node = 0; node < recorder.num_nodes(); node++) {
+    for (const Event& event : recorder.log(node).events()) {
+      if (event.direction != direction) {
+        continue;
+      }
+      StreamKey key = direction == Direction::kSent
+                          ? StreamKey{node, event.peer, event.session}
+                          : StreamKey{event.peer, node, event.session};
+      streams[key].push_back(event.payload_digest);
+    }
+  }
+  return streams;
+}
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "audit: chains %s (%zu broken), pairwise %s (%zu discrepancies)",
+                chains_ok ? "ok" : "BROKEN", broken_chains.size(),
+                pairwise_ok ? "ok" : "INCONSISTENT", discrepancies.size());
+  return buf;
+}
+
+AuditReport VerifyTranscripts(const TranscriptRecorder& recorder) {
+  AuditReport report;
+
+  report.chains_ok = true;
+  for (int node = 0; node < recorder.num_nodes(); node++) {
+    if (!recorder.log(node).VerifyChain()) {
+      report.chains_ok = false;
+      report.broken_chains.push_back(node);
+    }
+  }
+
+  auto sent = CollectStreams(recorder, Direction::kSent);
+  auto received = CollectStreams(recorder, Direction::kReceived);
+
+  report.pairwise_ok = true;
+  auto add = [&report](const StreamKey& key, size_t index, const char* what) {
+    report.pairwise_ok = false;
+    Discrepancy d;
+    d.sender = std::get<0>(key);
+    d.receiver = std::get<1>(key);
+    d.session = std::get<2>(key);
+    d.message_index = index;
+    d.description = what;
+    report.discrepancies.push_back(std::move(d));
+  };
+
+  for (const auto& [key, sent_digests] : sent) {
+    auto it = received.find(key);
+    const std::vector<Digest>* recv_digests = it == received.end() ? nullptr : &it->second;
+    size_t recv_count = recv_digests == nullptr ? 0 : recv_digests->size();
+    size_t common = std::min(sent_digests.size(), recv_count);
+    for (size_t i = 0; i < common; i++) {
+      if (sent_digests[i] != (*recv_digests)[i]) {
+        add(key, i, "payload digest mismatch");
+      }
+    }
+    for (size_t i = common; i < sent_digests.size(); i++) {
+      add(key, i, "sent but never received");
+    }
+    for (size_t i = common; i < recv_count; i++) {
+      add(key, i, "received but never sent");
+    }
+  }
+  // Streams that appear only on the receive side.
+  for (const auto& [key, recv_digests] : received) {
+    if (sent.find(key) == sent.end()) {
+      for (size_t i = 0; i < recv_digests.size(); i++) {
+        add(key, i, "received but never sent");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dstress::audit

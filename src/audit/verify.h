@@ -1,0 +1,53 @@
+// Auditor-side verification of recorded transcripts.
+//
+// Checks performed:
+//
+//  * chain integrity — every node's event list still matches its published
+//    chain digest (a node cannot silently rewrite its history);
+//  * pairwise consistency — for every ordered node pair and session, the
+//    sequence of payload digests A claims to have sent to B equals the
+//    sequence B claims to have received from A. A mismatch pinpoints the
+//    first divergent message, which is exactly the granularity a
+//    compartmentalized auditor needs ("bank A's third message on the edge
+//    session differs from what bank B received").
+//
+// The pairwise check deliberately compares *digests*: the auditor of A
+// never needs B's plaintext, preserving the compartmentalization the paper
+// requires of real-world bank audits (§4.6).
+#ifndef SRC_AUDIT_VERIFY_H_
+#define SRC_AUDIT_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/audit/transcript.h"
+
+namespace dstress::audit {
+
+struct Discrepancy {
+  net::NodeId sender;
+  net::NodeId receiver;
+  net::SessionId session;
+  // Index within the (sender, receiver, session) message sequence.
+  size_t message_index;
+  std::string description;
+};
+
+struct AuditReport {
+  bool chains_ok = false;
+  bool pairwise_ok = false;
+  std::vector<net::NodeId> broken_chains;
+  std::vector<Discrepancy> discrepancies;
+
+  bool ok() const { return chains_ok && pairwise_ok; }
+  std::string ToString() const;
+};
+
+// Runs both checks over a complete run's transcripts. A run is "complete"
+// when every sent message has been consumed; undelivered messages are
+// reported as discrepancies.
+AuditReport VerifyTranscripts(const TranscriptRecorder& recorder);
+
+}  // namespace dstress::audit
+
+#endif  // SRC_AUDIT_VERIFY_H_

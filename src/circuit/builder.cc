@@ -1,0 +1,329 @@
+#include "src/circuit/builder.h"
+
+#include "src/common/check.h"
+
+namespace dstress::circuit {
+
+Builder::Builder() {
+  zero_ = Emit(GateOp::kConst, 0, 0);
+  one_ = Emit(GateOp::kConst, 1, 0);
+}
+
+Wire Builder::Emit(GateOp op, Wire a, Wire b) {
+  Wire id = static_cast<Wire>(gates_.size());
+  gates_.push_back(Gate{op, a, b});
+  int8_t cv = -1;
+  switch (op) {
+    case GateOp::kConst:
+      cv = static_cast<int8_t>(a & 1);
+      break;
+    case GateOp::kAnd:
+      num_and_++;
+      break;
+    default:
+      break;
+  }
+  const_val_.push_back(cv);
+  return id;
+}
+
+Wire Builder::Input() {
+  num_inputs_++;
+  return Emit(GateOp::kInput, 0, 0);
+}
+
+Wire Builder::Xor(Wire a, Wire b) {
+  int ca = ConstVal(a);
+  int cb = ConstVal(b);
+  if (a == b) {
+    return zero_;
+  }
+  if (ca == 0) {
+    return b;
+  }
+  if (cb == 0) {
+    return a;
+  }
+  if (ca == 1) {
+    return Not(b);
+  }
+  if (cb == 1) {
+    return Not(a);
+  }
+  return Emit(GateOp::kXor, a, b);
+}
+
+Wire Builder::Not(Wire a) {
+  int ca = ConstVal(a);
+  if (ca >= 0) {
+    return ca ? zero_ : one_;
+  }
+  // Collapse double negation.
+  if (gates_[a].op == GateOp::kNot) {
+    return gates_[a].a;
+  }
+  return Emit(GateOp::kNot, a, 0);
+}
+
+Wire Builder::And(Wire a, Wire b) {
+  int ca = ConstVal(a);
+  int cb = ConstVal(b);
+  if (ca == 0 || cb == 0) {
+    return zero_;
+  }
+  if (ca == 1) {
+    return b;
+  }
+  if (cb == 1) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  return Emit(GateOp::kAnd, a, b);
+}
+
+Wire Builder::Or(Wire a, Wire b) {
+  // a | b = (a ^ b) ^ (a & b): one AND.
+  return Xor(Xor(a, b), And(a, b));
+}
+
+Wire Builder::Mux(Wire s, Wire t, Wire f) {
+  // f ^ s&(t^f): one AND.
+  return Xor(f, And(s, Xor(t, f)));
+}
+
+Word Builder::InputWord(int bits) {
+  Word w(bits);
+  for (auto& bit : w) {
+    bit = Input();
+  }
+  return w;
+}
+
+Word Builder::ConstWord(uint64_t value, int bits) {
+  DSTRESS_CHECK(bits <= 64);
+  Word w(bits);
+  for (int i = 0; i < bits; i++) {
+    w[i] = Const((value >> i) & 1);
+  }
+  return w;
+}
+
+Word Builder::XorWord(const Word& a, const Word& b) {
+  DSTRESS_CHECK(a.size() == b.size());
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    out[i] = Xor(a[i], b[i]);
+  }
+  return out;
+}
+
+Word Builder::AndWith(const Word& a, Wire bit) {
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    out[i] = And(a[i], bit);
+  }
+  return out;
+}
+
+Word Builder::NotWord(const Word& a) {
+  Word out(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    out[i] = Not(a[i]);
+  }
+  return out;
+}
+
+Word Builder::MuxWord(Wire s, const Word& t, const Word& f) {
+  DSTRESS_CHECK(t.size() == f.size());
+  Word out(t.size());
+  for (size_t i = 0; i < t.size(); i++) {
+    out[i] = Mux(s, t[i], f[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Shared adder core: returns sum bits and exposes the final carry. One AND
+// per bit: carry' = a ^ ((a^b) & (a^carry)).
+struct AddResult {
+  Word sum;
+  Wire carry_out;
+};
+
+}  // namespace
+
+Word Builder::Add(const Word& a, const Word& b) {
+  DSTRESS_CHECK(a.size() == b.size());
+  Word out(a.size());
+  Wire carry = zero_;
+  for (size_t i = 0; i < a.size(); i++) {
+    Wire axb = Xor(a[i], b[i]);
+    out[i] = Xor(axb, carry);
+    if (i + 1 < a.size()) {
+      carry = Xor(a[i], And(axb, Xor(a[i], carry)));
+    }
+  }
+  return out;
+}
+
+Word Builder::Sub(const Word& a, const Word& b) {
+  DSTRESS_CHECK(a.size() == b.size());
+  // a - b = a + ~b + 1.
+  Word out(a.size());
+  Wire carry = one_;
+  for (size_t i = 0; i < a.size(); i++) {
+    Wire nb = Not(b[i]);
+    Wire axb = Xor(a[i], nb);
+    out[i] = Xor(axb, carry);
+    if (i + 1 < a.size()) {
+      carry = Xor(a[i], And(axb, Xor(a[i], carry)));
+    }
+  }
+  return out;
+}
+
+Wire Builder::Ult(const Word& a, const Word& b) {
+  DSTRESS_CHECK(a.size() == b.size());
+  // a < b  <=>  carry-out of a + ~b + 1 is 0.
+  Wire carry = one_;
+  for (size_t i = 0; i < a.size(); i++) {
+    Wire nb = Not(b[i]);
+    Wire axb = Xor(a[i], nb);
+    carry = Xor(a[i], And(axb, Xor(a[i], carry)));
+  }
+  return Not(carry);
+}
+
+Wire Builder::Slt(const Word& a, const Word& b) {
+  DSTRESS_CHECK(!a.empty() && a.size() == b.size());
+  // Flip the sign bits and compare unsigned.
+  Word a2 = a;
+  Word b2 = b;
+  a2.back() = Not(a2.back());
+  b2.back() = Not(b2.back());
+  return Ult(a2, b2);
+}
+
+Wire Builder::EqZero(const Word& a) {
+  Wire any = zero_;
+  for (Wire bit : a) {
+    any = Or(any, bit);
+  }
+  return Not(any);
+}
+
+Wire Builder::Eq(const Word& a, const Word& b) { return EqZero(XorWord(a, b)); }
+
+Word Builder::Mul(const Word& a, const Word& b, int out_bits) {
+  if (out_bits == 0) {
+    out_bits = static_cast<int>(a.size());
+  }
+  Word acc = ConstWord(0, out_bits);
+  for (int i = 0; i < static_cast<int>(b.size()) && i < out_bits; i++) {
+    // partial = (a & b_i) << i, truncated to out_bits.
+    Word partial = ConstWord(0, out_bits);
+    for (int j = 0; j + i < out_bits && j < static_cast<int>(a.size()); j++) {
+      partial[j + i] = And(a[j], b[i]);
+    }
+    acc = Add(acc, partial);
+  }
+  return acc;
+}
+
+void Builder::DivMod(const Word& a, const Word& b, Word* quotient, Word* remainder) {
+  DSTRESS_CHECK(a.size() == b.size());
+  int w = static_cast<int>(a.size());
+  Wire div_by_zero = EqZero(b);
+  Word rem = ConstWord(0, w);
+  Word quot(w, zero_);
+  for (int i = w - 1; i >= 0; i--) {
+    // rem = (rem << 1) | a_i
+    for (int j = w - 1; j >= 1; j--) {
+      rem[j] = rem[j - 1];
+    }
+    rem[0] = a[i];
+    Wire ge = Not(Ult(rem, b));
+    quot[i] = ge;
+    rem = MuxWord(ge, Sub(rem, b), rem);
+  }
+  // Saturate quotient on division by zero; remainder stays a (the restoring
+  // loop already leaves rem == a when b == 0 since ge is always 1 there —
+  // force the documented contract explicitly instead).
+  Word all_ones(w, one_);
+  *quotient = MuxWord(div_by_zero, all_ones, quot);
+  *remainder = MuxWord(div_by_zero, a, rem);
+}
+
+Word Builder::DivFixed(const Word& a, const Word& b, int frac_bits) {
+  int w = static_cast<int>(a.size());
+  int wide = w + frac_bits;
+  Word wa = ShiftLeftConst(ZeroExtend(a, wide), frac_bits);
+  Word wb = ZeroExtend(b, wide);
+  Word q, r;
+  DivMod(wa, wb, &q, &r);
+  // Saturate to w bits: if any high bit set, return all-ones.
+  Wire overflow = zero_;
+  for (int i = w; i < wide; i++) {
+    overflow = Or(overflow, q[i]);
+  }
+  Word low = Truncate(q, w);
+  Word all_ones(w, one_);
+  return MuxWord(overflow, all_ones, low);
+}
+
+Word Builder::ZeroExtend(const Word& a, int bits) {
+  DSTRESS_CHECK(bits >= static_cast<int>(a.size()));
+  Word out = a;
+  out.resize(bits, zero_);
+  return out;
+}
+
+Word Builder::SignExtend(const Word& a, int bits) {
+  DSTRESS_CHECK(!a.empty() && bits >= static_cast<int>(a.size()));
+  Word out = a;
+  out.resize(bits, a.back());
+  return out;
+}
+
+Word Builder::Truncate(const Word& a, int bits) {
+  DSTRESS_CHECK(bits <= static_cast<int>(a.size()));
+  return Word(a.begin(), a.begin() + bits);
+}
+
+Word Builder::ShiftLeftConst(const Word& a, int amount) {
+  int w = static_cast<int>(a.size());
+  Word out(w, zero_);
+  for (int i = w - 1; i >= amount; i--) {
+    out[i] = a[i - amount];
+  }
+  return out;
+}
+
+Word Builder::ShiftRightConst(const Word& a, int amount) {
+  int w = static_cast<int>(a.size());
+  Word out(w, zero_);
+  for (int i = 0; i + amount < w; i++) {
+    out[i] = a[i + amount];
+  }
+  return out;
+}
+
+Word Builder::ClampMax(const Word& a, const Word& clamp_max) {
+  Wire over = Ult(clamp_max, a);
+  return MuxWord(over, clamp_max, a);
+}
+
+void Builder::OutputWord(const Word& w) {
+  for (Wire bit : w) {
+    outputs_.push_back(bit);
+  }
+}
+
+Circuit Builder::Build() {
+  return Circuit(std::move(gates_), std::move(outputs_), num_inputs_);
+}
+
+}  // namespace dstress::circuit

@@ -1,0 +1,106 @@
+// Circuit builder: gate-level construction with constant folding, plus a
+// library of word-level (multi-bit, little-endian, two's-complement)
+// arithmetic blocks used by the DStress vertex programs:
+//
+//  * ripple adders/subtractors with the 1-AND-per-bit full adder
+//    (carry' = a ^ ((a^b) & (a^carry))),
+//  * unsigned/signed comparators,
+//  * schoolbook multiplier,
+//  * restoring divider (the fixed-point prorate computation in
+//    Eisenberg–Noe and the valuation discount in Elliott–Golub–Jackson),
+//  * multiplexers, saturation and fixed-point scaling helpers.
+#ifndef SRC_CIRCUIT_BUILDER_H_
+#define SRC_CIRCUIT_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/circuit.h"
+
+namespace dstress::circuit {
+
+// A word is a vector of wires, least-significant bit first.
+using Word = std::vector<Wire>;
+
+class Builder {
+ public:
+  Builder();
+
+  // --- single-bit layer ---
+  Wire Input();
+  Wire Const(bool v) { return v ? one_ : zero_; }
+  Wire Zero() { return zero_; }
+  Wire One() { return one_; }
+  Wire Xor(Wire a, Wire b);
+  Wire And(Wire a, Wire b);
+  Wire Not(Wire a);
+  Wire Or(Wire a, Wire b);
+  // s ? t : f  — one AND.
+  Wire Mux(Wire s, Wire t, Wire f);
+
+  // --- word layer ---
+  Word InputWord(int bits);
+  Word ConstWord(uint64_t value, int bits);
+  Word XorWord(const Word& a, const Word& b);
+  Word AndWith(const Word& a, Wire bit);  // bitwise AND of a word with one bit
+  Word NotWord(const Word& a);
+  // s ? t : f elementwise; t and f must be the same width.
+  Word MuxWord(Wire s, const Word& t, const Word& f);
+
+  // Sum modulo 2^bits. Widths must match.
+  Word Add(const Word& a, const Word& b);
+  // a - b modulo 2^bits.
+  Word Sub(const Word& a, const Word& b);
+  // Unsigned a < b.
+  Wire Ult(const Word& a, const Word& b);
+  // Signed (two's-complement) a < b.
+  Wire Slt(const Word& a, const Word& b);
+  Wire EqZero(const Word& a);
+  Wire Eq(const Word& a, const Word& b);
+
+  // Low `out_bits` bits of a*b (unsigned). out_bits defaults to a.size().
+  Word Mul(const Word& a, const Word& b, int out_bits = 0);
+  // Unsigned restoring division: quotient = a / b, remainder = a % b.
+  // Division by zero yields an all-ones quotient (saturation), mirroring the
+  // defined-total-function requirement of circuit-based MPC.
+  void DivMod(const Word& a, const Word& b, Word* quotient, Word* remainder);
+  // Fixed-point ratio with `frac_bits` fractional bits:
+  //   (a << frac_bits) / b, computed at width a.size() + frac_bits then
+  //   truncated back to a.size() bits with saturation.
+  Word DivFixed(const Word& a, const Word& b, int frac_bits);
+
+  // Sign/zero extension and truncation.
+  Word ZeroExtend(const Word& a, int bits);
+  Word SignExtend(const Word& a, int bits);
+  Word Truncate(const Word& a, int bits);
+  Word ShiftLeftConst(const Word& a, int amount);
+  Word ShiftRightConst(const Word& a, int amount);  // logical
+
+  // min(a, clamp_max) for unsigned words (used for saturating fixed-point).
+  Word ClampMax(const Word& a, const Word& clamp_max);
+
+  // --- outputs & finalization ---
+  void Output(Wire w) { outputs_.push_back(w); }
+  void OutputWord(const Word& w);
+  Circuit Build();
+
+  size_t num_inputs() const { return num_inputs_; }
+  size_t num_and_gates() const { return num_and_; }
+
+ private:
+  Wire Emit(GateOp op, Wire a, Wire b);
+  // Constant value of a wire: -1 unknown, else 0/1.
+  int ConstVal(Wire w) const { return const_val_[w]; }
+
+  std::vector<Gate> gates_;
+  std::vector<int8_t> const_val_;
+  std::vector<Wire> outputs_;
+  size_t num_inputs_ = 0;
+  size_t num_and_ = 0;
+  Wire zero_ = 0;
+  Wire one_ = 0;
+};
+
+}  // namespace dstress::circuit
+
+#endif  // SRC_CIRCUIT_BUILDER_H_

@@ -1,0 +1,95 @@
+#include "src/circuit/circuit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace dstress::circuit {
+
+std::string CircuitStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "gates=%zu inputs=%zu outputs=%zu and=%zu xor=%zu not=%zu depth=%zu", num_gates,
+                num_inputs, num_outputs, num_and, num_xor, num_not, and_depth);
+  return buf;
+}
+
+Circuit::Circuit(std::vector<Gate> gates, std::vector<Wire> outputs, size_t num_inputs)
+    : gates_(std::move(gates)), outputs_(std::move(outputs)), num_inputs_(num_inputs) {
+  depth_.resize(gates_.size(), 0);
+  stats_.num_gates = gates_.size();
+  stats_.num_inputs = num_inputs_;
+  stats_.num_outputs = outputs_.size();
+  uint32_t max_depth = 0;
+  for (size_t i = 0; i < gates_.size(); i++) {
+    const Gate& g = gates_[i];
+    switch (g.op) {
+      case GateOp::kInput:
+      case GateOp::kConst:
+        depth_[i] = 0;
+        break;
+      case GateOp::kNot:
+        DSTRESS_CHECK(g.a < i);
+        depth_[i] = depth_[g.a];
+        stats_.num_not++;
+        break;
+      case GateOp::kXor:
+        DSTRESS_CHECK(g.a < i && g.b < i);
+        depth_[i] = std::max(depth_[g.a], depth_[g.b]);
+        stats_.num_xor++;
+        break;
+      case GateOp::kAnd:
+        DSTRESS_CHECK(g.a < i && g.b < i);
+        depth_[i] = std::max(depth_[g.a], depth_[g.b]) + 1;
+        stats_.num_and++;
+        break;
+    }
+    max_depth = std::max(max_depth, depth_[i]);
+  }
+  stats_.and_depth = max_depth;
+  and_layers_.resize(max_depth + 1);
+  for (size_t i = 0; i < gates_.size(); i++) {
+    if (gates_[i].op == GateOp::kAnd) {
+      and_layers_[depth_[i]].push_back(static_cast<Wire>(i));
+    }
+  }
+  for (Wire w : outputs_) {
+    DSTRESS_CHECK(w < gates_.size());
+  }
+}
+
+std::vector<uint8_t> Circuit::Eval(const std::vector<uint8_t>& inputs) const {
+  DSTRESS_CHECK(inputs.size() == num_inputs_);
+  std::vector<uint8_t> value(gates_.size(), 0);
+  size_t next_input = 0;
+  for (size_t i = 0; i < gates_.size(); i++) {
+    const Gate& g = gates_[i];
+    switch (g.op) {
+      case GateOp::kInput:
+        value[i] = inputs[next_input++] & 1;
+        break;
+      case GateOp::kConst:
+        value[i] = static_cast<uint8_t>(g.a & 1);
+        break;
+      case GateOp::kXor:
+        value[i] = value[g.a] ^ value[g.b];
+        break;
+      case GateOp::kAnd:
+        value[i] = value[g.a] & value[g.b];
+        break;
+      case GateOp::kNot:
+        value[i] = value[g.a] ^ 1;
+        break;
+    }
+  }
+  DSTRESS_CHECK(next_input == num_inputs_);
+  std::vector<uint8_t> out;
+  out.reserve(outputs_.size());
+  for (Wire w : outputs_) {
+    out.push_back(value[w]);
+  }
+  return out;
+}
+
+}  // namespace dstress::circuit

@@ -1,0 +1,81 @@
+// Boolean-circuit intermediate representation.
+//
+// DStress executes vertex-program update functions as boolean circuits
+// inside GMW (paper §3.7: programs must be expressible as boolean circuits
+// with static bounds). This IR is deliberately minimal: XOR / AND / NOT over
+// single-bit wires, with constants. XOR and NOT are "free" in GMW (local on
+// shares); AND costs one interaction, so the builder (builder.h) performs
+// aggressive constant folding and uses 1-AND full adders to keep the AND
+// count — the quantity that determines MPC time and traffic — low.
+#ifndef SRC_CIRCUIT_CIRCUIT_H_
+#define SRC_CIRCUIT_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dstress::circuit {
+
+using Wire = uint32_t;
+
+enum class GateOp : uint8_t {
+  kInput,  // value supplied by the environment
+  kConst,  // constant bit; stored in Gate::a (0 or 1)
+  kXor,    // a ^ b
+  kAnd,    // a & b
+  kNot,    // !a
+};
+
+struct Gate {
+  GateOp op;
+  Wire a = 0;
+  Wire b = 0;
+};
+
+struct CircuitStats {
+  size_t num_gates = 0;
+  size_t num_inputs = 0;
+  size_t num_outputs = 0;
+  size_t num_and = 0;
+  size_t num_xor = 0;
+  size_t num_not = 0;
+  // Number of GMW communication rounds = multiplicative (AND) depth.
+  size_t and_depth = 0;
+
+  std::string ToString() const;
+};
+
+class Circuit {
+ public:
+  Circuit(std::vector<Gate> gates, std::vector<Wire> outputs, size_t num_inputs);
+
+  size_t num_wires() const { return gates_.size(); }
+  size_t num_inputs() const { return num_inputs_; }
+  size_t num_outputs() const { return outputs_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Wire>& outputs() const { return outputs_; }
+
+  const CircuitStats& stats() const { return stats_; }
+
+  // AND-depth (communication round) of each wire; round r ANDs become
+  // evaluable after r-1 rounds of interaction.
+  const std::vector<uint32_t>& and_depth() const { return depth_; }
+  // AND gates grouped by round (1-based round index = depth of the gate).
+  const std::vector<std::vector<Wire>>& and_layers() const { return and_layers_; }
+
+  // Plaintext evaluation — the reference semantics used by tests and by the
+  // cleartext baselines. inputs.size() must equal num_inputs().
+  std::vector<uint8_t> Eval(const std::vector<uint8_t>& inputs) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<Wire> outputs_;
+  size_t num_inputs_;
+  std::vector<uint32_t> depth_;
+  std::vector<std::vector<Wire>> and_layers_;
+  CircuitStats stats_;
+};
+
+}  // namespace dstress::circuit
+
+#endif  // SRC_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,358 @@
+#include "src/cli/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/core/runtime.h"
+#include "src/finance/eisenberg_noe.h"
+#include "src/finance/elliott_golub_jackson.h"
+#include "src/finance/utility.h"
+#include "src/finance/workload.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+namespace dstress::cli {
+
+namespace {
+
+struct LineParser {
+  std::vector<std::string> tokens;
+  int line_number = 0;
+  std::string* error;
+
+  bool Fail(const std::string& what) const {
+    *error = "line " + std::to_string(line_number) + ": " + what;
+    return false;
+  }
+
+  bool ArgCount(size_t expected) const {
+    if (tokens.size() - 1 != expected) {
+      return Fail("expected " + std::to_string(expected) + " argument(s) for '" + tokens[0] +
+                  "', got " + std::to_string(tokens.size() - 1));
+    }
+    return true;
+  }
+
+  bool Int(size_t index, int min_value, int* out) const {
+    try {
+      size_t used = 0;
+      int v = std::stoi(tokens[index], &used);
+      if (used != tokens[index].size() || v < min_value) {
+        return Fail("bad integer '" + tokens[index] + "'");
+      }
+      *out = v;
+      return true;
+    } catch (...) {
+      return Fail("bad integer '" + tokens[index] + "'");
+    }
+  }
+
+  bool Double(size_t index, double* out) const {
+    try {
+      size_t used = 0;
+      double v = std::stod(tokens[index], &used);
+      if (used != tokens[index].size()) {
+        return Fail("bad number '" + tokens[index] + "'");
+      }
+      *out = v;
+      return true;
+    } catch (...) {
+      return Fail("bad number '" + tokens[index] + "'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Scenario> ParseScenario(const std::string& text, std::string* error) {
+  Scenario scenario;
+  bool saw_network = false;
+  std::istringstream stream(text);
+  std::string line;
+  LineParser p;
+  p.error = error;
+  while (std::getline(stream, line)) {
+    p.line_number++;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    p.tokens.assign(std::istream_iterator<std::string>(ls), {});
+    if (p.tokens.empty()) {
+      continue;
+    }
+    const std::string& directive = p.tokens[0];
+
+    if (directive == "network") {
+      if (p.tokens.size() < 2) {
+        p.Fail("network needs a topology");
+        return std::nullopt;
+      }
+      const std::string& topo = p.tokens[1];
+      if (topo == "core_periphery") {
+        scenario.topology = Topology::kCorePeriphery;
+        if (p.tokens.size() != 4 || !p.Int(2, 1, &scenario.num_vertices) ||
+            !p.Int(3, 1, &scenario.core_size)) {
+          if (error->empty()) {
+            p.Fail("usage: network core_periphery <N> <core_size>");
+          }
+          return std::nullopt;
+        }
+        if (scenario.core_size > scenario.num_vertices) {
+          p.Fail("core_size exceeds N");
+          return std::nullopt;
+        }
+      } else if (topo == "scale_free") {
+        scenario.topology = Topology::kScaleFree;
+        if (p.tokens.size() != 4 || !p.Int(2, 2, &scenario.num_vertices) ||
+            !p.Int(3, 1, &scenario.links_per_vertex)) {
+          if (error->empty()) {
+            p.Fail("usage: network scale_free <N> <links_per_vertex>");
+          }
+          return std::nullopt;
+        }
+      } else if (topo == "erdos_renyi") {
+        scenario.topology = Topology::kErdosRenyi;
+        if (p.tokens.size() != 4 || !p.Int(2, 1, &scenario.num_vertices) ||
+            !p.Double(3, &scenario.edge_probability)) {
+          if (error->empty()) {
+            p.Fail("usage: network erdos_renyi <N> <edge_probability>");
+          }
+          return std::nullopt;
+        }
+        if (scenario.edge_probability < 0 || scenario.edge_probability > 1) {
+          p.Fail("edge_probability must be in [0, 1]");
+          return std::nullopt;
+        }
+      } else if (topo == "file") {
+        scenario.topology = Topology::kExplicit;
+        if (p.tokens.size() != 3) {
+          p.Fail("usage: network file <edge-list-path>");
+          return std::nullopt;
+        }
+        std::string io_error;
+        auto g = graph::LoadEdgeListFile(p.tokens[2], &io_error);
+        if (!g.has_value()) {
+          p.Fail("edge-list file: " + io_error);
+          return std::nullopt;
+        }
+        scenario.num_vertices = g->num_vertices();
+        scenario.edges = g->Edges();
+      } else if (topo == "explicit") {
+        scenario.topology = Topology::kExplicit;
+        if (p.tokens.size() != 3 || !p.Int(2, 1, &scenario.num_vertices)) {
+          if (error->empty()) {
+            p.Fail("usage: network explicit <N>");
+          }
+          return std::nullopt;
+        }
+      } else {
+        p.Fail("unknown topology '" + topo + "'");
+        return std::nullopt;
+      }
+      saw_network = true;
+    } else if (directive == "edge") {
+      int u = 0;
+      int v = 0;
+      if (!p.ArgCount(2) || !p.Int(1, 0, &u) || !p.Int(2, 0, &v)) {
+        return std::nullopt;
+      }
+      if (!saw_network || scenario.topology != Topology::kExplicit) {
+        p.Fail("edge requires a preceding 'network explicit' directive");
+        return std::nullopt;
+      }
+      if (u >= scenario.num_vertices || v >= scenario.num_vertices || u == v) {
+        p.Fail("edge endpoints out of range");
+        return std::nullopt;
+      }
+      scenario.edges.emplace_back(u, v);
+    } else if (directive == "model") {
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "en") {
+        scenario.model = Model::kEisenbergNoe;
+      } else if (p.tokens[1] == "egj") {
+        scenario.model = Model::kElliottGolubJackson;
+      } else {
+        p.Fail("model must be 'en' or 'egj'");
+        return std::nullopt;
+      }
+    } else if (directive == "iterations") {
+      if (!p.ArgCount(1) || !p.Int(1, 0, &scenario.iterations)) {
+        return std::nullopt;
+      }
+    } else if (directive == "block_size") {
+      if (!p.ArgCount(1) || !p.Int(1, 2, &scenario.block_size)) {
+        return std::nullopt;
+      }
+    } else if (directive == "epsilon") {
+      if (!p.ArgCount(1) || !p.Double(1, &scenario.epsilon)) {
+        return std::nullopt;
+      }
+      if (scenario.epsilon <= 0) {
+        p.Fail("epsilon must be positive");
+        return std::nullopt;
+      }
+    } else if (directive == "leverage") {
+      if (!p.ArgCount(1) || !p.Double(1, &scenario.leverage)) {
+        return std::nullopt;
+      }
+      if (scenario.leverage <= 0 || scenario.leverage > 1) {
+        p.Fail("leverage must be in (0, 1]");
+        return std::nullopt;
+      }
+    } else if (directive == "shock") {
+      if (p.tokens.size() < 2) {
+        p.Fail("shock needs at least one bank index");
+        return std::nullopt;
+      }
+      for (size_t i = 1; i < p.tokens.size(); i++) {
+        int bank = 0;
+        if (!p.Int(i, 0, &bank)) {
+          return std::nullopt;
+        }
+        scenario.shocked_banks.push_back(bank);
+      }
+    } else if (directive == "seed") {
+      int s = 0;
+      if (!p.ArgCount(1) || !p.Int(1, 0, &s)) {
+        return std::nullopt;
+      }
+      scenario.seed = static_cast<uint64_t>(s);
+    } else {
+      p.Fail("unknown directive '" + directive + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_network) {
+    *error = "scenario is missing a 'network' directive";
+    return std::nullopt;
+  }
+  for (int bank : scenario.shocked_banks) {
+    if (bank >= scenario.num_vertices) {
+      *error = "shocked bank " + std::to_string(bank) + " out of range";
+      return std::nullopt;
+    }
+  }
+  return scenario;
+}
+
+std::optional<Scenario> LoadScenarioFile(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseScenario(contents.str(), error);
+}
+
+graph::Graph BuildScenarioGraph(const Scenario& scenario) {
+  Rng rng(scenario.seed);
+  switch (scenario.topology) {
+    case Topology::kCorePeriphery: {
+      graph::CorePeripheryParams params;
+      params.num_vertices = scenario.num_vertices;
+      params.core_size = scenario.core_size;
+      return graph::GenerateCorePeriphery(params, rng);
+    }
+    case Topology::kScaleFree:
+      return graph::GenerateScaleFree(scenario.num_vertices, scenario.links_per_vertex, rng);
+    case Topology::kErdosRenyi:
+      return graph::GenerateErdosRenyi(scenario.num_vertices, scenario.edge_probability, rng);
+    case Topology::kExplicit: {
+      graph::Graph g(scenario.num_vertices);
+      for (auto [u, v] : scenario.edges) {
+        g.AddEdge(u, v);
+      }
+      return g;
+    }
+  }
+  DSTRESS_CHECK(false);
+}
+
+int ScenarioIterations(const Scenario& scenario) {
+  if (scenario.iterations > 0) {
+    return scenario.iterations;
+  }
+  // Appendix C: I = ceil(log2 N) suffices on two-tier networks.
+  int i = 1;
+  while ((1 << i) < scenario.num_vertices) {
+    i++;
+  }
+  return i;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  graph::Graph network = BuildScenarioGraph(scenario);
+  ScenarioResult result;
+  result.iterations = ScenarioIterations(scenario);
+
+  finance::WorkloadParams sheets;
+  sheets.core_size = scenario.topology == Topology::kCorePeriphery ? scenario.core_size : 0;
+  sheets.seed = scenario.seed;
+  finance::ShockParams shock;
+  shock.shocked_banks = scenario.shocked_banks;
+
+  core::RuntimeConfig config;
+  config.block_size = scenario.block_size;
+  config.seed = scenario.seed;
+
+  Stopwatch timer;
+  core::RunMetrics metrics;
+  if (scenario.model == Model::kEisenbergNoe) {
+    result.model_name = "Eisenberg-Noe";
+    finance::EnInstance instance = finance::MakeEnWorkload(network, sheets, shock);
+    finance::EnProgramParams params;
+    params.degree_bound = network.MaxDegree();
+    params.iterations = result.iterations;
+    params.noise_alpha = finance::NoiseAlphaForRelease(
+        finance::EnSensitivity(scenario.leverage), scenario.epsilon, /*unit_dollars=*/1.0);
+    core::Runtime runtime(config, network, finance::MakeEnProgram(params));
+    result.released_tds = runtime.Run(finance::MakeEnInitialStates(instance, params), &metrics);
+    result.reference_tds = finance::EnSolveFixed(instance, params);
+  } else {
+    result.model_name = "Elliott-Golub-Jackson";
+    finance::EgjInstance instance = finance::MakeEgjWorkload(network, sheets, shock);
+    finance::EgjProgramParams params;
+    params.degree_bound = network.MaxDegree();
+    params.iterations = result.iterations;
+    params.noise_alpha = finance::NoiseAlphaForRelease(
+        finance::EgjSensitivity(scenario.leverage), scenario.epsilon, /*unit_dollars=*/1.0);
+    core::Runtime runtime(config, network, finance::MakeEgjProgram(params));
+    result.released_tds = runtime.Run(finance::MakeEgjInitialStates(instance, params), &metrics);
+    result.reference_tds = finance::EgjSolveFixed(instance, params);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.avg_megabytes_per_node = metrics.avg_bytes_per_node / 1e6;
+  return result;
+}
+
+std::string FormatReport(const Scenario& scenario, const ScenarioResult& result) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "model:               %s\n"
+      "banks:               %d (block size %d, %d iterations)\n"
+      "shocked banks:       %zu\n"
+      "released TDS:        %lld money units (eps=%.3f, leverage r=%.2f)\n"
+      "reference TDS:       %llu money units (cleartext check, not released)\n"
+      "wall time:           %.2f s\n"
+      "traffic per bank:    %.2f MB\n",
+      result.model_name.c_str(), scenario.num_vertices, scenario.block_size, result.iterations,
+      scenario.shocked_banks.size(), static_cast<long long>(result.released_tds),
+      scenario.epsilon, scenario.leverage, static_cast<unsigned long long>(result.reference_tds),
+      result.seconds, result.avg_megabytes_per_node);
+  return buf;
+}
+
+}  // namespace dstress::cli

@@ -1,0 +1,98 @@
+// Byte-buffer utilities: hex encoding, little-endian serialization helpers.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dstress {
+
+using Bytes = std::vector<uint8_t>;
+
+// Returns the lowercase hex encoding of `data`.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const Bytes& data);
+
+// Parses a hex string (even length, [0-9a-fA-F]) into bytes. Aborts on
+// malformed input; intended for test vectors and fixed constants.
+Bytes HexDecode(const std::string& hex);
+
+// Little-endian append-only serializer. All DStress wire messages are
+// serialized with this writer and parsed with ByteReader, so the byte
+// accounting in SimNetwork reflects real message sizes.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { AppendLe(&v, 2); }
+  void U32(uint32_t v) { AppendLe(&v, 4); }
+  void U64(uint64_t v) { AppendLe(&v, 8); }
+  void Raw(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
+  void Raw(const Bytes& data) { Raw(data.data(), data.size()); }
+  // Length-prefixed byte string.
+  void Blob(const Bytes& data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Raw(data);
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  void AppendLe(const void* p, size_t n) {
+    // Host is little-endian on all supported platforms (x86-64, aarch64 LE).
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  Bytes buf_;
+};
+
+// Matching reader. Aborts (via DSTRESS_CHECK) on truncated input: a short
+// read inside the protocol engine indicates a logic error, not bad user
+// input.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  uint8_t U8() { return buf_[Advance(1)]; }
+  uint16_t U16() { return ReadLe<uint16_t>(); }
+  uint32_t U32() { return ReadLe<uint32_t>(); }
+  uint64_t U64() { return ReadLe<uint64_t>(); }
+  Bytes Blob() {
+    uint32_t n = U32();
+    size_t at = Advance(n);
+    return Bytes(buf_.begin() + at, buf_.begin() + at + n);
+  }
+  void Raw(uint8_t* out, size_t n) {
+    size_t at = Advance(n);
+    std::memcpy(out, buf_.data() + at, n);
+  }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    T v;
+    size_t at = Advance(sizeof(T));
+    std::memcpy(&v, buf_.data() + at, sizeof(T));
+    return v;
+  }
+  size_t Advance(size_t n) {
+    DSTRESS_CHECK(pos_ + n <= buf_.size());
+    size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dstress
+
+#endif  // SRC_COMMON_BYTES_H_

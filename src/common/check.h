@@ -1,0 +1,36 @@
+// Lightweight runtime-check macros used across the DStress codebase.
+//
+// We deliberately avoid a heavyweight logging dependency: a failed check in
+// a cryptographic protocol is unrecoverable, so we print and abort. CHECK is
+// always on; DSTRESS_DCHECK compiles out in NDEBUG builds.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dstress {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dstress
+
+#define DSTRESS_CHECK(expr)                                \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::dstress::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DSTRESS_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define DSTRESS_DCHECK(expr) DSTRESS_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

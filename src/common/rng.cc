@@ -1,0 +1,44 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace dstress {
+
+double Rng::Exponential() {
+  // Inverse CDF; guard against log(0).
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return -std::log(u);
+}
+
+double Rng::Laplace(double b) {
+  DSTRESS_CHECK(b > 0);
+  // Difference of two exponentials has a Laplace distribution.
+  return b * (Exponential() - Exponential());
+}
+
+int64_t Rng::Geometric(double p) {
+  DSTRESS_CHECK(p > 0 && p <= 1);
+  if (p == 1.0) {
+    return 0;
+  }
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+int64_t Rng::TwoSidedGeometric(double alpha) {
+  DSTRESS_CHECK(alpha > 0 && alpha < 1);
+  // Sample magnitude and sign: P(Y=0) = (1-alpha)/(1+alpha);
+  // P(|Y|=k) = 2 alpha^k (1-alpha)/(1+alpha) for k >= 1. A clean way to draw
+  // this is the difference of two iid geometric(1-alpha) variables.
+  int64_t a = Geometric(1.0 - alpha);
+  int64_t b = Geometric(1.0 - alpha);
+  return a - b;
+}
+
+}  // namespace dstress

@@ -1,0 +1,90 @@
+// Deterministic, seedable pseudo-random generator for simulation use.
+//
+// This is NOT a cryptographic generator; protocol-grade randomness comes
+// from crypto::ChaCha20Prg. Rng is used for workload generation, synthetic
+// graphs, and test sweeps, where reproducibility across runs matters more
+// than unpredictability. The implementation is xoshiro256** seeded through
+// splitmix64, which has excellent statistical quality for simulation.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace dstress {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    DSTRESS_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    DSTRESS_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool Bit() { return (Next() & 1) != 0; }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Standard exponential variate (rate 1).
+  double Exponential();
+
+  // Laplace variate with scale b (location 0).
+  double Laplace(double b);
+
+  // Two-sided geometric variate: P(Y = d) = (1-alpha)/(1+alpha) * alpha^|d|,
+  // alpha in (0,1). This is the discrete analogue of the Laplace
+  // distribution used by the DStress transfer protocol (Ghosh et al.).
+  int64_t TwoSidedGeometric(double alpha);
+
+  // One-sided geometric: number of failures before first success with
+  // success probability p in (0,1]; P(Y=k) = (1-p)^k p.
+  int64_t Geometric(double p);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dstress
+
+#endif  // SRC_COMMON_RNG_H_

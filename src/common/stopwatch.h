@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch used by benchmarks and cost calibration.
+#ifndef SRC_COMMON_STOPWATCH_H_
+#define SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dstress {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dstress
+
+#endif  // SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,499 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+
+namespace dstress::core {
+
+namespace {
+
+// Session-id namespaces (top 3 bits of a 64-bit id select the phase).
+constexpr net::SessionId kInitSession = 1ULL << 60;
+constexpr net::SessionId kComputeSession = 2ULL << 60;
+constexpr net::SessionId kTransferSession = 3ULL << 60;
+constexpr net::SessionId kAggGatherSession = 4ULL << 60;
+constexpr net::SessionId kAggEvalSession = 5ULL << 60;
+constexpr net::SessionId kAggCombineSession = 6ULL << 60;
+
+// Triple-source tags outside the vertex-id space.
+constexpr uint64_t kAggTripleTag = 1ULL << 40;
+
+Bytes PackBits(const mpc::BitVector& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); i++) {
+    if (bits[i] & 1) {
+      out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  return out;
+}
+
+mpc::BitVector UnpackBits(const Bytes& raw, size_t bits) {
+  DSTRESS_CHECK(raw.size() == (bits + 7) / 8);
+  mpc::BitVector out(bits);
+  for (size_t i = 0; i < bits; i++) {
+    out[i] = (raw[i / 8] >> (i % 8)) & 1;
+  }
+  return out;
+}
+
+int SlotOf(const std::vector<int>& neighbors, int target) {
+  for (size_t i = 0; i < neighbors.size(); i++) {
+    if (neighbors[i] == target) {
+      return static_cast<int>(i);
+    }
+  }
+  DSTRESS_CHECK(false);
+  return -1;
+}
+
+}  // namespace
+
+std::string RunMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.2fs (init=%.2fs compute=%.2fs comm=%.2fs agg=%.2fs) "
+                "traffic: total=%.2fMB avg/node=%.2fMB update_ands=%zu agg_ands=%zu iters=%d",
+                total_seconds, init.seconds, compute.seconds, communicate.seconds,
+                aggregate.seconds, total_bytes / 1e6, avg_bytes_per_node / 1e6, update_and_gates,
+                aggregate_and_gates, iterations);
+  return buf;
+}
+
+Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
+                 const VertexProgram& program)
+    : config_(config),
+      graph_(graph),
+      program_(program),
+      update_circuit_(BuildUpdateCircuit(program)) {
+  DSTRESS_CHECK(graph.MaxDegree() <= program.degree_bound);
+
+  transfer_params_.block_size = config.block_size;
+  transfer_params_.message_bits = program.message_bits;
+  transfer_params_.budget_alpha = config.transfer_budget_alpha;
+  if (config.dlog_range > 0) {
+    transfer_params_.dlog_range = config.dlog_range;
+  } else {
+    // Auto-size: a run performs about |E|·(k+1)·L·I bit-sum lookups; budget
+    // a 1e-6 total failure probability across all of them.
+    double draws = static_cast<double>(graph.Edges().size()) * config.block_size *
+                   program.message_bits * std::max(program.iterations, 1);
+    transfer_params_.dlog_range =
+        transfer_params_.RecommendedDlogRange(1e-6 / std::max(draws, 1.0));
+  }
+
+  SetupConfig setup_config;
+  setup_config.num_nodes = graph.num_vertices();
+  setup_config.block_size = config.block_size;
+  setup_config.message_bits = program.message_bits;
+  setup_config.seed = config.seed;
+  setup_ = RunTrustedSetup(setup_config, graph);
+
+  net_ = std::make_unique<net::SimNetwork>(graph.num_vertices());
+  dlog_table_ = std::make_unique<crypto::DlogTable>(transfer_params_.dlog_range);
+  edges_ = graph.Edges();
+
+  threads_target_ = config.max_parallel_tasks;
+  if (threads_target_ == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads_target_ = static_cast<int>(hw == 0 ? 16 : 4 * hw);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+crypto::ChaCha20Prg Runtime::RolePrg(uint64_t role_tag, uint64_t instance) {
+  return crypto::ChaCha20Prg::FromSeed(config_.seed * 0x9e3779b97f4a7c15ULL + role_tag, instance);
+}
+
+mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
+                                            net::SessionId session,
+                                            const std::vector<int>& block) {
+  std::pair<uint64_t, int> key{tag, member_index};
+  {
+    std::lock_guard<std::mutex> lock(triple_mu_);
+    auto it = triple_sources_.find(key);
+    if (it != triple_sources_.end()) {
+      return it->second.get();
+    }
+  }
+  std::unique_ptr<mpc::TripleSource> source;
+  if (config_.use_ot_triples) {
+    source = std::make_unique<mpc::OtTripleSource>(
+        net_.get(), block, member_index,
+        RolePrg(0x77, (tag << 8) | static_cast<uint64_t>(member_index)), session);
+  } else {
+    source = std::make_unique<mpc::DealerTripleSource>(member_index, config_.block_size,
+                                                       config_.seed ^ tag);
+  }
+  std::lock_guard<std::mutex> lock(triple_mu_);
+  auto [it, _] = triple_sources_.emplace(key, std::move(source));
+  return it->second.get();
+}
+
+void Runtime::RunGrouped(size_t groups, size_t subtasks,
+                         const std::function<void(size_t, size_t)>& fn) {
+  // Batches are aligned to whole groups: every thread a group's protocol
+  // waits on is spawned in the same batch, which makes the blocking
+  // receives inside a group deadlock-free.
+  size_t batch = std::max<size_t>(1, static_cast<size_t>(threads_target_) / subtasks);
+  for (size_t start = 0; start < groups; start += batch) {
+    size_t end = std::min(groups, start + batch);
+    std::vector<std::thread> threads;
+    threads.reserve((end - start) * subtasks);
+    for (size_t g = start; g < end; g++) {
+      for (size_t s = 0; s < subtasks; s++) {
+        threads.emplace_back([&fn, g, s] { fn(g, s); });
+      }
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+}
+
+void Runtime::InitPhase(const std::vector<mpc::BitVector>& initial_states) {
+  int n = graph_.num_vertices();
+  int k1 = config_.block_size;
+  int d = program_.degree_bound;
+
+  state_shares_.assign(n, std::vector<mpc::BitVector>(k1));
+  inmsg_shares_.assign(
+      n, std::vector<std::vector<mpc::BitVector>>(
+             d, std::vector<mpc::BitVector>(k1, mpc::BitVector(program_.message_bits, 0))));
+  outmsg_shares_.assign(
+      n, std::vector<std::vector<mpc::BitVector>>(
+             d, std::vector<mpc::BitVector>(k1, mpc::BitVector(program_.message_bits, 0))));
+
+  // Each node splits its initial state and distributes the shares to its
+  // block. Sends never block, so a simple send-all / receive-all sequence
+  // is deadlock-free and still meters every byte.
+  for (int v = 0; v < n; v++) {
+    DSTRESS_CHECK(static_cast<int>(initial_states[v].size()) == program_.state_bits);
+    auto prg = RolePrg(0x11, static_cast<uint64_t>(v));
+    auto shares = mpc::ShareBits(initial_states[v], k1, prg);
+    for (int m = 0; m < k1; m++) {
+      net_->Send(v, setup_.blocks[v][m], PackBits(shares[m]),
+                 kInitSession | static_cast<uint64_t>(v));
+    }
+  }
+  for (int v = 0; v < n; v++) {
+    for (int m = 0; m < k1; m++) {
+      Bytes raw = net_->Recv(setup_.blocks[v][m], v, kInitSession | static_cast<uint64_t>(v));
+      state_shares_[v][m] = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+    }
+  }
+}
+
+void Runtime::ComputePhase() {
+  int n = graph_.num_vertices();
+  int k1 = config_.block_size;
+  int d = program_.degree_bound;
+
+  RunGrouped(static_cast<size_t>(n), static_cast<size_t>(k1), [&](size_t vg, size_t ms) {
+    int v = static_cast<int>(vg);
+    int m = static_cast<int>(ms);
+    net::SessionId session = kComputeSession | static_cast<uint64_t>(v);
+
+    mpc::BitVector input = state_shares_[v][m];
+    input.reserve(update_circuit_.num_inputs());
+    for (int slot = 0; slot < d; slot++) {
+      mpc::AppendBits(&input, inmsg_shares_[v][slot][m]);
+    }
+
+    mpc::TripleSource* triples =
+        TripleSourceFor(static_cast<uint64_t>(v), m, session, setup_.blocks[v]);
+    mpc::GmwParty party(net_.get(), setup_.blocks[v], m, triples, session);
+    mpc::BitVector output = party.Eval(update_circuit_, input);
+
+    // Split: new state, then D outgoing message words.
+    state_shares_[v][m].assign(output.begin(), output.begin() + program_.state_bits);
+    size_t cursor = static_cast<size_t>(program_.state_bits);
+    for (int slot = 0; slot < d; slot++) {
+      outmsg_shares_[v][slot][m].assign(output.begin() + cursor,
+                                        output.begin() + cursor + program_.message_bits);
+      cursor += program_.message_bits;
+    }
+  });
+}
+
+void Runtime::CommunicatePhase() {
+  int k1 = config_.block_size;
+  size_t roles_per_edge = static_cast<size_t>(2 * k1 + 2);
+
+  RunGrouped(edges_.size(), roles_per_edge, [&](size_t e, size_t role_s) {
+    int role = static_cast<int>(role_s);
+    auto [i, j] = edges_[e];
+    net::SessionId session = kTransferSession | e;
+    int out_slot = SlotOf(graph_.OutNeighbors(i), j);
+    int in_slot = SlotOf(graph_.InNeighbors(j), i);
+
+    if (role < k1) {
+      // Sender member `role` of B_i.
+      int member_node = setup_.blocks[i][role];
+      auto prg = RolePrg(0x22, (e << 8) | static_cast<uint64_t>(role));
+      transfer::RunSenderMember(net_.get(), member_node, i, session,
+                                outmsg_shares_[i][out_slot][role],
+                                setup_.edge_certificates.at({i, j}), prg);
+    } else if (role == k1) {
+      // Node i: aggregation + masking noise.
+      std::vector<int> member_nodes = setup_.blocks[i];
+      auto prg = RolePrg(0x33, e);
+      transfer::RunSourceEndpoint(net_.get(), i, member_nodes, j, session, transfer_params_, prg);
+    } else if (role == k1 + 1) {
+      // Node j: ephemeral adjustment + fan-out.
+      transfer::RunDestEndpoint(net_.get(), j, i, setup_.blocks[j], session,
+                                setup_.neighbor_keys[j][in_slot], transfer_params_);
+    } else {
+      // Receiver member of B_j.
+      int y = role - (k1 + 2);
+      int member_node = setup_.blocks[j][y];
+      inmsg_shares_[j][in_slot][y] =
+          transfer::RunReceiverMember(net_.get(), member_node, j, session,
+                                      setup_.node_keys[member_node], *dlog_table_,
+                                      transfer_params_);
+    }
+  });
+}
+
+int64_t Runtime::AggregateSingleLevel() {
+  int n = graph_.num_vertices();
+  int k1 = config_.block_size;
+  circuit::Circuit agg_circuit = BuildAggregateCircuit(program_, n, /*with_noise=*/true);
+  last_aggregate_ands_ = agg_circuit.stats().num_and;
+
+  // Gather: member m of every B_v forwards its state share to member m of
+  // the aggregation block (index-aligned so collusion resistance carries
+  // over).
+  for (int v = 0; v < n; v++) {
+    for (int m = 0; m < k1; m++) {
+      net_->Send(setup_.blocks[v][m], setup_.aggregation_block[m],
+                 PackBits(state_shares_[v][m]), kAggGatherSession | static_cast<uint64_t>(v));
+    }
+  }
+
+  std::vector<int64_t> results(k1, 0);
+  RunGrouped(1, static_cast<size_t>(k1), [&](size_t, size_t m_flat) {
+    int m = static_cast<int>(m_flat);
+    int agg_node = setup_.aggregation_block[m];
+    mpc::BitVector input;
+    input.reserve(agg_circuit.num_inputs());
+    for (int v = 0; v < n; v++) {
+      Bytes raw = net_->Recv(agg_node, setup_.blocks[v][m],
+                             kAggGatherSession | static_cast<uint64_t>(v));
+      mpc::BitVector share = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+      mpc::AppendBits(&input, share);
+    }
+    // Noise randomness: each member feeds its own uniform bits as its input
+    // shares; the shared value is the XOR of all members' bits.
+    auto prg = RolePrg(0x44, m_flat);
+    size_t noise_bits = dp::NoiseInputBits(program_.output_noise);
+    for (size_t b = 0; b < noise_bits; b++) {
+      input.push_back(prg.NextBit() ? 1 : 0);
+    }
+
+    mpc::TripleSource* triples =
+        TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+    mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
+    mpc::BitVector out_shares = party.Eval(agg_circuit, input);
+    mpc::BitVector opened = party.Open(out_shares);
+    results[m] = mpc::BitsToSignedWord(opened, 0, program_.aggregate_bits);
+  });
+  return results[0];
+}
+
+int64_t Runtime::AggregateTree() {
+  int n = graph_.num_vertices();
+  int k1 = config_.block_size;
+  int fanout = config_.aggregation_fanout;
+  int num_groups = (n + fanout - 1) / fanout;
+
+  // Deterministic extra blocks for the tree leaves.
+  auto block_prg = RolePrg(0x55, 0);
+  std::vector<std::vector<int>> blocks;
+  blocks.reserve(num_groups);
+  for (int g = 0; g < num_groups; g++) {
+    blocks.push_back(setup_.MakeExtraBlock(block_prg));
+  }
+
+  // Gather shares to the leaf blocks.
+  for (int v = 0; v < n; v++) {
+    int g = v / fanout;
+    for (int m = 0; m < k1; m++) {
+      net_->Send(setup_.blocks[v][m], blocks[g][m], PackBits(state_shares_[v][m]),
+                 kAggGatherSession | static_cast<uint64_t>(v));
+    }
+  }
+
+  // Leaf level: partial sums of up to `fanout` vertex states stay shared.
+  std::vector<std::vector<mpc::BitVector>> shares(num_groups, std::vector<mpc::BitVector>(k1));
+  RunGrouped(static_cast<size_t>(num_groups), static_cast<size_t>(k1), [&](size_t gg, size_t mm) {
+    int g = static_cast<int>(gg);
+    int m = static_cast<int>(mm);
+    int lo = g * fanout;
+    int hi = std::min(n, lo + fanout);
+    circuit::Circuit partial_circuit =
+        BuildAggregateCircuit(program_, hi - lo, /*with_noise=*/false);
+    int agg_node = blocks[g][m];
+    mpc::BitVector input;
+    for (int v = lo; v < hi; v++) {
+      Bytes raw = net_->Recv(agg_node, setup_.blocks[v][m],
+                             kAggGatherSession | static_cast<uint64_t>(v));
+      mpc::AppendBits(&input, UnpackBits(raw, static_cast<size_t>(program_.state_bits)));
+    }
+    net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
+    mpc::TripleSource* triples =
+        TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g), m, session, blocks[g]);
+    mpc::GmwParty party(net_.get(), blocks[g], m, triples, session);
+    shares[g][m] = party.Eval(partial_circuit, input);
+  });
+
+  // Intermediate combine levels (without noise) until one root group of at
+  // most `fanout` partials remains — the general tree of §3.6. For the
+  // N=1750, fanout=100 deployment this loop never executes (depth 2); it
+  // matters when fanout is small relative to N.
+  uint64_t level = 1;
+  while (static_cast<int>(shares.size()) > fanout) {
+    int p = static_cast<int>(shares.size());
+    int next_groups = (p + fanout - 1) / fanout;
+    std::vector<std::vector<int>> next_blocks;
+    next_blocks.reserve(next_groups);
+    for (int g = 0; g < next_groups; g++) {
+      next_blocks.push_back(setup_.MakeExtraBlock(block_prg));
+    }
+    for (int g = 0; g < p; g++) {
+      for (int m = 0; m < k1; m++) {
+        net_->Send(blocks[g][m], next_blocks[g / fanout][m], PackBits(shares[g][m]),
+                   kAggCombineSession | (level << 32) | static_cast<uint64_t>(g));
+      }
+    }
+    std::vector<std::vector<mpc::BitVector>> next_shares(next_groups,
+                                                         std::vector<mpc::BitVector>(k1));
+    RunGrouped(static_cast<size_t>(next_groups), static_cast<size_t>(k1),
+               [&](size_t gg, size_t mm) {
+                 int g = static_cast<int>(gg);
+                 int m = static_cast<int>(mm);
+                 int lo = g * fanout;
+                 int hi = std::min(p, lo + fanout);
+                 circuit::Circuit combine =
+                     BuildCombineCircuit(program_, hi - lo, /*with_noise=*/false);
+                 int agg_node = next_blocks[g][m];
+                 mpc::BitVector input;
+                 for (int child = lo; child < hi; child++) {
+                   Bytes raw = net_->Recv(
+                       agg_node, blocks[child][m],
+                       kAggCombineSession | (level << 32) | static_cast<uint64_t>(child));
+                   mpc::AppendBits(&input,
+                                   UnpackBits(raw, static_cast<size_t>(program_.aggregate_bits)));
+                 }
+                 net::SessionId session =
+                     kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
+                 mpc::TripleSource* triples = TripleSourceFor(
+                     kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m, session,
+                     next_blocks[g]);
+                 mpc::GmwParty party(net_.get(), next_blocks[g], m, triples, session);
+                 next_shares[g][m] = party.Eval(combine, input);
+               });
+    blocks = std::move(next_blocks);
+    shares = std::move(next_shares);
+    level++;
+  }
+
+  // Root: combine the remaining partials and add the output noise.
+  int p = static_cast<int>(shares.size());
+  for (int g = 0; g < p; g++) {
+    for (int m = 0; m < k1; m++) {
+      net_->Send(blocks[g][m], setup_.aggregation_block[m], PackBits(shares[g][m]),
+                 kAggCombineSession | (level << 32) | static_cast<uint64_t>(g));
+    }
+  }
+  circuit::Circuit combine_circuit = BuildCombineCircuit(program_, p, /*with_noise=*/true);
+  last_aggregate_ands_ += combine_circuit.stats().num_and;
+  std::vector<int64_t> results(k1, 0);
+  RunGrouped(1, static_cast<size_t>(k1), [&](size_t, size_t m_flat) {
+    int m = static_cast<int>(m_flat);
+    int root_node = setup_.aggregation_block[m];
+    mpc::BitVector input;
+    for (int g = 0; g < p; g++) {
+      Bytes raw = net_->Recv(root_node, blocks[g][m],
+                             kAggCombineSession | (level << 32) | static_cast<uint64_t>(g));
+      mpc::AppendBits(&input, UnpackBits(raw, static_cast<size_t>(program_.aggregate_bits)));
+    }
+    auto prg = RolePrg(0x66, m_flat);
+    size_t noise_bits = dp::NoiseInputBits(program_.output_noise);
+    for (size_t b = 0; b < noise_bits; b++) {
+      input.push_back(prg.NextBit() ? 1 : 0);
+    }
+    mpc::TripleSource* triples =
+        TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+    mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
+    mpc::BitVector out_shares = party.Eval(combine_circuit, input);
+    mpc::BitVector opened = party.Open(out_shares);
+    results[m] = mpc::BitsToSignedWord(opened, 0, program_.aggregate_bits);
+  });
+  return results[0];
+}
+
+int64_t Runtime::AggregatePhase() {
+  if (config_.aggregation_fanout > 0) {
+    return AggregateTree();
+  }
+  return AggregateSingleLevel();
+}
+
+int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetrics* metrics) {
+  DSTRESS_CHECK(static_cast<int>(initial_states.size()) == graph_.num_vertices());
+  RunMetrics local;
+  RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  Stopwatch phase;
+  InitPhase(initial_states);
+  m->init.seconds = phase.ElapsedSeconds();
+  m->init.bytes = net_->TotalBytes() - bytes_before;
+
+  uint64_t phase_bytes = net_->TotalBytes();
+  for (int iter = 0; iter < program_.iterations; iter++) {
+    phase.Reset();
+    ComputePhase();
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    CommunicatePhase();
+    m->communicate.seconds += phase.ElapsedSeconds();
+    m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+  }
+  // Final computation step (§3.6).
+  phase.Reset();
+  ComputePhase();
+  m->compute.seconds += phase.ElapsedSeconds();
+  m->compute.bytes += net_->TotalBytes() - phase_bytes;
+  phase_bytes = net_->TotalBytes();
+
+  phase.Reset();
+  last_aggregate_ands_ = 0;
+  int64_t result = AggregatePhase();
+  m->aggregate_and_gates = last_aggregate_ands_;
+  m->aggregate.seconds = phase.ElapsedSeconds();
+  m->aggregate.bytes = net_->TotalBytes() - phase_bytes;
+
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / graph_.num_vertices();
+  return result;
+}
+
+}  // namespace dstress::core

@@ -1,0 +1,151 @@
+// The DStress execution engine (paper §3.3 / §3.6).
+//
+// Runs a vertex program over a distributed set of nodes, one per vertex,
+// where every protocol role executes on its own thread and communicates
+// exclusively through SimNetwork messages:
+//
+//  * Initialization — each node XOR-splits its vertex's initial state into
+//    k+1 shares and distributes them to its block; message slots start as
+//    shares of the no-op message ⊥ (all zeros).
+//  * Computation step — every block evaluates the update circuit in GMW;
+//    inputs and outputs stay shared, no member ever sees a value.
+//  * Communication step — every directed edge runs the §3.5 transfer
+//    protocol, moving each message's sharing from the sender's block to the
+//    receiver's block through the two edge endpoints.
+//  * Aggregation + noising — blocks forward their state shares
+//    (member-index aligned) to the aggregation block, which evaluates the
+//    contribution-sum circuit plus the in-MPC discrete-Laplace sampler and
+//    opens only the noised total. With aggregation_fanout > 0 an
+//    aggregation tree is used (§3.6's scalable variant): leaf blocks sum
+//    groups of `fanout` states, intermediate blocks combine up to `fanout`
+//    partials per level (all sums stay shared), and only the root adds
+//    noise and opens.
+//
+// Scheduling: phases process vertices/edges in deterministic global order
+// in bounded-size batches of role threads. Sends never block, so within a
+// batch every protocol eventually progresses; batches bound the number of
+// live threads.
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/setup.h"
+#include "src/core/vertex_program.h"
+#include "src/graph/graph.h"
+#include "src/mpc/gmw.h"
+#include "src/net/sim_network.h"
+#include "src/transfer/transfer.h"
+
+namespace dstress::core {
+
+struct RuntimeConfig {
+  int block_size = 8;  // k+1
+  // Transfer-protocol noise and lookup parameters (production-scale alpha
+  // needs the paper's 8 GB lookup table; defaults are test-scale).
+  double transfer_budget_alpha = 0.9;
+  // Half-range of the ElGamal discrete-log table. 0 = size automatically so
+  // the Appendix B lookup-failure probability is negligible per run.
+  int64_t dlog_range = 0;
+  // false: dealer triples (simulated offline phase, fast). true: IKNP
+  // OT-extension triples (the real protocol; pairwise setup per block).
+  bool use_ot_triples = false;
+  // 0 = single aggregation block; >0 = aggregation tree with this group
+  // size per level (depth grows as log_fanout(N)).
+  int aggregation_fanout = 0;
+  // Target number of concurrently live role threads (0 = auto).
+  int max_parallel_tasks = 0;
+  uint64_t seed = 1;
+};
+
+struct PhaseMetrics {
+  double seconds = 0;
+  uint64_t bytes = 0;
+};
+
+struct RunMetrics {
+  PhaseMetrics init;
+  PhaseMetrics compute;      // summed over all computation steps
+  PhaseMetrics communicate;  // summed over all communication steps
+  PhaseMetrics aggregate;
+  double total_seconds = 0;
+  uint64_t total_bytes = 0;
+  double avg_bytes_per_node = 0;
+  size_t update_and_gates = 0;
+  size_t aggregate_and_gates = 0;
+  int iterations = 0;
+
+  std::string ToString() const;
+};
+
+class Runtime {
+ public:
+  Runtime(const RuntimeConfig& config, const graph::Graph& graph, const VertexProgram& program);
+  ~Runtime();
+
+  // Executes the program on the given initial states (one state_bits-wide
+  // bit vector per vertex, held by that vertex's node). Returns the noised
+  // aggregate as a signed integer. Reusable: each call is an independent
+  // run (state is re-initialized), but OT/triple sessions persist.
+  int64_t Run(const std::vector<mpc::BitVector>& initial_states, RunMetrics* metrics);
+
+  const net::SimNetwork& network() const { return *net_; }
+  // For attaching a NetworkObserver (e.g. an audit::TranscriptRecorder)
+  // before Run; see src/audit.
+  net::SimNetwork* mutable_network() { return net_.get(); }
+  const circuit::Circuit& update_circuit() const { return update_circuit_; }
+  const TrustedSetup& setup() const { return setup_; }
+
+ private:
+  void InitPhase(const std::vector<mpc::BitVector>& initial_states);
+  void ComputePhase();
+  void CommunicatePhase();
+  int64_t AggregatePhase();
+  int64_t AggregateSingleLevel();
+  int64_t AggregateTree();
+
+  // Runs fn(group, subtask) for every (group, subtask) pair on threads,
+  // with batching aligned to whole groups so intra-group blocking receives
+  // cannot deadlock across batch boundaries.
+  void RunGrouped(size_t groups, size_t subtasks,
+                  const std::function<void(size_t, size_t)>& fn);
+
+  mpc::TripleSource* TripleSourceFor(uint64_t tag, int member_index, net::SessionId session,
+                                     const std::vector<int>& block);
+  crypto::ChaCha20Prg RolePrg(uint64_t role_tag, uint64_t instance);
+
+  RuntimeConfig config_;
+  const graph::Graph& graph_;
+  VertexProgram program_;
+  circuit::Circuit update_circuit_;
+  transfer::TransferParams transfer_params_;
+  TrustedSetup setup_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<crypto::DlogTable> dlog_table_;
+
+  // Shares indexed [vertex][member]: the runtime stores them centrally, but
+  // entry [v][m] is only ever touched by the thread playing member m of
+  // B_v — the access pattern respects the trust boundaries.
+  std::vector<std::vector<mpc::BitVector>> state_shares_;
+  // [vertex][in_slot][member]
+  std::vector<std::vector<std::vector<mpc::BitVector>>> inmsg_shares_;
+  // [vertex][out_slot][member]
+  std::vector<std::vector<std::vector<mpc::BitVector>>> outmsg_shares_;
+
+  // Persistent triple sources keyed by (vertex or agg tag, member index).
+  std::map<std::pair<uint64_t, int>, std::unique_ptr<mpc::TripleSource>> triple_sources_;
+  std::mutex triple_mu_;
+
+  std::vector<std::pair<int, int>> edges_;
+  int threads_target_ = 0;
+  size_t last_aggregate_ands_ = 0;
+};
+
+}  // namespace dstress::core
+
+#endif  // SRC_CORE_RUNTIME_H_

@@ -1,0 +1,104 @@
+#include "src/core/setup.h"
+
+#include "src/common/check.h"
+
+namespace dstress::core {
+
+namespace {
+
+// Random block containing `anchor` (at position 0) plus block_size-1 other
+// distinct nodes.
+std::vector<int> PickBlock(int anchor, int num_nodes, int block_size, crypto::ChaCha20Prg& prg) {
+  DSTRESS_CHECK(block_size <= num_nodes);
+  std::vector<int> members;
+  members.reserve(block_size);
+  if (anchor >= 0) {
+    members.push_back(anchor);
+  }
+  while (static_cast<int>(members.size()) < block_size) {
+    int candidate = static_cast<int>(prg.NextBelow(static_cast<uint64_t>(num_nodes)));
+    bool duplicate = false;
+    for (int m : members) {
+      if (m == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      members.push_back(candidate);
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+std::vector<int> TrustedSetup::MakeExtraBlock(crypto::ChaCha20Prg& prg) const {
+  return PickBlock(-1, num_nodes, block_size, prg);
+}
+
+TrustedSetup RunTrustedSetup(const SetupConfig& config, const graph::Graph& graph) {
+  DSTRESS_CHECK(config.num_nodes == graph.num_vertices());
+  DSTRESS_CHECK(config.block_size >= 2 && config.block_size <= config.num_nodes);
+
+  TrustedSetup setup;
+  setup.block_size = config.block_size;
+  setup.num_nodes = config.num_nodes;
+  setup.message_bits = config.message_bits;
+
+  auto prg = crypto::ChaCha20Prg::FromSeed(config.seed, /*stream_id=*/0x5e79);
+  // Identity keys: L key pairs per node.
+  setup.node_keys.reserve(config.num_nodes);
+  for (int node = 0; node < config.num_nodes; node++) {
+    transfer::MemberKeys keys;
+    keys.keys.reserve(config.message_bits);
+    for (int b = 0; b < config.message_bits; b++) {
+      keys.keys.push_back(crypto::ElGamalKeyGen(prg));
+    }
+    setup.node_keys.push_back(std::move(keys));
+  }
+
+  // Blocks: B_v contains v plus block_size-1 random distinct nodes.
+  setup.blocks.reserve(config.num_nodes);
+  for (int v = 0; v < config.num_nodes; v++) {
+    setup.blocks.push_back(PickBlock(v, config.num_nodes, config.block_size, prg));
+  }
+  setup.aggregation_block = PickBlock(-1, config.num_nodes, config.block_size, prg);
+
+  // Neighbor keys: one per in-edge slot of each node. (The paper issues a
+  // full set of D keys per node; keys for unused slots would simply never
+  // be exercised, so we materialize only the in-degree many.)
+  setup.neighbor_keys.resize(config.num_nodes);
+  for (int j = 0; j < config.num_nodes; j++) {
+    int slots = graph.InDegree(j);
+    setup.neighbor_keys[j].reserve(slots);
+    for (int d = 0; d < slots; d++) {
+      setup.neighbor_keys[j].push_back(prg.NextScalar(crypto::CurveOrder()));
+    }
+  }
+
+  // Edge certificates: for edge (i, j) at j's in-slot d, blind B_j's member
+  // public keys with neighbor key n^j_d.
+  for (int j = 0; j < config.num_nodes; j++) {
+    const auto& in_neighbors = graph.InNeighbors(j);
+    for (size_t d = 0; d < in_neighbors.size(); d++) {
+      int i = in_neighbors[d];
+      transfer::BlockPublicKeys publics;
+      publics.reserve(config.block_size);
+      for (int member : setup.blocks[j]) {
+        std::vector<crypto::ElGamalPublicKey> row;
+        row.reserve(config.message_bits);
+        for (const auto& kp : setup.node_keys[member].keys) {
+          row.push_back(kp.pub);
+        }
+        publics.push_back(std::move(row));
+      }
+      setup.edge_certificates.emplace(
+          std::make_pair(i, j),
+          transfer::MakeBlockCertificate(publics, setup.neighbor_keys[j][d]));
+    }
+  }
+  return setup;
+}
+
+}  // namespace dstress::core

@@ -1,0 +1,227 @@
+#include "src/costmodel/cost_model.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/crypto/elgamal.h"
+#include "src/mpc/gmw.h"
+#include "src/mpc/sharing.h"
+#include "src/mpc/triples.h"
+#include "src/net/sim_network.h"
+#include "src/transfer/transfer.h"
+
+namespace dstress::costmodel {
+
+std::string MicroCosts::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "per-AND: %.2f us / %.1f B; transfer: encrypt=%.2f ms endpoint=%.2f ms "
+                "adjust=%.2f ms decrypt=%.2f ms (block=%d L=%d)",
+                seconds_per_and * 1e6, bytes_per_and, seconds_bundle_encrypt * 1e3,
+                seconds_source_endpoint * 1e3, seconds_dest_adjust * 1e3,
+                seconds_column_decrypt * 1e3, calibrated_block_size, calibrated_message_bits);
+  return buf;
+}
+
+std::string Projection::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "total=%.1f min (init=%.1fs compute=%.1f min comm=%.1f min agg=%.1fs) "
+                "traffic/node=%.1f MB",
+                total_seconds / 60, init_seconds, compute_seconds / 60,
+                communicate_seconds / 60, aggregate_seconds, traffic_bytes_per_node / 1e6);
+  return buf;
+}
+
+MicroCosts Calibrate(int block_size, int message_bits) {
+  MicroCosts costs;
+  costs.calibrated_block_size = block_size;
+  costs.calibrated_message_bits = message_bits;
+
+  // --- GMW per-AND cost: evaluate a multiplier-heavy circuit in one block.
+  {
+    circuit::Builder b;
+    circuit::Word x = b.InputWord(32);
+    circuit::Word y = b.InputWord(32);
+    circuit::Word acc = b.Mul(x, y);
+    for (int i = 0; i < 6; i++) {
+      acc = b.Mul(acc, y);
+    }
+    b.OutputWord(acc);
+    circuit::Circuit circuit = b.Build();
+
+    net::SimNetwork net(block_size);
+    auto prg = crypto::ChaCha20Prg::FromSeed(11);
+    mpc::BitVector inputs(circuit.num_inputs(), 0);
+    for (auto& bit : inputs) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    auto shares = mpc::ShareBits(inputs, block_size, prg);
+
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < block_size; p++) {
+      threads.emplace_back([&, p] {
+        std::vector<net::NodeId> ids(block_size);
+        for (int i = 0; i < block_size; i++) {
+          ids[i] = i;
+        }
+        mpc::DealerTripleSource triples(p, block_size, 77);
+        mpc::GmwParty party(&net, ids, p, &triples);
+        party.Eval(circuit, shares[p]);
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    double seconds = timer.ElapsedSeconds();
+    costs.seconds_per_and = seconds / static_cast<double>(circuit.stats().num_and);
+    costs.bytes_per_and = static_cast<double>(net.TotalBytes()) /
+                          (static_cast<double>(block_size) * circuit.stats().num_and);
+  }
+
+  // --- Transfer protocol per-role costs (pure scheme functions, measured
+  // without network overhead).
+  {
+    auto prg = crypto::ChaCha20Prg::FromSeed(21);
+    transfer::TransferParams params;
+    params.block_size = block_size;
+    params.message_bits = message_bits;
+    params.budget_alpha = 0.9;
+    params.dlog_range = 512;
+
+    transfer::BlockKeys dest_keys = transfer::TransferSetup(block_size, message_bits, prg);
+    crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
+    transfer::BlockCertificate cert =
+        transfer::MakeBlockCertificate(transfer::PublicKeysOf(dest_keys), neighbor_key);
+    crypto::DlogTable table(params.dlog_range);
+
+    mpc::BitVector share(message_bits, 0);
+    for (auto& bit : share) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+
+    constexpr int kReps = 3;
+    Stopwatch timer;
+    std::vector<transfer::SubshareBundle> bundles;
+    for (int member = 0; member < block_size; member++) {
+      bundles.push_back(transfer::EncryptSubshares(share, cert, prg));
+    }
+    costs.seconds_bundle_encrypt = timer.ElapsedSeconds() / block_size;
+
+    timer.Reset();
+    transfer::AggregatedColumns agg = transfer::AggregateSubshares(bundles, params, prg);
+    for (int rep = 1; rep < kReps; rep++) {
+      agg = transfer::AggregateSubshares(bundles, params, prg);
+    }
+    costs.seconds_source_endpoint = timer.ElapsedSeconds() / kReps;
+
+    timer.Reset();
+    transfer::AggregatedColumns adjusted = transfer::AdjustAggregated(agg, neighbor_key);
+    for (int rep = 1; rep < kReps; rep++) {
+      adjusted = transfer::AdjustAggregated(agg, neighbor_key);
+    }
+    costs.seconds_dest_adjust = timer.ElapsedSeconds() / kReps;
+
+    timer.Reset();
+    for (int member = 0; member < block_size; member++) {
+      transfer::MemberColumn column{adjusted.c1, adjusted.c2[member]};
+      mpc::BitVector recovered;
+      bool ok = transfer::RecoverShare(column, dest_keys.members[member], table, &recovered);
+      DSTRESS_CHECK(ok);
+    }
+    costs.seconds_column_decrypt = timer.ElapsedSeconds() / block_size;
+  }
+  return costs;
+}
+
+Projection Project(const MicroCosts& costs, const ProjectionParams& p) {
+  Projection out;
+  const double k1 = p.block_size;
+  const double d = p.degree_bound;
+  const double iters = p.iterations;
+  const double point = crypto::EcPoint::kCompressedSize;
+
+  // Initialization: share split + distribution; compute cost is a few ns
+  // per shared bit, traffic is one packed state per member.
+  out.init_seconds = 1e-8 * k1 * p.state_bits;
+  double init_traffic = k1 * (p.state_bits / 8.0);
+
+  // Computation steps: a node serves in k+1 blocks and, per the paper's
+  // conservative assumption, does not overlap them. I iterations plus the
+  // final computation step.
+  out.compute_seconds =
+      (iters + 1) * k1 * static_cast<double>(p.update_and_gates) * costs.seconds_per_and;
+  double compute_traffic =
+      (iters + 1) * k1 * static_cast<double>(p.update_and_gates) * costs.bytes_per_and;
+
+  // Communication steps, per iteration, per node:
+  //  - as a member of k+1 blocks, encrypt one bundle per out-edge (D);
+  //  - as source endpoint of its own D out-edges, aggregate + mask;
+  //  - as destination endpoint of its D in-edges, adjust + fan out;
+  //  - as a member of k+1 blocks, decrypt one column per in-edge (D).
+  out.communicate_seconds =
+      iters * (k1 * d * costs.seconds_bundle_encrypt + d * costs.seconds_source_endpoint +
+               d * costs.seconds_dest_adjust + k1 * d * costs.seconds_column_decrypt);
+  double bundle_bytes = (1.0 + k1 * p.message_bits) * point;
+  double column_bytes = (1.0 + p.message_bits) * point;
+  double communicate_traffic =
+      iters * (k1 * d * bundle_bytes     // member -> source endpoint
+               + d * bundle_bytes        // source endpoint -> destination
+               + d * k1 * column_bytes);  // destination -> members
+
+  // Aggregation tree: leaf groups in parallel, then the root combine with
+  // in-MPC noising; two serial levels of MPC wall time.
+  out.aggregate_seconds =
+      static_cast<double>(p.aggregate_and_gates_per_group) * costs.seconds_per_and +
+      static_cast<double>(p.combine_and_gates) * costs.seconds_per_and;
+  double groups = static_cast<double>((p.num_nodes + p.aggregation_fanout - 1) /
+                                      p.aggregation_fanout);
+  // Per-node amortized aggregation traffic: forwarding the state shares
+  // plus the (rare) leaf/root memberships' GMW traffic.
+  double aggregate_traffic =
+      k1 * (p.state_bits / 8.0) +
+      (groups * k1 / p.num_nodes) *
+          (static_cast<double>(p.aggregate_and_gates_per_group) * costs.bytes_per_and) +
+      (k1 / p.num_nodes) * (static_cast<double>(p.combine_and_gates) * costs.bytes_per_and);
+
+  out.total_seconds = out.init_seconds + out.compute_seconds + out.communicate_seconds +
+                      out.aggregate_seconds;
+  out.traffic_bytes_per_node =
+      init_traffic + compute_traffic + communicate_traffic + aggregate_traffic;
+  return out;
+}
+
+Projection ProjectWan(const MicroCosts& costs, const ProjectionParams& p,
+                      const WanParams& wan) {
+  Projection out = Project(costs, p);
+  const double rtt = wan.rtt_ms / 1e3;
+  const double k1 = p.block_size;
+  const double iters = p.iterations;
+
+  // GMW latency: each computation step runs update_and_depth communication
+  // rounds; a node's k+1 serialized block memberships each pay them.
+  out.compute_seconds += (iters + 1) * k1 * static_cast<double>(p.update_and_depth) * rtt;
+  // Transfer latency: member -> i -> j -> member is three one-way hops per
+  // communication step (edges within a step proceed in parallel).
+  out.communicate_seconds += iters * 1.5 * rtt;
+  // Aggregation: one hop to the leaf block, the leaf MPC's rounds, one hop
+  // to the root, the root MPC's rounds.
+  out.aggregate_seconds +=
+      rtt + static_cast<double>(p.aggregate_and_depth) * rtt +
+      rtt + static_cast<double>(p.combine_and_depth) * rtt;
+
+  // Bandwidth: all of a node's traffic crosses its uplink.
+  double uplink_bytes_per_second = wan.bandwidth_mbps * 1e6 / 8.0;
+  double bandwidth_seconds = out.traffic_bytes_per_node / uplink_bytes_per_second;
+
+  out.total_seconds = out.init_seconds + out.compute_seconds + out.communicate_seconds +
+                      out.aggregate_seconds + bandwidth_seconds;
+  return out;
+}
+
+}  // namespace dstress::costmodel

@@ -1,0 +1,58 @@
+// ChaCha20 stream cipher (RFC 8439 block function) and a PRG built on it.
+//
+// ChaCha20Prg is the cryptographic randomness source for the protocol stack:
+// ephemeral ElGamal keys, OT choice bits, GMW share masks, and the jointly
+// seeded in-MPC noise draw all pull from instances of this generator.
+#ifndef SRC_CRYPTO_CHACHA20_H_
+#define SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/crypto/u256.h"
+
+namespace dstress::crypto {
+
+// Computes one 64-byte ChaCha20 block for (key, nonce, counter).
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12], uint32_t counter,
+                   uint8_t out[64]);
+
+class ChaCha20Prg {
+ public:
+  // Deterministic PRG from a 32-byte key. The 12-byte nonce defaults to a
+  // stream id, letting one key derive independent streams.
+  explicit ChaCha20Prg(const std::array<uint8_t, 32>& key, uint64_t stream_id = 0);
+  // Convenience: derives the key by hashing a 64-bit seed. Test/simulation
+  // entry point; protocol code should pass full-entropy keys.
+  static ChaCha20Prg FromSeed(uint64_t seed, uint64_t stream_id = 0);
+
+  void Fill(uint8_t* out, size_t len);
+  Bytes NextBytes(size_t len);
+  uint8_t NextByte();
+  uint64_t NextU64();
+  bool NextBit();
+  // Uniform value below `bound` (rejection sampled).
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform 256-bit value.
+  U256 NextU256();
+  // Uniform nonzero scalar below `order` (rejection sampled) — used for
+  // ElGamal secret/ephemeral keys and neighbor keys.
+  U256 NextScalar(const U256& order);
+
+ private:
+  void Refill();
+
+  uint8_t key_[32];
+  uint8_t nonce_[12];
+  uint32_t counter_ = 0;
+  uint8_t block_[64];
+  size_t pos_ = 64;
+  // Bit-level buffer for NextBit().
+  uint8_t bit_byte_ = 0;
+  int bits_left_ = 0;
+};
+
+}  // namespace dstress::crypto
+
+#endif  // SRC_CRYPTO_CHACHA20_H_

@@ -1,0 +1,72 @@
+// secp256k1 elliptic-curve group: y^2 = x^3 + 7 over GF(p).
+//
+// Points are held in Jacobian projective coordinates (X, Y, Z) with the
+// point at infinity represented by Z = 0. The group has prime order n, so
+// every non-identity point generates the full group — which is exactly the
+// structure the exponential-ElGamal scheme in elgamal.h needs.
+#ifndef SRC_CRYPTO_EC_H_
+#define SRC_CRYPTO_EC_H_
+
+#include <array>
+#include <optional>
+
+#include "src/crypto/fp.h"
+#include "src/crypto/u256.h"
+
+namespace dstress::crypto {
+
+// Order of the secp256k1 group (prime).
+const U256& CurveOrder();
+
+class EcPoint {
+ public:
+  // Point at infinity.
+  EcPoint() : x_(Fp::FromUint64(1)), y_(Fp::FromUint64(1)), z_(Fp::FromUint64(0)) {}
+
+  static EcPoint Infinity() { return EcPoint(); }
+  // The standard generator G.
+  static const EcPoint& Generator();
+  // Constructs from affine coordinates; the caller asserts (x, y) is on the
+  // curve (checked in debug builds).
+  static EcPoint FromAffine(const Fp& x, const Fp& y);
+
+  bool IsInfinity() const { return z_.IsZero(); }
+
+  EcPoint Double() const;
+  EcPoint Add(const EcPoint& other) const;
+  EcPoint Neg() const;
+  // Scalar multiplication by k (interpreted mod n), 4-bit fixed-window.
+  EcPoint Mul(const U256& k) const;
+
+  // Converts to affine (x, y). Must not be infinity.
+  void ToAffine(Fp* x, Fp* y) const;
+
+  // Constant-size compressed encoding: 0x02/0x03 || x (33 bytes); infinity
+  // encodes as 33 zero bytes. This is the wire format of every ElGamal
+  // component, and the 33-byte size is what the traffic accounting charges.
+  static constexpr size_t kCompressedSize = 33;
+  std::array<uint8_t, kCompressedSize> Compress() const;
+  static std::optional<EcPoint> Decompress(const uint8_t* bytes33);
+
+  // Compresses `count` points into out[count*33] with one shared field
+  // inversion (Montgomery's trick) — the serialization hot path for
+  // subshare bundles, which carry (k+1)^2 * L points per transfer.
+  static void CompressBatch(const EcPoint* points, size_t count, uint8_t* out);
+
+  // Equality in the group (compares affine forms; handles infinity).
+  bool operator==(const EcPoint& other) const;
+  bool operator!=(const EcPoint& other) const { return !(*this == other); }
+
+ private:
+  EcPoint(const Fp& x, const Fp& y, const Fp& z) : x_(x), y_(y), z_(z) {}
+
+  Fp x_, y_, z_;
+};
+
+// k*G using a precomputed table for the fixed generator (much faster than
+// EcPoint::Generator().Mul(k); encryption does two of these per ciphertext).
+EcPoint MulBase(const U256& k);
+
+}  // namespace dstress::crypto
+
+#endif  // SRC_CRYPTO_EC_H_

@@ -1,0 +1,52 @@
+// Arithmetic in the secp256k1 base field GF(p), p = 2^256 - 2^32 - 977.
+//
+// The special form of p admits a fast reduction: 2^256 ≡ 2^32 + 977 (mod p),
+// so a 512-bit product folds down in two multiply-by-constant passes. All
+// values are kept fully reduced in [0, p).
+#ifndef SRC_CRYPTO_FP_H_
+#define SRC_CRYPTO_FP_H_
+
+#include "src/crypto/u256.h"
+
+namespace dstress::crypto {
+
+class Fp {
+ public:
+  // p = FFFFFFFF...FFFFFFFE FFFFFC2F.
+  static const U256& P();
+
+  constexpr Fp() = default;
+  // v must already be < p for the fast path; Reduce() handles the general
+  // case (used when loading external byte strings).
+  static Fp FromU256(const U256& v);
+  static Fp FromUint64(uint64_t v) { return Fp(U256(v)); }
+  static Fp FromHex(const std::string& hex) { return FromU256(U256::FromHex(hex)); }
+
+  const U256& raw() const { return v_; }
+  bool IsZero() const { return v_.IsZero(); }
+  bool IsOdd() const { return v_.IsOdd(); }
+
+  bool operator==(const Fp& o) const { return v_ == o.v_; }
+  bool operator!=(const Fp& o) const { return !(*this == o); }
+
+  Fp operator+(const Fp& o) const;
+  Fp operator-(const Fp& o) const;
+  Fp operator*(const Fp& o) const;
+  Fp Neg() const;
+  Fp Square() const;
+  // Multiplicative inverse via Fermat: a^(p-2). Requires a != 0.
+  Fp Inv() const;
+  // Square root via a^((p+1)/4) (valid since p ≡ 3 mod 4). Returns false if
+  // no square root exists.
+  bool Sqrt(Fp* out) const;
+  Fp Pow(const U256& e) const;
+
+ private:
+  constexpr explicit Fp(const U256& v) : v_(v) {}
+
+  U256 v_;
+};
+
+}  // namespace dstress::crypto
+
+#endif  // SRC_CRYPTO_FP_H_

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the random-oracle hash inside the base OT, the IKNP OT extension,
+// and for fingerprinting public keys in the discrete-log lookup table.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace dstress::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(const uint8_t* data, size_t len);
+  static Sha256Digest Hash(const Bytes& data) { return Hash(data.data(), data.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace dstress::crypto
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,232 @@
+#include "src/crypto/u256.h"
+
+#include "src/common/check.h"
+
+namespace dstress::crypto {
+
+using uint128 = unsigned __int128;
+
+U256 U256::FromHex(const std::string& hex) {
+  DSTRESS_CHECK(hex.size() <= 64);
+  std::string padded(64 - hex.size(), '0');
+  padded += hex;
+  Bytes raw = HexDecode(padded);
+  return FromBytesBe(raw.data());
+}
+
+U256 U256::FromBytesBe(const uint8_t* bytes32) {
+  U256 out;
+  for (int limb = 0; limb < 4; limb++) {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; b++) {
+      v = (v << 8) | bytes32[(3 - limb) * 8 + b];
+    }
+    out.w[limb] = v;
+  }
+  return out;
+}
+
+void U256::ToBytesBe(uint8_t* bytes32) const {
+  for (int limb = 0; limb < 4; limb++) {
+    uint64_t v = w[limb];
+    for (int b = 7; b >= 0; b--) {
+      bytes32[(3 - limb) * 8 + b] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+std::string U256::ToHex() const {
+  uint8_t raw[32];
+  ToBytesBe(raw);
+  return HexEncode(raw, 32);
+}
+
+int U256::BitLength() const {
+  for (int limb = 3; limb >= 0; limb--) {
+    if (w[limb] != 0) {
+      return limb * 64 + 63 - __builtin_clzll(w[limb]);
+    }
+  }
+  return -1;
+}
+
+int Cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; i--) {
+    if (a.w[i] < b.w[i]) {
+      return -1;
+    }
+    if (a.w[i] > b.w[i]) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+uint64_t AddWithCarry(const U256& a, const U256& b, U256* out) {
+  uint128 carry = 0;
+  for (int i = 0; i < 4; i++) {
+    uint128 s = static_cast<uint128>(a.w[i]) + b.w[i] + carry;
+    out->w[i] = static_cast<uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; i++) {
+    uint128 d = static_cast<uint128>(a.w[i]) - b.w[i] - borrow;
+    out->w[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  return borrow;
+}
+
+U512 MulFull(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; i++) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; j++) {
+      uint128 cur = static_cast<uint128>(a.w[i]) * b.w[j] + out.w[i + j] + carry;
+      out.w[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.w[i + 4] = carry;
+  }
+  return out;
+}
+
+U256 Shl(const U256& a, int bits) {
+  DSTRESS_DCHECK(bits >= 0 && bits < 256);
+  U256 out;
+  int limb_shift = bits / 64;
+  int bit_shift = bits % 64;
+  for (int i = 3; i >= 0; i--) {
+    uint64_t v = 0;
+    int src = i - limb_shift;
+    if (src >= 0) {
+      v = a.w[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= a.w[src - 1] >> (64 - bit_shift);
+      }
+    }
+    out.w[i] = v;
+  }
+  return out;
+}
+
+U256 Shr(const U256& a, int bits) {
+  DSTRESS_DCHECK(bits >= 0 && bits < 256);
+  U256 out;
+  int limb_shift = bits / 64;
+  int bit_shift = bits % 64;
+  for (int i = 0; i < 4; i++) {
+    uint64_t v = 0;
+    int src = i + limb_shift;
+    if (src < 4) {
+      v = a.w[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        v |= a.w[src + 1] << (64 - bit_shift);
+      }
+    }
+    out.w[i] = v;
+  }
+  return out;
+}
+
+U256 Mod512(const U512& a, const U256& m) {
+  DSTRESS_CHECK(!m.IsZero());
+  // Binary long division over the 512-bit dividend, most significant bit
+  // first. rem stays < m < 2^256 throughout, so the shift-in step needs one
+  // overflow bit which we track explicitly.
+  U256 rem;
+  for (int bit = 511; bit >= 0; bit--) {
+    uint64_t top = rem.w[3] >> 63;
+    rem = Shl(rem, 1);
+    uint64_t in = (a.w[bit >> 6] >> (bit & 63)) & 1;
+    rem.w[0] |= in;
+    if (top != 0 || Cmp(rem, m) >= 0) {
+      SubWithBorrow(rem, m, &rem);
+    }
+  }
+  return rem;
+}
+
+U256 ModAdd(const U256& a, const U256& b, const U256& m) {
+  U256 s;
+  uint64_t carry = AddWithCarry(a, b, &s);
+  if (carry != 0 || Cmp(s, m) >= 0) {
+    SubWithBorrow(s, m, &s);
+  }
+  return s;
+}
+
+U256 ModSub(const U256& a, const U256& b, const U256& m) {
+  U256 d;
+  uint64_t borrow = SubWithBorrow(a, b, &d);
+  if (borrow != 0) {
+    AddWithCarry(d, m, &d);
+  }
+  return d;
+}
+
+U256 ModMul(const U256& a, const U256& b, const U256& m) { return Mod512(MulFull(a, b), m); }
+
+U256 ModPow(const U256& a, const U256& e, const U256& m) {
+  U256 result = U256::One();
+  U256 base = a;
+  int top = e.BitLength();
+  for (int i = 0; i <= top; i++) {
+    if (e.Bit(i)) {
+      result = ModMul(result, base, m);
+    }
+    base = ModMul(base, base, m);
+  }
+  return result;
+}
+
+U256 ModInv(const U256& a, const U256& m) {
+  DSTRESS_CHECK(!a.IsZero());
+  DSTRESS_CHECK(m.IsOdd());
+  // Binary extended GCD (classic algorithm; see HAC 14.61). Maintains
+  //   u = A*a mod m,  v = C*a mod m
+  // with A, C tracked modulo m using half-sized steps.
+  U256 u = a;
+  U256 v = m;
+  U256 big_a = U256::One();
+  U256 big_c = U256::Zero();
+  auto halve = [&m](U256* x) {
+    if (x->IsOdd()) {
+      uint64_t carry = AddWithCarry(*x, m, x);
+      *x = Shr(*x, 1);
+      if (carry != 0) {
+        x->w[3] |= 1ULL << 63;
+      }
+    } else {
+      *x = Shr(*x, 1);
+    }
+  };
+  while (!u.IsZero()) {
+    while (!u.IsOdd()) {
+      u = Shr(u, 1);
+      halve(&big_a);
+    }
+    while (!v.IsOdd()) {
+      v = Shr(v, 1);
+      halve(&big_c);
+    }
+    if (Cmp(u, v) >= 0) {
+      SubWithBorrow(u, v, &u);
+      big_a = ModSub(big_a, big_c, m);
+    } else {
+      SubWithBorrow(v, u, &v);
+      big_c = ModSub(big_c, big_a, m);
+    }
+  }
+  // gcd is in v; callers must pass coprime inputs.
+  DSTRESS_CHECK(v == U256::One());
+  return big_c;
+}
+
+}  // namespace dstress::crypto

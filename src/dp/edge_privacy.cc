@@ -1,0 +1,103 @@
+#include "src/dp/edge_privacy.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dstress::dp {
+
+int TransferSensitivity(int collusion_bound_k) { return collusion_bound_k + 1; }
+
+double TotalTransfers(const TransferAccountingParams& p) {
+  double block = static_cast<double>(p.collusion_bound_k + 1);
+  return static_cast<double>(p.years) * p.runs_per_year * p.iterations * p.num_nodes *
+         p.degree_bound * p.message_bits * block * block;
+}
+
+double FailureProbability(double alpha_effective, int64_t lookup_entries) {
+  DSTRESS_CHECK(alpha_effective > 0 && alpha_effective < 1);
+  // Exact two-sided-geometric tail: P(|Y| > Nl/2) = 2*a^(Nl/2 + 1)/(1 + a).
+  // (The closed form printed in the paper's Appendix B, (2*a^(Nl/2)+a-1)/
+  // (1+a), contains an algebraic slip — it goes negative for a near 1; the
+  // tail above reproduces the appendix's own concrete eps = 2.34e-7.)
+  // Computed in log space to dodge underflow for large tables.
+  double log_pow =
+      (static_cast<double>(lookup_entries) / 2.0 + 1.0) * std::log(alpha_effective);
+  double pow_term = (log_pow < -745.0) ? 0.0 : std::exp(log_pow);
+  double p = 2.0 * pow_term / (1.0 + alpha_effective);
+  if (p > 1) {
+    p = 1;
+  }
+  return p;
+}
+
+double MaxAlphaForFailureBudget(int64_t lookup_entries, double total_transfers) {
+  DSTRESS_CHECK(lookup_entries > 2);
+  DSTRESS_CHECK(total_transfers >= 1);
+  double target = 1.0 / total_transfers;
+  // FailureProbability is increasing in alpha; bisect on (0, 1).
+  double lo = 1e-12;
+  double hi = 1.0 - 1e-15;
+  if (FailureProbability(hi, lookup_entries) <= target) {
+    return hi;
+  }
+  for (int iter = 0; iter < 200; iter++) {
+    double mid = 0.5 * (lo + hi);
+    if (FailureProbability(mid, lookup_entries) <= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int64_t RequiredLookupEntries(double alpha_effective, double max_failure_probability) {
+  DSTRESS_CHECK(alpha_effective > 0 && alpha_effective < 1);
+  DSTRESS_CHECK(max_failure_probability > 0 && max_failure_probability < 1);
+  // Solve 2·a^(Nl/2 + 1)/(1 + a) <= p for Nl:
+  //   Nl >= 2·(log(p·(1 + a)/2)/log(a) - 1).
+  double needed =
+      2.0 * (std::log(max_failure_probability * (1.0 + alpha_effective) / 2.0) /
+                 std::log(alpha_effective) -
+             1.0);
+  if (needed < 2) {
+    return 2;
+  }
+  return static_cast<int64_t>(std::ceil(needed));
+}
+
+double PerIterationEpsilon(int collusion_bound_k, int message_bits,
+                           double epsilon_per_transfer) {
+  // k colluding receivers each observe (k+1)·L sums per edge per iteration.
+  return static_cast<double>(collusion_bound_k) * (collusion_bound_k + 1) * message_bits *
+         epsilon_per_transfer;
+}
+
+double YearlyEpsilon(const TransferAccountingParams& p, double epsilon_per_transfer) {
+  return PerIterationEpsilon(p.collusion_bound_k, p.message_bits, epsilon_per_transfer) *
+         p.runs_per_year * p.iterations;
+}
+
+TransferBudgetReport EvaluateTransferBudget(const TransferAccountingParams& p) {
+  TransferBudgetReport report;
+  report.total_transfers = TotalTransfers(p);
+  report.alpha_max = MaxAlphaForFailureBudget(p.lookup_entries, report.total_transfers);
+  report.epsilon_per_transfer = -std::log(report.alpha_max);
+  report.per_iteration_epsilon =
+      PerIterationEpsilon(p.collusion_bound_k, p.message_bits, report.epsilon_per_transfer);
+  report.yearly_epsilon = YearlyEpsilon(p, report.epsilon_per_transfer);
+  report.failure_probability = FailureProbability(report.alpha_max, p.lookup_entries);
+  return report;
+}
+
+bool PrivacyAccountant::Charge(double epsilon) {
+  DSTRESS_CHECK(epsilon >= 0);
+  if (spent_ + epsilon > budget_ + 1e-12) {
+    return false;
+  }
+  spent_ += epsilon;
+  return true;
+}
+
+}  // namespace dstress::dp

@@ -1,0 +1,87 @@
+#include "src/dp/noise_circuit.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dstress::dp {
+
+namespace {
+
+using circuit::Builder;
+using circuit::Wire;
+using circuit::Word;
+
+// Threshold for digit i: round(q_i * 2^t) with q_i = beta^(2^i)/(1+beta^(2^i)).
+uint64_t DigitThreshold(double alpha, int digit, int threshold_bits) {
+  // beta^(2^digit) in log space to dodge underflow.
+  double log_pow = std::pow(2.0, digit) * std::log(alpha);
+  double p = (log_pow < -745.0) ? 0.0 : std::exp(log_pow);
+  double q = p / (1.0 + p);
+  double scaled = q * std::pow(2.0, threshold_bits);
+  uint64_t threshold = static_cast<uint64_t>(std::llround(scaled));
+  uint64_t max = 1ULL << threshold_bits;
+  if (threshold > max) {
+    threshold = max;
+  }
+  return threshold;
+}
+
+}  // namespace
+
+size_t NoiseInputBits(const NoiseCircuitSpec& spec) {
+  return static_cast<size_t>(2) * spec.magnitude_bits * spec.threshold_bits;
+}
+
+circuit::Word BuildGeometricNoise(Builder& builder, const NoiseCircuitSpec& spec, int out_bits) {
+  DSTRESS_CHECK(spec.alpha > 0 && spec.alpha < 1);
+  DSTRESS_CHECK(spec.magnitude_bits > 0 && spec.threshold_bits > 0 && spec.threshold_bits <= 62);
+  DSTRESS_CHECK(out_bits > spec.magnitude_bits);  // room for the sign
+
+  auto sample_one_sided = [&]() -> Word {
+    Word magnitude(spec.magnitude_bits);
+    for (int digit = 0; digit < spec.magnitude_bits; digit++) {
+      Word uniform = builder.InputWord(spec.threshold_bits);
+      uint64_t threshold = DigitThreshold(spec.alpha, digit, spec.threshold_bits);
+      if (threshold == 0) {
+        // The digit is (almost surely) zero; the inputs are still consumed
+        // so the input layout stays independent of alpha.
+        magnitude[digit] = builder.Zero();
+      } else {
+        Word bound = builder.ConstWord(threshold, spec.threshold_bits);
+        magnitude[digit] = builder.Ult(uniform, bound);
+      }
+    }
+    return magnitude;
+  };
+
+  Word pos = sample_one_sided();
+  Word neg = sample_one_sided();
+  Word wide_pos = builder.ZeroExtend(pos, out_bits);
+  Word wide_neg = builder.ZeroExtend(neg, out_bits);
+  return builder.Sub(wide_pos, wide_neg);
+}
+
+int64_t DigitwiseGeometricRef(const NoiseCircuitSpec& spec, const std::vector<uint8_t>& bits) {
+  DSTRESS_CHECK(bits.size() == NoiseInputBits(spec));
+  size_t cursor = 0;
+  auto sample = [&]() -> int64_t {
+    int64_t magnitude = 0;
+    for (int digit = 0; digit < spec.magnitude_bits; digit++) {
+      uint64_t uniform = 0;
+      for (int b = 0; b < spec.threshold_bits; b++) {
+        uniform |= static_cast<uint64_t>(bits[cursor++] & 1) << b;
+      }
+      uint64_t threshold = DigitThreshold(spec.alpha, digit, spec.threshold_bits);
+      if (threshold != 0 && uniform < threshold) {
+        magnitude |= 1LL << digit;
+      }
+    }
+    return magnitude;
+  };
+  int64_t pos = sample();
+  int64_t neg = sample();
+  return pos - neg;
+}
+
+}  // namespace dstress::dp

@@ -1,0 +1,54 @@
+// In-MPC noise generation (the "noising" circuit of Figures 3/4).
+//
+// DStress never lets any party see the unnoised aggregate: the aggregation
+// block draws the Laplace noise *inside* MPC from jointly contributed
+// randomness (paper §3.6, citing the Dwork et al. EUROCRYPT'06 circuit).
+// This module builds that circuit for the discrete (two-sided geometric)
+// Laplace:
+//
+//  * Each member of the aggregation block feeds its own uniform random bits
+//    directly as its GMW input *shares*; the shared bit value is then the
+//    XOR of all members' bits, which is uniform as long as one member is
+//    honest — this realizes "combine the random shares to get a random
+//    input seed" with zero gates.
+//  * A one-sided geometric variate Y with parameter beta has independent
+//    binary digits: P(digit_i = 1) = beta^(2^i) / (1 + beta^(2^i)). Each
+//    digit is produced by comparing a fresh t-bit uniform word against a
+//    public threshold (a constant comparator, heavily constant-folded).
+//  * The released noise is the difference of two such variates — the
+//    two-sided geometric / discrete Laplace of Ghosh et al., which is the
+//    distribution the paper's Appendix B analyzes.
+//
+// Truncating magnitudes to `magnitude_bits` and thresholds to
+// `threshold_bits` perturbs the distribution by at most
+// 2*beta^(2^magnitude_bits) + magnitude_bits*2^-threshold_bits in total
+// variation — negligible at the default 16/16.
+#ifndef SRC_DP_NOISE_CIRCUIT_H_
+#define SRC_DP_NOISE_CIRCUIT_H_
+
+#include "src/circuit/builder.h"
+
+namespace dstress::dp {
+
+struct NoiseCircuitSpec {
+  double alpha = 0.5;      // two-sided geometric parameter (e^-eps/sens)
+  int magnitude_bits = 16;  // digits per one-sided variate
+  int threshold_bits = 16;  // uniform bits per biased digit
+};
+
+// Uniform input bits the circuit consumes (all created as fresh inputs, in
+// order, by BuildGeometricNoise).
+size_t NoiseInputBits(const NoiseCircuitSpec& spec);
+
+// Appends the sampler to `builder`, creating NoiseInputBits() new inputs,
+// and returns the signed noise word (two's complement, `out_bits` wide).
+circuit::Word BuildGeometricNoise(circuit::Builder& builder, const NoiseCircuitSpec& spec,
+                                  int out_bits);
+
+// Reference plaintext sampler with the same digit-wise construction, used
+// by tests to cross-validate the circuit against dp::TwoSidedGeometricSample.
+int64_t DigitwiseGeometricRef(const NoiseCircuitSpec& spec, const std::vector<uint8_t>& bits);
+
+}  // namespace dstress::dp
+
+#endif  // SRC_DP_NOISE_CIRCUIT_H_

@@ -1,0 +1,20 @@
+#include "src/dp/release.h"
+
+#include "src/common/check.h"
+#include "src/dp/samplers.h"
+
+namespace dstress::dp {
+
+std::optional<int64_t> ReleaseManager::Release(const std::string& label, int64_t value,
+                                               double sensitivity, double epsilon) {
+  DSTRESS_CHECK(sensitivity > 0);
+  DSTRESS_CHECK(epsilon > 0);
+  if (!accountant_.Charge(epsilon)) {
+    return std::nullopt;
+  }
+  int64_t released = GeometricMechanism(prg_, value, sensitivity, epsilon);
+  history_.push_back(ReleaseRecord{label, epsilon, sensitivity, released});
+  return released;
+}
+
+}  // namespace dstress::dp

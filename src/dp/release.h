@@ -1,0 +1,60 @@
+// Budget-gated query release: the §4.5 deployment loop in one object.
+//
+// A regulator holds a yearly privacy budget (eps_max = ln 2 in the paper),
+// replenished annually because banks retrospectively disclose aggregates
+// anyway. Every released statistic must (a) be charged against the budget
+// *before* the value is produced, and (b) be refused once the budget is
+// exhausted — returning no value at all, since even a refusal calibrated on
+// the data would leak. ReleaseManager enforces that discipline around the
+// geometric mechanism and keeps an audit trail of what was spent on what.
+//
+// Note: inside a DStress run the noise is drawn in-MPC (src/dp
+// noise_circuit) so no party sees the raw aggregate; this host-side manager
+// models the *regulator-side* accounting across runs, and is also usable
+// standalone for non-MPC analyses.
+#ifndef SRC_DP_RELEASE_H_
+#define SRC_DP_RELEASE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/chacha20.h"
+#include "src/dp/edge_privacy.h"
+
+namespace dstress::dp {
+
+struct ReleaseRecord {
+  std::string label;
+  double epsilon = 0;
+  double sensitivity = 0;
+  int64_t released_value = 0;
+};
+
+class ReleaseManager {
+ public:
+  ReleaseManager(double yearly_budget, uint64_t seed)
+      : accountant_(yearly_budget), prg_(crypto::ChaCha20Prg::FromSeed(seed)) {}
+
+  // Releases value + TwoSidedGeometric noise under (epsilon, sensitivity),
+  // charging the budget first. Returns std::nullopt (and charges nothing)
+  // if the remaining budget cannot cover epsilon.
+  std::optional<int64_t> Release(const std::string& label, int64_t value, double sensitivity,
+                                 double epsilon);
+
+  // New budget year (paper: replenished once per year).
+  void Replenish() { accountant_.Replenish(); }
+
+  double remaining_budget() const { return accountant_.remaining(); }
+  double spent_budget() const { return accountant_.spent(); }
+  const std::vector<ReleaseRecord>& history() const { return history_; }
+
+ private:
+  PrivacyAccountant accountant_;
+  crypto::ChaCha20Prg prg_;
+  std::vector<ReleaseRecord> history_;
+};
+
+}  // namespace dstress::dp
+
+#endif  // SRC_DP_RELEASE_H_

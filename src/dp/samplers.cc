@@ -1,0 +1,55 @@
+#include "src/dp/samplers.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dstress::dp {
+
+double UniformUnit(crypto::ChaCha20Prg& prg) {
+  return static_cast<double>(prg.NextU64() >> 11) * 0x1.0p-53;
+}
+
+double LaplaceSample(crypto::ChaCha20Prg& prg, double scale) {
+  DSTRESS_CHECK(scale > 0);
+  // Difference of two exponentials.
+  double u1 = UniformUnit(prg);
+  double u2 = UniformUnit(prg);
+  while (u1 <= 0.0) {
+    u1 = UniformUnit(prg);
+  }
+  while (u2 <= 0.0) {
+    u2 = UniformUnit(prg);
+  }
+  return scale * (std::log(u1) - std::log(u2));
+}
+
+int64_t GeometricSample(crypto::ChaCha20Prg& prg, double p) {
+  DSTRESS_CHECK(p > 0 && p <= 1);
+  if (p == 1.0) {
+    return 0;
+  }
+  double u = UniformUnit(prg);
+  while (u <= 0.0) {
+    u = UniformUnit(prg);
+  }
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+int64_t TwoSidedGeometricSample(crypto::ChaCha20Prg& prg, double alpha) {
+  DSTRESS_CHECK(alpha > 0 && alpha < 1);
+  return GeometricSample(prg, 1.0 - alpha) - GeometricSample(prg, 1.0 - alpha);
+}
+
+int64_t EvenGeometricMask(crypto::ChaCha20Prg& prg, double alpha) {
+  return 2 * TwoSidedGeometricSample(prg, alpha);
+}
+
+int64_t GeometricMechanism(crypto::ChaCha20Prg& prg, int64_t value, double sensitivity,
+                           double epsilon) {
+  DSTRESS_CHECK(sensitivity > 0 && epsilon > 0);
+  double alpha = std::exp(-epsilon / sensitivity);
+  return value + TwoSidedGeometricSample(prg, alpha);
+}
+
+}  // namespace dstress::dp

@@ -1,0 +1,44 @@
+// Differential-privacy noise samplers over the cryptographic PRG.
+//
+// Two mechanisms appear in DStress:
+//  * the Laplace mechanism on the final aggregate (paper §3.1, §3.6) —
+//    realized here in its discrete form, the two-sided geometric mechanism
+//    of Ghosh et al., which is what the paper's Appendix B analysis uses and
+//    what a boolean circuit can sample exactly;
+//  * two-sided geometric masking noise inside the message-transfer protocol
+//    (§3.5 "Final protocol": i adds an even draw from 2·Geo(α^{2/(k+1)})).
+#ifndef SRC_DP_SAMPLERS_H_
+#define SRC_DP_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "src/crypto/chacha20.h"
+
+namespace dstress::dp {
+
+// Uniform double in [0, 1) from 53 PRG bits.
+double UniformUnit(crypto::ChaCha20Prg& prg);
+
+// Continuous Laplace(b) variate (used by utility analyses, not protocols).
+double LaplaceSample(crypto::ChaCha20Prg& prg, double scale);
+
+// One-sided geometric: failures before first success, success prob p.
+int64_t GeometricSample(crypto::ChaCha20Prg& prg, double p);
+
+// Two-sided geometric with parameter alpha in (0,1):
+//   P(Y = d) = (1-alpha)/(1+alpha) * alpha^|d|.
+// Sampled as the difference of two iid one-sided geometrics with
+// p = 1 - alpha. This is the discrete Laplace distribution.
+int64_t TwoSidedGeometricSample(crypto::ChaCha20Prg& prg, double alpha);
+
+// The even masking noise of the transfer protocol: 2 * TwoSidedGeometric.
+int64_t EvenGeometricMask(crypto::ChaCha20Prg& prg, double alpha);
+
+// Epsilon-DP release of an integer-valued query with sensitivity
+// `sensitivity`: value + TwoSidedGeometric(exp(-epsilon / sensitivity)).
+int64_t GeometricMechanism(crypto::ChaCha20Prg& prg, int64_t value, double sensitivity,
+                           double epsilon);
+
+}  // namespace dstress::dp
+
+#endif  // SRC_DP_SAMPLERS_H_

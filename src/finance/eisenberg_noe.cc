@@ -1,0 +1,276 @@
+#include "src/finance/eisenberg_noe.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dstress::finance {
+
+namespace {
+
+using circuit::Builder;
+using circuit::Wire;
+using circuit::Word;
+
+// State layout (all words value_bits wide):
+//   [cash][totalDebt][prorate][debts[0..D)][credits[0..D)]
+// debts are out-slot aligned, credits in-slot aligned. prorate is a Q0.F
+// word stored at value width (2^F == fully solvent).
+int StateBits(const EnProgramParams& p) {
+  return (3 + 2 * p.degree_bound) * p.format.value_bits;
+}
+
+Word Slice(const Word& state, int index, int width) {
+  return Word(state.begin() + static_cast<long>(index) * width,
+              state.begin() + static_cast<long>(index + 1) * width);
+}
+
+}  // namespace
+
+uint64_t EnInstance::TotalDebtOf(int v) const {
+  uint64_t total = 0;
+  for (uint64_t d : debts[v]) {
+    total += d;
+  }
+  return total;
+}
+
+core::VertexProgram MakeEnProgram(const EnProgramParams& params) {
+  DSTRESS_CHECK(params.degree_bound > 0);
+  const int w = params.format.value_bits;
+  const int f = params.format.frac_bits;
+  DSTRESS_CHECK(f < w);
+
+  core::VertexProgram program;
+  program.state_bits = StateBits(params);
+  program.message_bits = w;
+  program.degree_bound = params.degree_bound;
+  program.iterations = params.iterations;
+  program.aggregate_bits = params.aggregate_bits;
+  program.output_noise.alpha = params.noise_alpha;
+
+  const int d_bound = params.degree_bound;
+  const FixedPointFormat format = params.format;
+
+  program.build_update = [w, f, d_bound, format](Builder& b, const Word& state,
+                                                 const std::vector<Word>& in_msgs,
+                                                 Word* new_state, std::vector<Word>* out_msgs) {
+    Word cash = Slice(state, 0, w);
+    Word total_debt = Slice(state, 1, w);
+    std::vector<Word> debts(d_bound), credits(d_bound);
+    for (int d = 0; d < d_bound; d++) {
+      debts[d] = Slice(state, 3 + d, w);
+      credits[d] = Slice(state, 3 + d_bound + d, w);
+    }
+
+    // liquid = cash + sum over in-slots of the payment actually received:
+    // credits[d] - shortfall[d], floored at zero. A wide accumulator
+    // prevents wraparound; the final value saturates at the format maximum.
+    const int wide = w + 8;
+    DSTRESS_CHECK(d_bound < (1 << 8));
+    Word liquid_wide = b.ZeroExtend(cash, wide);
+    for (int d = 0; d < d_bound; d++) {
+      const Word& shortfall = in_msgs[d];
+      Wire under = b.Ult(credits[d], shortfall);
+      Word paid = b.MuxWord(under, b.ConstWord(0, w), b.Sub(credits[d], shortfall));
+      liquid_wide = b.Add(liquid_wide, b.ZeroExtend(paid, wide));
+    }
+    Wire overflow = b.Zero();
+    for (int bit = w; bit < wide; bit++) {
+      overflow = b.Or(overflow, liquid_wide[bit]);
+    }
+    Word liquid = b.MuxWord(overflow, b.ConstWord(format.MaxValue(), w),
+                            b.Truncate(liquid_wide, w));
+
+    // prorate = min(1.0, liquid / totalDebt). DivFixed saturates when
+    // totalDebt == 0, so debt-free banks come out fully solvent.
+    Word ratio = b.DivFixed(liquid, total_debt, f);
+    Word prorate = b.ClampMax(ratio, b.ConstWord(format.One(), w));
+
+    // New state: constants carry through, prorate is replaced.
+    *new_state = cash;
+    new_state->insert(new_state->end(), total_debt.begin(), total_debt.end());
+    new_state->insert(new_state->end(), prorate.begin(), prorate.end());
+    for (int d = 0; d < d_bound; d++) {
+      new_state->insert(new_state->end(), debts[d].begin(), debts[d].end());
+    }
+    for (int d = 0; d < d_bound; d++) {
+      new_state->insert(new_state->end(), credits[d].begin(), credits[d].end());
+    }
+
+    // Outgoing shortfall notices: debts[d] * (1 - prorate).
+    Word unpaid_frac = b.Sub(b.ConstWord(format.One(), w), prorate);
+    out_msgs->clear();
+    for (int d = 0; d < d_bound; d++) {
+      Word product = b.Mul(b.ZeroExtend(debts[d], w + f), b.ZeroExtend(unpaid_frac, w + f));
+      Word shortfall = b.Truncate(b.ShiftRightConst(product, f), w);
+      out_msgs->push_back(shortfall);
+    }
+  };
+
+  const int agg_bits = params.aggregate_bits;
+  program.build_contribution = [w, f, agg_bits, format](Builder& b, const Word& state) -> Word {
+    Word total_debt = Slice(state, 1, w);
+    Word prorate = Slice(state, 2, w);
+    Word unpaid_frac = b.Sub(b.ConstWord(format.One(), w), prorate);
+    Word product = b.Mul(b.ZeroExtend(total_debt, w + f), b.ZeroExtend(unpaid_frac, w + f));
+    Word shortfall = b.Truncate(b.ShiftRightConst(product, f), w);
+    return b.ZeroExtend(shortfall, agg_bits);
+  };
+
+  return program;
+}
+
+std::vector<mpc::BitVector> MakeEnInitialStates(const EnInstance& instance,
+                                                const EnProgramParams& params) {
+  const graph::Graph& g = *instance.graph;
+  const int w = params.format.value_bits;
+  const int d_bound = params.degree_bound;
+  std::vector<mpc::BitVector> states;
+  states.reserve(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); v++) {
+    mpc::BitVector state;
+    state.reserve(StateBits(params));
+    mpc::AppendBits(&state, mpc::WordToBits(params.format.SaturateValue(instance.cash[v]), w));
+    mpc::AppendBits(&state,
+                    mpc::WordToBits(params.format.SaturateValue(instance.TotalDebtOf(v)), w));
+    mpc::AppendBits(&state, mpc::WordToBits(params.format.One(), w));  // prorate = 1.0
+    // Out-slot debts (padded to D with zeros).
+    for (int d = 0; d < d_bound; d++) {
+      uint64_t debt =
+          d < g.OutDegree(v) ? params.format.SaturateValue(instance.debts[v][d]) : 0;
+      mpc::AppendBits(&state, mpc::WordToBits(debt, w));
+    }
+    // In-slot credits: what the in-neighbor owes me.
+    for (int d = 0; d < d_bound; d++) {
+      uint64_t credit = 0;
+      if (d < g.InDegree(v)) {
+        int j = g.InNeighbors(v)[d];
+        // Find my slot in j's out list.
+        const auto& out = g.OutNeighbors(j);
+        for (size_t s = 0; s < out.size(); s++) {
+          if (out[s] == v) {
+            credit = params.format.SaturateValue(instance.debts[j][s]);
+            break;
+          }
+        }
+      }
+      mpc::AppendBits(&state, mpc::WordToBits(credit, w));
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+uint64_t EnSolveFixed(const EnInstance& instance, const EnProgramParams& params,
+                      std::vector<uint64_t>* prorate_out) {
+  const graph::Graph& g = *instance.graph;
+  const int n = g.num_vertices();
+  const uint64_t one = params.format.One();
+  const uint64_t max_value = params.format.MaxValue();
+
+  std::vector<uint64_t> cash(n), total_debt(n);
+  for (int v = 0; v < n; v++) {
+    cash[v] = params.format.SaturateValue(instance.cash[v]);
+    total_debt[v] = params.format.SaturateValue(instance.TotalDebtOf(v));
+  }
+  // shortfall_in[v][slot]: last received shortfall notice per in-slot.
+  std::vector<std::vector<uint64_t>> shortfall_in(n);
+  for (int v = 0; v < n; v++) {
+    shortfall_in[v].assign(g.InDegree(v), 0);
+  }
+  std::vector<uint64_t> prorate(n, one);
+
+  // Mirrors the runtime: iterations+1 computation steps with a
+  // communication step between consecutive ones.
+  for (int step = 0; step <= params.iterations; step++) {
+    for (int v = 0; v < n; v++) {
+      uint64_t liquid = cash[v];
+      for (int d = 0; d < g.InDegree(v); d++) {
+        int j = g.InNeighbors(v)[d];
+        uint64_t credit = 0;
+        const auto& out = g.OutNeighbors(j);
+        for (size_t s = 0; s < out.size(); s++) {
+          if (out[s] == v) {
+            credit = params.format.SaturateValue(instance.debts[j][s]);
+            break;
+          }
+        }
+        uint64_t paid = shortfall_in[v][d] > credit ? 0 : credit - shortfall_in[v][d];
+        liquid += paid;
+      }
+      liquid = std::min(liquid, max_value);
+      uint64_t ratio = total_debt[v] == 0 ? one : (liquid << params.format.frac_bits) /
+                                                      total_debt[v];
+      prorate[v] = std::min(ratio, one);
+    }
+    if (step == params.iterations) {
+      break;
+    }
+    // Communication: update shortfall notices.
+    for (int v = 0; v < n; v++) {
+      uint64_t unpaid_frac = one - prorate[v];
+      for (int s = 0; s < g.OutDegree(v); s++) {
+        int j = g.OutNeighbors(v)[s];
+        uint64_t debt = params.format.SaturateValue(instance.debts[v][s]);
+        uint64_t shortfall = (debt * unpaid_frac) >> params.format.frac_bits;
+        // Locate v's slot among j's in-neighbors.
+        const auto& in = g.InNeighbors(j);
+        for (size_t slot = 0; slot < in.size(); slot++) {
+          if (in[slot] == v) {
+            shortfall_in[j][slot] = shortfall;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (prorate_out != nullptr) {
+    *prorate_out = prorate;
+  }
+  uint64_t tds = 0;
+  for (int v = 0; v < n; v++) {
+    tds += (total_debt[v] * (one - prorate[v])) >> params.format.frac_bits;
+  }
+  return tds;
+}
+
+double EnSolveExact(const EnInstance& instance, int iterations,
+                    std::vector<double>* prorates_out) {
+  const graph::Graph& g = *instance.graph;
+  const int n = g.num_vertices();
+  std::vector<double> total_debt(n, 0.0);
+  for (int v = 0; v < n; v++) {
+    total_debt[v] = static_cast<double>(instance.TotalDebtOf(v));
+  }
+  std::vector<double> p(n, 1.0);
+  for (int it = 0; it <= iterations; it++) {
+    std::vector<double> next(n, 1.0);
+    for (int v = 0; v < n; v++) {
+      double liquid = static_cast<double>(instance.cash[v]);
+      for (int d = 0; d < g.InDegree(v); d++) {
+        int j = g.InNeighbors(v)[d];
+        const auto& out = g.OutNeighbors(j);
+        for (size_t s = 0; s < out.size(); s++) {
+          if (out[s] == v) {
+            liquid += static_cast<double>(instance.debts[j][s]) * p[j];
+            break;
+          }
+        }
+      }
+      next[v] = total_debt[v] == 0 ? 1.0 : std::min(1.0, liquid / total_debt[v]);
+    }
+    p = next;
+  }
+  if (prorates_out != nullptr) {
+    *prorates_out = p;
+  }
+  double tds = 0;
+  for (int v = 0; v < n; v++) {
+    tds += total_debt[v] * (1.0 - p[v]);
+  }
+  return tds;
+}
+
+}  // namespace dstress::finance

@@ -1,0 +1,264 @@
+#include "src/finance/elliott_golub_jackson.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dstress::finance {
+
+namespace {
+
+using circuit::Builder;
+using circuit::Wire;
+using circuit::Word;
+
+// State layout (all words value_bits wide):
+//   [base][origVal][value][threshold][penalty][insh[0..D)][origValNbr[0..D)]
+// insh words hold Q0.F fractions; origValNbr is the in-neighbor's initial
+// valuation (the origVal[i][j] of Figure 2b).
+int StateBits(const EgjProgramParams& p) {
+  return (5 + 2 * p.degree_bound) * p.format.value_bits;
+}
+
+Word Slice(const Word& state, int index, int width) {
+  return Word(state.begin() + static_cast<long>(index) * width,
+              state.begin() + static_cast<long>(index + 1) * width);
+}
+
+}  // namespace
+
+core::VertexProgram MakeEgjProgram(const EgjProgramParams& params) {
+  DSTRESS_CHECK(params.degree_bound > 0);
+  const int w = params.format.value_bits;
+  const int f = params.format.frac_bits;
+  DSTRESS_CHECK(f < w);
+
+  core::VertexProgram program;
+  program.state_bits = StateBits(params);
+  program.message_bits = w;
+  program.degree_bound = params.degree_bound;
+  program.iterations = params.iterations;
+  program.aggregate_bits = params.aggregate_bits;
+  program.output_noise.alpha = params.noise_alpha;
+
+  const int d_bound = params.degree_bound;
+  const FixedPointFormat format = params.format;
+
+  program.build_update = [w, f, d_bound, format](Builder& b, const Word& state,
+                                                 const std::vector<Word>& in_msgs,
+                                                 Word* new_state, std::vector<Word>* out_msgs) {
+    Word base = Slice(state, 0, w);
+    Word orig_val = Slice(state, 1, w);
+    Word threshold = Slice(state, 3, w);
+    Word penalty = Slice(state, 4, w);
+    std::vector<Word> insh(d_bound), orig_nbr(d_bound);
+    for (int d = 0; d < d_bound; d++) {
+      insh[d] = Slice(state, 5 + d, w);
+      orig_nbr[d] = Slice(state, 5 + d_bound + d, w);
+    }
+
+    Word one = b.ConstWord(format.One(), w);
+
+    // value = base + sum_d insh[d] * (1 - discount_d) * origValNbr[d].
+    const int wide = w + 8;
+    DSTRESS_CHECK(d_bound < (1 << 8));
+    Word value_wide = b.ZeroExtend(base, wide);
+    for (int d = 0; d < d_bound; d++) {
+      Word discount = b.ClampMax(in_msgs[d], one);
+      Word remain = b.Sub(one, discount);
+      Word nbr_value = b.Truncate(
+          b.ShiftRightConst(
+              b.Mul(b.ZeroExtend(orig_nbr[d], w + f), b.ZeroExtend(remain, w + f)), f),
+          w);
+      Word holding = b.Truncate(
+          b.ShiftRightConst(b.Mul(b.ZeroExtend(insh[d], w + f), b.ZeroExtend(nbr_value, w + f)),
+                            f),
+          w);
+      value_wide = b.Add(value_wide, b.ZeroExtend(holding, wide));
+    }
+    Wire overflow = b.Zero();
+    for (int bit = w; bit < wide; bit++) {
+      overflow = b.Or(overflow, value_wide[bit]);
+    }
+    Word value = b.MuxWord(overflow, b.ConstWord(format.MaxValue(), w),
+                           b.Truncate(value_wide, w));
+
+    // Distress penalty: if value < threshold, value -= penalty (floored 0).
+    Wire failed = b.Ult(value, threshold);
+    Wire penalty_underflow = b.Ult(value, penalty);
+    Word after_penalty =
+        b.MuxWord(penalty_underflow, b.ConstWord(0, w), b.Sub(value, penalty));
+    value = b.MuxWord(failed, after_penalty, value);
+
+    *new_state = base;
+    new_state->insert(new_state->end(), orig_val.begin(), orig_val.end());
+    new_state->insert(new_state->end(), value.begin(), value.end());
+    new_state->insert(new_state->end(), threshold.begin(), threshold.end());
+    new_state->insert(new_state->end(), penalty.begin(), penalty.end());
+    for (int d = 0; d < d_bound; d++) {
+      new_state->insert(new_state->end(), insh[d].begin(), insh[d].end());
+    }
+    for (int d = 0; d < d_bound; d++) {
+      new_state->insert(new_state->end(), orig_nbr[d].begin(), orig_nbr[d].end());
+    }
+
+    // Broadcast discount: 1 - value/origVal (clamped into [0, 1]).
+    Word ratio = b.ClampMax(b.DivFixed(value, orig_val, f), one);
+    Word discount_out = b.Sub(one, ratio);
+    out_msgs->assign(d_bound, discount_out);
+  };
+
+  const int agg_bits = params.aggregate_bits;
+  program.build_contribution = [w, agg_bits](Builder& b, const Word& state) -> Word {
+    Word value = Slice(state, 2, w);
+    Word threshold = Slice(state, 3, w);
+    Wire failed = b.Ult(value, threshold);
+    Word gap = b.MuxWord(failed, b.Sub(threshold, value), b.ConstWord(0, w));
+    return b.ZeroExtend(gap, agg_bits);
+  };
+
+  return program;
+}
+
+std::vector<mpc::BitVector> MakeEgjInitialStates(const EgjInstance& instance,
+                                                 const EgjProgramParams& params) {
+  const graph::Graph& g = *instance.graph;
+  const int w = params.format.value_bits;
+  const int d_bound = params.degree_bound;
+  std::vector<mpc::BitVector> states;
+  states.reserve(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); v++) {
+    mpc::BitVector state;
+    state.reserve(StateBits(params));
+    auto append = [&](uint64_t value) {
+      mpc::AppendBits(&state, mpc::WordToBits(params.format.SaturateValue(value), w));
+    };
+    append(instance.base[v]);
+    append(instance.orig_val[v]);
+    append(instance.orig_val[v]);  // value starts at the initial valuation
+    append(instance.threshold[v]);
+    append(instance.penalty[v]);
+    for (int d = 0; d < d_bound; d++) {
+      append(d < g.InDegree(v) ? instance.insh[v][d] : 0);
+    }
+    for (int d = 0; d < d_bound; d++) {
+      uint64_t nbr = 0;
+      if (d < g.InDegree(v)) {
+        nbr = instance.orig_val[g.InNeighbors(v)[d]];
+      }
+      append(nbr);
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+uint64_t EgjSolveFixed(const EgjInstance& instance, const EgjProgramParams& params,
+                       std::vector<uint64_t>* values_out) {
+  const graph::Graph& g = *instance.graph;
+  const int n = g.num_vertices();
+  const int f = params.format.frac_bits;
+  const uint64_t one = params.format.One();
+  const uint64_t max_value = params.format.MaxValue();
+
+  auto sat = [&](uint64_t v) { return params.format.SaturateValue(v); };
+
+  std::vector<std::vector<uint64_t>> discount_in(n);
+  for (int v = 0; v < n; v++) {
+    discount_in[v].assign(g.InDegree(v), 0);
+  }
+  std::vector<uint64_t> value(n);
+  for (int v = 0; v < n; v++) {
+    value[v] = sat(instance.orig_val[v]);
+  }
+
+  for (int step = 0; step <= params.iterations; step++) {
+    for (int v = 0; v < n; v++) {
+      uint64_t acc = sat(instance.base[v]);
+      for (int d = 0; d < g.InDegree(v); d++) {
+        uint64_t discount = std::min(discount_in[v][d], one);
+        uint64_t remain = one - discount;
+        uint64_t nbr_orig = sat(instance.orig_val[g.InNeighbors(v)[d]]);
+        uint64_t nbr_value = (nbr_orig * remain) >> f;
+        uint64_t holding = (sat(instance.insh[v][d]) * nbr_value) >> f;
+        acc += holding;
+      }
+      acc = std::min(acc, max_value);
+      if (acc < sat(instance.threshold[v])) {
+        uint64_t pen = sat(instance.penalty[v]);
+        acc = acc < pen ? 0 : acc - pen;
+      }
+      value[v] = acc;
+    }
+    if (step == params.iterations) {
+      break;
+    }
+    // Communication: broadcast discounts to holders (out-neighbors).
+    for (int v = 0; v < n; v++) {
+      uint64_t orig = sat(instance.orig_val[v]);
+      uint64_t ratio = orig == 0 ? one : std::min(one, (value[v] << f) / orig);
+      uint64_t discount = one - ratio;
+      for (int s = 0; s < g.OutDegree(v); s++) {
+        int holder = g.OutNeighbors(v)[s];
+        const auto& in = g.InNeighbors(holder);
+        for (size_t slot = 0; slot < in.size(); slot++) {
+          if (in[slot] == v) {
+            discount_in[holder][slot] = discount;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (values_out != nullptr) {
+    *values_out = value;
+  }
+  uint64_t tds = 0;
+  for (int v = 0; v < n; v++) {
+    uint64_t thr = sat(instance.threshold[v]);
+    if (value[v] < thr) {
+      tds += thr - value[v];
+    }
+  }
+  return tds;
+}
+
+double EgjSolveExact(const EgjInstance& instance, int iterations,
+                     const FixedPointFormat& fmt, std::vector<double>* values_out) {
+  const graph::Graph& g = *instance.graph;
+  const int n = g.num_vertices();
+  std::vector<double> value(n);
+  for (int v = 0; v < n; v++) {
+    value[v] = static_cast<double>(instance.orig_val[v]);
+  }
+  for (int it = 0; it <= iterations; it++) {
+    std::vector<double> next(n, 0.0);
+    for (int v = 0; v < n; v++) {
+      double acc = static_cast<double>(instance.base[v]);
+      for (int d = 0; d < g.InDegree(v); d++) {
+        int j = g.InNeighbors(v)[d];
+        double share = fmt.FracToDouble(instance.insh[v][d]);
+        acc += share * std::max(0.0, value[j]);
+      }
+      if (acc < static_cast<double>(instance.threshold[v])) {
+        acc = std::max(0.0, acc - static_cast<double>(instance.penalty[v]));
+      }
+      next[v] = acc;
+    }
+    value = next;
+  }
+  if (values_out != nullptr) {
+    *values_out = value;
+  }
+  double tds = 0;
+  for (int v = 0; v < n; v++) {
+    double thr = static_cast<double>(instance.threshold[v]);
+    if (value[v] < thr) {
+      tds += thr - value[v];
+    }
+  }
+  return tds;
+}
+
+}  // namespace dstress::finance

@@ -1,0 +1,41 @@
+// Fixed-point conventions shared by the systemic-risk models.
+//
+// MPC circuits compute over integers, so dollar values are scaled to
+// `value_bits`-wide unsigned words (one unit = one "money unit" of the
+// workload, e.g. $10M per unit at the default widths) and fractions
+// (prorate factors, valuation discounts, cross-holding shares) are Q0.F
+// words with F = frac_bits: the rational x is represented by round(x*2^F).
+//
+// All model arithmetic saturates instead of wrapping — a circuit must be a
+// total function, and saturation preserves the models' monotonicity.
+#ifndef SRC_FINANCE_FIXED_POINT_H_
+#define SRC_FINANCE_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace dstress::finance {
+
+struct FixedPointFormat {
+  int value_bits = 16;  // width of dollar-valued words
+  int frac_bits = 8;    // fractional bits of ratio words
+
+  uint64_t One() const { return 1ULL << frac_bits; }
+  uint64_t MaxValue() const { return (1ULL << value_bits) - 1; }
+
+  // Host-side helpers mirroring the circuit semantics (used by the exact
+  // fixed-point reference implementations and the workload generators).
+  uint64_t SaturateValue(uint64_t v) const { return v > MaxValue() ? MaxValue() : v; }
+  uint64_t FracFromDouble(double x) const {
+    if (x < 0) {
+      return 0;
+    }
+    double scaled = x * static_cast<double>(One());
+    uint64_t v = static_cast<uint64_t>(scaled + 0.5);
+    return v > One() ? One() : v;
+  }
+  double FracToDouble(uint64_t f) const { return static_cast<double>(f) / One(); }
+};
+
+}  // namespace dstress::finance
+
+#endif  // SRC_FINANCE_FIXED_POINT_H_

@@ -1,0 +1,51 @@
+#include "src/finance/metrics.h"
+
+#include "src/common/check.h"
+
+namespace dstress::finance {
+
+RiskBreakdown EnBreakdown(const EnInstance& instance, const EnProgramParams& params) {
+  RiskBreakdown out;
+  std::vector<uint64_t> prorates;
+  out.total_shortfall = EnSolveFixed(instance, params, &prorates);
+  const uint64_t one = params.format.One();
+  int n = instance.graph->num_vertices();
+  DSTRESS_CHECK(static_cast<int>(prorates.size()) == n);
+  out.banks.reserve(n);
+  for (int v = 0; v < n; v++) {
+    BankOutcome outcome;
+    outcome.bank = v;
+    outcome.failed = prorates[v] < one;
+    uint64_t total_debt = instance.TotalDebtOf(v);
+    // Unpaid fraction of the bank's debt, rounded exactly as the aggregate
+    // circuit does: debt * (one - prorate) / one.
+    outcome.shortfall = total_debt * (one - prorates[v]) / one;
+    if (outcome.failed) {
+      out.failed_banks++;
+    }
+    out.banks.push_back(outcome);
+  }
+  return out;
+}
+
+RiskBreakdown EgjBreakdown(const EgjInstance& instance, const EgjProgramParams& params) {
+  RiskBreakdown out;
+  std::vector<uint64_t> values;
+  out.total_shortfall = EgjSolveFixed(instance, params, &values);
+  int n = instance.graph->num_vertices();
+  DSTRESS_CHECK(static_cast<int>(values.size()) == n);
+  out.banks.reserve(n);
+  for (int v = 0; v < n; v++) {
+    BankOutcome outcome;
+    outcome.bank = v;
+    outcome.failed = values[v] < instance.threshold[v];
+    outcome.shortfall = outcome.failed ? instance.threshold[v] - values[v] : 0;
+    if (outcome.failed) {
+      out.failed_banks++;
+    }
+    out.banks.push_back(outcome);
+  }
+  return out;
+}
+
+}  // namespace dstress::finance

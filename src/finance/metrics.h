@@ -1,0 +1,45 @@
+// Alternative systemic-risk metrics and per-bank breakdowns.
+//
+// The paper's §4.1 weighs two metrics and picks the Total Dollar Shortfall
+// (TDS): the more intuitive "number of failed banks" both collapses very
+// different shortfalls into one count and — worse for privacy — can jump by
+// Θ(N) when a single edge changes, so it has no useful differential-privacy
+// sensitivity bound. These helpers compute the failed-bank count and the
+// per-bank breakdowns from the *reference* solvers for analysis, scenario
+// exploration and tests; DStress itself only ever releases the noised TDS.
+#ifndef SRC_FINANCE_METRICS_H_
+#define SRC_FINANCE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/finance/eisenberg_noe.h"
+#include "src/finance/elliott_golub_jackson.h"
+
+namespace dstress::finance {
+
+struct BankOutcome {
+  int bank = 0;
+  bool failed = false;
+  // EN: unpaid debt (totalDebt * (1 - prorate)); EGJ: threshold - value for
+  // failed banks, 0 otherwise. Money units.
+  uint64_t shortfall = 0;
+};
+
+struct RiskBreakdown {
+  uint64_t total_shortfall = 0;  // == the models' TDS
+  int failed_banks = 0;
+  std::vector<BankOutcome> banks;
+};
+
+// Runs the fixed-point EN solver and derives per-bank outcomes. A bank
+// "fails" when its clearing prorate ends below 1 (it cannot pay in full).
+RiskBreakdown EnBreakdown(const EnInstance& instance, const EnProgramParams& params);
+
+// Runs the fixed-point EGJ solver; a bank fails when its final valuation is
+// below its threshold.
+RiskBreakdown EgjBreakdown(const EgjInstance& instance, const EgjProgramParams& params);
+
+}  // namespace dstress::finance
+
+#endif  // SRC_FINANCE_METRICS_H_

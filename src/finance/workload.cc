@@ -1,0 +1,126 @@
+#include "src/finance/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dstress::finance {
+
+namespace {
+
+double ScaleOf(int v, const WorkloadParams& p) {
+  return v < p.core_size ? p.core_scale : 1.0;
+}
+
+// Uniform draw in [0.5*mean, 1.5*mean].
+uint64_t JitteredAmount(uint64_t mean, double scale, Rng& rng) {
+  double lo = 0.5 * static_cast<double>(mean) * scale;
+  double hi = 1.5 * static_cast<double>(mean) * scale;
+  return static_cast<uint64_t>(lo + (hi - lo) * rng.Uniform());
+}
+
+}  // namespace
+
+EnInstance MakeEnWorkload(const graph::Graph& graph, const WorkloadParams& params,
+                          const ShockParams& shock) {
+  Rng rng(params.seed);
+  EnInstance instance;
+  instance.graph = &graph;
+  int n = graph.num_vertices();
+  instance.cash.resize(n);
+  instance.debts.resize(n);
+  for (int v = 0; v < n; v++) {
+    double scale = ScaleOf(v, params);
+    instance.cash[v] = params.format.SaturateValue(JitteredAmount(params.base_cash, scale, rng));
+    instance.debts[v].resize(graph.OutDegree(v));
+    for (int s = 0; s < graph.OutDegree(v); s++) {
+      // Debt size scales with the smaller endpoint, so a peripheral bank
+      // never owes a core-sized amount.
+      double edge_scale = std::min(scale, ScaleOf(graph.OutNeighbors(v)[s], params));
+      instance.debts[v][s] =
+          params.format.SaturateValue(JitteredAmount(params.base_debt, edge_scale, rng));
+    }
+  }
+  for (int bank : shock.shocked_banks) {
+    DSTRESS_CHECK(bank >= 0 && bank < n);
+    instance.cash[bank] =
+        static_cast<uint64_t>(static_cast<double>(instance.cash[bank]) * shock.survival);
+  }
+  return instance;
+}
+
+EgjInstance MakeEgjWorkload(const graph::Graph& graph, const WorkloadParams& params,
+                            const ShockParams& shock) {
+  Rng rng(params.seed);
+  EgjInstance instance;
+  instance.graph = &graph;
+  int n = graph.num_vertices();
+  instance.base.resize(n);
+  instance.insh.resize(n);
+
+  for (int v = 0; v < n; v++) {
+    double scale = ScaleOf(v, params);
+    instance.base[v] = params.format.SaturateValue(JitteredAmount(params.base_cash, scale, rng));
+    instance.insh[v].resize(graph.InDegree(v));
+  }
+  // Cross-holdings: the shares of bank j held by others must sum below 1.
+  // Draw per-edge shares and normalize per issuer when they exceed a cap.
+  std::vector<double> issued(n, 0.0);
+  std::vector<std::vector<double>> shares(n);
+  for (int v = 0; v < n; v++) {
+    shares[v].resize(graph.InDegree(v));
+    for (int d = 0; d < graph.InDegree(v); d++) {
+      double share = params.cross_holding * (0.5 + rng.Uniform());
+      shares[v][d] = share;
+      issued[graph.InNeighbors(v)[d]] += share;
+    }
+  }
+  constexpr double kIssueCap = 0.8;
+  for (int v = 0; v < n; v++) {
+    for (int d = 0; d < graph.InDegree(v); d++) {
+      int issuer = graph.InNeighbors(v)[d];
+      double share = shares[v][d];
+      if (issued[issuer] > kIssueCap) {
+        share *= kIssueCap / issued[issuer];
+      }
+      instance.insh[v][d] = params.format.FracFromDouble(share);
+    }
+  }
+
+  // Initial valuations: no-shock fixpoint of v_i = base_i + sum insh*v_j.
+  std::vector<double> val(n);
+  for (int v = 0; v < n; v++) {
+    val[v] = static_cast<double>(instance.base[v]);
+  }
+  for (int iter = 0; iter < 64; iter++) {
+    std::vector<double> next(n);
+    for (int v = 0; v < n; v++) {
+      double acc = static_cast<double>(instance.base[v]);
+      for (int d = 0; d < graph.InDegree(v); d++) {
+        acc += params.format.FracToDouble(instance.insh[v][d]) * val[graph.InNeighbors(v)[d]];
+      }
+      next[v] = acc;
+    }
+    val = next;
+  }
+  instance.orig_val.resize(n);
+  instance.threshold.resize(n);
+  instance.penalty.resize(n);
+  for (int v = 0; v < n; v++) {
+    instance.orig_val[v] = params.format.SaturateValue(static_cast<uint64_t>(val[v]));
+    instance.threshold[v] = params.format.SaturateValue(
+        static_cast<uint64_t>(val[v] * params.threshold_ratio));
+    instance.penalty[v] = params.format.SaturateValue(
+        static_cast<uint64_t>(val[v] * params.penalty_ratio));
+  }
+
+  for (int bank : shock.shocked_banks) {
+    DSTRESS_CHECK(bank >= 0 && bank < n);
+    instance.base[bank] =
+        static_cast<uint64_t>(static_cast<double>(instance.base[bank]) * shock.survival);
+  }
+  return instance;
+}
+
+}  // namespace dstress::finance

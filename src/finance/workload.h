@@ -1,0 +1,52 @@
+// Synthetic balance-sheet workloads for the systemic-risk case studies.
+//
+// There is no public interbank dataset (paper Appendix C), so workloads are
+// generated over a synthetic network: banks receive cash/base assets and
+// debt/cross-holding weights, scaled so that core banks are an order of
+// magnitude larger than peripheral ones, and an exogenous shock wipes out
+// the assets of a chosen set of banks. The two scenarios of Appendix C —
+// a periphery shock the core absorbs, and a core shock that cascades — are
+// both expressible through ShockParams.
+#ifndef SRC_FINANCE_WORKLOAD_H_
+#define SRC_FINANCE_WORKLOAD_H_
+
+#include "src/common/rng.h"
+#include "src/finance/eisenberg_noe.h"
+#include "src/finance/elliott_golub_jackson.h"
+#include "src/graph/graph.h"
+
+namespace dstress::finance {
+
+struct WorkloadParams {
+  FixedPointFormat format;
+  // Banks [0, core_size) are treated as core (larger balance sheets).
+  int core_size = 0;
+  double core_scale = 10.0;       // core balance-sheet multiplier
+  uint64_t base_cash = 40;        // mean liquid reserve, money units
+  uint64_t base_debt = 20;        // mean per-edge debt
+  double cross_holding = 0.15;    // mean per-edge equity share (EGJ)
+  double threshold_ratio = 0.6;   // EGJ failure threshold vs origVal
+  double penalty_ratio = 0.25;    // EGJ penalty vs origVal
+  uint64_t seed = 7;
+};
+
+struct ShockParams {
+  // Vertices whose liquid/base assets are zeroed before the run.
+  std::vector<int> shocked_banks;
+  // Fraction of the asset that survives the shock (0 = total wipeout).
+  double survival = 0.0;
+};
+
+// Generates an Eisenberg–Noe instance over `graph` and applies the shock.
+EnInstance MakeEnWorkload(const graph::Graph& graph, const WorkloadParams& params,
+                          const ShockParams& shock);
+
+// Generates an Elliott–Golub–Jackson instance. orig_val is solved as the
+// no-shock fixpoint of the valuation equation, then the shock is applied to
+// base assets.
+EgjInstance MakeEgjWorkload(const graph::Graph& graph, const WorkloadParams& params,
+                            const ShockParams& shock);
+
+}  // namespace dstress::finance
+
+#endif  // SRC_FINANCE_WORKLOAD_H_

@@ -1,0 +1,52 @@
+// Synthetic financial-network generators.
+//
+// There is no public dataset of interbank linkages — the confidentiality
+// problem DStress exists to solve — so, exactly as the paper's Appendix C
+// does, we generate networks following the empirical structure reported in
+// the economics literature:
+//
+//  * Core–periphery (Cocco et al. [18]): a small, densely connected core of
+//    money-center banks; peripheral banks each linked to one or two core
+//    banks. Appendix C's 50-bank experiment uses a 10-bank core.
+//  * Scale-free: preferential attachment; banks nearer the "center" have
+//    exponentially more linkages.
+//  * Erdős–Rényi: uniform random baseline for sensitivity studies.
+//
+// All generators emit symmetric edge pairs (u→v and v→u) because the
+// contagion models exchange messages in both directions along a financial
+// relationship (debts owed vs. payments expected; holdings vs. valuations).
+#ifndef SRC_GRAPH_GENERATORS_H_
+#define SRC_GRAPH_GENERATORS_H_
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace dstress::graph {
+
+struct CorePeripheryParams {
+  int num_vertices = 50;
+  int core_size = 10;
+  // Probability that an ordered core pair is linked (the core is dense).
+  double core_density = 0.9;
+  // Each peripheral bank links to 1..max_core_links core banks.
+  int max_core_links = 2;
+};
+
+Graph GenerateCorePeriphery(const CorePeripheryParams& params, Rng& rng);
+
+// Barabási–Albert preferential attachment with `links_per_vertex` edges per
+// arriving vertex.
+Graph GenerateScaleFree(int num_vertices, int links_per_vertex, Rng& rng);
+
+// Erdős–Rényi G(n, p) on unordered pairs (each selected pair contributes
+// both directions).
+Graph GenerateErdosRenyi(int num_vertices, double edge_probability, Rng& rng);
+
+// Caps every vertex at `max_degree` out- and in-neighbors by dropping the
+// highest-index excess links; used to enforce a public degree bound D on
+// generated graphs.
+Graph CapDegree(const Graph& g, int max_degree);
+
+}  // namespace dstress::graph
+
+#endif  // SRC_GRAPH_GENERATORS_H_

@@ -1,0 +1,34 @@
+// Graph serialization: a plain edge-list text format for moving topologies
+// in and out of DStress (scenario files embed the same `edge` directives),
+// plus a Graphviz DOT writer for visual inspection of synthetic networks.
+//
+// Edge-list format: first non-comment line `graph <N>`, then one `<u> <v>`
+// pair per line; `#` starts a comment. Parsing is strict (line-precise
+// errors) because topology files feed directly into privacy-sensitive runs.
+#ifndef SRC_GRAPH_IO_H_
+#define SRC_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace dstress::graph {
+
+// Renders the edge-list text form.
+std::string WriteEdgeList(const Graph& g);
+
+// Parses the edge-list form; on failure returns std::nullopt and sets
+// *error to a "line N: what" message.
+std::optional<Graph> ParseEdgeList(const std::string& text, std::string* error);
+
+// Reads and parses an edge-list file.
+std::optional<Graph> LoadEdgeListFile(const std::string& path, std::string* error);
+
+// Graphviz `digraph`, one node per vertex. `core_size` > 0 marks vertices
+// [0, core_size) with a filled style (core-periphery visualization).
+std::string WriteDot(const Graph& g, int core_size = 0);
+
+}  // namespace dstress::graph
+
+#endif  // SRC_GRAPH_IO_H_

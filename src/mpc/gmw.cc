@@ -1,0 +1,179 @@
+#include "src/mpc/gmw.h"
+
+#include "src/common/check.h"
+
+namespace dstress::mpc {
+
+using circuit::Gate;
+using circuit::GateOp;
+using circuit::Wire;
+using ot::GetBit;
+using ot::PackedWords;
+using ot::SetBit;
+
+GmwParty::GmwParty(net::SimNetwork* net, std::vector<net::NodeId> parties, int my_index,
+                   TripleSource* triples, net::SessionId session)
+    : net_(net),
+      parties_(std::move(parties)),
+      my_index_(my_index),
+      triples_(triples),
+      session_(session) {
+  DSTRESS_CHECK(my_index_ >= 0 && my_index_ < static_cast<int>(parties_.size()));
+}
+
+std::vector<uint64_t> GmwParty::ExchangeXor(const std::vector<uint64_t>& mine) {
+  ByteWriter block;
+  for (uint64_t w : mine) {
+    block.U64(w);
+  }
+  const Bytes& payload = block.bytes();
+  net::NodeId self_node = parties_[my_index_];
+  for (int p = 0; p < static_cast<int>(parties_.size()); p++) {
+    if (p != my_index_) {
+      net_->Send(self_node, parties_[p], payload, session_);
+    }
+  }
+  std::vector<uint64_t> total = mine;
+  for (int p = 0; p < static_cast<int>(parties_.size()); p++) {
+    if (p == my_index_) {
+      continue;
+    }
+    Bytes incoming = net_->Recv(self_node, parties_[p], session_);
+    DSTRESS_CHECK(incoming.size() == mine.size() * 8);
+    ByteReader reader(incoming);
+    for (size_t w = 0; w < total.size(); w++) {
+      total[w] ^= reader.U64();
+    }
+  }
+  return total;
+}
+
+BitVector GmwParty::Eval(const circuit::Circuit& circuit, const BitVector& input_shares) {
+  DSTRESS_CHECK(input_shares.size() == circuit.num_inputs());
+
+  // Pre-fetch all triples for this circuit in one batch, so triple
+  // generation cost amortizes across layers.
+  BitTriples triples;
+  size_t triple_cursor = 0;
+  if (circuit.stats().num_and > 0) {
+    triples = triples_->Generate(circuit.stats().num_and);
+  }
+
+  const auto& gates = circuit.gates();
+  const auto& depth = circuit.and_depth();
+  const auto& and_layers = circuit.and_layers();
+
+  // Group non-AND gates by AND-depth, preserving topological (index) order
+  // inside each group. Within one round r we evaluate the AND gates of
+  // depth r (one exchange), then the local gates of depth r.
+  std::vector<std::vector<Wire>> local_layers(circuit.stats().and_depth + 1);
+  for (size_t i = 0; i < gates.size(); i++) {
+    if (gates[i].op != GateOp::kAnd) {
+      local_layers[depth[i]].push_back(static_cast<Wire>(i));
+    }
+  }
+
+  std::vector<uint8_t> share(gates.size(), 0);
+  size_t next_input = 0;
+  auto eval_local = [&](Wire w) {
+    const Gate& g = gates[w];
+    switch (g.op) {
+      case GateOp::kInput:
+        share[w] = input_shares[next_input++] & 1;
+        break;
+      case GateOp::kConst:
+        // Public constants are held by the leader only; XOR of all shares
+        // then equals the constant.
+        share[w] = is_leader() ? static_cast<uint8_t>(g.a & 1) : 0;
+        break;
+      case GateOp::kXor:
+        share[w] = share[g.a] ^ share[g.b];
+        break;
+      case GateOp::kNot:
+        // NOT is XOR with public 1: the leader flips its share.
+        share[w] = is_leader() ? (share[g.a] ^ 1) : share[g.a];
+        break;
+      case GateOp::kAnd:
+        DSTRESS_CHECK(false);  // handled in the batched path
+        break;
+    }
+  };
+
+  for (Wire w : local_layers[0]) {
+    eval_local(w);
+  }
+
+  for (size_t round = 1; round < and_layers.size() || round < local_layers.size(); round++) {
+    if (round < and_layers.size() && !and_layers[round].empty()) {
+      const std::vector<Wire>& layer = and_layers[round];
+      size_t n = layer.size();
+      size_t words = PackedWords(n);
+      // Pack d = x ^ a and e = y ^ b for the whole layer: d in words
+      // [0, words), e in [words, 2*words).
+      std::vector<uint64_t> masked(2 * words, 0);
+      for (size_t i = 0; i < n; i++) {
+        const Gate& g = gates[layer[i]];
+        size_t t = triple_cursor + i;
+        bool d = (share[g.a] ^ static_cast<uint8_t>(GetBit(triples.a, t))) & 1;
+        bool e = (share[g.b] ^ static_cast<uint8_t>(GetBit(triples.b, t))) & 1;
+        if (d) {
+          masked[i / 64] |= 1ULL << (i % 64);
+        }
+        if (e) {
+          masked[words + i / 64] |= 1ULL << (i % 64);
+        }
+      }
+      std::vector<uint64_t> opened = ExchangeXor(masked);
+      for (size_t i = 0; i < n; i++) {
+        size_t t = triple_cursor + i;
+        bool d = (opened[i / 64] >> (i % 64)) & 1;
+        bool e = (opened[words + i / 64] >> (i % 64)) & 1;
+        // z = c ^ d*b ^ e*a (^ d*e for the leader).
+        uint8_t z = static_cast<uint8_t>(GetBit(triples.c, t));
+        if (d) {
+          z ^= static_cast<uint8_t>(GetBit(triples.b, t));
+        }
+        if (e) {
+          z ^= static_cast<uint8_t>(GetBit(triples.a, t));
+        }
+        if (d && e && is_leader()) {
+          z ^= 1;
+        }
+        share[layer[i]] = z;
+      }
+      triple_cursor += n;
+    }
+    if (round < local_layers.size()) {
+      for (Wire w : local_layers[round]) {
+        eval_local(w);
+      }
+    }
+  }
+  DSTRESS_CHECK(next_input == circuit.num_inputs());
+
+  BitVector out;
+  out.reserve(circuit.num_outputs());
+  for (Wire w : circuit.outputs()) {
+    out.push_back(share[w]);
+  }
+  return out;
+}
+
+BitVector GmwParty::Open(const BitVector& my_shares) {
+  size_t n = my_shares.size();
+  size_t words = PackedWords(n);
+  std::vector<uint64_t> packed(words, 0);
+  for (size_t i = 0; i < n; i++) {
+    if (my_shares[i] & 1) {
+      packed[i / 64] |= 1ULL << (i % 64);
+    }
+  }
+  std::vector<uint64_t> opened = ExchangeXor(packed);
+  BitVector out(n);
+  for (size_t i = 0; i < n; i++) {
+    out[i] = (opened[i / 64] >> (i % 64)) & 1;
+  }
+  return out;
+}
+
+}  // namespace dstress::mpc

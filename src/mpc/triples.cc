@@ -1,0 +1,194 @@
+#include "src/mpc/triples.h"
+
+#include "src/common/check.h"
+
+namespace dstress::mpc {
+
+namespace {
+
+using ot::GetBit;
+using ot::PackedWords;
+
+PackedBits RandomPacked(crypto::ChaCha20Prg& prg, size_t words) {
+  PackedBits out(words);
+  prg.Fill(reinterpret_cast<uint8_t*>(out.data()), words * 8);
+  return out;
+}
+
+}  // namespace
+
+DealerTripleSource::DealerTripleSource(int party_index, int num_parties, uint64_t dealer_seed)
+    : party_index_(party_index), num_parties_(num_parties), dealer_seed_(dealer_seed) {
+  DSTRESS_CHECK(party_index >= 0 && party_index < num_parties);
+}
+
+BitTriples DealerTripleSource::Generate(size_t count) {
+  size_t words = PackedWords(count);
+  // Re-derive the dealer tape from the shared seed at the current offset.
+  // Every party regenerates the same tape, so shares stay consistent
+  // without communication — this is precisely why dealer mode is a
+  // simulation of an offline phase rather than a secure protocol.
+  BitTriples mine;
+  mine.count = count;
+  PackedBits a_total(words, 0);
+  PackedBits b_total(words, 0);
+  PackedBits c_rest(words, 0);
+  for (int j = 0; j < num_parties_; j++) {
+    auto prg_a = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 0);
+    auto prg_b = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 1);
+    PackedBits a_j = RandomPacked(prg_a, words);
+    PackedBits b_j = RandomPacked(prg_b, words);
+    for (size_t w = 0; w < words; w++) {
+      a_total[w] ^= a_j[w];
+      b_total[w] ^= b_j[w];
+    }
+    PackedBits c_j;
+    if (j > 0) {
+      auto prg_c = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 2);
+      c_j = RandomPacked(prg_c, words);
+      for (size_t w = 0; w < words; w++) {
+        c_rest[w] ^= c_j[w];
+      }
+    }
+    if (j == party_index_) {
+      mine.a = std::move(a_j);
+      mine.b = std::move(b_j);
+      mine.c = std::move(c_j);  // empty for party 0, fixed below
+    }
+  }
+  if (party_index_ == 0) {
+    mine.c.assign(words, 0);
+    for (size_t w = 0; w < words; w++) {
+      mine.c[w] = (a_total[w] & b_total[w]) ^ c_rest[w];
+    }
+  }
+  offset_ += count;
+  return mine;
+}
+
+OtTripleSource::OtTripleSource(net::SimNetwork* net, std::vector<net::NodeId> parties,
+                               int my_index, crypto::ChaCha20Prg prg, net::SessionId session)
+    : net_(net),
+      parties_(std::move(parties)),
+      my_index_(my_index),
+      prg_(std::move(prg)),
+      session_(session) {
+  DSTRESS_CHECK(my_index_ >= 0 && my_index_ < static_cast<int>(parties_.size()));
+}
+
+OtTripleSource::~OtTripleSource() = default;
+
+int OtTripleSource::RoundCount() const {
+  int n = static_cast<int>(parties_.size());
+  int m = (n % 2 == 0) ? n : n + 1;
+  return m - 1;
+}
+
+int OtTripleSource::PeerInRound(int round) const {
+  // Circle-method tournament over m players (m even; the last slot is a bye
+  // when the real party count is odd). Slot m-1 is fixed; the others rotate.
+  int n = static_cast<int>(parties_.size());
+  int m = (n % 2 == 0) ? n : n + 1;
+  auto slot_player = [&](int slot) -> int {
+    if (slot == m - 1) {
+      return m - 1;
+    }
+    return (round + slot) % (m - 1);
+  };
+  for (int k = 0; k < m / 2; k++) {
+    int p1 = slot_player(k);
+    int p2 = slot_player(m - 1 - k);
+    if (p1 == my_index_ || p2 == my_index_) {
+      int peer = (p1 == my_index_) ? p2 : p1;
+      if (peer >= n) {
+        return -1;  // bye against the padding slot
+      }
+      return peer;
+    }
+  }
+  return -1;
+}
+
+void OtTripleSource::EnsureSetup() {
+  if (setup_done_) {
+    return;
+  }
+  for (int round = 0; round < RoundCount(); round++) {
+    int peer = PeerInRound(round);
+    if (peer < 0) {
+      continue;
+    }
+    PeerSession session;
+    net::NodeId self_node = parties_[my_index_];
+    net::NodeId peer_node = parties_[peer];
+    if (my_index_ < peer) {
+      // Direction lower-as-extension-sender first, then the reverse.
+      session.sender = std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
+      session.receiver = std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
+    } else {
+      session.receiver = std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
+      session.sender = std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
+    }
+    sessions_.emplace(peer, std::move(session));
+  }
+  setup_done_ = true;
+}
+
+BitTriples OtTripleSource::Generate(size_t count) {
+  EnsureSetup();
+  size_t words = PackedWords(count);
+
+  BitTriples mine;
+  mine.count = count;
+  mine.a = RandomPacked(prg_, words);
+  mine.b = RandomPacked(prg_, words);
+  mine.c.assign(words, 0);
+  for (size_t w = 0; w < words; w++) {
+    mine.c[w] = mine.a[w] & mine.b[w];
+  }
+
+  net::NodeId self_node = parties_[my_index_];
+  for (int round = 0; round < RoundCount(); round++) {
+    int peer = PeerInRound(round);
+    if (peer < 0) {
+      continue;
+    }
+    PeerSession& session = sessions_.at(peer);
+    net::NodeId peer_node = parties_[peer];
+
+    auto run_as_sender = [&] {
+      // I contribute a_i; the peer's choice bits are its b_j. I keep r0 as
+      // my share of a_i AND b_j and send the correction r0^r1^a_i.
+      ot::RandomOtPairs pairs = session.sender->Extend(count);
+      ByteWriter corrections;
+      for (size_t w = 0; w < words; w++) {
+        corrections.U64(pairs.r0[w] ^ pairs.r1[w] ^ mine.a[w]);
+        mine.c[w] ^= pairs.r0[w];
+      }
+      net_->Send(self_node, peer_node, corrections.Take(), session_);
+    };
+    auto run_as_receiver = [&] {
+      // My choice bits are b_i; I receive r_{b} plus the correction and end
+      // with r0 ^ (b_i AND a_peer).
+      ot::RandomOtChosen chosen = session.receiver->Extend(mine.b, count);
+      Bytes corrections = net_->Recv(self_node, peer_node, session_);
+      DSTRESS_CHECK(corrections.size() == words * 8);
+      ByteReader reader(corrections);
+      for (size_t w = 0; w < words; w++) {
+        uint64_t d = reader.U64();
+        mine.c[w] ^= chosen.r[w] ^ (mine.b[w] & d);
+      }
+    };
+
+    if (my_index_ < peer) {
+      run_as_sender();
+      run_as_receiver();
+    } else {
+      run_as_receiver();
+      run_as_sender();
+    }
+  }
+  return mine;
+}
+
+}  // namespace dstress::mpc

@@ -1,0 +1,97 @@
+// Beaver multiplication triples for boolean GMW.
+//
+// A bit triple is an XOR-sharing of (a, b, c) with c = a AND b. The GMW
+// engine consumes one triple per AND gate: parties open d = x^a and
+// e = y^b, then locally compute shares of x AND y.
+//
+// Two sources are provided:
+//
+//  * OtTripleSource — the real protocol. Every ordered pair of parties runs
+//    IKNP-extended random OTs to produce XOR shares of the cross terms
+//    a_i AND b_j; sessions are scheduled with a round-robin tournament so
+//    disjoint pairs run concurrently. This is what the paper's prototype
+//    does via the Choi et al. GMW implementation with OT extensions.
+//
+//  * DealerTripleSource — a simulated offline phase: all parties derive
+//    their shares deterministically from a shared dealer seed. This mode
+//    provides NO privacy (any party can recompute the dealer tape) and
+//    exists so that large benchmark sweeps can exercise the online phase at
+//    scale; see DESIGN.md §2.
+#ifndef SRC_MPC_TRIPLES_H_
+#define SRC_MPC_TRIPLES_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/crypto/chacha20.h"
+#include "src/net/sim_network.h"
+#include "src/ot/iknp.h"
+
+namespace dstress::mpc {
+
+using ot::PackedBits;
+
+struct BitTriples {
+  PackedBits a;
+  PackedBits b;
+  PackedBits c;
+  size_t count = 0;
+};
+
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+  // Collective: every party in the group must call Generate with the same
+  // count, in the same protocol position.
+  virtual BitTriples Generate(size_t count) = 0;
+};
+
+class DealerTripleSource : public TripleSource {
+ public:
+  DealerTripleSource(int party_index, int num_parties, uint64_t dealer_seed);
+  BitTriples Generate(size_t count) override;
+
+ private:
+  int party_index_;
+  int num_parties_;
+  uint64_t dealer_seed_;
+  uint64_t offset_ = 0;  // triples consumed so far (keeps parties in sync)
+};
+
+class OtTripleSource : public TripleSource {
+ public:
+  // `parties` are the SimNetwork node ids of the group, `my_index` is this
+  // party's position in that list. Base-OT setup with every peer happens
+  // lazily on the first Generate call.
+  OtTripleSource(net::SimNetwork* net, std::vector<net::NodeId> parties, int my_index,
+                 crypto::ChaCha20Prg prg, net::SessionId session = 0);
+  ~OtTripleSource() override;
+
+  BitTriples Generate(size_t count) override;
+
+ private:
+  struct PeerSession {
+    std::unique_ptr<ot::IknpSender> sender;      // for my `a` contribution
+    std::unique_ptr<ot::IknpReceiver> receiver;  // choice bits = my `b`
+  };
+
+  void EnsureSetup();
+  // Tournament schedule: returns the peer index this party meets in
+  // `round`, or -1 for a bye. Rounds 0 .. RoundCount()-1 enumerate all
+  // unordered pairs with disjoint pairs per round.
+  int PeerInRound(int round) const;
+  int RoundCount() const;
+
+  net::SimNetwork* net_;
+  std::vector<net::NodeId> parties_;
+  int my_index_;
+  crypto::ChaCha20Prg prg_;
+  net::SessionId session_;
+  bool setup_done_ = false;
+  std::map<int, PeerSession> sessions_;  // keyed by peer index
+};
+
+}  // namespace dstress::mpc
+
+#endif  // SRC_MPC_TRIPLES_H_

@@ -1,0 +1,106 @@
+#include "src/net/sim_network.h"
+
+#include "src/common/check.h"
+
+namespace dstress::net {
+
+SimNetwork::SimNetwork(int num_nodes) : num_nodes_(num_nodes) {
+  DSTRESS_CHECK(num_nodes > 0);
+  counters_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; i++) {
+    counters_.push_back(std::make_unique<PerNodeCounters>());
+  }
+}
+
+SimNetwork::Channel& SimNetwork::ChannelFor(const ChannelKey& key) {
+  {
+    std::shared_lock<std::shared_mutex> read(channels_mu_);
+    auto it = channels_.find(key);
+    if (it != channels_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> write(channels_mu_);
+  auto [it, _] = channels_.try_emplace(key, std::make_unique<Channel>());
+  return *it->second;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, Bytes message, SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  size_t len = message.size();
+  Channel& ch = ChannelFor(ChannelKey{from, to, session});
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (observer_ != nullptr) {
+      observer_->OnSend(from, to, session, message);
+    }
+    ch.queue.push_back(std::move(message));
+  }
+  ch.cv.notify_one();
+  counters_[from]->bytes_sent.fetch_add(len, std::memory_order_relaxed);
+  counters_[from]->messages_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+Bytes SimNetwork::Recv(NodeId to, NodeId from, SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  Channel& ch = ChannelFor(ChannelKey{from, to, session});
+  Bytes msg;
+  {
+    std::unique_lock<std::mutex> lock(ch.mu);
+    ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+    msg = std::move(ch.queue.front());
+    ch.queue.pop_front();
+    if (observer_ != nullptr) {
+      observer_->OnRecv(to, from, session, msg);
+    }
+  }
+  counters_[to]->bytes_received.fetch_add(msg.size(), std::memory_order_relaxed);
+  counters_[to]->messages_received.fetch_add(1, std::memory_order_relaxed);
+  return msg;
+}
+
+TrafficStats SimNetwork::NodeStats(NodeId node) const {
+  DSTRESS_CHECK(node >= 0 && node < num_nodes_);
+  const PerNodeCounters& c = *counters_[node];
+  TrafficStats s;
+  s.bytes_sent = c.bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = c.bytes_received.load(std::memory_order_relaxed);
+  s.messages_sent = c.messages_sent.load(std::memory_order_relaxed);
+  s.messages_received = c.messages_received.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t SimNetwork::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c->bytes_sent.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double SimNetwork::AverageBytesPerNode() const {
+  return static_cast<double>(TotalBytes()) / num_nodes_;
+}
+
+uint64_t SimNetwork::MaxBytesPerNode() const {
+  uint64_t max_bytes = 0;
+  for (const auto& c : counters_) {
+    uint64_t b = c->bytes_sent.load(std::memory_order_relaxed) +
+                 c->bytes_received.load(std::memory_order_relaxed);
+    if (b > max_bytes) {
+      max_bytes = b;
+    }
+  }
+  return max_bytes;
+}
+
+void SimNetwork::ResetStats() {
+  for (auto& c : counters_) {
+    c->bytes_sent.store(0, std::memory_order_relaxed);
+    c->bytes_received.store(0, std::memory_order_relaxed);
+    c->messages_sent.store(0, std::memory_order_relaxed);
+    c->messages_received.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dstress::net

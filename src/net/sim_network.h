@@ -1,0 +1,128 @@
+// In-process simulated network.
+//
+// The paper evaluates DStress on EC2 with one machine per bank; this repo
+// substitutes an in-process transport where every protocol party runs on its
+// own thread and exchanges the *same serialized byte strings* it would send
+// over TCP. Two consequences matter for the reproduction:
+//
+//  * traffic numbers (Figures 4, 5-right, 6-right and the §5.3 message-
+//    transfer measurements) are exact — every Send() is metered per sender
+//    and per receiver;
+//  * timing numbers keep the paper's *shape* (how costs scale in block size,
+//    degree, N) while absolute values reflect local compute rather than LAN
+//    latency.
+//
+// Channels are keyed by (from, to, session). A DStress node participates in
+// many concurrent protocol instances — GMW member in several blocks, edge
+// endpoint, aggregator — and the session id keeps each instance's FIFO
+// stream isolated, playing the role of one TCP connection per protocol
+// instance.
+#ifndef SRC_NET_SIM_NETWORK_H_
+#define SRC_NET_SIM_NETWORK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace dstress::net {
+
+using NodeId = int;
+using SessionId = uint64_t;
+
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+};
+
+// Observes every message as it crosses the network. OnSend runs inside the
+// channel lock right after the enqueue and OnRecv right after the dequeue,
+// so per-channel observation order matches FIFO delivery order. Callbacks
+// must be thread-safe across channels and must not call back into the
+// network. Used by the audit module (src/audit) to record transcripts.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void OnSend(NodeId from, NodeId to, SessionId session, const Bytes& payload) = 0;
+  virtual void OnRecv(NodeId to, NodeId from, SessionId session, const Bytes& payload) = 0;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(int num_nodes);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Attaches an observer (nullptr detaches). Not thread-safe with respect
+  // to in-flight Send/Recv: attach before the protocol threads start.
+  void SetObserver(NetworkObserver* observer) { observer_ = observer; }
+
+  // Enqueues a message on the (from, to, session) channel. Thread-safe;
+  // never blocks (queues are unbounded — protocol rounds bound growth).
+  void Send(NodeId from, NodeId to, Bytes message, SessionId session = 0);
+
+  // Dequeues the next message on the (from, to, session) channel in FIFO
+  // order, blocking until one arrives.
+  Bytes Recv(NodeId to, NodeId from, SessionId session = 0);
+
+  TrafficStats NodeStats(NodeId node) const;
+  uint64_t TotalBytes() const;
+  double AverageBytesPerNode() const;
+  uint64_t MaxBytesPerNode() const;
+  void ResetStats();
+
+ private:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> queue;
+  };
+
+  struct PerNodeCounters {
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> messages_received{0};
+  };
+
+  struct ChannelKey {
+    NodeId from;
+    NodeId to;
+    SessionId session;
+    bool operator==(const ChannelKey& o) const {
+      return from == o.from && to == o.to && session == o.session;
+    }
+  };
+  struct ChannelKeyHash {
+    size_t operator()(const ChannelKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.from) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.to) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.session + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  Channel& ChannelFor(const ChannelKey& key);
+
+  int num_nodes_;
+  NetworkObserver* observer_ = nullptr;
+  std::shared_mutex channels_mu_;
+  std::unordered_map<ChannelKey, std::unique_ptr<Channel>, ChannelKeyHash> channels_;
+  std::vector<std::unique_ptr<PerNodeCounters>> counters_;
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_SIM_NETWORK_H_

@@ -1,0 +1,95 @@
+#include "src/ot/base_ot.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/crypto/ec.h"
+#include "src/crypto/sha256.h"
+
+namespace dstress::ot {
+
+namespace {
+
+using crypto::EcPoint;
+
+OtKey DeriveKey(uint32_t index, const EcPoint& point) {
+  crypto::Sha256 h;
+  uint8_t idx[4];
+  std::memcpy(idx, &index, 4);
+  h.Update(idx, 4);
+  auto compressed = point.Compress();
+  h.Update(compressed.data(), compressed.size());
+  auto digest = h.Finish();
+  OtKey key;
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+BaseOtSenderOutput BaseOtSend(net::SimNetwork* net, net::NodeId self, net::NodeId peer, int count,
+                              crypto::ChaCha20Prg& prg, net::SessionId session) {
+  using crypto::CurveOrder;
+  using crypto::MulBase;
+
+  crypto::U256 a = prg.NextScalar(CurveOrder());
+  EcPoint big_a = MulBase(a);
+
+  ByteWriter announce;
+  auto a_compressed = big_a.Compress();
+  announce.Raw(a_compressed.data(), a_compressed.size());
+  net->Send(self, peer, announce.Take(), session);
+
+  Bytes reply = net->Recv(self, peer, session);
+  DSTRESS_CHECK(reply.size() == static_cast<size_t>(count) * EcPoint::kCompressedSize);
+
+  BaseOtSenderOutput out;
+  out.keys0.reserve(count);
+  out.keys1.reserve(count);
+  EcPoint neg_a = big_a.Neg();
+  for (int i = 0; i < count; i++) {
+    auto b_point = EcPoint::Decompress(reply.data() + static_cast<size_t>(i) * 33);
+    DSTRESS_CHECK(b_point.has_value());
+    EcPoint p0 = b_point->Mul(a);
+    EcPoint p1 = b_point->Add(neg_a).Mul(a);
+    out.keys0.push_back(DeriveKey(static_cast<uint32_t>(i), p0));
+    out.keys1.push_back(DeriveKey(static_cast<uint32_t>(i), p1));
+  }
+  return out;
+}
+
+BaseOtReceiverOutput BaseOtRecv(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+                                const std::vector<bool>& choices, crypto::ChaCha20Prg& prg,
+                                net::SessionId session) {
+  using crypto::CurveOrder;
+  using crypto::MulBase;
+
+  Bytes announce = net->Recv(self, peer, session);
+  DSTRESS_CHECK(announce.size() == EcPoint::kCompressedSize);
+  auto big_a = EcPoint::Decompress(announce.data());
+  DSTRESS_CHECK(big_a.has_value());
+
+  ByteWriter reply;
+  std::vector<crypto::U256> secrets;
+  secrets.reserve(choices.size());
+  for (bool choice : choices) {
+    crypto::U256 b = prg.NextScalar(CurveOrder());
+    secrets.push_back(b);
+    EcPoint point = MulBase(b);
+    if (choice) {
+      point = point.Add(*big_a);
+    }
+    auto compressed = point.Compress();
+    reply.Raw(compressed.data(), compressed.size());
+  }
+  net->Send(self, peer, reply.Take(), session);
+
+  BaseOtReceiverOutput out;
+  out.keys.reserve(choices.size());
+  for (size_t i = 0; i < choices.size(); i++) {
+    out.keys.push_back(DeriveKey(static_cast<uint32_t>(i), big_a->Mul(secrets[i])));
+  }
+  return out;
+}
+
+}  // namespace dstress::ot

@@ -1,0 +1,43 @@
+// Base oblivious transfer (Chou–Orlandi "simplest OT"), honest-but-curious
+// variant, over the from-scratch secp256k1 group.
+//
+// The sender publishes A = a*G; for the i-th transfer the receiver replies
+// with B_i = b_i*G (choice 0) or A + b_i*G (choice 1). The sender derives
+//   k_i^0 = H(i, a*B_i)        k_i^1 = H(i, a*(B_i - A))
+// and the receiver derives k_i^{c_i} = H(i, b_i*A). These 128-bit keys seed
+// the IKNP OT extension (iknp.h); DStress's HbC threat model (paper §3.2)
+// matches the HbC security of this construction.
+#ifndef SRC_OT_BASE_OT_H_
+#define SRC_OT_BASE_OT_H_
+
+#include <array>
+#include <vector>
+
+#include "src/crypto/chacha20.h"
+#include "src/net/sim_network.h"
+
+namespace dstress::ot {
+
+using OtKey = std::array<uint8_t, 16>;
+
+struct BaseOtSenderOutput {
+  std::vector<OtKey> keys0;
+  std::vector<OtKey> keys1;
+};
+
+struct BaseOtReceiverOutput {
+  std::vector<OtKey> keys;  // keys[i] == (choices[i] ? keys1[i] : keys0[i])
+};
+
+// Both calls block until the peer completes its half. `count` transfers are
+// performed in one batch with a single round trip.
+BaseOtSenderOutput BaseOtSend(net::SimNetwork* net, net::NodeId self, net::NodeId peer, int count,
+                              crypto::ChaCha20Prg& prg, net::SessionId session = 0);
+
+BaseOtReceiverOutput BaseOtRecv(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+                                const std::vector<bool>& choices, crypto::ChaCha20Prg& prg,
+                                net::SessionId session = 0);
+
+}  // namespace dstress::ot
+
+#endif  // SRC_OT_BASE_OT_H_

@@ -1,0 +1,149 @@
+#include "src/ot/iknp.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/crypto/sha256.h"
+
+namespace dstress::ot {
+
+namespace {
+
+// Expands a 16-byte base-OT key into a ChaCha20 PRG.
+crypto::ChaCha20Prg PrgFromKey(const OtKey& key, uint64_t stream_id) {
+  auto digest = crypto::Sha256::Hash(key.data(), key.size());
+  std::array<uint8_t, 32> full;
+  std::memcpy(full.data(), digest.data(), 32);
+  return crypto::ChaCha20Prg(full, stream_id);
+}
+
+// Correlation-robust hash H(index, row) -> 1 bit. SHA-256 keeps the
+// random-oracle modelling conservative; one hash per extended OT.
+bool HashRowBit(uint64_t index, const uint64_t row[2]) {
+  uint8_t buf[24];
+  std::memcpy(buf, &index, 8);
+  std::memcpy(buf + 8, row, 16);
+  auto digest = crypto::Sha256::Hash(buf, sizeof(buf));
+  return (digest[0] & 1) != 0;
+}
+
+// Transposes a kappa-column bit matrix (each column `words` uint64s of
+// packed bits) into per-row 128-bit vectors. rows must have 2*count u64s.
+void TransposeColumns(const std::vector<PackedBits>& cols, size_t count, uint64_t* rows) {
+  std::memset(rows, 0, count * 2 * sizeof(uint64_t));
+  for (int i = 0; i < kIknpKappa; i++) {
+    const PackedBits& col = cols[i];
+    for (size_t j = 0; j < count; j++) {
+      if ((col[j / 64] >> (j % 64)) & 1) {
+        rows[2 * j + i / 64] |= 1ULL << (i % 64);
+      }
+    }
+  }
+}
+
+PackedBits PrgBits(crypto::ChaCha20Prg& prg, size_t words) {
+  PackedBits out(words);
+  prg.Fill(reinterpret_cast<uint8_t*>(out.data()), words * 8);
+  return out;
+}
+
+}  // namespace
+
+IknpSender::IknpSender(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+                       crypto::ChaCha20Prg& prg, net::SessionId session)
+    : net_(net), self_(self), peer_(peer), session_(session) {
+  // Extension sender = base-OT receiver with choice vector s.
+  s_bits_.assign(2, 0);
+  std::vector<bool> choices(kIknpKappa);
+  for (int i = 0; i < kIknpKappa; i++) {
+    bool bit = prg.NextBit();
+    choices[i] = bit;
+    SetBit(s_bits_, i, bit);
+  }
+  auto base = BaseOtRecv(net_, self_, peer_, choices, prg, session_);
+  seed_prg_.reserve(kIknpKappa);
+  for (int i = 0; i < kIknpKappa; i++) {
+    seed_prg_.push_back(PrgFromKey(base.keys[i], static_cast<uint64_t>(i)));
+  }
+}
+
+RandomOtPairs IknpSender::Extend(size_t count) {
+  size_t words = PackedWords(count);
+  Bytes u_block = net_->Recv(self_, peer_, session_);
+  DSTRESS_CHECK(u_block.size() == static_cast<size_t>(kIknpKappa) * words * 8);
+
+  std::vector<PackedBits> q_cols(kIknpKappa);
+  for (int i = 0; i < kIknpKappa; i++) {
+    PackedBits q = PrgBits(seed_prg_[i], words);
+    if (GetBit(s_bits_, static_cast<size_t>(i))) {
+      const uint8_t* u = u_block.data() + static_cast<size_t>(i) * words * 8;
+      for (size_t w = 0; w < words; w++) {
+        uint64_t uw;
+        std::memcpy(&uw, u + w * 8, 8);
+        q[w] ^= uw;
+      }
+    }
+    q_cols[i] = std::move(q);
+  }
+
+  std::vector<uint64_t> rows(count * 2);
+  TransposeColumns(q_cols, count, rows.data());
+
+  RandomOtPairs out;
+  out.count = count;
+  out.r0.assign(words, 0);
+  out.r1.assign(words, 0);
+  for (size_t j = 0; j < count; j++) {
+    uint64_t row[2] = {rows[2 * j], rows[2 * j + 1]};
+    uint64_t row_xor_s[2] = {row[0] ^ s_bits_[0], row[1] ^ s_bits_[1]};
+    SetBit(out.r0, j, HashRowBit(ot_counter_ + j, row));
+    SetBit(out.r1, j, HashRowBit(ot_counter_ + j, row_xor_s));
+  }
+  ot_counter_ += count;
+  return out;
+}
+
+IknpReceiver::IknpReceiver(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+                           crypto::ChaCha20Prg& prg, net::SessionId session)
+    : net_(net), self_(self), peer_(peer), session_(session) {
+  auto base = BaseOtSend(net_, self_, peer_, kIknpKappa, prg, session_);
+  prg0_.reserve(kIknpKappa);
+  prg1_.reserve(kIknpKappa);
+  for (int i = 0; i < kIknpKappa; i++) {
+    prg0_.push_back(PrgFromKey(base.keys0[i], static_cast<uint64_t>(i)));
+    prg1_.push_back(PrgFromKey(base.keys1[i], static_cast<uint64_t>(i)));
+  }
+}
+
+RandomOtChosen IknpReceiver::Extend(const PackedBits& choices, size_t count) {
+  size_t words = PackedWords(count);
+  DSTRESS_CHECK(choices.size() >= words);
+
+  std::vector<PackedBits> t_cols(kIknpKappa);
+  ByteWriter u_block;
+  for (int i = 0; i < kIknpKappa; i++) {
+    PackedBits t = PrgBits(prg0_[i], words);
+    PackedBits mask = PrgBits(prg1_[i], words);
+    for (size_t w = 0; w < words; w++) {
+      uint64_t u = t[w] ^ mask[w] ^ choices[w];
+      u_block.U64(u);
+    }
+    t_cols[i] = std::move(t);
+  }
+  net_->Send(self_, peer_, u_block.Take(), session_);
+
+  std::vector<uint64_t> rows(count * 2);
+  TransposeColumns(t_cols, count, rows.data());
+
+  RandomOtChosen out;
+  out.count = count;
+  out.r.assign(words, 0);
+  for (size_t j = 0; j < count; j++) {
+    uint64_t row[2] = {rows[2 * j], rows[2 * j + 1]};
+    SetBit(out.r, j, HashRowBit(ot_counter_ + j, row));
+  }
+  ot_counter_ += count;
+  return out;
+}
+
+}  // namespace dstress::ot

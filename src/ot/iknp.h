@@ -1,0 +1,92 @@
+// IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank 2003).
+//
+// Turns kappa = 128 base OTs (base_ot.h) into an unbounded stream of cheap
+// random OTs on single bits using only symmetric crypto (ChaCha20 PRG +
+// SHA-256 hashing). The paper notes that Wysteria's GMW backend relies on
+// exactly this optimization to keep MPC traffic low (§5.3, [41, 46]).
+//
+// Roles are named from the *extension* point of view: the extension sender
+// obtains random bit pairs (r0_j, r1_j); the extension receiver chooses c_j
+// and learns r_{c_j}. Internally the base OTs run with the roles reversed.
+//
+// Output bits are packed little-endian into uint64 words: bit j of the
+// stream lives at word j/64, bit j%64.
+#ifndef SRC_OT_IKNP_H_
+#define SRC_OT_IKNP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/chacha20.h"
+#include "src/net/sim_network.h"
+#include "src/ot/base_ot.h"
+
+namespace dstress::ot {
+
+inline constexpr int kIknpKappa = 128;
+
+// Packed bit vector helpers shared by the MPC layer.
+using PackedBits = std::vector<uint64_t>;
+inline size_t PackedWords(size_t bits) { return (bits + 63) / 64; }
+inline bool GetBit(const PackedBits& v, size_t i) { return (v[i / 64] >> (i % 64)) & 1; }
+inline void SetBit(PackedBits& v, size_t i, bool bit) {
+  if (bit) {
+    v[i / 64] |= 1ULL << (i % 64);
+  } else {
+    v[i / 64] &= ~(1ULL << (i % 64));
+  }
+}
+
+struct RandomOtPairs {
+  PackedBits r0;
+  PackedBits r1;
+  size_t count = 0;
+};
+
+struct RandomOtChosen {
+  PackedBits r;  // r_j = (c_j ? r1_j : r0_j)
+  size_t count = 0;
+};
+
+class IknpSender {
+ public:
+  // Runs the base-OT setup with `peer` (blocking; the peer must construct a
+  // matching IknpReceiver).
+  IknpSender(net::SimNetwork* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
+             net::SessionId session = 0);
+
+  // Produces `count` random OT pairs. Blocking: the receiver must call
+  // Extend with the same count.
+  RandomOtPairs Extend(size_t count);
+
+ private:
+  net::SimNetwork* net_;
+  net::NodeId self_;
+  net::NodeId peer_;
+  net::SessionId session_;
+  PackedBits s_bits_;                         // kappa choice bits
+  std::vector<crypto::ChaCha20Prg> seed_prg_;  // PRG(k_i^{s_i})
+  uint64_t ot_counter_ = 0;
+};
+
+class IknpReceiver {
+ public:
+  IknpReceiver(net::SimNetwork* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
+               net::SessionId session = 0);
+
+  // choices is a packed bit vector of length >= count bits.
+  RandomOtChosen Extend(const PackedBits& choices, size_t count);
+
+ private:
+  net::SimNetwork* net_;
+  net::NodeId self_;
+  net::NodeId peer_;
+  net::SessionId session_;
+  std::vector<crypto::ChaCha20Prg> prg0_;  // PRG(k_i^0)
+  std::vector<crypto::ChaCha20Prg> prg1_;  // PRG(k_i^1)
+  uint64_t ot_counter_ = 0;
+};
+
+}  // namespace dstress::ot
+
+#endif  // SRC_OT_IKNP_H_

@@ -1,0 +1,93 @@
+#include "src/crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+namespace dstress::crypto {
+namespace {
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  uint8_t key[32];
+  for (int i = 0; i < 32; i++) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t nonce[12] = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  uint8_t out[64];
+  ChaCha20Block(key, nonce, 1, out);
+  const std::string expected =
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e";
+  EXPECT_EQ(HexEncode(out, 64), expected);
+}
+
+TEST(ChaCha20PrgTest, Deterministic) {
+  auto a = ChaCha20Prg::FromSeed(123);
+  auto b = ChaCha20Prg::FromSeed(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(ChaCha20PrgTest, StreamsAreIndependent) {
+  auto a = ChaCha20Prg::FromSeed(123, 0);
+  auto b = ChaCha20Prg::FromSeed(123, 1);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.NextByte() == b.NextByte()) {
+      same++;
+    }
+  }
+  EXPECT_LT(same, 16);  // expected ~0.25% per byte; 16/64 would be wild
+}
+
+TEST(ChaCha20PrgTest, FillCrossesBlockBoundaries) {
+  auto a = ChaCha20Prg::FromSeed(9);
+  auto b = ChaCha20Prg::FromSeed(9);
+  Bytes big = a.NextBytes(200);
+  Bytes parts;
+  for (size_t chunk : {1u, 63u, 64u, 65u, 7u}) {
+    Bytes part = b.NextBytes(chunk);
+    parts.insert(parts.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(parts.size(), 200u);
+  EXPECT_EQ(parts, big);
+}
+
+TEST(ChaCha20PrgTest, NextBelowIsInRangeAndRoughlyUniform) {
+  auto prg = ChaCha20Prg::FromSeed(77);
+  constexpr uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = prg.NextBelow(kBound);
+    ASSERT_LT(v, kBound);
+    counts[v]++;
+  }
+  for (uint64_t v = 0; v < kBound; v++) {
+    EXPECT_GT(counts[v], 800) << "bucket " << v;
+    EXPECT_LT(counts[v], 1200) << "bucket " << v;
+  }
+}
+
+TEST(ChaCha20PrgTest, NextScalarBelowOrderAndNonzero) {
+  auto prg = ChaCha20Prg::FromSeed(5);
+  U256 order = U256::FromHex("ffffffff00000000ffffffff00000000");
+  for (int i = 0; i < 50; i++) {
+    U256 v = prg.NextScalar(order);
+    EXPECT_FALSE(v.IsZero());
+    EXPECT_LT(Cmp(v, order), 0);
+  }
+}
+
+TEST(ChaCha20PrgTest, BitsAreBalanced) {
+  auto prg = ChaCha20Prg::FromSeed(31);
+  int ones = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; i++) {
+    ones += prg.NextBit() ? 1 : 0;
+  }
+  EXPECT_GT(ones, kTrials / 2 - 300);
+  EXPECT_LT(ones, kTrials / 2 + 300);
+}
+
+}  // namespace
+}  // namespace dstress::crypto

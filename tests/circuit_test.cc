@@ -1,0 +1,263 @@
+#include "src/circuit/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mpc/sharing.h"
+
+namespace dstress::circuit {
+namespace {
+
+using mpc::BitsToWord;
+using mpc::BitVector;
+using mpc::WordToBits;
+
+// Evaluates a freshly built circuit on word inputs and returns word outputs.
+std::vector<uint64_t> EvalWords(const Circuit& c, const std::vector<uint64_t>& inputs,
+                                const std::vector<int>& in_bits,
+                                const std::vector<int>& out_bits) {
+  BitVector in;
+  for (size_t i = 0; i < inputs.size(); i++) {
+    mpc::AppendBits(&in, WordToBits(inputs[i], in_bits[i]));
+  }
+  auto out = c.Eval(in);
+  std::vector<uint64_t> words;
+  size_t cursor = 0;
+  for (int bits : out_bits) {
+    words.push_back(BitsToWord(out, cursor, bits));
+    cursor += bits;
+  }
+  return words;
+}
+
+TEST(BuilderTest, SingleGateSemantics) {
+  Builder b;
+  Wire x = b.Input();
+  Wire y = b.Input();
+  b.Output(b.Xor(x, y));
+  b.Output(b.And(x, y));
+  b.Output(b.Or(x, y));
+  b.Output(b.Not(x));
+  b.Output(b.Mux(x, y, b.Zero()));
+  Circuit c = b.Build();
+  for (int xv = 0; xv <= 1; xv++) {
+    for (int yv = 0; yv <= 1; yv++) {
+      auto out = c.Eval({static_cast<uint8_t>(xv), static_cast<uint8_t>(yv)});
+      EXPECT_EQ(out[0], xv ^ yv);
+      EXPECT_EQ(out[1], xv & yv);
+      EXPECT_EQ(out[2], xv | yv);
+      EXPECT_EQ(out[3], xv ^ 1);
+      EXPECT_EQ(out[4], xv ? yv : 0);
+    }
+  }
+}
+
+TEST(BuilderTest, ConstantFoldingEliminatesGates) {
+  Builder b;
+  Wire x = b.Input();
+  // All of these must fold without emitting gates.
+  EXPECT_EQ(b.Xor(x, b.Zero()), x);
+  EXPECT_EQ(b.And(x, b.One()), x);
+  EXPECT_EQ(b.And(x, b.Zero()), b.Zero());
+  EXPECT_EQ(b.Xor(x, x), b.Zero());
+  EXPECT_EQ(b.And(x, x), x);
+  EXPECT_EQ(b.Not(b.Not(x)), x);
+  EXPECT_EQ(b.num_and_gates(), 0u);
+}
+
+TEST(BuilderTest, AndCountTracksEmittedGates) {
+  Builder b;
+  Wire x = b.Input();
+  Wire y = b.Input();
+  b.Output(b.And(x, y));
+  b.Output(b.Or(x, y));   // 1 AND
+  b.Output(b.Mux(x, y, b.Input()));  // 1 AND
+  EXPECT_EQ(b.num_and_gates(), 3u);
+}
+
+struct WordOpCase {
+  int bits;
+  uint64_t a;
+  uint64_t b;
+};
+
+class WordOpTest : public ::testing::TestWithParam<WordOpCase> {};
+
+TEST_P(WordOpTest, AddSubMatchNative) {
+  auto [bits, av, bv] = GetParam();
+  uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  Builder b;
+  Word x = b.InputWord(bits);
+  Word y = b.InputWord(bits);
+  b.OutputWord(b.Add(x, y));
+  b.OutputWord(b.Sub(x, y));
+  b.Output(b.Ult(x, y));
+  b.Output(b.Eq(x, y));
+  Circuit c = b.Build();
+  auto out = EvalWords(c, {av, bv}, {bits, bits}, {bits, bits, 1, 1});
+  EXPECT_EQ(out[0], (av + bv) & mask);
+  EXPECT_EQ(out[1], (av - bv) & mask);
+  EXPECT_EQ(out[2], (av & mask) < (bv & mask) ? 1u : 0u);
+  EXPECT_EQ(out[3], (av & mask) == (bv & mask) ? 1u : 0u);
+}
+
+TEST_P(WordOpTest, MulMatchesNative) {
+  auto [bits, av, bv] = GetParam();
+  uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  Builder b;
+  Word x = b.InputWord(bits);
+  Word y = b.InputWord(bits);
+  b.OutputWord(b.Mul(x, y));
+  Circuit c = b.Build();
+  auto out = EvalWords(c, {av, bv}, {bits, bits}, {bits});
+  EXPECT_EQ(out[0], (av * bv) & mask);
+}
+
+TEST_P(WordOpTest, DivModMatchNative) {
+  auto [bits, av, bv] = GetParam();
+  uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  uint64_t a = av & mask;
+  uint64_t d = bv & mask;
+  Builder b;
+  Word x = b.InputWord(bits);
+  Word y = b.InputWord(bits);
+  Word q, r;
+  b.DivMod(x, y, &q, &r);
+  b.OutputWord(q);
+  b.OutputWord(r);
+  Circuit c = b.Build();
+  auto out = EvalWords(c, {a, d}, {bits, bits}, {bits, bits});
+  if (d == 0) {
+    EXPECT_EQ(out[0], mask);  // documented saturation
+    EXPECT_EQ(out[1], a);
+  } else {
+    EXPECT_EQ(out[0], a / d);
+    EXPECT_EQ(out[1], a % d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WordOpTest,
+    ::testing::Values(WordOpCase{8, 0, 0}, WordOpCase{8, 255, 1}, WordOpCase{8, 171, 205},
+                      WordOpCase{8, 17, 0}, WordOpCase{12, 4095, 4095}, WordOpCase{12, 1234, 56},
+                      WordOpCase{16, 65535, 2}, WordOpCase{16, 40000, 39999},
+                      WordOpCase{16, 12345, 0}, WordOpCase{24, 1 << 20, 3},
+                      WordOpCase{32, 0xDEADBEEF, 0x12345678}, WordOpCase{32, 5, 100000}));
+
+TEST(BuilderTest, RandomizedArithmeticSweep) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; trial++) {
+    int bits = static_cast<int>(rng.Range(4, 20));
+    uint64_t mask = (1ULL << bits) - 1;
+    uint64_t a = rng.Next() & mask;
+    uint64_t d = rng.Next() & mask;
+    Builder b;
+    Word x = b.InputWord(bits);
+    Word y = b.InputWord(bits);
+    b.OutputWord(b.Add(b.Mul(x, y), x));
+    Circuit c = b.Build();
+    auto out = EvalWords(c, {a, d}, {bits, bits}, {bits});
+    EXPECT_EQ(out[0], (a * d + a) & mask) << "bits=" << bits << " a=" << a << " d=" << d;
+  }
+}
+
+TEST(BuilderTest, SltMatchesSignedComparison) {
+  Builder b;
+  Word x = b.InputWord(8);
+  Word y = b.InputWord(8);
+  b.Output(b.Slt(x, y));
+  Circuit c = b.Build();
+  for (int a : {-128, -100, -1, 0, 1, 100, 127}) {
+    for (int d : {-128, -5, 0, 5, 127}) {
+      auto out = EvalWords(c, {static_cast<uint64_t>(a) & 0xFF, static_cast<uint64_t>(d) & 0xFF},
+                           {8, 8}, {1});
+      EXPECT_EQ(out[0], a < d ? 1u : 0u) << a << " < " << d;
+    }
+  }
+}
+
+TEST(BuilderTest, DivFixedComputesScaledRatio) {
+  constexpr int kBits = 12;
+  constexpr int kFrac = 6;
+  Builder b;
+  Word x = b.InputWord(kBits);
+  Word y = b.InputWord(kBits);
+  b.OutputWord(b.DivFixed(x, y, kFrac));
+  Circuit c = b.Build();
+  for (auto [a, d] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {100, 200}, {200, 100}, {1, 4095}, {4095, 1}, {63, 64}, {64, 64}}) {
+    auto out = EvalWords(c, {a, d}, {kBits, kBits}, {kBits});
+    uint64_t expected = (a << kFrac) / d;
+    uint64_t mask = (1ULL << kBits) - 1;
+    if (expected > mask) {
+      expected = mask;  // saturation
+    }
+    EXPECT_EQ(out[0], expected) << a << "/" << d;
+  }
+}
+
+TEST(BuilderTest, ShiftAndExtendOps) {
+  Builder b;
+  Word x = b.InputWord(8);
+  b.OutputWord(b.ShiftLeftConst(x, 3));
+  b.OutputWord(b.ShiftRightConst(x, 2));
+  b.OutputWord(b.ZeroExtend(x, 12));
+  b.OutputWord(b.SignExtend(x, 12));
+  b.OutputWord(b.ClampMax(x, b.ConstWord(100, 8)));
+  Circuit c = b.Build();
+  auto out = EvalWords(c, {0xB5}, {8}, {8, 8, 12, 12, 8});
+  EXPECT_EQ(out[0], (0xB5u << 3) & 0xFF);
+  EXPECT_EQ(out[1], 0xB5u >> 2);
+  EXPECT_EQ(out[2], 0xB5u);
+  EXPECT_EQ(out[3], 0xFB5u);  // sign-extended (0xB5 has MSB set)
+  EXPECT_EQ(out[4], 100u);
+}
+
+TEST(CircuitTest, StatsAndLayers) {
+  Builder b;
+  Word x = b.InputWord(8);
+  Word y = b.InputWord(8);
+  b.OutputWord(b.Mul(b.Add(x, y), y));
+  Circuit c = b.Build();
+  const auto& stats = c.stats();
+  EXPECT_EQ(stats.num_inputs, 16u);
+  EXPECT_GT(stats.num_and, 0u);
+  EXPECT_GT(stats.and_depth, 0u);
+  // Every AND gate appears in exactly one layer; layer depths are exact.
+  size_t layered = 0;
+  for (size_t r = 0; r < c.and_layers().size(); r++) {
+    for (Wire w : c.and_layers()[r]) {
+      EXPECT_EQ(c.gates()[w].op, GateOp::kAnd);
+      EXPECT_EQ(c.and_depth()[w], r);
+      layered++;
+    }
+  }
+  EXPECT_EQ(layered, stats.num_and);
+}
+
+TEST(CircuitTest, EvalIsDeterministic) {
+  Builder b;
+  Word x = b.InputWord(16);
+  Word q, r;
+  b.DivMod(x, b.ConstWord(7, 16), &q, &r);
+  b.OutputWord(q);
+  Circuit c = b.Build();
+  BitVector in = WordToBits(10000, 16);
+  EXPECT_EQ(c.Eval(in), c.Eval(in));
+  EXPECT_EQ(BitsToWord(c.Eval(in), 0, 16), 10000u / 7u);
+}
+
+TEST(CircuitTest, OneAndPerBitAdder) {
+  // The 1-AND full adder: adding two n-bit words costs at most n-1 ANDs.
+  for (int bits : {4, 8, 16, 32}) {
+    Builder b;
+    Word x = b.InputWord(bits);
+    Word y = b.InputWord(bits);
+    b.OutputWord(b.Add(x, y));
+    Circuit c = b.Build();
+    EXPECT_LE(c.stats().num_and, static_cast<size_t>(bits - 1)) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace dstress::circuit

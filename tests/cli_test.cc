@@ -1,0 +1,176 @@
+#include "src/cli/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace dstress::cli {
+namespace {
+
+TEST(ScenarioParseTest, FullScenarioRoundTrips) {
+  std::string error;
+  auto scenario = ParseScenario(R"(
+# comment line
+network core_periphery 50 10
+model egj
+iterations 6
+block_size 8
+epsilon 0.5
+leverage 0.2
+shock 0 1 2
+seed 99
+)",
+                                &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topology, Topology::kCorePeriphery);
+  EXPECT_EQ(scenario->num_vertices, 50);
+  EXPECT_EQ(scenario->core_size, 10);
+  EXPECT_EQ(scenario->model, Model::kElliottGolubJackson);
+  EXPECT_EQ(scenario->iterations, 6);
+  EXPECT_EQ(scenario->block_size, 8);
+  EXPECT_DOUBLE_EQ(scenario->epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(scenario->leverage, 0.2);
+  EXPECT_EQ(scenario->shocked_banks, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(scenario->seed, 99u);
+}
+
+TEST(ScenarioParseTest, DefaultsApply) {
+  std::string error;
+  auto scenario = ParseScenario("network scale_free 20 2\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->model, Model::kEisenbergNoe);
+  EXPECT_EQ(scenario->iterations, 0);
+  EXPECT_EQ(scenario->block_size, 4);
+}
+
+TEST(ScenarioParseTest, ExplicitEdges) {
+  std::string error;
+  auto scenario = ParseScenario(R"(
+network explicit 4
+edge 0 1
+edge 1 2
+edge 2 3
+)",
+                                &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  graph::Graph g = BuildScenarioGraph(*scenario);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expected_fragment;
+  };
+  const Case cases[] = {
+      {"network core_periphery 10\n", "line 1"},
+      {"network core_periphery 10 20\n", "core_size exceeds N"},
+      {"network scale_free 20 2\nmodel xx\n", "model must be"},
+      {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
+      {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
+      {"network scale_free 20 2\nleverage 0\n", "leverage must be in"},
+      {"network scale_free 20 2\nedge 0 1\n", "network explicit"},
+      {"network explicit 3\nedge 0 3\n", "out of range"},
+      {"network explicit 3\nedge 1 1\n", "out of range"},
+      {"network scale_free 20 2\nshock 25\n", "out of range"},
+      {"network scale_free 20 2\niterations x\n", "bad integer"},
+      {"model en\n", "missing a 'network'"},
+      {"", "missing a 'network'"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    auto scenario = ParseScenario(c.text, &error);
+    EXPECT_FALSE(scenario.has_value()) << c.text;
+    EXPECT_NE(error.find(c.expected_fragment), std::string::npos)
+        << "input: " << c.text << "\nerror: " << error;
+  }
+}
+
+TEST(ScenarioParseTest, CommentsAndBlankLinesIgnored) {
+  std::string error;
+  auto scenario = ParseScenario("\n\n# header\nnetwork erdos_renyi 8 0.5   # trailing\n\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topology, Topology::kErdosRenyi);
+  EXPECT_DOUBLE_EQ(scenario->edge_probability, 0.5);
+}
+
+TEST(ScenarioIterationsTest, AutoRuleIsCeilLog2) {
+  Scenario s;
+  s.num_vertices = 50;
+  EXPECT_EQ(ScenarioIterations(s), 6);  // 2^6 = 64 >= 50
+  s.num_vertices = 64;
+  EXPECT_EQ(ScenarioIterations(s), 6);
+  s.num_vertices = 65;
+  EXPECT_EQ(ScenarioIterations(s), 7);
+  s.iterations = 3;
+  EXPECT_EQ(ScenarioIterations(s), 3);  // explicit wins
+}
+
+TEST(ScenarioGraphTest, TopologiesRespectSizes) {
+  std::string error;
+  for (const char* text : {
+           "network core_periphery 24 5\n",
+           "network scale_free 24 2\n",
+           "network erdos_renyi 24 0.2\n",
+       }) {
+    auto scenario = ParseScenario(text, &error);
+    ASSERT_TRUE(scenario.has_value()) << error;
+    graph::Graph g = BuildScenarioGraph(*scenario);
+    EXPECT_EQ(g.num_vertices(), 24) << text;
+    EXPECT_GT(g.num_edges(), 0) << text;
+  }
+}
+
+TEST(ScenarioGraphTest, SameSeedSameGraph) {
+  std::string error;
+  auto scenario = ParseScenario("network scale_free 30 2\nseed 5\n", &error);
+  ASSERT_TRUE(scenario.has_value());
+  graph::Graph a = BuildScenarioGraph(*scenario);
+  graph::Graph b = BuildScenarioGraph(*scenario);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(ScenarioParseTest, NetworkFromEdgeListFile) {
+  std::string path = ::testing::TempDir() + "/topology.edges";
+  {
+    std::ofstream out(path);
+    out << "graph 4\n0 1\n1 2\n2 3\n3 0\n";
+  }
+  std::string error;
+  auto scenario = ParseScenario("network file " + path + "\nshock 2\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->num_vertices, 4);
+  graph::Graph g = BuildScenarioGraph(*scenario);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.HasEdge(3, 0));
+
+  auto missing = ParseScenario("network file /nonexistent/x.edges\n", &error);
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioRunTest, EndToEndEnAndEgj) {
+  for (const char* model : {"en", "egj"}) {
+    std::string text = std::string("network core_periphery 10 3\nmodel ") + model +
+                       "\niterations 3\nblock_size 3\nshock 0\nseed 4\n";
+    std::string error;
+    auto scenario = ParseScenario(text, &error);
+    ASSERT_TRUE(scenario.has_value()) << error;
+    ScenarioResult result = RunScenario(*scenario);
+    EXPECT_EQ(result.iterations, 3);
+    EXPECT_GT(result.seconds, 0.0);
+    // The released figure is the reference plus bounded geometric noise;
+    // with eps=0.23 and sensitivity<=20 the tail beyond 2000 units is
+    // negligible (P < 1e-10).
+    EXPECT_NEAR(static_cast<double>(result.released_tds),
+                static_cast<double>(result.reference_tds), 2000.0)
+        << model;
+    std::string report = FormatReport(*scenario, result);
+    EXPECT_NE(report.find("released TDS"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dstress::cli

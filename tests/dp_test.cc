@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dp/edge_privacy.h"
+#include "src/dp/noise_circuit.h"
+#include "src/dp/release.h"
+#include "src/dp/samplers.h"
+#include "src/mpc/sharing.h"
+
+namespace dstress::dp {
+namespace {
+
+TEST(SamplersTest, UniformUnitRange) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(1);
+  double sum = 0;
+  for (int i = 0; i < 20000; i++) {
+    double u = UniformUnit(prg);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(SamplersTest, LaplaceMoments) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(2);
+  constexpr double kScale = 5.0;
+  constexpr int kTrials = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kTrials; i++) {
+    double v = LaplaceSample(prg, kScale);
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.2);
+  // Var(Laplace(b)) = 2 b^2 = 50.
+  EXPECT_NEAR(sum_sq / kTrials, 2 * kScale * kScale, 3.0);
+}
+
+TEST(SamplersTest, GeometricDistribution) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(3);
+  constexpr double kP = 0.5;
+  constexpr int kTrials = 50000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < kTrials; i++) {
+    int64_t v = GeometricSample(prg, kP);
+    ASSERT_GE(v, 0);
+    if (v < 8) {
+      counts[v]++;
+    }
+  }
+  // P(Y=k) = 0.5^(k+1).
+  for (int k = 0; k < 5; k++) {
+    double expected = std::pow(0.5, k + 1);
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kTrials, expected, 0.01) << k;
+  }
+}
+
+TEST(SamplersTest, TwoSidedGeometricProperties) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(4);
+  constexpr double kAlpha = 0.8;
+  constexpr int kTrials = 50000;
+  double sum = 0;
+  int zero = 0, plus_one = 0, minus_one = 0;
+  for (int i = 0; i < kTrials; i++) {
+    int64_t v = TwoSidedGeometricSample(prg, kAlpha);
+    sum += static_cast<double>(v);
+    zero += v == 0;
+    plus_one += v == 1;
+    minus_one += v == -1;
+  }
+  double p0 = (1 - kAlpha) / (1 + kAlpha);
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(zero) / kTrials, p0, 0.01);
+  EXPECT_NEAR(static_cast<double>(plus_one) / kTrials, p0 * kAlpha, 0.01);
+  EXPECT_NEAR(static_cast<double>(minus_one) / kTrials, p0 * kAlpha, 0.01);
+}
+
+TEST(SamplersTest, EvenMaskIsAlwaysEven) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(5);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(EvenGeometricMask(prg, 0.9) % 2, 0);
+  }
+}
+
+TEST(SamplersTest, GeometricMechanismCentersOnValue) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(6);
+  constexpr int64_t kValue = 1000;
+  constexpr int kTrials = 20000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; i++) {
+    sum += static_cast<double>(GeometricMechanism(prg, kValue, /*sensitivity=*/2.0,
+                                                  /*epsilon=*/0.5));
+  }
+  EXPECT_NEAR(sum / kTrials, static_cast<double>(kValue), 1.0);
+}
+
+// --- Appendix B edge-privacy accounting --------------------------------------
+
+TEST(EdgePrivacyTest, SensitivityIsBlockSize) {
+  EXPECT_EQ(TransferSensitivity(19), 20);
+  EXPECT_EQ(TransferSensitivity(7), 8);
+}
+
+TEST(EdgePrivacyTest, TotalTransfersConcreteExample) {
+  // Appendix B: Y=10, R=3, I=11, N=1750, D=100, L=16, k=19 -> ~370 billion.
+  TransferAccountingParams p;
+  p.years = 10;
+  p.runs_per_year = 3;
+  p.iterations = 11;
+  p.num_nodes = 1750;
+  p.degree_bound = 100;
+  p.message_bits = 16;
+  p.collusion_bound_k = 19;
+  double nq = TotalTransfers(p);
+  EXPECT_NEAR(nq, 369.6e9, 1e9);
+}
+
+TEST(EdgePrivacyTest, FailureProbabilityMonotoneInAlpha) {
+  constexpr int64_t kEntries = 1000000;
+  double prev = 0;
+  for (double alpha : {0.9, 0.99, 0.999999, 0.999999999}) {
+    double p = FailureProbability(alpha, kEntries);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(EdgePrivacyTest, SmallAlphaNeverFails) {
+  EXPECT_NEAR(FailureProbability(0.5, 1000000), 0.0, 1e-12);
+}
+
+TEST(EdgePrivacyTest, MaxAlphaSatisfiesBudget) {
+  constexpr int64_t kEntries = 1 << 20;
+  constexpr double kTransfers = 1e9;
+  double alpha = MaxAlphaForFailureBudget(kEntries, kTransfers);
+  EXPECT_GT(alpha, 0.0);
+  EXPECT_LT(alpha, 1.0);
+  EXPECT_LE(FailureProbability(alpha, kEntries), 1.0 / kTransfers * 1.01);
+  // Slightly larger alpha must violate the budget (tightness).
+  double bigger = alpha + (1 - alpha) * 0.5;
+  EXPECT_GT(FailureProbability(bigger, kEntries), 1.0 / kTransfers);
+}
+
+TEST(EdgePrivacyTest, ConcreteBudgetMatchesAppendixB) {
+  // Appendix B's concrete instantiation: k+1=20, L=16, 230M-entry table,
+  // ~370B transfers -> eps/transfer ~ 2.34e-7, per-iteration ~ 0.0014,
+  // yearly (33 iterations) ~ 0.047.
+  TransferAccountingParams p;
+  p.collusion_bound_k = 19;
+  p.message_bits = 16;
+  p.iterations = 11;
+  p.runs_per_year = 3;
+  p.num_nodes = 1750;
+  p.degree_bound = 100;
+  p.years = 10;
+  p.lookup_entries = 230'000'000;
+  TransferBudgetReport report = EvaluateTransferBudget(p);
+  EXPECT_NEAR(report.epsilon_per_transfer, 2.34e-7, 0.2e-7);
+  EXPECT_NEAR(report.per_iteration_epsilon, 0.0014, 0.0002);
+  EXPECT_NEAR(report.yearly_epsilon, 0.047, 0.005);
+}
+
+TEST(PrivacyAccountantTest, ChargesAndRefuses) {
+  PrivacyAccountant accountant(std::log(2.0));
+  EXPECT_TRUE(accountant.Charge(0.23));
+  EXPECT_TRUE(accountant.Charge(0.23));
+  EXPECT_TRUE(accountant.Charge(0.23));
+  // ln 2 ~ 0.693: a fourth query of 0.23 busts the budget (0.92 > 0.693).
+  EXPECT_FALSE(accountant.Charge(0.23));
+  EXPECT_NEAR(accountant.spent(), 0.69, 0.01);
+  accountant.Replenish();
+  EXPECT_TRUE(accountant.Charge(0.23));
+}
+
+// --- in-circuit noise sampler -------------------------------------------------
+
+TEST(NoiseCircuitTest, MatchesReferenceOnRandomInputs) {
+  NoiseCircuitSpec spec;
+  spec.alpha = 0.7;
+  spec.magnitude_bits = 8;
+  spec.threshold_bits = 10;
+  circuit::Builder b;
+  circuit::Word noise = BuildGeometricNoise(b, spec, 16);
+  b.OutputWord(noise);
+  circuit::Circuit c = b.Build();
+  ASSERT_EQ(c.num_inputs(), NoiseInputBits(spec));
+
+  auto prg = crypto::ChaCha20Prg::FromSeed(7);
+  for (int trial = 0; trial < 200; trial++) {
+    std::vector<uint8_t> bits(c.num_inputs());
+    for (auto& bit : bits) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    auto out = c.Eval(bits);
+    int64_t circuit_value = mpc::BitsToSignedWord(out, 0, 16);
+    EXPECT_EQ(circuit_value, DigitwiseGeometricRef(spec, bits)) << "trial " << trial;
+  }
+}
+
+TEST(NoiseCircuitTest, DistributionApproximatesTwoSidedGeometric) {
+  NoiseCircuitSpec spec;
+  spec.alpha = 0.5;
+  spec.magnitude_bits = 10;
+  spec.threshold_bits = 16;
+  circuit::Builder b;
+  b.OutputWord(BuildGeometricNoise(b, spec, 16));
+  circuit::Circuit c = b.Build();
+
+  auto prg = crypto::ChaCha20Prg::FromSeed(8);
+  constexpr int kTrials = 5000;
+  double sum = 0;
+  int zeros = 0;
+  for (int trial = 0; trial < kTrials; trial++) {
+    std::vector<uint8_t> bits(c.num_inputs());
+    for (auto& bit : bits) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    int64_t v = mpc::BitsToSignedWord(c.Eval(bits), 0, 16);
+    sum += static_cast<double>(v);
+    zeros += v == 0;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.1);
+  // P(0) = (1-a)/(1+a) = 1/3 for alpha = 0.5.
+  EXPECT_NEAR(static_cast<double>(zeros) / kTrials, 1.0 / 3, 0.03);
+}
+
+TEST(NoiseCircuitTest, InputCountFormula) {
+  NoiseCircuitSpec spec;
+  spec.magnitude_bits = 16;
+  spec.threshold_bits = 16;
+  EXPECT_EQ(NoiseInputBits(spec), 2u * 16 * 16);
+}
+
+TEST(NoiseCircuitTest, TinyAlphaIsAlmostAlwaysZero) {
+  NoiseCircuitSpec spec;
+  spec.alpha = 1e-9;
+  spec.magnitude_bits = 8;
+  spec.threshold_bits = 16;
+  circuit::Builder b;
+  b.OutputWord(BuildGeometricNoise(b, spec, 12));
+  circuit::Circuit c = b.Build();
+  auto prg = crypto::ChaCha20Prg::FromSeed(9);
+  for (int trial = 0; trial < 100; trial++) {
+    std::vector<uint8_t> bits(c.num_inputs());
+    for (auto& bit : bits) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    EXPECT_EQ(mpc::BitsToSignedWord(c.Eval(bits), 0, 12), 0);
+  }
+}
+
+TEST(ReleaseManagerTest, ChargesBudgetAndRecordsHistory) {
+  ReleaseManager manager(/*yearly_budget=*/std::log(2.0), /*seed=*/5);
+  auto first = manager.Release("stress-test-q1", 500, /*sensitivity=*/20, /*epsilon=*/0.23);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NEAR(manager.spent_budget(), 0.23, 1e-12);
+  ASSERT_EQ(manager.history().size(), 1u);
+  EXPECT_EQ(manager.history()[0].label, "stress-test-q1");
+  EXPECT_EQ(manager.history()[0].released_value, *first);
+}
+
+TEST(ReleaseManagerTest, RefusesWhenBudgetExhausted) {
+  ReleaseManager manager(std::log(2.0), 6);
+  // ln 2 = 0.693 supports exactly 3 releases at eps = 0.23.
+  EXPECT_TRUE(manager.Release("q1", 100, 20, 0.23).has_value());
+  EXPECT_TRUE(manager.Release("q2", 100, 20, 0.23).has_value());
+  EXPECT_TRUE(manager.Release("q3", 100, 20, 0.23).has_value());
+  EXPECT_FALSE(manager.Release("q4", 100, 20, 0.23).has_value());
+  EXPECT_EQ(manager.history().size(), 3u) << "refused queries must not be recorded";
+  // Refusal charges nothing.
+  EXPECT_NEAR(manager.spent_budget(), 0.69, 0.01);
+}
+
+TEST(ReleaseManagerTest, ReplenishStartsANewYear) {
+  ReleaseManager manager(0.3, 7);
+  EXPECT_TRUE(manager.Release("y1", 10, 1, 0.3).has_value());
+  EXPECT_FALSE(manager.Release("y1-extra", 10, 1, 0.3).has_value());
+  manager.Replenish();
+  EXPECT_TRUE(manager.Release("y2", 10, 1, 0.3).has_value());
+  EXPECT_EQ(manager.history().size(), 2u);
+}
+
+TEST(ReleaseManagerTest, NoiseScalesWithSensitivityOverEpsilon) {
+  // Empirical spread of releases grows with sensitivity/epsilon.
+  auto spread = [](double sensitivity, double epsilon) {
+    ReleaseManager manager(/*yearly_budget=*/1e9, /*seed=*/8);
+    double sum_abs = 0;
+    constexpr int kTrials = 3000;
+    for (int t = 0; t < kTrials; t++) {
+      auto released = manager.Release("q", 0, sensitivity, epsilon);
+      sum_abs += std::abs(static_cast<double>(*released));
+    }
+    return sum_abs / kTrials;
+  };
+  double tight = spread(1, 1.0);
+  double wide = spread(20, 0.23);
+  EXPECT_GT(wide, 10 * tight);
+}
+
+}  // namespace
+}  // namespace dstress::dp

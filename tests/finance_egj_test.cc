@@ -1,0 +1,228 @@
+#include "src/finance/elliott_golub_jackson.h"
+
+#include <gtest/gtest.h>
+
+#include "src/finance/workload.h"
+#include "src/graph/generators.h"
+
+namespace dstress::finance {
+namespace {
+
+EgjProgramParams DefaultParams(const graph::Graph& g, int iterations) {
+  EgjProgramParams params;
+  params.degree_bound = std::max(1, g.MaxDegree());
+  params.iterations = iterations;
+  return params;
+}
+
+TEST(EgjModelTest, IsolatedBankKeepsBaseValue) {
+  graph::Graph g(2);
+  g.AddEdge(0, 1);  // bank 1 holds a (zero) share of bank 0
+  EgjInstance instance;
+  instance.graph = &g;
+  instance.base = {100, 80};
+  instance.orig_val = {100, 80};
+  instance.threshold = {10, 10};
+  instance.penalty = {5, 5};
+  instance.insh = {{}, {0}};
+  EgjProgramParams params = DefaultParams(g, 3);
+  std::vector<uint64_t> values;
+  uint64_t tds = EgjSolveFixed(instance, params, &values);
+  EXPECT_EQ(values[0], 100u);
+  EXPECT_EQ(values[1], 80u);
+  EXPECT_EQ(tds, 0u);
+}
+
+TEST(EgjModelTest, CrossHoldingPropagatesValue) {
+  // Bank 1 holds 50% of bank 0 (orig val 100): its valuation includes 50.
+  FixedPointFormat fmt;
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  EgjInstance instance;
+  instance.graph = &g;
+  instance.base = {100, 40};
+  instance.orig_val = {100, 90};
+  instance.threshold = {0, 0};
+  instance.penalty = {0, 0};
+  instance.insh = {{}, {fmt.FracFromDouble(0.5)}};
+  EgjProgramParams params = DefaultParams(g, 3);
+  std::vector<uint64_t> values;
+  EgjSolveFixed(instance, params, &values);
+  EXPECT_EQ(values[0], 100u);
+  EXPECT_EQ(values[1], 90u);  // 40 + 0.5*100
+}
+
+TEST(EgjModelTest, PenaltyAppliesBelowThreshold) {
+  FixedPointFormat fmt;
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  EgjInstance instance;
+  instance.graph = &g;
+  instance.base = {20, 40};  // bank 0 shocked below its threshold
+  instance.orig_val = {100, 90};
+  instance.threshold = {50, 30};
+  instance.penalty = {15, 10};
+  instance.insh = {{}, {fmt.FracFromDouble(0.5)}};
+  EgjProgramParams params = DefaultParams(g, 4);
+  std::vector<uint64_t> values;
+  uint64_t tds = EgjSolveFixed(instance, params, &values);
+  // Bank 0: value 20 < 50 -> 20 - 15 = 5.
+  EXPECT_EQ(values[0], 5u);
+  // Bank 1: 40 + 0.5 * (value0/orig0)*orig0; discount = 1 - 5/100 = 0.95 ->
+  // holding ~ 0.5*5 = 2 (fixed point rounding), value ~42 > threshold 30.
+  EXPECT_GE(values[1], 41u);
+  EXPECT_LE(values[1], 43u);
+  // TDS counts only bank 0's gap: 50 - 5 = 45.
+  EXPECT_EQ(tds, 45u);
+}
+
+TEST(EgjModelTest, FixedTracksExactSolver) {
+  Rng rng(11);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 30;
+  topo.core_size = 6;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 6;
+  ShockParams shock;
+  shock.shocked_banks = {0, 1};
+  EgjInstance instance = MakeEgjWorkload(g, wp, shock);
+  EgjProgramParams params = DefaultParams(g, 6);
+  uint64_t fixed_tds = EgjSolveFixed(instance, params);
+  double exact_tds = EgjSolveExact(instance, 6, params.format);
+  double tolerance = 0.10 * std::max(exact_tds, 50.0) + 40;
+  EXPECT_NEAR(static_cast<double>(fixed_tds), exact_tds, tolerance);
+}
+
+TEST(EgjModelTest, NoShockNoFailuresOnGeneratedWorkload) {
+  // The workload calibrates orig_val as the no-shock fixpoint, so without a
+  // shock every bank stays at its threshold-clearing valuation.
+  Rng rng(12);
+  graph::Graph g = graph::GenerateErdosRenyi(20, 0.15, rng);
+  WorkloadParams wp;
+  EgjInstance instance = MakeEgjWorkload(g, wp, ShockParams{});
+  EgjProgramParams params = DefaultParams(g, 6);
+  EXPECT_EQ(EgjSolveFixed(instance, params), 0u);
+}
+
+TEST(EgjModelTest, CascadeScenario) {
+  // Appendix C's second scenario: shocking several core banks produces a
+  // much larger TDS than shocking peripheral banks, because core failures
+  // cascade.
+  Rng rng(13);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 50;
+  topo.core_size = 10;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 10;
+  wp.cross_holding = 0.3;
+  wp.threshold_ratio = 0.8;
+  wp.penalty_ratio = 0.4;
+
+  ShockParams periphery_shock;
+  periphery_shock.shocked_banks = {45, 46, 47};
+  ShockParams core_shock;
+  core_shock.shocked_banks = {0, 1, 2};
+
+  EgjProgramParams params = DefaultParams(g, 6);
+  uint64_t periphery_tds = EgjSolveFixed(MakeEgjWorkload(g, wp, periphery_shock), params);
+  uint64_t core_tds = EgjSolveFixed(MakeEgjWorkload(g, wp, core_shock), params);
+  EXPECT_GT(core_tds, 2 * periphery_tds);
+}
+
+TEST(EgjModelTest, ValuesDecreaseMonotonicallyOverIterations) {
+  // Hemenway–Khanna: the iteration converges monotonically from above.
+  Rng rng(14);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 25;
+  topo.core_size = 5;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 5;
+  wp.threshold_ratio = 0.8;
+  ShockParams shock;
+  shock.shocked_banks = {0, 1};
+  EgjInstance instance = MakeEgjWorkload(g, wp, shock);
+
+  std::vector<uint64_t> prev;
+  for (int iters = 0; iters <= 6; iters++) {
+    EgjProgramParams params = DefaultParams(g, iters);
+    std::vector<uint64_t> values;
+    EgjSolveFixed(instance, params, &values);
+    if (!prev.empty()) {
+      for (size_t v = 0; v < values.size(); v++) {
+        EXPECT_LE(values[v], prev[v] + 1) << "vertex " << v << " at iter " << iters;
+      }
+    }
+    prev = values;
+  }
+}
+
+TEST(EgjCircuitTest, UpdateCircuitMatchesFixedSolverOneStep) {
+  FixedPointFormat fmt;
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  EgjInstance instance;
+  instance.graph = &g;
+  instance.base = {20, 40};
+  instance.orig_val = {100, 90};
+  instance.threshold = {50, 30};
+  instance.penalty = {15, 10};
+  instance.insh = {{}, {fmt.FracFromDouble(0.5)}};
+  EgjProgramParams params = DefaultParams(g, 1);
+  core::VertexProgram program = MakeEgjProgram(params);
+  circuit::Circuit update = core::BuildUpdateCircuit(program);
+  auto states = MakeEgjInitialStates(instance, params);
+
+  const int w = params.format.value_bits;
+  // Bank 0's first update with ⊥ (=0 discount) messages.
+  mpc::BitVector input = states[0];
+  for (int d = 0; d < params.degree_bound; d++) {
+    mpc::AppendBits(&input, mpc::WordToBits(0, program.message_bits));
+  }
+  auto out = update.Eval(input);
+  uint64_t value = mpc::BitsToWord(out, 2 * static_cast<size_t>(w), w);
+  EXPECT_EQ(value, 5u);  // 20 < 50 -> 20 - 15
+  // Outgoing discount: 1 - 5/100 in Q0.8 = 256 - floor(5*256/100) = 256-12.
+  uint64_t msg = mpc::BitsToWord(out, static_cast<size_t>(program.state_bits), w);
+  EXPECT_EQ(msg, 256u - (5u << 8) / 100u);
+}
+
+TEST(EgjWorkloadTest, OrigValIsSelfConsistentFixpoint) {
+  Rng rng(15);
+  graph::Graph g = graph::GenerateErdosRenyi(15, 0.2, rng);
+  WorkloadParams wp;
+  EgjInstance instance = MakeEgjWorkload(g, wp, ShockParams{});
+  // orig_val ~ base + sum of insh * orig_val of in-neighbors.
+  for (int v = 0; v < g.num_vertices(); v++) {
+    double expected = static_cast<double>(instance.base[v]);
+    for (int d = 0; d < g.InDegree(v); d++) {
+      expected += wp.format.FracToDouble(instance.insh[v][d]) *
+                  static_cast<double>(instance.orig_val[g.InNeighbors(v)[d]]);
+    }
+    EXPECT_NEAR(static_cast<double>(instance.orig_val[v]), expected,
+                0.02 * expected + 2.0)
+        << v;
+  }
+}
+
+TEST(EgjWorkloadTest, IssuedSharesAreCapped) {
+  Rng rng(16);
+  graph::Graph g = graph::GenerateScaleFree(40, 3, rng);
+  WorkloadParams wp;
+  wp.cross_holding = 0.5;  // aggressive: forces the cap to engage
+  EgjInstance instance = MakeEgjWorkload(g, wp, ShockParams{});
+  std::vector<double> issued(g.num_vertices(), 0.0);
+  for (int v = 0; v < g.num_vertices(); v++) {
+    for (int d = 0; d < g.InDegree(v); d++) {
+      issued[g.InNeighbors(v)[d]] += wp.format.FracToDouble(instance.insh[v][d]);
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); v++) {
+    EXPECT_LE(issued[v], 0.85) << v;  // cap 0.8 plus rounding slack
+  }
+}
+
+}  // namespace
+}  // namespace dstress::finance

@@ -1,0 +1,261 @@
+#include "src/finance/eisenberg_noe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/finance/workload.h"
+#include "src/graph/generators.h"
+
+namespace dstress::finance {
+namespace {
+
+using mpc::AppendBits;
+using mpc::BitsToWord;
+using mpc::BitVector;
+
+EnProgramParams DefaultParams(const graph::Graph& g, int iterations) {
+  EnProgramParams params;
+  params.degree_bound = g.MaxDegree();
+  params.iterations = iterations;
+  return params;
+}
+
+// A tiny hand-checkable instance: bank 1 owes 0 and 2, has no cash after a
+// shock; bank 0 owes 2.
+struct TinyInstance {
+  graph::Graph g{3};
+  EnInstance instance;
+
+  TinyInstance() {
+    g.AddEdge(1, 0);
+    g.AddEdge(1, 2);
+    g.AddEdge(0, 2);
+    instance.graph = &g;
+    instance.cash = {50, 10, 5};
+    // debts aligned with out-neighbors: bank1 -> {0: 30, 2: 30}, bank0 -> {2: 20}.
+    instance.debts = {{20}, {30, 30}, {}};
+  }
+};
+
+TEST(EnModelTest, TotalDebtComputation) {
+  TinyInstance tiny;
+  EXPECT_EQ(tiny.instance.TotalDebtOf(0), 20u);
+  EXPECT_EQ(tiny.instance.TotalDebtOf(1), 60u);
+  EXPECT_EQ(tiny.instance.TotalDebtOf(2), 0u);
+}
+
+TEST(EnModelTest, ExactSolverHandSolvableCase) {
+  TinyInstance tiny;
+  // Bank 1: liquid = 10 (no incoming debts), totalDebt 60 -> p1 = 1/6.
+  // Bank 0: liquid = 50 + 30*p1 = 55, totalDebt 20 -> p0 = 1 (solvent).
+  // Bank 2: no debt -> p2 = 1.
+  std::vector<double> p;
+  double tds = EnSolveExact(tiny.instance, /*iterations=*/5, &p);
+  EXPECT_NEAR(p[1], 10.0 / 60.0, 1e-9);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+  EXPECT_NEAR(p[2], 1.0, 1e-9);
+  EXPECT_NEAR(tds, 60.0 * (1 - 10.0 / 60.0), 1e-9);
+}
+
+TEST(EnModelTest, FixedSolverTracksExactSolver) {
+  Rng rng(1);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 30;
+  topo.core_size = 6;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 6;
+  ShockParams shock;
+  shock.shocked_banks = {0, 1};
+  EnInstance instance = MakeEnWorkload(g, wp, shock);
+  EnProgramParams params = DefaultParams(g, 6);
+
+  uint64_t fixed_tds = EnSolveFixed(instance, params);
+  double exact_tds = EnSolveExact(instance, 6);
+  // Fixed-point quantization error: bounded by ~N units plus rounding of
+  // each prorate (1/2^F relative).
+  double tolerance = 0.05 * std::max(exact_tds, 50.0) + 30;
+  EXPECT_NEAR(static_cast<double>(fixed_tds), exact_tds, tolerance);
+}
+
+TEST(EnModelTest, NoShockMeansNoShortfallOnSolventNetwork) {
+  // Generous cash, small debts: everyone pays in full.
+  Rng rng(2);
+  graph::Graph g = graph::GenerateErdosRenyi(20, 0.2, rng);
+  WorkloadParams wp;
+  wp.base_cash = 500;
+  wp.base_debt = 10;
+  EnInstance instance = MakeEnWorkload(g, wp, ShockParams{});
+  EnProgramParams params = DefaultParams(g, 5);
+  EXPECT_EQ(EnSolveFixed(instance, params), 0u);
+  EXPECT_NEAR(EnSolveExact(instance, 5), 0.0, 1e-9);
+}
+
+TEST(EnModelTest, ShortfallMonotoneInShockSize) {
+  Rng rng(3);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 40;
+  topo.core_size = 8;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 8;
+  EnProgramParams params = DefaultParams(g, 6);
+
+  uint64_t previous = 0;
+  for (int shocked = 0; shocked <= 8; shocked += 2) {
+    ShockParams shock;
+    for (int b = 0; b < shocked; b++) {
+      shock.shocked_banks.push_back(b);
+    }
+    uint64_t tds = EnSolveFixed(MakeEnWorkload(g, wp, shock), params);
+    EXPECT_GE(tds, previous) << shocked << " banks shocked";
+    previous = tds;
+  }
+  EXPECT_GT(previous, 0u);
+}
+
+TEST(EnModelTest, ProratesDecreaseMonotonicallyOverIterations) {
+  // Eisenberg–Noe converges monotonically from p = 1 downward.
+  Rng rng(4);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 25;
+  topo.core_size = 5;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 5;
+  ShockParams shock;
+  shock.shocked_banks = {0, 1, 2};
+  EnInstance instance = MakeEnWorkload(g, wp, shock);
+
+  std::vector<uint64_t> prev;
+  for (int iters = 0; iters <= 6; iters++) {
+    EnProgramParams params = DefaultParams(g, iters);
+    std::vector<uint64_t> prorate;
+    EnSolveFixed(instance, params, &prorate);
+    if (!prev.empty()) {
+      for (size_t v = 0; v < prorate.size(); v++) {
+        EXPECT_LE(prorate[v], prev[v]) << "vertex " << v << " at iter " << iters;
+      }
+    }
+    prev = prorate;
+  }
+}
+
+TEST(EnModelTest, ConvergesWithinLogNIterations) {
+  // Appendix C: I = log2 N suffices on core-periphery networks.
+  Rng rng(5);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 50;
+  topo.core_size = 10;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+  WorkloadParams wp;
+  wp.core_size = 10;
+  ShockParams shock;
+  shock.shocked_banks = {0, 1};
+  EnInstance instance = MakeEnWorkload(g, wp, shock);
+
+  int log_n = 6;  // ceil(log2 50)
+  EnProgramParams at_log = DefaultParams(g, log_n);
+  EnProgramParams beyond = DefaultParams(g, 3 * log_n);
+  uint64_t tds_log = EnSolveFixed(instance, at_log);
+  uint64_t tds_converged = EnSolveFixed(instance, beyond);
+  double rel_gap = tds_converged == 0
+                       ? 0.0
+                       : std::abs(static_cast<double>(tds_log) -
+                                  static_cast<double>(tds_converged)) /
+                             static_cast<double>(tds_converged);
+  EXPECT_LT(rel_gap, 0.05);
+}
+
+TEST(EnCircuitTest, UpdateCircuitMatchesFixedSolverOneStep) {
+  TinyInstance tiny;
+  EnProgramParams params = DefaultParams(tiny.g, 1);
+  core::VertexProgram program = MakeEnProgram(params);
+  circuit::Circuit update = core::BuildUpdateCircuit(program);
+  auto states = MakeEnInitialStates(tiny.instance, params);
+
+  const int w = params.format.value_bits;
+  // Evaluate bank 1's first update with no incoming messages: its prorate
+  // should become floor((10 << F) / 60) and shortfall messages
+  // debts*(1-p)>>F.
+  BitVector input = states[1];
+  for (int d = 0; d < params.degree_bound; d++) {
+    AppendBits(&input, mpc::WordToBits(0, program.message_bits));
+  }
+  auto out = update.Eval(input);
+  uint64_t prorate = BitsToWord(out, 2 * w, w);
+  uint64_t expected_prorate = (10ull << params.format.frac_bits) / 60;
+  EXPECT_EQ(prorate, expected_prorate);
+  // First out message (to bank 0, debt 30).
+  uint64_t msg0 = BitsToWord(out, static_cast<size_t>(program.state_bits), w);
+  uint64_t expected_msg =
+      (30ull * (params.format.One() - expected_prorate)) >> params.format.frac_bits;
+  EXPECT_EQ(msg0, expected_msg);
+}
+
+TEST(EnCircuitTest, ContributionCircuitComputesShortfall) {
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  EnProgramParams params;
+  params.degree_bound = 1;
+  params.iterations = 1;
+  core::VertexProgram program = MakeEnProgram(params);
+
+  circuit::Builder b;
+  circuit::Word state = b.InputWord(program.state_bits);
+  b.OutputWord(program.build_contribution(b, state));
+  circuit::Circuit c = b.Build();
+
+  // State with totalDebt=100, prorate=0.5 (128/256 at F=8): shortfall 50.
+  const int w = params.format.value_bits;
+  BitVector state_bits;
+  AppendBits(&state_bits, mpc::WordToBits(0, w));       // cash
+  AppendBits(&state_bits, mpc::WordToBits(100, w));     // totalDebt
+  AppendBits(&state_bits, mpc::WordToBits(128, w));     // prorate = 0.5
+  AppendBits(&state_bits, mpc::WordToBits(0, w));       // debts[0]
+  AppendBits(&state_bits, mpc::WordToBits(0, w));       // credits[0]
+  auto out = c.Eval(state_bits);
+  EXPECT_EQ(BitsToWord(out, 0, params.aggregate_bits), 50u);
+}
+
+TEST(EnWorkloadTest, CreditsMirrorDebts) {
+  Rng rng(6);
+  graph::Graph g = graph::GenerateErdosRenyi(15, 0.3, rng);
+  WorkloadParams wp;
+  EnInstance instance = MakeEnWorkload(g, wp, ShockParams{});
+  // For every edge (i, j), i's debt to j must appear as j's credit from i —
+  // verified through the initial-state packing.
+  EnProgramParams params = DefaultParams(g, 1);
+  auto states = MakeEnInitialStates(instance, params);
+  const int w = params.format.value_bits;
+  for (int j = 0; j < g.num_vertices(); j++) {
+    for (int d = 0; d < g.InDegree(j); d++) {
+      int i = g.InNeighbors(j)[d];
+      const auto& out = g.OutNeighbors(i);
+      uint64_t debt = 0;
+      for (size_t s = 0; s < out.size(); s++) {
+        if (out[s] == j) {
+          debt = instance.debts[i][s];
+        }
+      }
+      uint64_t credit =
+          BitsToWord(states[j], static_cast<size_t>(3 + params.degree_bound + d) * w, w);
+      EXPECT_EQ(credit, debt) << "edge " << i << "->" << j;
+    }
+  }
+}
+
+TEST(EnWorkloadTest, ShockZeroesCash) {
+  Rng rng(7);
+  graph::Graph g = graph::GenerateErdosRenyi(10, 0.3, rng);
+  WorkloadParams wp;
+  ShockParams shock;
+  shock.shocked_banks = {3, 4};
+  shock.survival = 0.0;
+  EnInstance instance = MakeEnWorkload(g, wp, shock);
+  EXPECT_EQ(instance.cash[3], 0u);
+  EXPECT_EQ(instance.cash[4], 0u);
+  EXPECT_GT(instance.cash[0], 0u);
+}
+
+}  // namespace
+}  // namespace dstress::finance

@@ -1,0 +1,133 @@
+#include "src/crypto/fp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/chacha20.h"
+
+namespace dstress::crypto {
+namespace {
+
+Fp RandomFp(ChaCha20Prg& prg) { return Fp::FromU256(prg.NextU256()); }
+
+TEST(FpTest, PrimeHasExpectedValue) {
+  EXPECT_EQ(Fp::P().ToHex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+}
+
+TEST(FpTest, AddSubRoundTrip) {
+  auto prg = ChaCha20Prg::FromSeed(10);
+  for (int i = 0; i < 200; i++) {
+    Fp a = RandomFp(prg);
+    Fp b = RandomFp(prg);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a - a, Fp::FromUint64(0));
+  }
+}
+
+TEST(FpTest, NegIsAdditiveInverse) {
+  auto prg = ChaCha20Prg::FromSeed(11);
+  for (int i = 0; i < 100; i++) {
+    Fp a = RandomFp(prg);
+    EXPECT_EQ(a + a.Neg(), Fp::FromUint64(0));
+  }
+  EXPECT_EQ(Fp::FromUint64(0).Neg(), Fp::FromUint64(0));
+}
+
+TEST(FpTest, MulCommutativeAssociativeDistributive) {
+  auto prg = ChaCha20Prg::FromSeed(12);
+  for (int i = 0; i < 100; i++) {
+    Fp a = RandomFp(prg);
+    Fp b = RandomFp(prg);
+    Fp c = RandomFp(prg);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(FpTest, MulByZeroAndOne) {
+  auto prg = ChaCha20Prg::FromSeed(13);
+  Fp zero = Fp::FromUint64(0);
+  Fp one = Fp::FromUint64(1);
+  for (int i = 0; i < 50; i++) {
+    Fp a = RandomFp(prg);
+    EXPECT_EQ(a * zero, zero);
+    EXPECT_EQ(a * one, a);
+  }
+}
+
+TEST(FpTest, SquareMatchesMul) {
+  auto prg = ChaCha20Prg::FromSeed(14);
+  for (int i = 0; i < 100; i++) {
+    Fp a = RandomFp(prg);
+    EXPECT_EQ(a.Square(), a * a);
+  }
+}
+
+TEST(FpTest, ReductionOfMaxProduct) {
+  // (p-1)^2 mod p == 1.
+  Fp p_minus_1 = Fp::FromUint64(0) - Fp::FromUint64(1);
+  EXPECT_EQ(p_minus_1 * p_minus_1, Fp::FromUint64(1));
+}
+
+TEST(FpTest, InverseRoundTrip) {
+  auto prg = ChaCha20Prg::FromSeed(15);
+  for (int i = 0; i < 50; i++) {
+    Fp a = RandomFp(prg);
+    if (a.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(a * a.Inv(), Fp::FromUint64(1));
+  }
+}
+
+TEST(FpTest, PowSmallExponents) {
+  Fp three = Fp::FromUint64(3);
+  EXPECT_EQ(three.Pow(U256(0)), Fp::FromUint64(1));
+  EXPECT_EQ(three.Pow(U256(1)), three);
+  EXPECT_EQ(three.Pow(U256(5)), Fp::FromUint64(243));
+}
+
+TEST(FpTest, SqrtOfSquares) {
+  auto prg = ChaCha20Prg::FromSeed(16);
+  for (int i = 0; i < 50; i++) {
+    Fp a = RandomFp(prg);
+    Fp square = a.Square();
+    Fp root = Fp::FromUint64(0);
+    ASSERT_TRUE(square.Sqrt(&root));
+    EXPECT_TRUE(root == a || root == a.Neg());
+  }
+}
+
+TEST(FpTest, SqrtRejectsNonResidue) {
+  // Find a quadratic non-residue by testing candidates: x is a residue iff
+  // x^((p-1)/2) == 1. For secp256k1's p, 3 is a known non-residue.
+  Fp three = Fp::FromUint64(3);
+  Fp root = Fp::FromUint64(0);
+  EXPECT_FALSE(three.Sqrt(&root));
+}
+
+TEST(FpTest, FromU256ReducesOverflow) {
+  // p + 5 should reduce to 5.
+  U256 over;
+  AddWithCarry(Fp::P(), U256(5), &over);
+  EXPECT_EQ(Fp::FromU256(over), Fp::FromUint64(5));
+}
+
+class FpPowParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FpPowParamTest, PowAgainstRepeatedMul) {
+  uint64_t e = GetParam();
+  Fp base = Fp::FromUint64(7);
+  Fp expected = Fp::FromUint64(1);
+  for (uint64_t i = 0; i < e; i++) {
+    expected = expected * base;
+  }
+  EXPECT_EQ(base.Pow(U256(e)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallExponents, FpPowParamTest,
+                         ::testing::Values(0, 1, 2, 3, 10, 17, 31, 64, 100, 255));
+
+}  // namespace
+}  // namespace dstress::crypto

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/ot/base_ot.h"
+#include "src/ot/iknp.h"
+
+namespace dstress::ot {
+namespace {
+
+TEST(BaseOtTest, ReceiverLearnsChosenKeyOnly) {
+  net::SimNetwork net(2);
+  constexpr int kCount = 32;
+  std::vector<bool> choices(kCount);
+  for (int i = 0; i < kCount; i++) {
+    choices[i] = (i % 3) == 0;
+  }
+  BaseOtSenderOutput sender_out;
+  BaseOtReceiverOutput receiver_out;
+  std::thread sender([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(1);
+    sender_out = BaseOtSend(&net, 0, 1, kCount, prg);
+  });
+  std::thread receiver([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(2);
+    receiver_out = BaseOtRecv(&net, 1, 0, choices, prg);
+  });
+  sender.join();
+  receiver.join();
+  ASSERT_EQ(sender_out.keys0.size(), static_cast<size_t>(kCount));
+  ASSERT_EQ(receiver_out.keys.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; i++) {
+    const OtKey& chosen = choices[i] ? sender_out.keys1[i] : sender_out.keys0[i];
+    const OtKey& other = choices[i] ? sender_out.keys0[i] : sender_out.keys1[i];
+    EXPECT_EQ(receiver_out.keys[i], chosen) << i;
+    EXPECT_NE(receiver_out.keys[i], other) << i;
+  }
+}
+
+TEST(BaseOtTest, KeysAreDistinctAcrossTransfers) {
+  net::SimNetwork net(2);
+  BaseOtSenderOutput sender_out;
+  std::thread sender([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(3);
+    sender_out = BaseOtSend(&net, 0, 1, 8, prg);
+  });
+  std::thread receiver([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(4);
+    BaseOtRecv(&net, 1, 0, std::vector<bool>(8, false), prg);
+  });
+  sender.join();
+  receiver.join();
+  for (int i = 0; i < 8; i++) {
+    for (int j = i + 1; j < 8; j++) {
+      EXPECT_NE(sender_out.keys0[i], sender_out.keys0[j]);
+    }
+    EXPECT_NE(sender_out.keys0[i], sender_out.keys1[i]);
+  }
+}
+
+class IknpTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IknpTest, ExtensionDeliversChosenBits) {
+  size_t count = GetParam();
+  net::SimNetwork net(2);
+  RandomOtPairs pairs;
+  RandomOtChosen chosen;
+  PackedBits choices(PackedWords(count), 0);
+  auto choice_prg = crypto::ChaCha20Prg::FromSeed(50);
+  choice_prg.Fill(reinterpret_cast<uint8_t*>(choices.data()), choices.size() * 8);
+
+  std::thread sender([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(5);
+    IknpSender s(&net, 0, 1, prg);
+    pairs = s.Extend(count);
+  });
+  std::thread receiver([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(6);
+    IknpReceiver r(&net, 1, 0, prg);
+    chosen = r.Extend(choices, count);
+  });
+  sender.join();
+  receiver.join();
+
+  for (size_t j = 0; j < count; j++) {
+    bool expect = GetBit(choices, j) ? GetBit(pairs.r1, j) : GetBit(pairs.r0, j);
+    ASSERT_EQ(GetBit(chosen.r, j), expect) << "ot " << j;
+  }
+  // Sanity: the two sender strings differ in a nontrivial fraction of
+  // positions (they are independent random bits).
+  size_t differ = 0;
+  for (size_t j = 0; j < count; j++) {
+    differ += GetBit(pairs.r0, j) != GetBit(pairs.r1, j) ? 1 : 0;
+  }
+  if (count >= 64) {
+    EXPECT_GT(differ, count / 4);
+    EXPECT_LT(differ, 3 * count / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IknpTest, ::testing::Values(1, 63, 64, 65, 128, 1000, 4096));
+
+TEST(IknpTest, RepeatedExtendsStayConsistent) {
+  net::SimNetwork net(2);
+  constexpr size_t kCount = 256;
+  std::vector<RandomOtPairs> all_pairs;
+  std::vector<RandomOtChosen> all_chosen;
+  PackedBits choices(PackedWords(kCount), 0xAAAAAAAAAAAAAAAAULL);
+
+  std::thread sender([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(7);
+    IknpSender s(&net, 0, 1, prg);
+    for (int round = 0; round < 3; round++) {
+      all_pairs.push_back(s.Extend(kCount));
+    }
+  });
+  std::thread receiver([&] {
+    auto prg = crypto::ChaCha20Prg::FromSeed(8);
+    IknpReceiver r(&net, 1, 0, prg);
+    for (int round = 0; round < 3; round++) {
+      all_chosen.push_back(r.Extend(choices, kCount));
+    }
+  });
+  sender.join();
+  receiver.join();
+
+  for (int round = 0; round < 3; round++) {
+    for (size_t j = 0; j < kCount; j++) {
+      bool expect = GetBit(choices, j) ? GetBit(all_pairs[round].r1, j)
+                                       : GetBit(all_pairs[round].r0, j);
+      ASSERT_EQ(GetBit(all_chosen[round].r, j), expect) << "round " << round << " ot " << j;
+    }
+  }
+  // Different rounds must produce different randomness.
+  EXPECT_NE(all_pairs[0].r0, all_pairs[1].r0);
+}
+
+TEST(PackedBitsTest, SetGetRoundTrip) {
+  PackedBits bits(3, 0);
+  SetBit(bits, 0, true);
+  SetBit(bits, 63, true);
+  SetBit(bits, 64, true);
+  SetBit(bits, 130, true);
+  EXPECT_TRUE(GetBit(bits, 0));
+  EXPECT_TRUE(GetBit(bits, 63));
+  EXPECT_TRUE(GetBit(bits, 64));
+  EXPECT_TRUE(GetBit(bits, 130));
+  EXPECT_FALSE(GetBit(bits, 1));
+  SetBit(bits, 63, false);
+  EXPECT_FALSE(GetBit(bits, 63));
+  EXPECT_EQ(PackedWords(0), 0u);
+  EXPECT_EQ(PackedWords(1), 1u);
+  EXPECT_EQ(PackedWords(64), 1u);
+  EXPECT_EQ(PackedWords(65), 2u);
+}
+
+}  // namespace
+}  // namespace dstress::ot

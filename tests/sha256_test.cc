@@ -1,0 +1,71 @@
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace dstress::crypto {
+namespace {
+
+std::string HashHex(const std::string& input) {
+  Bytes data(input.begin(), input.end());
+  auto digest = Sha256::Hash(data);
+  return HexEncode(digest.data(), digest.size());
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) {
+    h.Update(reinterpret_cast<const uint8_t*>(chunk.data()), chunk.size());
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(HexEncode(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string message = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 h;
+    h.Update(reinterpret_cast<const uint8_t*>(message.data()), split);
+    h.Update(reinterpret_cast<const uint8_t*>(message.data()) + split, message.size() - split);
+    auto digest = h.Finish();
+    Bytes all(message.begin(), message.end());
+    EXPECT_EQ(digest, Sha256::Hash(all)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, FinishResetsState) {
+  Sha256 h;
+  Bytes a = {'a'};
+  h.Update(a);
+  auto first = h.Finish();
+  h.Update(a);
+  auto second = h.Finish();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  // Exercise message lengths across the padding boundary (55/56/57, 63/64).
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes a(len, 0x41);
+    Bytes b(len, 0x42);
+    EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b)) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace dstress::crypto

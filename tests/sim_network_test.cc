@@ -1,0 +1,121 @@
+#include "src/net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dstress::net {
+namespace {
+
+TEST(SimNetworkTest, FifoPerChannel) {
+  SimNetwork net(2);
+  for (uint8_t i = 0; i < 10; i++) {
+    net.Send(0, 1, Bytes{i});
+  }
+  for (uint8_t i = 0; i < 10; i++) {
+    EXPECT_EQ(net.Recv(1, 0), Bytes{i});
+  }
+}
+
+TEST(SimNetworkTest, SessionsAreIsolated) {
+  SimNetwork net(2);
+  net.Send(0, 1, Bytes{1}, /*session=*/100);
+  net.Send(0, 1, Bytes{2}, /*session=*/200);
+  // Receiving on session 200 first must not see session 100's message.
+  EXPECT_EQ(net.Recv(1, 0, 200), Bytes{2});
+  EXPECT_EQ(net.Recv(1, 0, 100), Bytes{1});
+}
+
+TEST(SimNetworkTest, DirectionsAreIsolated) {
+  SimNetwork net(2);
+  net.Send(0, 1, Bytes{1});
+  net.Send(1, 0, Bytes{2});
+  EXPECT_EQ(net.Recv(0, 1), Bytes{2});
+  EXPECT_EQ(net.Recv(1, 0), Bytes{1});
+}
+
+TEST(SimNetworkTest, SelfChannelWorks) {
+  SimNetwork net(1);
+  net.Send(0, 0, Bytes{42});
+  EXPECT_EQ(net.Recv(0, 0), Bytes{42});
+}
+
+TEST(SimNetworkTest, RecvBlocksUntilSend) {
+  SimNetwork net(2);
+  Bytes received;
+  std::thread receiver([&] { received = net.Recv(1, 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net.Send(0, 1, Bytes{9});
+  receiver.join();
+  EXPECT_EQ(received, Bytes{9});
+}
+
+TEST(SimNetworkTest, TrafficAccounting) {
+  SimNetwork net(3);
+  net.Send(0, 1, Bytes(100));
+  net.Send(0, 2, Bytes(50));
+  net.Send(1, 0, Bytes(25));
+  net.Recv(1, 0);
+  net.Recv(2, 0);
+  net.Recv(0, 1);
+
+  TrafficStats s0 = net.NodeStats(0);
+  EXPECT_EQ(s0.bytes_sent, 150u);
+  EXPECT_EQ(s0.bytes_received, 25u);
+  EXPECT_EQ(s0.messages_sent, 2u);
+  EXPECT_EQ(s0.messages_received, 1u);
+
+  EXPECT_EQ(net.TotalBytes(), 175u);
+  EXPECT_NEAR(net.AverageBytesPerNode(), 175.0 / 3, 1e-9);
+  EXPECT_EQ(net.MaxBytesPerNode(), 175u);  // node 0: 150 sent + 25 received
+}
+
+TEST(SimNetworkTest, ResetStatsClearsCounters) {
+  SimNetwork net(2);
+  net.Send(0, 1, Bytes(10));
+  net.Recv(1, 0);
+  net.ResetStats();
+  EXPECT_EQ(net.TotalBytes(), 0u);
+  EXPECT_EQ(net.NodeStats(1).bytes_received, 0u);
+}
+
+TEST(SimNetworkTest, ManyThreadsManySessions) {
+  constexpr int kNodes = 8;
+  constexpr int kMessagesPerPair = 50;
+  SimNetwork net(kNodes);
+  std::vector<std::thread> threads;
+  // Every ordered pair gets a private session; senders and receivers run
+  // concurrently.
+  for (int from = 0; from < kNodes; from++) {
+    threads.emplace_back([&net, from] {
+      for (int to = 0; to < kNodes; to++) {
+        for (uint8_t m = 0; m < kMessagesPerPair; m++) {
+          net.Send(from, to, Bytes{m}, static_cast<SessionId>(from * 100 + to));
+        }
+      }
+    });
+  }
+  std::vector<int> errors(kNodes, 0);
+  for (int to = 0; to < kNodes; to++) {
+    threads.emplace_back([&net, &errors, to] {
+      for (int from = 0; from < kNodes; from++) {
+        for (uint8_t m = 0; m < kMessagesPerPair; m++) {
+          Bytes got = net.Recv(to, from, static_cast<SessionId>(from * 100 + to));
+          if (got != Bytes{m}) {
+            errors[to]++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int to = 0; to < kNodes; to++) {
+    EXPECT_EQ(errors[to], 0) << "receiver " << to;
+  }
+  EXPECT_EQ(net.TotalBytes(), static_cast<uint64_t>(kNodes) * kNodes * kMessagesPerPair);
+}
+
+}  // namespace
+}  // namespace dstress::net

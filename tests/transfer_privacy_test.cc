@@ -1,0 +1,165 @@
+// Adversary-perspective properties of the §3.5 transfer protocol: what a
+// k-collusion actually sees, and why each strawman-fixing mechanism is
+// present. Complements transfer_test.cc (correctness and wire formats).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/dp/samplers.h"
+#include "src/mpc/sharing.h"
+#include "src/transfer/transfer.h"
+
+namespace dstress::transfer {
+namespace {
+
+// Any k of the k+1 shares of a fixed message are uniformly distributed:
+// the missing share decorrelates the collusion's view from the secret.
+TEST(CollusionViewTest, KSharesOfFixedMessageAreUnbiased) {
+  constexpr int kBlock = 4;
+  constexpr int kTrials = 2000;
+  auto prg = crypto::ChaCha20Prg::FromSeed(7);
+  const mpc::BitVector message = {1, 0, 1, 1};  // fixed secret
+
+  // XOR of the first k shares, per bit, across fresh sharings.
+  std::vector<int> ones(message.size(), 0);
+  for (int t = 0; t < kTrials; t++) {
+    auto shares = mpc::ShareBits(message, kBlock, prg);
+    for (size_t b = 0; b < message.size(); b++) {
+      uint8_t view = 0;
+      for (int m = 0; m < kBlock - 1; m++) {  // the collusion misses share k
+        view ^= shares[m][b];
+      }
+      ones[b] += view;
+    }
+  }
+  for (size_t b = 0; b < message.size(); b++) {
+    EXPECT_GT(ones[b], kTrials / 2 - 150) << "bit " << b;
+    EXPECT_LT(ones[b], kTrials / 2 + 150) << "bit " << b;
+  }
+}
+
+// Strawman #2's fix: even if one member of B_i and one of B_j collude, the
+// subshare split means their joint view misses the honest-to-honest
+// subshare and stays independent of the message.
+TEST(CollusionViewTest, CrossBlockPairMissesHonestSubshare) {
+  constexpr int kBlock = 3;
+  constexpr int kTrials = 1500;
+  auto prg = crypto::ChaCha20Prg::FromSeed(8);
+
+  int view_ones = 0;
+  for (int t = 0; t < kTrials; t++) {
+    uint8_t secret_bit = static_cast<uint8_t>(t & 1);
+    // Member x of B_i splits its share bit into kBlock subshares, one per
+    // member of B_j (mirroring EncryptSubshares's split).
+    mpc::BitVector share = {secret_bit};
+    auto subshares = mpc::ShareBits(share, kBlock, prg);
+    // Corrupt receiver 0 sees subshare 0 only; XOR with anything it knows
+    // (here: nothing else) is still unbiased because subshares 1..k are
+    // missing.
+    view_ones += subshares[0][0];
+  }
+  EXPECT_GT(view_ones, kTrials / 2 - 130);
+  EXPECT_LT(view_ones, kTrials / 2 + 130);
+}
+
+// Strawman #3's fix: the recipients obtain only noised SUMS, never the
+// original subshares, so colluding endpoints cannot recognize forwarded
+// values. Here: two encryptions of the same share under the same
+// certificate produce disjoint ciphertext points (fresh ephemerals).
+TEST(UnlinkabilityTest, RepeatedEncryptionsShareNoPoints) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(9);
+  constexpr int kBlock = 3;
+  constexpr int kBits = 4;
+  BlockKeys keys = TransferSetup(kBlock, kBits, prg);
+  crypto::U256 r = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), r);
+
+  mpc::BitVector share = {1, 0, 0, 1};
+  SubshareBundle a = EncryptSubshares(share, cert, prg);
+  SubshareBundle b = EncryptSubshares(share, cert, prg);
+
+  std::set<std::string> seen;
+  auto insert_all = [&seen](const SubshareBundle& bundle) {
+    auto c = bundle.c1.Compress();
+    seen.insert(std::string(c.begin(), c.end()));
+    for (const auto& column : bundle.c2) {
+      for (const auto& point : column) {
+        auto raw = point.Compress();
+        seen.insert(std::string(raw.begin(), raw.end()));
+      }
+    }
+  };
+  insert_all(a);
+  size_t after_a = seen.size();
+  insert_all(b);
+  EXPECT_EQ(seen.size(), after_a * 2) << "ciphertext points repeated across encryptions";
+}
+
+// Certificates for different neighbors use different neighbor keys, so the
+// same block's keys are unrecognizable across its edges (the property that
+// hides block membership from colluding neighbors).
+TEST(UnlinkabilityTest, CertificatesForDifferentNeighborsDiffer) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(10);
+  BlockKeys keys = TransferSetup(3, 4, prg);
+  auto publics = PublicKeysOf(keys);
+  crypto::U256 r1 = prg.NextScalar(crypto::CurveOrder());
+  crypto::U256 r2 = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate c1 = MakeBlockCertificate(publics, r1);
+  BlockCertificate c2 = MakeBlockCertificate(publics, r2);
+  for (size_t m = 0; m < publics.size(); m++) {
+    for (size_t b = 0; b < publics[m].size(); b++) {
+      EXPECT_NE(c1.keys[m][b].point, c2.keys[m][b].point);
+      EXPECT_NE(c1.keys[m][b].point, publics[m][b].point);
+    }
+  }
+}
+
+// The Appendix B release mechanism: empirical output distributions of the
+// noised sum for two adjacent inputs (sums differing by the sensitivity
+// Delta = k+1) satisfy the eps-DP ratio bound with sampling slack.
+TEST(MechanismTest, AdjacentSumDistributionsSatisfyDpBound) {
+  constexpr int kTrials = 60000;
+  constexpr int kDelta = 4;         // block size k+1
+  const double alpha = 0.9;  // mask is 2*Geo(alpha^(2/Delta)); mechanism is (-ln alpha)-DP
+  const double effective = std::pow(alpha, 2.0 / kDelta);
+  const double eps = -std::log(alpha);
+  auto prg = crypto::ChaCha20Prg::FromSeed(11);
+
+  // Histogram of sum + 2*Geo for sum=0 and sum=kDelta.
+  std::map<int64_t, int> h0;
+  std::map<int64_t, int> h1;
+  for (int t = 0; t < kTrials; t++) {
+    h0[0 + dp::EvenGeometricMask(prg, effective)]++;
+    h1[kDelta + dp::EvenGeometricMask(prg, effective)]++;
+  }
+  // Compare probabilities where both histograms have solid mass.
+  int compared = 0;
+  for (const auto& [value, count0] : h0) {
+    auto it = h1.find(value);
+    if (it == h1.end() || count0 < 200 || it->second < 200) {
+      continue;
+    }
+    double ratio = static_cast<double>(count0) / it->second;
+    EXPECT_LT(ratio, std::exp(eps) * 1.35) << "value " << value;
+    EXPECT_GT(ratio, std::exp(-eps) / 1.35) << "value " << value;
+    compared++;
+  }
+  EXPECT_GE(compared, 5);
+}
+
+// Parity survives any even mask: the correctness core of the final
+// protocol's noising step, checked across the mask distribution.
+TEST(MechanismTest, EvenMaskPreservesParityAlways) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(12);
+  for (int t = 0; t < 5000; t++) {
+    int64_t sum = prg.NextBelow(16);
+    int64_t mask = dp::EvenGeometricMask(prg, 0.7);
+    EXPECT_EQ((sum + mask) & 1, sum & 1);
+  }
+}
+
+}  // namespace
+}  // namespace dstress::transfer

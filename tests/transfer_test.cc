@@ -1,0 +1,243 @@
+#include "src/transfer/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace dstress::transfer {
+namespace {
+
+struct SchemeCase {
+  int block_size;
+  int message_bits;
+  double alpha;
+};
+
+class TransferSchemeTest : public ::testing::TestWithParam<SchemeCase> {};
+
+// Theorem 1 (Appendix A): the value shared in B_v after the transfer equals
+// the value shared in B_u before it.
+TEST_P(TransferSchemeTest, CorrectnessTheorem) {
+  auto [block_size, bits, alpha] = GetParam();
+  auto prg = crypto::ChaCha20Prg::FromSeed(1000 + block_size * 17 + bits);
+  TransferParams params;
+  params.block_size = block_size;
+  params.message_bits = bits;
+  params.budget_alpha = alpha;
+  // Size the lookup table so the Appendix B failure event is negligible
+  // across every draw this test makes (3 trials × bits × block_size sums).
+  params.dlog_range = params.RecommendedDlogRange(1e-12);
+
+  BlockKeys dest_keys = TransferSetup(block_size, bits, prg);
+  crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(dest_keys), neighbor_key);
+  crypto::DlogTable table(params.dlog_range);
+
+  for (int trial = 0; trial < 3; trial++) {
+    // Source block holds an XOR-sharing of a random message.
+    mpc::BitVector message(bits);
+    for (auto& bit : message) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    auto source_shares = mpc::ShareBits(message, block_size, prg);
+
+    std::vector<SubshareBundle> bundles;
+    for (int x = 0; x < block_size; x++) {
+      bundles.push_back(EncryptSubshares(source_shares[x], cert, prg));
+    }
+    AggregatedColumns agg = AggregateSubshares(bundles, params, prg);
+    AggregatedColumns adjusted = AdjustAggregated(agg, neighbor_key);
+
+    std::vector<mpc::BitVector> dest_shares(block_size);
+    for (int y = 0; y < block_size; y++) {
+      MemberColumn column{adjusted.c1, adjusted.c2[y]};
+      ASSERT_TRUE(RecoverShare(column, dest_keys.members[y], table, &dest_shares[y]))
+          << "member " << y;
+    }
+    EXPECT_EQ(mpc::ReconstructBits(dest_shares), message) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TransferSchemeTest,
+                         ::testing::Values(SchemeCase{2, 1, 0.5}, SchemeCase{3, 12, 0.9},
+                                           SchemeCase{4, 8, 0.99}, SchemeCase{8, 12, 0.9},
+                                           SchemeCase{8, 16, 0.5}, SchemeCase{12, 12, 0.9}));
+
+TEST(TransferTest, WithoutAdjustmentRecoveryFails) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(2);
+  TransferParams params;
+  params.block_size = 3;
+  params.message_bits = 4;
+  params.dlog_range = 256;
+  BlockKeys keys = TransferSetup(3, 4, prg);
+  crypto::U256 r = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), r);
+  crypto::DlogTable table(params.dlog_range);
+
+  mpc::BitVector message = {1, 0, 1, 0};
+  auto shares = mpc::ShareBits(message, 3, prg);
+  std::vector<SubshareBundle> bundles;
+  for (int x = 0; x < 3; x++) {
+    bundles.push_back(EncryptSubshares(shares[x], cert, prg));
+  }
+  AggregatedColumns agg = AggregateSubshares(bundles, params, prg);
+  // Decrypting the unadjusted ciphertext with original keys lands outside
+  // the lookup table (the point is blinded by the unknown neighbor key).
+  mpc::BitVector out;
+  EXPECT_FALSE(RecoverShare(MemberColumn{agg.c1, agg.c2[0]}, keys.members[0], table, &out));
+}
+
+TEST(TransferTest, NoiseIsAppliedToBitSums) {
+  // With heavy masking noise (alpha close to 1), decrypted bit sums should
+  // frequently differ from the raw sums, while parity stays intact — here
+  // verified indirectly: recovery still reconstructs the message.
+  auto prg = crypto::ChaCha20Prg::FromSeed(3);
+  TransferParams params;
+  params.block_size = 4;
+  params.message_bits = 8;
+  params.budget_alpha = 0.999;  // effective alpha^(2/4) — wide noise
+  params.dlog_range = params.RecommendedDlogRange(1e-12);
+  BlockKeys keys = TransferSetup(4, 8, prg);
+  crypto::U256 r = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), r);
+  crypto::DlogTable table(params.dlog_range);
+
+  mpc::BitVector message = {1, 1, 0, 0, 1, 0, 1, 1};
+  auto shares = mpc::ShareBits(message, 4, prg);
+  std::vector<SubshareBundle> bundles;
+  for (int x = 0; x < 4; x++) {
+    bundles.push_back(EncryptSubshares(shares[x], cert, prg));
+  }
+  AggregatedColumns agg = AggregateSubshares(bundles, params, prg);
+  AggregatedColumns adjusted = AdjustAggregated(agg, r);
+  std::vector<mpc::BitVector> dest(4);
+  for (int y = 0; y < 4; y++) {
+    ASSERT_TRUE(
+        RecoverShare(MemberColumn{adjusted.c1, adjusted.c2[y]}, keys.members[y], table, &dest[y]));
+  }
+  EXPECT_EQ(mpc::ReconstructBits(dest), message);
+}
+
+TEST(TransferTest, SerializationRoundTrips) {
+  auto prg = crypto::ChaCha20Prg::FromSeed(4);
+  constexpr int kBlock = 3;
+  constexpr int kBits = 5;
+  BlockKeys keys = TransferSetup(kBlock, kBits, prg);
+  crypto::U256 r = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), r);
+
+  Bytes cert_raw = cert.Serialize();
+  BlockCertificate cert2 = BlockCertificate::Deserialize(cert_raw);
+  ASSERT_EQ(cert2.keys.size(), cert.keys.size());
+  for (size_t m = 0; m < cert.keys.size(); m++) {
+    for (size_t b = 0; b < cert.keys[m].size(); b++) {
+      EXPECT_EQ(cert2.keys[m][b].point, cert.keys[m][b].point);
+    }
+  }
+
+  mpc::BitVector share = {1, 0, 0, 1, 1};
+  SubshareBundle bundle = EncryptSubshares(share, cert, prg);
+  Bytes raw = bundle.Serialize();
+  EXPECT_EQ(raw.size(), bundle.SerializedSize());
+  EXPECT_EQ(raw.size(), (1 + kBlock * kBits) * crypto::EcPoint::kCompressedSize);
+  SubshareBundle bundle2 = SubshareBundle::Deserialize(raw, kBlock, kBits);
+  EXPECT_EQ(bundle2.c1, bundle.c1);
+  for (int m = 0; m < kBlock; m++) {
+    for (int b = 0; b < kBits; b++) {
+      EXPECT_EQ(bundle2.c2[m][b], bundle.c2[m][b]);
+    }
+  }
+}
+
+TEST(TransferTest, WireSizesMatchAnalyticFormulas) {
+  // §5.3's traffic roles: members send (1 + (k+1)L)-point bundles, node i
+  // forwards one aggregated bundle of the same size, members of B_j receive
+  // constant (1 + L)-point columns.
+  auto prg = crypto::ChaCha20Prg::FromSeed(5);
+  for (int block_size : {4, 8}) {
+    constexpr int kBits = 12;
+    BlockKeys keys = TransferSetup(block_size, kBits, prg);
+    crypto::U256 r = prg.NextScalar(crypto::CurveOrder());
+    BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), r);
+    mpc::BitVector share(kBits, 0);
+    SubshareBundle bundle = EncryptSubshares(share, cert, prg);
+    EXPECT_EQ(bundle.Serialize().size(),
+              static_cast<size_t>(1 + block_size * kBits) * 33);
+    TransferParams params;
+    params.block_size = block_size;
+    params.message_bits = kBits;
+    std::vector<SubshareBundle> bundles(block_size, bundle);
+    AggregatedColumns agg = AggregateSubshares(bundles, params, prg);
+    EXPECT_EQ(agg.Serialize().size(), static_cast<size_t>(1 + block_size * kBits) * 33);
+    MemberColumn column{agg.c1, agg.c2[0]};
+    EXPECT_EQ(column.Serialize().size(), static_cast<size_t>(1 + kBits) * 33);
+  }
+}
+
+TEST(TransferTest, NetworkedRolesEndToEnd) {
+  // Full networked execution: 2 blocks of 3 members + the two endpoints,
+  // nodes 0..7 on a SimNetwork, with overlapping role assignments.
+  constexpr int kBlock = 3;
+  constexpr int kBits = 6;
+  auto prg = crypto::ChaCha20Prg::FromSeed(6);
+  TransferParams params;
+  params.block_size = kBlock;
+  params.message_bits = kBits;
+  params.budget_alpha = 0.9;
+  params.dlog_range = 512;
+
+  net::SimNetwork net(8);
+  // Node 0 = i, node 1 = j; B_i = {0, 2, 3}, B_j = {1, 4, 0} (node 0 plays
+  // both source endpoint and receiver member — the session-splitting case).
+  std::vector<net::NodeId> block_i = {0, 2, 3};
+  std::vector<net::NodeId> block_j = {1, 4, 0};
+
+  BlockKeys keys_j = TransferSetup(kBlock, kBits, prg);
+  crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys_j), neighbor_key);
+  crypto::DlogTable table(params.dlog_range);
+
+  mpc::BitVector message = {1, 0, 1, 1, 0, 1};
+  auto src_shares = mpc::ShareBits(message, kBlock, prg);
+
+  constexpr net::SessionId kSession = 42;
+  std::vector<mpc::BitVector> dest_shares(kBlock);
+  std::vector<std::thread> threads;
+  for (int x = 0; x < kBlock; x++) {
+    threads.emplace_back([&, x] {
+      auto role_prg = crypto::ChaCha20Prg::FromSeed(900 + x);
+      RunSenderMember(&net, block_i[x], 0, kSession, src_shares[x], cert, role_prg);
+    });
+  }
+  threads.emplace_back([&] {
+    auto role_prg = crypto::ChaCha20Prg::FromSeed(800);
+    RunSourceEndpoint(&net, 0, block_i, 1, kSession, params, role_prg);
+  });
+  threads.emplace_back(
+      [&] { RunDestEndpoint(&net, 1, 0, block_j, kSession, neighbor_key, params); });
+  for (int y = 0; y < kBlock; y++) {
+    threads.emplace_back([&, y] {
+      dest_shares[y] =
+          RunReceiverMember(&net, block_j[y], 1, kSession, keys_j.members[y], table, params);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mpc::ReconstructBits(dest_shares), message);
+
+  // Traffic sanity: node 0 (source endpoint) received the k+1 bundles.
+  EXPECT_GE(net.NodeStats(0).bytes_received,
+            static_cast<uint64_t>(kBlock) * (1 + kBlock * kBits) * 33);
+}
+
+TEST(TransferTest, EffectiveAlphaFormula) {
+  TransferParams params;
+  params.block_size = 20;
+  params.budget_alpha = 0.9;
+  EXPECT_NEAR(params.EffectiveAlpha(), std::pow(0.9, 2.0 / 20), 1e-12);
+}
+
+}  // namespace
+}  // namespace dstress::transfer

@@ -1,0 +1,92 @@
+#include "src/core/vertex_program.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mpc/sharing.h"
+
+namespace dstress::core {
+namespace {
+
+VertexProgram IdentityProgram(int degree, int state_bits, int message_bits) {
+  VertexProgram p;
+  p.state_bits = state_bits;
+  p.message_bits = message_bits;
+  p.degree_bound = degree;
+  p.aggregate_bits = 20;
+  p.build_update = [](circuit::Builder& b, const circuit::Word& state,
+                      const std::vector<circuit::Word>& in_msgs, circuit::Word* new_state,
+                      std::vector<circuit::Word>* out_msgs) {
+    *new_state = state;
+    for (const auto& msg : in_msgs) {
+      out_msgs->push_back(msg);  // echo
+    }
+    (void)b;
+  };
+  p.build_contribution = [](circuit::Builder& b, const circuit::Word& state) {
+    return b.ZeroExtend(circuit::Word(state.begin(), state.begin() + 8), 20);
+  };
+  return p;
+}
+
+TEST(VertexProgramTest, UpdateCircuitShape) {
+  VertexProgram p = IdentityProgram(3, 16, 8);
+  circuit::Circuit c = BuildUpdateCircuit(p);
+  EXPECT_EQ(c.num_inputs(), 16u + 3 * 8);
+  EXPECT_EQ(c.num_outputs(), 16u + 3 * 8);
+  // Echo program: outputs equal inputs.
+  mpc::BitVector in(c.num_inputs());
+  for (size_t i = 0; i < in.size(); i++) {
+    in[i] = (i * 7) % 3 == 0;
+  }
+  EXPECT_EQ(c.Eval(in), in);
+}
+
+TEST(VertexProgramTest, AggregateCircuitSumsContributions) {
+  VertexProgram p = IdentityProgram(1, 16, 8);
+  circuit::Circuit agg = BuildAggregateCircuit(p, /*group_size=*/4, /*with_noise=*/false);
+  EXPECT_EQ(agg.num_inputs(), 4u * 16);
+  mpc::BitVector in;
+  uint64_t expected = 0;
+  for (uint64_t v = 0; v < 4; v++) {
+    uint64_t low = 20 + 3 * v;
+    mpc::AppendBits(&in, mpc::WordToBits(low | (0xAB00), 16));  // high byte ignored
+    expected += low;
+  }
+  auto out = agg.Eval(in);
+  EXPECT_EQ(mpc::BitsToWord(out, 0, 20), expected);
+}
+
+TEST(VertexProgramTest, AggregateWithNoiseAddsInputBits) {
+  VertexProgram p = IdentityProgram(1, 16, 8);
+  p.output_noise.alpha = 0.5;
+  p.output_noise.magnitude_bits = 6;
+  p.output_noise.threshold_bits = 8;
+  circuit::Circuit plain = BuildAggregateCircuit(p, 2, false);
+  circuit::Circuit noised = BuildAggregateCircuit(p, 2, true);
+  EXPECT_EQ(noised.num_inputs(), plain.num_inputs() + dp::NoiseInputBits(p.output_noise));
+  EXPECT_GT(noised.stats().num_and, plain.stats().num_and);
+}
+
+TEST(VertexProgramTest, CombineCircuitSumsPartials) {
+  VertexProgram p = IdentityProgram(1, 16, 8);
+  circuit::Circuit combine = BuildCombineCircuit(p, /*num_partials=*/3, /*with_noise=*/false);
+  EXPECT_EQ(combine.num_inputs(), 3u * 20);
+  mpc::BitVector in;
+  mpc::AppendBits(&in, mpc::WordToBits(100, 20));
+  mpc::AppendBits(&in, mpc::WordToBits(250, 20));
+  mpc::AppendBits(&in, mpc::WordToBits(7, 20));
+  EXPECT_EQ(mpc::BitsToWord(combine.Eval(in), 0, 20), 357u);
+}
+
+TEST(VertexProgramTest, CombineHandlesNegativePartials) {
+  // Two's-complement partials must sum correctly through the adder.
+  VertexProgram p = IdentityProgram(1, 16, 8);
+  circuit::Circuit combine = BuildCombineCircuit(p, 2, false);
+  mpc::BitVector in;
+  mpc::AppendBits(&in, mpc::WordToBits(static_cast<uint64_t>(-50) & 0xFFFFF, 20));
+  mpc::AppendBits(&in, mpc::WordToBits(80, 20));
+  EXPECT_EQ(mpc::BitsToSignedWord(combine.Eval(in), 0, 20), 30);
+}
+
+}  // namespace
+}  // namespace dstress::core
