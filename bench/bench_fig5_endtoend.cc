@@ -36,9 +36,9 @@ Config ActiveConfig() {
   return Config{40, 6, 5, {4, 8, 12}};
 }
 
-template <typename Params, typename MakeProgram, typename MakeStates>
+template <typename MakeProgram, typename MakeStates>
 void RunSeries(const char* name, const graph::Graph& g, const Config& config,
-               const Params& params, MakeProgram make_program, MakeStates make_states) {
+               MakeProgram make_program, MakeStates make_states) {
   for (int block_size : config.block_sizes) {
     core::RuntimeConfig rc;
     rc.block_size = block_size;
@@ -82,14 +82,14 @@ void Run() {
     auto params = EnParams(config.degree_bound, config.iterations);
     finance::EnInstance instance = finance::MakeEnWorkload(g, wp, shock);
     RunSeries(
-        "EN", g, config, params, [&] { return finance::MakeEnProgram(params); },
+        "EN", g, config, [&] { return finance::MakeEnProgram(params); },
         [&] { return finance::MakeEnInitialStates(instance, params); });
   }
   {
     auto params = EgjParams(config.degree_bound, config.iterations);
     finance::EgjInstance instance = finance::MakeEgjWorkload(g, wp, shock);
     RunSeries(
-        "EGJ", g, config, params, [&] { return finance::MakeEgjProgram(params); },
+        "EGJ", g, config, [&] { return finance::MakeEgjProgram(params); },
         [&] { return finance::MakeEgjInitialStates(instance, params); });
   }
   std::printf("# shape check: time and traffic grow ~O(k^2) with block size\n");

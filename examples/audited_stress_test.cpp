@@ -48,7 +48,7 @@ int main() {
 
   // Every bank records its transcript while the protocol runs.
   audit::TranscriptRecorder recorder(network.num_vertices());
-  runtime.mutable_network()->SetObserver(&recorder);
+  runtime.AttachObserver(&recorder);
 
   auto states = finance::MakeEnInitialStates(instance, params);
   int64_t tds = runtime.Run(states, nullptr);

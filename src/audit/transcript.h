@@ -19,11 +19,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "src/common/bytes.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 
 namespace dstress::audit {
 
@@ -68,7 +69,7 @@ class TranscriptLog {
   Digest chain_;
 };
 
-// Records transcripts for every node of a SimNetwork run. Thread-safe: the
+// Records transcripts for every node of a transport run. Thread-safe: the
 // network invokes the observer from many protocol threads.
 class TranscriptRecorder : public net::NetworkObserver {
  public:

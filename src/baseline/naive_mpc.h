@@ -39,7 +39,7 @@ struct NaiveMpcResult {
 circuit::Circuit BuildMatMulCircuit(int matrix_n, int value_bits);
 
 // Evaluates one matrix multiplication in GMW among `parties` parties over a
-// SimNetwork and verifies the result against a host-side product.
+// simulated transport and verifies the result against a host-side product.
 NaiveMpcResult RunNaiveMatMul(const NaiveMpcParams& params);
 
 // §5.5 extrapolation: scales a measured multiplication cubically to

@@ -23,7 +23,7 @@ Bytes HexDecode(const std::string& hex);
 
 // Little-endian append-only serializer. All DStress wire messages are
 // serialized with this writer and parsed with ByteReader, so the byte
-// accounting in SimNetwork reflects real message sizes.
+// accounting in the transport layer reflects real message sizes.
 class ByteWriter {
  public:
   void U8(uint8_t v) { buf_.push_back(v); }

@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/net/sim_network.h"
 
 namespace dstress::core {
 
@@ -94,7 +95,9 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
   setup_config.seed = config.seed;
   setup_ = RunTrustedSetup(setup_config, graph);
 
-  net_ = std::make_unique<net::SimNetwork>(graph.num_vertices());
+  net::TransportOptions transport_options;
+  transport_options.channel_high_watermark_bytes = config.channel_high_watermark_bytes;
+  net_ = std::make_unique<net::SimNetwork>(graph.num_vertices(), transport_options);
   dlog_table_ = std::make_unique<crypto::DlogTable>(transfer_params_.dlog_range);
   edges_ = graph.Edges();
 
@@ -103,6 +106,7 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
     unsigned hw = std::thread::hardware_concurrency();
     threads_target_ = static_cast<int>(hw == 0 ? 16 : 4 * hw);
   }
+  pool_ = std::make_unique<WorkerPool>(threads_target_);
 }
 
 Runtime::~Runtime() = default;
@@ -138,23 +142,7 @@ mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
 
 void Runtime::RunGrouped(size_t groups, size_t subtasks,
                          const std::function<void(size_t, size_t)>& fn) {
-  // Batches are aligned to whole groups: every thread a group's protocol
-  // waits on is spawned in the same batch, which makes the blocking
-  // receives inside a group deadlock-free.
-  size_t batch = std::max<size_t>(1, static_cast<size_t>(threads_target_) / subtasks);
-  for (size_t start = 0; start < groups; start += batch) {
-    size_t end = std::min(groups, start + batch);
-    std::vector<std::thread> threads;
-    threads.reserve((end - start) * subtasks);
-    for (size_t g = start; g < end; g++) {
-      for (size_t s = 0; s < subtasks; s++) {
-        threads.emplace_back([&fn, g, s] { fn(g, s); });
-      }
-    }
-    for (auto& t : threads) {
-      t.join();
-    }
-  }
+  pool_->RunGrouped(groups, subtasks, fn);
 }
 
 void Runtime::InitPhase(const std::vector<mpc::BitVector>& initial_states) {

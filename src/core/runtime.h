@@ -1,8 +1,24 @@
 // The DStress execution engine (paper §3.3 / §3.6).
 //
-// Runs a vertex program over a distributed set of nodes, one per vertex,
-// where every protocol role executes on its own thread and communicates
-// exclusively through SimNetwork messages:
+// The engine is the middle of a three-layer architecture:
+//
+//   transport (src/net)   — net::Transport carries serialized protocol
+//                           messages over FIFO (from, to, session) channels
+//                           and meters every byte; net::SimNetwork is the
+//                           in-process backend, a TCP multi-process backend
+//                           is planned. net::Channel coalesces a role's
+//                           per-round message bursts.
+//   protocol  (src/mpc, src/ot, src/transfer)
+//                         — GMW circuit evaluation, OT-extension triples,
+//                           and the §3.5 share-transfer scheme, all written
+//                           against net::Transport* so backends swap freely.
+//   scheduler (this file + worker_pool.h)
+//                         — decides which protocol roles run when, on a
+//                           persistent core::WorkerPool.
+//
+// The runtime runs a vertex program over a distributed set of nodes, one
+// per vertex, where every protocol role executes as a pool task and
+// communicates exclusively through transport messages:
 //
 //  * Initialization — each node XOR-splits its vertex's initial state into
 //    k+1 shares and distributes them to its block; message slots start as
@@ -22,9 +38,12 @@
 //    noise and opens.
 //
 // Scheduling: phases process vertices/edges in deterministic global order
-// in bounded-size batches of role threads. Sends never block, so within a
-// batch every protocol eventually progresses; batches bound the number of
-// live threads.
+// as (group, subtask) tasks on the worker pool, where a group is one GMW
+// block or one edge transfer. The pool admits whole groups only while every
+// subtask of the admitted set can hold a thread concurrently; sends never
+// block, so every admitted protocol instance eventually progresses — see
+// worker_pool.h for the full invariant. The pool's threads persist across
+// phases and runs, so a run pays thread creation once, not once per batch.
 #ifndef SRC_CORE_RUNTIME_H_
 #define SRC_CORE_RUNTIME_H_
 
@@ -37,9 +56,10 @@
 
 #include "src/core/setup.h"
 #include "src/core/vertex_program.h"
+#include "src/core/worker_pool.h"
 #include "src/graph/graph.h"
 #include "src/mpc/gmw.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 #include "src/transfer/transfer.h"
 
 namespace dstress::core {
@@ -58,8 +78,12 @@ struct RuntimeConfig {
   // 0 = single aggregation block; >0 = aggregation tree with this group
   // size per level (depth grows as log_fanout(N)).
   int aggregation_fanout = 0;
-  // Target number of concurrently live role threads (0 = auto).
+  // Target number of concurrently live role threads (0 = auto). The worker
+  // pool grows past this if a single protocol group needs more.
   int max_parallel_tasks = 0;
+  // Per-channel queued-byte cap forwarded to the transport
+  // (TransportOptions::channel_high_watermark_bytes); 0 = unbounded.
+  size_t channel_high_watermark_bytes = 0;
   uint64_t seed = 1;
 };
 
@@ -94,10 +118,12 @@ class Runtime {
   // run (state is re-initialized), but OT/triple sessions persist.
   int64_t Run(const std::vector<mpc::BitVector>& initial_states, RunMetrics* metrics);
 
-  const net::SimNetwork& network() const { return *net_; }
-  // For attaching a NetworkObserver (e.g. an audit::TranscriptRecorder)
-  // before Run; see src/audit.
-  net::SimNetwork* mutable_network() { return net_.get(); }
+  const net::Transport& network() const { return *net_; }
+  // Attaches a NetworkObserver (e.g. an audit::TranscriptRecorder; nullptr
+  // detaches); see src/audit. Must happen before the first Run: the
+  // transport aborts on an attach after worker threads have started
+  // exchanging traffic.
+  void AttachObserver(net::NetworkObserver* observer) { net_->SetObserver(observer); }
   const circuit::Circuit& update_circuit() const { return update_circuit_; }
   const TrustedSetup& setup() const { return setup_; }
 
@@ -109,9 +135,9 @@ class Runtime {
   int64_t AggregateSingleLevel();
   int64_t AggregateTree();
 
-  // Runs fn(group, subtask) for every (group, subtask) pair on threads,
-  // with batching aligned to whole groups so intra-group blocking receives
-  // cannot deadlock across batch boundaries.
+  // Runs fn(group, subtask) for every (group, subtask) pair on the
+  // persistent worker pool, with admission aligned to whole groups so
+  // intra-group blocking receives cannot deadlock (worker_pool.h).
   void RunGrouped(size_t groups, size_t subtasks,
                   const std::function<void(size_t, size_t)>& fn);
 
@@ -125,8 +151,9 @@ class Runtime {
   circuit::Circuit update_circuit_;
   transfer::TransferParams transfer_params_;
   TrustedSetup setup_;
-  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<net::Transport> net_;
   std::unique_ptr<crypto::DlogTable> dlog_table_;
+  std::unique_ptr<WorkerPool> pool_;
 
   // Shares indexed [vertex][member]: the runtime stores them centrally, but
   // entry [v][m] is only ever touched by the thread playing member m of

@@ -1,0 +1,105 @@
+#include "src/core/worker_pool.h"
+
+#include "src/common/check.h"
+
+namespace dstress::core {
+
+WorkerPool::WorkerPool(int num_threads) : capacity_(static_cast<size_t>(num_threads)) {
+  DSTRESS_CHECK(num_threads > 0);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+int WorkerPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(capacity_);
+}
+
+void WorkerPool::EnsureThreadsLocked(size_t want) {
+  if (want > capacity_) {
+    want = capacity_;
+  }
+  while (threads_.size() < want) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void WorkerPool::AdmitGroupsLocked() {
+  while (next_group_ < groups_ && outstanding_ + subtasks_ <= threads_.size()) {
+    for (size_t s = 0; s < subtasks_; s++) {
+      queue_.push_back(Task{next_group_, s});
+    }
+    outstanding_ += subtasks_;
+    next_group_++;
+  }
+  // The no-deadlock invariant itself: every admitted task can hold a
+  // thread at the same time.
+  DSTRESS_DCHECK(outstanding_ <= threads_.size());
+}
+
+void WorkerPool::RunGrouped(size_t groups, size_t subtasks,
+                            const std::function<void(size_t, size_t)>& fn) {
+  if (groups == 0 || subtasks == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Grow the budget (permanently) so one whole group always fits, then
+  // spawn no more threads than this workload can occupy.
+  if (subtasks > capacity_) {
+    capacity_ = subtasks;
+  }
+  EnsureThreadsLocked(groups * subtasks);
+  fn_ = &fn;
+  groups_ = groups;
+  subtasks_ = subtasks;
+  next_group_ = 0;
+  outstanding_ = 0;
+  remaining_ = groups * subtasks;
+  AdmitGroupsLocked();
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    const std::function<void(size_t, size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) {
+        return;
+      }
+      task = queue_.front();
+      queue_.pop_front();
+      fn = fn_;
+    }
+    (*fn)(task.group, task.subtask);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      outstanding_--;
+      remaining_--;
+      size_t queued_before = queue_.size();
+      AdmitGroupsLocked();
+      if (queue_.size() > queued_before) {
+        work_cv_.notify_all();
+      }
+      if (remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace dstress::core

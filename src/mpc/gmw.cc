@@ -11,34 +11,32 @@ using ot::GetBit;
 using ot::PackedWords;
 using ot::SetBit;
 
-GmwParty::GmwParty(net::SimNetwork* net, std::vector<net::NodeId> parties, int my_index,
-                   TripleSource* triples, net::SessionId session)
-    : net_(net),
-      parties_(std::move(parties)),
-      my_index_(my_index),
-      triples_(triples),
-      session_(session) {
-  DSTRESS_CHECK(my_index_ >= 0 && my_index_ < static_cast<int>(parties_.size()));
+net::Channel GmwParty::MakeChannel(net::Transport* net, std::vector<net::NodeId> parties,
+                                   int my_index, net::SessionId session) {
+  DSTRESS_CHECK(my_index >= 0 && my_index < static_cast<int>(parties.size()));
+  net::NodeId self = parties[my_index];
+  return net::Channel(net, self, std::move(parties), session);
 }
+
+GmwParty::GmwParty(net::Transport* net, std::vector<net::NodeId> parties, int my_index,
+                   TripleSource* triples, net::SessionId session)
+    : channel_(MakeChannel(net, std::move(parties), my_index, session)),
+      my_index_(my_index),
+      triples_(triples) {}
 
 std::vector<uint64_t> GmwParty::ExchangeXor(const std::vector<uint64_t>& mine) {
   ByteWriter block;
   for (uint64_t w : mine) {
     block.U64(w);
   }
-  const Bytes& payload = block.bytes();
-  net::NodeId self_node = parties_[my_index_];
-  for (int p = 0; p < static_cast<int>(parties_.size()); p++) {
-    if (p != my_index_) {
-      net_->Send(self_node, parties_[p], payload, session_);
-    }
-  }
+  channel_.Broadcast(block.bytes());
+  const std::vector<net::NodeId>& parties = channel_.peers();
   std::vector<uint64_t> total = mine;
-  for (int p = 0; p < static_cast<int>(parties_.size()); p++) {
+  for (int p = 0; p < static_cast<int>(parties.size()); p++) {
     if (p == my_index_) {
       continue;
     }
-    Bytes incoming = net_->Recv(self_node, parties_[p], session_);
+    Bytes incoming = channel_.Recv(parties[p]);
     DSTRESS_CHECK(incoming.size() == mine.size() * 8);
     ByteReader reader(incoming);
     for (size_t w = 0; w < total.size(); w++) {

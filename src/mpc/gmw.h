@@ -27,15 +27,16 @@
 #include "src/circuit/circuit.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
-#include "src/net/sim_network.h"
+#include "src/net/channel.h"
+#include "src/net/transport.h"
 
 namespace dstress::mpc {
 
 class GmwParty {
  public:
-  // `parties` lists the SimNetwork node ids of the block members in a fixed
+  // `parties` lists the transport node ids of the block members in a fixed
   // order all members agree on; `my_index` is this party's position.
-  GmwParty(net::SimNetwork* net, std::vector<net::NodeId> parties, int my_index,
+  GmwParty(net::Transport* net, std::vector<net::NodeId> parties, int my_index,
            TripleSource* triples, net::SessionId session = 0);
 
   // Evaluates `circuit` on XOR-shared inputs. `input_shares` is this
@@ -49,19 +50,23 @@ class GmwParty {
   BitVector Open(const BitVector& my_shares);
 
   int my_index() const { return my_index_; }
-  int num_parties() const { return static_cast<int>(parties_.size()); }
+  int num_parties() const { return static_cast<int>(channel_.peers().size()); }
   bool is_leader() const { return my_index_ == 0; }
 
  private:
+  // Bounds-checks my_index, then builds the party's session endpoint (the
+  // channel's peer list doubles as the party list).
+  static net::Channel MakeChannel(net::Transport* net, std::vector<net::NodeId> parties,
+                                  int my_index, net::SessionId session);
+
   // All-to-all exchange of a packed word block; returns the XOR of all
-  // parties' blocks (i.e., the opened values).
+  // parties' blocks (i.e., the opened values). Sends coalesce through the
+  // channel: one buffered broadcast, one flush, then the blocking receives.
   std::vector<uint64_t> ExchangeXor(const std::vector<uint64_t>& mine);
 
-  net::SimNetwork* net_;
-  std::vector<net::NodeId> parties_;
+  net::Channel channel_;
   int my_index_;
   TripleSource* triples_;
-  net::SessionId session_;
 };
 
 }  // namespace dstress::mpc

@@ -66,7 +66,7 @@ BitTriples DealerTripleSource::Generate(size_t count) {
   return mine;
 }
 
-OtTripleSource::OtTripleSource(net::SimNetwork* net, std::vector<net::NodeId> parties,
+OtTripleSource::OtTripleSource(net::Transport* net, std::vector<net::NodeId> parties,
                                int my_index, crypto::ChaCha20Prg prg, net::SessionId session)
     : net_(net),
       parties_(std::move(parties)),

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "src/crypto/chacha20.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 #include "src/ot/iknp.h"
 
 namespace dstress::mpc {
@@ -61,10 +61,10 @@ class DealerTripleSource : public TripleSource {
 
 class OtTripleSource : public TripleSource {
  public:
-  // `parties` are the SimNetwork node ids of the group, `my_index` is this
+  // `parties` are the transport node ids of the group, `my_index` is this
   // party's position in that list. Base-OT setup with every peer happens
   // lazily on the first Generate call.
-  OtTripleSource(net::SimNetwork* net, std::vector<net::NodeId> parties, int my_index,
+  OtTripleSource(net::Transport* net, std::vector<net::NodeId> parties, int my_index,
                  crypto::ChaCha20Prg prg, net::SessionId session = 0);
   ~OtTripleSource() override;
 
@@ -83,7 +83,7 @@ class OtTripleSource : public TripleSource {
   int PeerInRound(int round) const;
   int RoundCount() const;
 
-  net::SimNetwork* net_;
+  net::Transport* net_;
   std::vector<net::NodeId> parties_;
   int my_index_;
   crypto::ChaCha20Prg prg_;

@@ -1,0 +1,80 @@
+// Channel: one protocol endpoint's handle onto a session.
+//
+// A protocol role (a GMW party, a transfer-protocol endpoint, …) talks to a
+// fixed peer set over one session id. A Channel buffers a role's outgoing
+// messages per peer and delivers each peer's pending run with one
+// Transport::SendBatch call on Flush, without changing what crosses the
+// wire: message boundaries, FIFO order, and per-message traffic metering
+// are identical to unbuffered sends.
+//
+// When a round emits several messages to the same peer, the batch
+// amortizes the backend's per-send synchronization (one lock + one wakeup
+// on SimNetwork; one write syscall on a future TCP backend). The protocol
+// rounds wired up so far — GMW's per-layer broadcast, the transfer
+// fan-out — emit one message per peer per flush, where Flush degenerates
+// to plain Send: for them the Channel buys the uniform endpoint idiom and
+// deferred delivery (all of a burst is serialized before the first peer
+// wakes), not a wakeup reduction.
+//
+// Recv flushes all buffered messages first. This preserves the
+// never-blocking-send invariant the runtime's deadlock-freedom argument
+// rests on (runtime.h): a role never parks on a receive while messages its
+// peers are waiting for sit in a local buffer. Destroying a Channel with
+// unflushed messages is a fatal CHECK for the same reason.
+//
+// A Channel belongs to one role thread; it is not thread-safe (the
+// underlying Transport is).
+#ifndef SRC_NET_CHANNEL_H_
+#define SRC_NET_CHANNEL_H_
+
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace dstress::net {
+
+class Channel {
+ public:
+  // `peers` lists the node ids this endpoint exchanges messages with, in a
+  // fixed order. It may include `self`: Send(self, …) is a real message
+  // through the transport's self-channel (a node can be a member of its own
+  // block); only Broadcast skips self.
+  Channel(Transport* transport, NodeId self, std::vector<NodeId> peers, SessionId session);
+  ~Channel();
+
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&&) = delete;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  NodeId self() const { return self_; }
+  SessionId session() const { return session_; }
+  const std::vector<NodeId>& peers() const { return peers_; }
+
+  // Buffers `message` for `to`, which must be in the peer set.
+  void Send(NodeId to, Bytes message);
+
+  // Buffers a copy of `message` for every peer except self.
+  void Broadcast(const Bytes& message);
+
+  // Delivers all buffered messages, one SendBatch per peer with pending
+  // traffic, in peer-set order.
+  void Flush();
+
+  // Flushes, then blocks for the next message from `from` on this session.
+  Bytes Recv(NodeId from);
+
+ private:
+  int PeerIndex(NodeId peer) const;
+
+  Transport* transport_;
+  NodeId self_;
+  std::vector<NodeId> peers_;
+  SessionId session_;
+  std::vector<std::vector<Bytes>> pending_;  // parallel to peers_
+  bool any_pending_ = false;
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_CHANNEL_H_

@@ -4,12 +4,25 @@
 
 namespace dstress::net {
 
-SimNetwork::SimNetwork(int num_nodes) : num_nodes_(num_nodes) {
+SimNetwork::SimNetwork(int num_nodes, TransportOptions options)
+    : num_nodes_(num_nodes), options_(options) {
   DSTRESS_CHECK(num_nodes > 0);
   counters_.reserve(num_nodes);
   for (int i = 0; i < num_nodes; i++) {
     counters_.push_back(std::make_unique<PerNodeCounters>());
   }
+}
+
+void SimNetwork::SetObserver(NetworkObserver* observer) {
+  // Attach and detach both swap a pointer the protocol threads read, so
+  // neither is legal once traffic has started. The exclusive channels lock
+  // serializes this against in-flight sends: a Send marks traffic_started_
+  // before it takes the shared lock, so either that Send's ChannelFor
+  // happens first (the CHECK below fires) or the attach completes first
+  // (the Send observes the new pointer) — never a silently missed message.
+  std::unique_lock<std::shared_mutex> lock(channels_mu_);
+  DSTRESS_CHECK(!traffic_started_.load(std::memory_order_acquire));
+  observer_.store(observer, std::memory_order_release);
 }
 
 SimNetwork::Channel& SimNetwork::ChannelFor(const ChannelKey& key) {
@@ -25,20 +38,58 @@ SimNetwork::Channel& SimNetwork::ChannelFor(const ChannelKey& key) {
   return *it->second;
 }
 
+void SimNetwork::CheckWatermark(const Channel& ch) const {
+  if (options_.channel_high_watermark_bytes > 0) {
+    DSTRESS_CHECK(ch.queued_bytes <= options_.channel_high_watermark_bytes);
+  }
+}
+
 void SimNetwork::Send(NodeId from, NodeId to, Bytes message, SessionId session) {
   DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  traffic_started_.store(true, std::memory_order_release);
   size_t len = message.size();
   Channel& ch = ChannelFor(ChannelKey{from, to, session});
   {
     std::lock_guard<std::mutex> lock(ch.mu);
-    if (observer_ != nullptr) {
-      observer_->OnSend(from, to, session, message);
+    NetworkObserver* observer = observer_.load(std::memory_order_acquire);
+    if (observer != nullptr) {
+      observer->OnSend(from, to, session, message);
     }
+    ch.queued_bytes += len;
     ch.queue.push_back(std::move(message));
+    CheckWatermark(ch);
   }
   ch.cv.notify_one();
   counters_[from]->bytes_sent.fetch_add(len, std::memory_order_relaxed);
   counters_[from]->messages_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SimNetwork::SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                           SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  if (messages.empty()) {
+    return;
+  }
+  traffic_started_.store(true, std::memory_order_release);
+  uint64_t total_len = 0;
+  Channel& ch = ChannelFor(ChannelKey{from, to, session});
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    NetworkObserver* observer = observer_.load(std::memory_order_acquire);
+    for (auto& message : messages) {
+      if (observer != nullptr) {
+        observer->OnSend(from, to, session, message);
+      }
+      total_len += message.size();
+      ch.queued_bytes += message.size();
+      ch.queue.push_back(std::move(message));
+      // Per message, exactly as repeated Send would check it.
+      CheckWatermark(ch);
+    }
+  }
+  ch.cv.notify_all();
+  counters_[from]->bytes_sent.fetch_add(total_len, std::memory_order_relaxed);
+  counters_[from]->messages_sent.fetch_add(messages.size(), std::memory_order_relaxed);
 }
 
 Bytes SimNetwork::Recv(NodeId to, NodeId from, SessionId session) {
@@ -48,10 +99,14 @@ Bytes SimNetwork::Recv(NodeId to, NodeId from, SessionId session) {
   {
     std::unique_lock<std::mutex> lock(ch.mu);
     ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+    // Loaded after the wait: a Recv parked before an (otherwise legal)
+    // pre-traffic attach must still record its OnRecv.
+    NetworkObserver* observer = observer_.load(std::memory_order_acquire);
     msg = std::move(ch.queue.front());
     ch.queue.pop_front();
-    if (observer_ != nullptr) {
-      observer_->OnRecv(to, from, session, msg);
+    ch.queued_bytes -= msg.size();
+    if (observer != nullptr) {
+      observer->OnRecv(to, from, session, msg);
     }
   }
   counters_[to]->bytes_received.fetch_add(msg.size(), std::memory_order_relaxed);
@@ -76,10 +131,6 @@ uint64_t SimNetwork::TotalBytes() const {
     total += c->bytes_sent.load(std::memory_order_relaxed);
   }
   return total;
-}
-
-double SimNetwork::AverageBytesPerNode() const {
-  return static_cast<double>(TotalBytes()) / num_nodes_;
 }
 
 uint64_t SimNetwork::MaxBytesPerNode() const {

@@ -1,9 +1,9 @@
-// In-process simulated network.
+// In-process simulated network: the first Transport backend.
 //
-// The paper evaluates DStress on EC2 with one machine per bank; this repo
-// substitutes an in-process transport where every protocol party runs on its
-// own thread and exchanges the *same serialized byte strings* it would send
-// over TCP. Two consequences matter for the reproduction:
+// The paper evaluates DStress on EC2 with one machine per bank; this
+// backend substitutes an in-process transport where every protocol party
+// runs on its own thread and exchanges the *same serialized byte strings*
+// it would send over TCP. Two consequences matter for the reproduction:
 //
 //  * traffic numbers (Figures 4, 5-right, 6-right and the §5.3 message-
 //    transfer measurements) are exact — every Send() is metered per sender
@@ -12,11 +12,10 @@
 //    degree, N) while absolute values reflect local compute rather than LAN
 //    latency.
 //
-// Channels are keyed by (from, to, session). A DStress node participates in
-// many concurrent protocol instances — GMW member in several blocks, edge
-// endpoint, aggregator — and the session id keeps each instance's FIFO
-// stream isolated, playing the role of one TCP connection per protocol
-// instance.
+// Channels are keyed by (from, to, session); see transport.h for the
+// FIFO/session semantics. SendBatch takes the channel lock once and wakes
+// the consumer once for a whole run of messages, which is what makes
+// net::Channel's coalescing worthwhile on this backend.
 #ifndef SRC_NET_SIM_NETWORK_H_
 #define SRC_NET_SIM_NETWORK_H_
 
@@ -31,63 +30,50 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/net/transport.h"
 
 namespace dstress::net {
 
-using NodeId = int;
-using SessionId = uint64_t;
-
-struct TrafficStats {
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  uint64_t messages_sent = 0;
-  uint64_t messages_received = 0;
-};
-
-// Observes every message as it crosses the network. OnSend runs inside the
-// channel lock right after the enqueue and OnRecv right after the dequeue,
-// so per-channel observation order matches FIFO delivery order. Callbacks
-// must be thread-safe across channels and must not call back into the
-// network. Used by the audit module (src/audit) to record transcripts.
-class NetworkObserver {
+class SimNetwork : public Transport {
  public:
-  virtual ~NetworkObserver() = default;
-  virtual void OnSend(NodeId from, NodeId to, SessionId session, const Bytes& payload) = 0;
-  virtual void OnRecv(NodeId to, NodeId from, SessionId session, const Bytes& payload) = 0;
-};
-
-class SimNetwork {
- public:
-  explicit SimNetwork(int num_nodes);
+  explicit SimNetwork(int num_nodes, TransportOptions options = {});
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
-  int num_nodes() const { return num_nodes_; }
+  int num_nodes() const override { return num_nodes_; }
 
-  // Attaches an observer (nullptr detaches). Not thread-safe with respect
-  // to in-flight Send/Recv: attach before the protocol threads start.
-  void SetObserver(NetworkObserver* observer) { observer_ = observer; }
+  // Attaches an observer (nullptr detaches). Attaching or detaching after
+  // any message has crossed the network is a fatal CHECK: the swap would
+  // race the protocol worker threads (see transport.h).
+  void SetObserver(NetworkObserver* observer) override;
 
   // Enqueues a message on the (from, to, session) channel. Thread-safe;
-  // never blocks (queues are unbounded — protocol rounds bound growth).
-  void Send(NodeId from, NodeId to, Bytes message, SessionId session = 0);
+  // never blocks. Queues are unbounded unless
+  // TransportOptions::channel_high_watermark_bytes is set, in which case
+  // exceeding the cap on any single channel aborts.
+  void Send(NodeId from, NodeId to, Bytes message, SessionId session = 0) override;
+
+  // Batched Send: identical FIFO boundaries and metering, one lock
+  // acquisition and one consumer wakeup for the whole run.
+  void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                 SessionId session = 0) override;
 
   // Dequeues the next message on the (from, to, session) channel in FIFO
   // order, blocking until one arrives.
-  Bytes Recv(NodeId to, NodeId from, SessionId session = 0);
+  Bytes Recv(NodeId to, NodeId from, SessionId session = 0) override;
 
-  TrafficStats NodeStats(NodeId node) const;
-  uint64_t TotalBytes() const;
-  double AverageBytesPerNode() const;
-  uint64_t MaxBytesPerNode() const;
-  void ResetStats();
+  TrafficStats NodeStats(NodeId node) const override;
+  uint64_t TotalBytes() const override;
+  uint64_t MaxBytesPerNode() const override;
+  void ResetStats() override;
 
  private:
   struct Channel {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Bytes> queue;
+    size_t queued_bytes = 0;  // bytes currently in `queue`
   };
 
   struct PerNodeCounters {
@@ -115,9 +101,15 @@ class SimNetwork {
   };
 
   Channel& ChannelFor(const ChannelKey& key);
+  void CheckWatermark(const Channel& ch) const;
 
   int num_nodes_;
-  NetworkObserver* observer_ = nullptr;
+  TransportOptions options_;
+  // Atomic so a SetObserver that loses the race with the first Send is a
+  // missed CHECK rather than undefined behavior.
+  std::atomic<NetworkObserver*> observer_{nullptr};
+  // Set on the first Send; SetObserver refuses to attach afterwards.
+  std::atomic<bool> traffic_started_{false};
   std::shared_mutex channels_mu_;
   std::unordered_map<ChannelKey, std::unique_ptr<Channel>, ChannelKeyHash> channels_;
   std::vector<std::unique_ptr<PerNodeCounters>> counters_;

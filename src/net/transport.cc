@@ -1,0 +1,12 @@
+#include "src/net/transport.h"
+
+namespace dstress::net {
+
+void Transport::SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                          SessionId session) {
+  for (auto& message : messages) {
+    Send(from, to, std::move(message), session);
+  }
+}
+
+}  // namespace dstress::net

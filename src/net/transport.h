@@ -1,0 +1,105 @@
+// Transport: the abstract message-passing substrate of the DStress runtime.
+//
+// The paper's execution engine (§3.3/§3.6) runs every protocol role as its
+// own party exchanging serialized byte strings. Which wire actually carries
+// those bytes is a deployment decision — the prototype used one EC2 machine
+// per bank, this repo ships an in-process simulation (sim_network.h), and a
+// TCP multi-process backend is planned (see ROADMAP.md "Architecture
+// layers"). Every protocol layer (mpc/, ot/, transfer/, core/) is written
+// against this interface so backends stay interchangeable.
+//
+// Semantics all implementations must provide:
+//
+//  * Channels are keyed by (from, to, session) and are FIFO: messages sent
+//    on one channel arrive in send order. The session id keeps concurrent
+//    protocol instances' streams isolated, playing the role of one TCP
+//    connection per instance.
+//  * Send never blocks (the no-deadlock arguments of the scheduler rely on
+//    this); Recv blocks until a message is available.
+//  * Every message is metered per sender and per receiver, so the paper's
+//    traffic figures (Figures 4, 5-right, 6-right, §5.3) are exact.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace dstress::net {
+
+using NodeId = int;
+using SessionId = uint64_t;
+
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+};
+
+// Observes every message as it crosses the transport. OnSend runs right
+// after the enqueue and OnRecv right after the dequeue, under the channel's
+// synchronization, so per-channel observation order matches FIFO delivery
+// order. Callbacks must be thread-safe across channels and must not call
+// back into the transport. Used by the audit module (src/audit) to record
+// transcripts.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void OnSend(NodeId from, NodeId to, SessionId session, const Bytes& payload) = 0;
+  virtual void OnRecv(NodeId to, NodeId from, SessionId session, const Bytes& payload) = 0;
+};
+
+struct TransportOptions {
+  // Upper bound on the bytes queued in any single (from, to, session)
+  // channel; 0 = unbounded. Protocol rounds bound queue growth in a correct
+  // run, so when a cap is set, exceeding it is a fatal CHECK — a runaway
+  // protocol is caught at the offending Send instead of OOMing the process.
+  // Size the cap for a full round's burst, not for a drain race: a
+  // SendBatch enqueues its whole run before the receiver can dequeue, so a
+  // cap must accommodate the largest coalesced burst a round emits.
+  size_t channel_high_watermark_bytes = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_nodes() const = 0;
+
+  // Attaches an observer (nullptr detaches). Only legal before any traffic
+  // has crossed the transport: implementations must reject a late attach or
+  // detach (the protocol worker threads would race the pointer swap).
+  virtual void SetObserver(NetworkObserver* observer) = 0;
+
+  // Enqueues a message on the (from, to, session) channel. Thread-safe and
+  // never blocking.
+  virtual void Send(NodeId from, NodeId to, Bytes message, SessionId session = 0) = 0;
+
+  // Enqueues `messages` on the (from, to, session) channel with the exact
+  // observable behavior of calling Send once per element, in order —
+  // same FIFO boundaries, same per-message metering — but lets the backend
+  // amortize its synchronization (lock acquisition, consumer wakeup) over
+  // the whole batch. The default implementation just loops over Send.
+  virtual void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                         SessionId session = 0);
+
+  // Dequeues the next message on the (from, to, session) channel in FIFO
+  // order, blocking until one arrives.
+  virtual Bytes Recv(NodeId to, NodeId from, SessionId session = 0) = 0;
+
+  virtual TrafficStats NodeStats(NodeId node) const = 0;
+  virtual uint64_t TotalBytes() const = 0;
+  virtual uint64_t MaxBytesPerNode() const = 0;
+  virtual void ResetStats() = 0;
+
+  double AverageBytesPerNode() const {
+    return static_cast<double>(TotalBytes()) / num_nodes();
+  }
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -27,7 +27,7 @@ OtKey DeriveKey(uint32_t index, const EcPoint& point) {
 
 }  // namespace
 
-BaseOtSenderOutput BaseOtSend(net::SimNetwork* net, net::NodeId self, net::NodeId peer, int count,
+BaseOtSenderOutput BaseOtSend(net::Transport* net, net::NodeId self, net::NodeId peer, int count,
                               crypto::ChaCha20Prg& prg, net::SessionId session) {
   using crypto::CurveOrder;
   using crypto::MulBase;
@@ -58,7 +58,7 @@ BaseOtSenderOutput BaseOtSend(net::SimNetwork* net, net::NodeId self, net::NodeI
   return out;
 }
 
-BaseOtReceiverOutput BaseOtRecv(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+BaseOtReceiverOutput BaseOtRecv(net::Transport* net, net::NodeId self, net::NodeId peer,
                                 const std::vector<bool>& choices, crypto::ChaCha20Prg& prg,
                                 net::SessionId session) {
   using crypto::CurveOrder;

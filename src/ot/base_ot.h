@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "src/crypto/chacha20.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 
 namespace dstress::ot {
 
@@ -31,10 +31,10 @@ struct BaseOtReceiverOutput {
 
 // Both calls block until the peer completes its half. `count` transfers are
 // performed in one batch with a single round trip.
-BaseOtSenderOutput BaseOtSend(net::SimNetwork* net, net::NodeId self, net::NodeId peer, int count,
+BaseOtSenderOutput BaseOtSend(net::Transport* net, net::NodeId self, net::NodeId peer, int count,
                               crypto::ChaCha20Prg& prg, net::SessionId session = 0);
 
-BaseOtReceiverOutput BaseOtRecv(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+BaseOtReceiverOutput BaseOtRecv(net::Transport* net, net::NodeId self, net::NodeId peer,
                                 const std::vector<bool>& choices, crypto::ChaCha20Prg& prg,
                                 net::SessionId session = 0);
 

@@ -49,7 +49,7 @@ PackedBits PrgBits(crypto::ChaCha20Prg& prg, size_t words) {
 
 }  // namespace
 
-IknpSender::IknpSender(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+IknpSender::IknpSender(net::Transport* net, net::NodeId self, net::NodeId peer,
                        crypto::ChaCha20Prg& prg, net::SessionId session)
     : net_(net), self_(self), peer_(peer), session_(session) {
   // Extension sender = base-OT receiver with choice vector s.
@@ -103,7 +103,7 @@ RandomOtPairs IknpSender::Extend(size_t count) {
   return out;
 }
 
-IknpReceiver::IknpReceiver(net::SimNetwork* net, net::NodeId self, net::NodeId peer,
+IknpReceiver::IknpReceiver(net::Transport* net, net::NodeId self, net::NodeId peer,
                            crypto::ChaCha20Prg& prg, net::SessionId session)
     : net_(net), self_(self), peer_(peer), session_(session) {
   auto base = BaseOtSend(net_, self_, peer_, kIknpKappa, prg, session_);

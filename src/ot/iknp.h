@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "src/crypto/chacha20.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 #include "src/ot/base_ot.h"
 
 namespace dstress::ot {
@@ -52,7 +52,7 @@ class IknpSender {
  public:
   // Runs the base-OT setup with `peer` (blocking; the peer must construct a
   // matching IknpReceiver).
-  IknpSender(net::SimNetwork* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
+  IknpSender(net::Transport* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
              net::SessionId session = 0);
 
   // Produces `count` random OT pairs. Blocking: the receiver must call
@@ -60,7 +60,7 @@ class IknpSender {
   RandomOtPairs Extend(size_t count);
 
  private:
-  net::SimNetwork* net_;
+  net::Transport* net_;
   net::NodeId self_;
   net::NodeId peer_;
   net::SessionId session_;
@@ -71,14 +71,14 @@ class IknpSender {
 
 class IknpReceiver {
  public:
-  IknpReceiver(net::SimNetwork* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
+  IknpReceiver(net::Transport* net, net::NodeId self, net::NodeId peer, crypto::ChaCha20Prg& prg,
                net::SessionId session = 0);
 
   // choices is a packed bit vector of length >= count bits.
   RandomOtChosen Extend(const PackedBits& choices, size_t count);
 
  private:
-  net::SimNetwork* net_;
+  net::Transport* net_;
   net::NodeId self_;
   net::NodeId peer_;
   net::SessionId session_;

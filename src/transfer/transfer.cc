@@ -5,6 +5,7 @@
 #include "src/common/check.h"
 #include "src/dp/edge_privacy.h"
 #include "src/dp/samplers.h"
+#include "src/net/channel.h"
 
 namespace dstress::transfer {
 
@@ -270,14 +271,14 @@ bool RecoverShare(const MemberColumn& column, const MemberKeys& my_keys,
   return true;
 }
 
-void RunSenderMember(net::SimNetwork* net, net::NodeId self, net::NodeId node_i,
+void RunSenderMember(net::Transport* net, net::NodeId self, net::NodeId node_i,
                      net::SessionId session, const mpc::BitVector& share_bits,
                      const BlockCertificate& cert, crypto::ChaCha20Prg& prg) {
   SubshareBundle bundle = EncryptSubshares(share_bits, cert, prg);
   net->Send(self, node_i, bundle.Serialize(), TransferSubSession(session, 0));
 }
 
-void RunSourceEndpoint(net::SimNetwork* net, net::NodeId self,
+void RunSourceEndpoint(net::Transport* net, net::NodeId self,
                        const std::vector<net::NodeId>& members, net::NodeId node_j,
                        net::SessionId session, const TransferParams& params,
                        crypto::ChaCha20Prg& prg) {
@@ -291,7 +292,7 @@ void RunSourceEndpoint(net::SimNetwork* net, net::NodeId self,
   net->Send(self, node_j, agg.Serialize(), TransferSubSession(session, 1));
 }
 
-void RunDestEndpoint(net::SimNetwork* net, net::NodeId self, net::NodeId node_i,
+void RunDestEndpoint(net::Transport* net, net::NodeId self, net::NodeId node_i,
                      const std::vector<net::NodeId>& members, net::SessionId session,
                      const crypto::U256& neighbor_key, const TransferParams& params) {
   Bytes raw = net->Recv(self, node_i, TransferSubSession(session, 1));
@@ -299,13 +300,17 @@ void RunDestEndpoint(net::SimNetwork* net, net::NodeId self, net::NodeId node_i,
       AggregatedColumns::Deserialize(raw, params.block_size, params.message_bits);
   AggregatedColumns adjusted = AdjustAggregated(agg, neighbor_key);
   DSTRESS_CHECK(members.size() == adjusted.c2.size());
+  // Fan out through a channel endpoint: serialize every member's column
+  // before the first delivery, then flush the whole burst.
+  net::Channel fanout(net, self, members, TransferSubSession(session, 2));
   for (size_t y = 0; y < members.size(); y++) {
     MemberColumn column{adjusted.c1, adjusted.c2[y]};
-    net->Send(self, members[y], column.Serialize(), TransferSubSession(session, 2));
+    fanout.Send(members[y], column.Serialize());
   }
+  fanout.Flush();
 }
 
-mpc::BitVector RunReceiverMember(net::SimNetwork* net, net::NodeId self, net::NodeId node_j,
+mpc::BitVector RunReceiverMember(net::Transport* net, net::NodeId self, net::NodeId node_j,
                                  net::SessionId session, const MemberKeys& my_keys,
                                  const crypto::DlogTable& table, const TransferParams& params) {
   Bytes raw = net->Recv(self, node_j, TransferSubSession(session, 2));

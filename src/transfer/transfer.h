@@ -28,7 +28,7 @@
 // Two APIs are provided: pure scheme functions mirroring Appendix A's
 // Setup / RandomizeKey / Encrypt / Aggregate / Adjust / Decrypt / Recover
 // (used directly by the correctness tests), and networked role functions
-// used by the runtime, which exchange the serialized forms over SimNetwork
+// used by the runtime, which exchange the serialized forms over the transport
 // so traffic is metered per role exactly as §5.3 measures it.
 #ifndef SRC_TRANSFER_TRANSFER_H_
 #define SRC_TRANSFER_TRANSFER_H_
@@ -37,7 +37,7 @@
 
 #include "src/crypto/elgamal.h"
 #include "src/mpc/sharing.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport.h"
 
 namespace dstress::transfer {
 
@@ -156,20 +156,20 @@ inline net::SessionId TransferSubSession(net::SessionId base, int step) {
   return base | (static_cast<net::SessionId>(step + 1) << 56);
 }
 
-void RunSenderMember(net::SimNetwork* net, net::NodeId self, net::NodeId node_i,
+void RunSenderMember(net::Transport* net, net::NodeId self, net::NodeId node_i,
                      net::SessionId session, const mpc::BitVector& share_bits,
                      const BlockCertificate& cert, crypto::ChaCha20Prg& prg);
 
-void RunSourceEndpoint(net::SimNetwork* net, net::NodeId self,
+void RunSourceEndpoint(net::Transport* net, net::NodeId self,
                        const std::vector<net::NodeId>& members, net::NodeId node_j,
                        net::SessionId session, const TransferParams& params,
                        crypto::ChaCha20Prg& prg);
 
-void RunDestEndpoint(net::SimNetwork* net, net::NodeId self, net::NodeId node_i,
+void RunDestEndpoint(net::Transport* net, net::NodeId self, net::NodeId node_i,
                      const std::vector<net::NodeId>& members, net::SessionId session,
                      const crypto::U256& neighbor_key, const TransferParams& params);
 
-mpc::BitVector RunReceiverMember(net::SimNetwork* net, net::NodeId self, net::NodeId node_j,
+mpc::BitVector RunReceiverMember(net::Transport* net, net::NodeId self, net::NodeId node_j,
                                  net::SessionId session, const MemberKeys& my_keys,
                                  const crypto::DlogTable& table, const TransferParams& params);
 

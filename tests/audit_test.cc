@@ -6,6 +6,7 @@
 
 #include "src/core/runtime.h"
 #include "src/graph/graph.h"
+#include "src/net/sim_network.h"
 #include "src/programs/private_sum.h"
 
 namespace dstress::audit {
@@ -176,7 +177,7 @@ TEST(AuditVerifyTest, FullDStressRunAudits) {
   core::Runtime runtime(config, g, program);
 
   TranscriptRecorder recorder(g.num_vertices());
-  runtime.mutable_network()->SetObserver(&recorder);
+  runtime.AttachObserver(&recorder);
 
   std::vector<uint32_t> values = {10, 20, 30, 40};
   auto states = programs::MakePrivateSumStates(values, params.value_bits);

@@ -4,6 +4,7 @@
 
 #include "src/circuit/builder.h"
 #include "src/mpc/gmw.h"
+#include "src/net/sim_network.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
 

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/net/sim_network.h"
 #include "src/ot/base_ot.h"
 #include "src/ot/iknp.h"
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "src/net/sim_network.h"
+
 namespace dstress::transfer {
 namespace {
 

@@ -1,0 +1,189 @@
+// Interface-conformance tests for net::Transport, exercised through the
+// SimNetwork backend via a Transport* — everything here must hold for any
+// future backend (TCP, cleartext fast-path) as well.
+#include "src/net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/net/channel.h"
+#include "src/net/sim_network.h"
+
+namespace dstress::net {
+namespace {
+
+TEST(TransportTest, FifoPerSessionThroughBasePointer) {
+  SimNetwork sim(2);
+  Transport* net = &sim;
+  for (uint8_t i = 0; i < 10; i++) {
+    net->Send(0, 1, Bytes{i}, /*session=*/7);
+  }
+  for (uint8_t i = 0; i < 10; i++) {
+    EXPECT_EQ(net->Recv(1, 0, /*session=*/7), Bytes{i});
+  }
+}
+
+TEST(TransportTest, SessionsAndDirectionsAreIsolated) {
+  SimNetwork sim(2);
+  Transport* net = &sim;
+  net->Send(0, 1, Bytes{1}, 100);
+  net->Send(0, 1, Bytes{2}, 200);
+  net->Send(1, 0, Bytes{3}, 100);
+  EXPECT_EQ(net->Recv(1, 0, 200), Bytes{2});
+  EXPECT_EQ(net->Recv(1, 0, 100), Bytes{1});
+  EXPECT_EQ(net->Recv(0, 1, 100), Bytes{3});
+}
+
+TEST(TransportTest, SendBatchPreservesFifoBoundariesAndMetering) {
+  SimNetwork sim(2);
+  Transport* net = &sim;
+  net->Send(0, 1, Bytes{0});
+  net->SendBatch(0, 1, {Bytes{1}, Bytes{2, 2}, Bytes{3}});
+  net->Send(0, 1, Bytes{4});
+
+  EXPECT_EQ(net->Recv(1, 0), Bytes{0});
+  EXPECT_EQ(net->Recv(1, 0), Bytes{1});
+  EXPECT_EQ(net->Recv(1, 0), (Bytes{2, 2}));
+  EXPECT_EQ(net->Recv(1, 0), Bytes{3});
+  EXPECT_EQ(net->Recv(1, 0), Bytes{4});
+
+  // Metering is identical to five individual Sends.
+  TrafficStats s = net->NodeStats(0);
+  EXPECT_EQ(s.messages_sent, 5u);
+  EXPECT_EQ(s.bytes_sent, 6u);
+  EXPECT_EQ(net->NodeStats(1).messages_received, 5u);
+  EXPECT_EQ(net->NodeStats(1).bytes_received, 6u);
+}
+
+TEST(TransportTest, SendBatchWakesBlockedReceiver) {
+  SimNetwork sim(2);
+  Transport* net = &sim;
+  Bytes first, second;
+  std::thread receiver([&] {
+    first = net->Recv(1, 0);
+    second = net->Recv(1, 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net->SendBatch(0, 1, {Bytes{8}, Bytes{9}});
+  receiver.join();
+  EXPECT_EQ(first, Bytes{8});
+  EXPECT_EQ(second, Bytes{9});
+}
+
+// Observer callbacks must arrive in FIFO delivery order per channel, for
+// batched sends exactly as for individual ones.
+class OrderRecorder : public NetworkObserver {
+ public:
+  void OnSend(NodeId from, NodeId to, SessionId session, const Bytes& payload) override {
+    (void)from;
+    (void)to;
+    (void)session;
+    sends.push_back(payload);
+  }
+  void OnRecv(NodeId to, NodeId from, SessionId session, const Bytes& payload) override {
+    (void)to;
+    (void)from;
+    (void)session;
+    recvs.push_back(payload);
+  }
+  std::vector<Bytes> sends;
+  std::vector<Bytes> recvs;
+};
+
+TEST(TransportTest, ObserverSeesBatchedMessagesInFifoOrder) {
+  SimNetwork sim(2);
+  Transport* net = &sim;
+  OrderRecorder recorder;
+  net->SetObserver(&recorder);
+
+  net->SendBatch(0, 1, {Bytes{1}, Bytes{2}});
+  net->Send(0, 1, Bytes{3});
+  for (int i = 0; i < 3; i++) {
+    net->Recv(1, 0);
+  }
+
+  std::vector<Bytes> expected = {Bytes{1}, Bytes{2}, Bytes{3}};
+  EXPECT_EQ(recorder.sends, expected);
+  EXPECT_EQ(recorder.recvs, expected);
+}
+
+TEST(TransportTest, ObserverAttachAfterTrafficAborts) {
+  OrderRecorder recorder;
+  EXPECT_DEATH(
+      {
+        SimNetwork sim(2);
+        sim.Send(0, 1, Bytes{1});
+        sim.SetObserver(&recorder);
+      },
+      "CHECK failed");
+}
+
+TEST(TransportTest, HighWatermarkCapAborts) {
+  TransportOptions options;
+  options.channel_high_watermark_bytes = 16;
+  EXPECT_DEATH(
+      {
+        SimNetwork sim(2, options);
+        for (int i = 0; i < 3; i++) {
+          sim.Send(0, 1, Bytes(8));  // 24 queued bytes > 16 cap
+        }
+      },
+      "CHECK failed");
+}
+
+TEST(TransportTest, HighWatermarkCountsQueuedNotTotalBytes) {
+  TransportOptions options;
+  options.channel_high_watermark_bytes = 16;
+  SimNetwork sim(2, options);
+  // Draining keeps the queue below the cap even though total traffic far
+  // exceeds it.
+  for (int i = 0; i < 10; i++) {
+    sim.Send(0, 1, Bytes(8));
+    sim.Recv(1, 0);
+  }
+  EXPECT_EQ(sim.TotalBytes(), 80u);
+}
+
+TEST(ChannelTest, BuffersUntilFlush) {
+  SimNetwork sim(3);
+  Channel channel(&sim, 0, {0, 1, 2}, /*session=*/5);
+  channel.Send(1, Bytes{1});
+  channel.Send(2, Bytes{2});
+  channel.Send(1, Bytes{3});
+  EXPECT_EQ(sim.TotalBytes(), 0u);  // nothing on the wire yet
+
+  channel.Flush();
+  EXPECT_EQ(sim.NodeStats(0).messages_sent, 3u);
+  EXPECT_EQ(sim.Recv(1, 0, 5), Bytes{1});
+  EXPECT_EQ(sim.Recv(1, 0, 5), Bytes{3});
+  EXPECT_EQ(sim.Recv(2, 0, 5), Bytes{2});
+}
+
+TEST(ChannelTest, RecvFlushesPendingSends) {
+  SimNetwork sim(2);
+  Channel a(&sim, 0, {0, 1}, 0);
+  Channel b(&sim, 1, {0, 1}, 0);
+  std::thread peer([&] {
+    Bytes got = b.Recv(0);
+    b.Send(0, got);
+    b.Flush();
+  });
+  a.Send(1, Bytes{42});
+  // Recv must flush the buffered send first, or this deadlocks.
+  EXPECT_EQ(a.Recv(1), Bytes{42});
+  peer.join();
+}
+
+TEST(ChannelTest, BroadcastSkipsSelf) {
+  SimNetwork sim(3);
+  Channel channel(&sim, 1, {0, 1, 2}, 0);
+  channel.Broadcast(Bytes{7});
+  channel.Flush();
+  EXPECT_EQ(sim.Recv(0, 1), Bytes{7});
+  EXPECT_EQ(sim.Recv(2, 1), Bytes{7});
+  EXPECT_EQ(sim.NodeStats(1).messages_sent, 2u);
+}
+
+}  // namespace
+}  // namespace dstress::net
