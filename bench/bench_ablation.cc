@@ -9,8 +9,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/runtime.h"
 #include "src/crypto/elgamal.h"
+#include "src/engine/engine.h"
 #include "src/graph/generators.h"
 #include "src/programs/private_sum.h"
 
@@ -67,31 +67,30 @@ void AggregationTreeAblation() {
   std::printf("# Ablation 2: single aggregation block vs two-level tree (fanout 16)\n");
   std::printf("    N    flat agg(s)  flat MB    tree agg(s)  tree MB\n");
   for (int n : {32, 96, 200}) {
-    Rng rng(n);
-    graph::Graph g(n);  // no edges: isolates the aggregation phase
     programs::PrivateSumParams params;
     params.degree_bound = 1;
     params.noise.alpha = 0.5;
     params.noise.magnitude_bits = 8;
     params.noise.threshold_bits = 10;
-    core::VertexProgram program = programs::BuildPrivateSumProgram(params);
 
+    engine::RunSpec base;
+    base.graph = graph::Graph(n);  // no edges: isolates the aggregation phase
+    base.model = engine::ContagionModel::kCustom;
+    base.custom_program = programs::BuildPrivateSumProgram(params);
     std::vector<uint32_t> values(n, 7);
-    auto states = programs::MakePrivateSumStates(values, params.value_bits);
+    base.custom_states = programs::MakePrivateSumStates(values, params.value_bits);
+    base.block_size = 4;
+    base.seed = 9 + n;
 
     double seconds[2];
     double megabytes[2];
     int variant = 0;
     for (int fanout : {0, 16}) {
-      core::RuntimeConfig config;
-      config.block_size = 4;
-      config.seed = 9 + n;
-      config.aggregation_fanout = fanout;
-      core::Runtime runtime(config, g, program);
-      core::RunMetrics metrics;
-      (void)runtime.Run(states, &metrics);
-      seconds[variant] = metrics.aggregate.seconds;
-      megabytes[variant] = static_cast<double>(metrics.aggregate.bytes) / 1e6;
+      engine::RunSpec spec = base;
+      spec.aggregation_fanout = fanout;
+      engine::RunReport report = engine::Engine(spec).Run();
+      seconds[variant] = report.metrics.aggregate.seconds;
+      megabytes[variant] = static_cast<double>(report.metrics.aggregate.bytes) / 1e6;
       variant++;
     }
     std::printf("%5d    %10.2f  %7.2f    %11.2f  %7.2f\n", n, seconds[0], megabytes[0],

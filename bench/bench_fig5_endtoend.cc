@@ -15,9 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/runtime.h"
-#include "src/finance/workload.h"
-#include "src/graph/generators.h"
+#include "src/engine/engine.h"
 
 namespace dstress::bench {
 namespace {
@@ -36,24 +34,20 @@ Config ActiveConfig() {
   return Config{40, 6, 5, {4, 8, 12}};
 }
 
-template <typename MakeProgram, typename MakeStates>
-void RunSeries(const char* name, const graph::Graph& g, const Config& config,
-               MakeProgram make_program, MakeStates make_states) {
+void RunSeries(const char* name, engine::ContagionModel model, const engine::RunSpec& base,
+               const Config& config) {
   for (int block_size : config.block_sizes) {
-    core::RuntimeConfig rc;
-    rc.block_size = block_size;
-    rc.transfer_budget_alpha = 0.99;
-    rc.dlog_range = 0;  // auto-size for negligible lookup failure
-    rc.seed = 11;
-    core::Runtime runtime(rc, g, make_program());
-    core::RunMetrics metrics;
-    int64_t tds = runtime.Run(make_states(), &metrics);
+    engine::RunSpec spec = base;
+    spec.model = model;
+    spec.block_size = block_size;
+    engine::RunReport report = engine::Engine(spec).Run();
+    const core::RunMetrics& metrics = report.metrics;
     std::printf(
         "%-4s B=%-3d time=%7.2f s  (init=%5.2f comp=%6.2f comm=%6.2f agg=%5.2f)  "
         "traffic/node=%7.2f MB  tds=%lld\n",
         name, block_size, metrics.total_seconds, metrics.init.seconds, metrics.compute.seconds,
         metrics.communicate.seconds, metrics.aggregate.seconds, metrics.avg_bytes_per_node / 1e6,
-        static_cast<long long>(tds));
+        static_cast<long long>(report.released));
     std::fflush(stdout);
   }
 }
@@ -63,35 +57,28 @@ void Run() {
   std::printf("# Figure 5: end-to-end runs, N=%d D=%d I=%d (%s scale)\n", config.num_nodes,
               config.degree_bound, config.iterations, FullScale() ? "paper" : "reduced");
 
-  Rng rng(3);
-  graph::CorePeripheryParams topo;
-  topo.num_vertices = config.num_nodes;
-  topo.core_size = config.num_nodes / 10 + 2;
-  topo.core_density = 0.5;
-  graph::Graph g =
-      graph::CapDegree(graph::GenerateCorePeriphery(topo, rng), config.degree_bound);
-
-  finance::WorkloadParams wp;
-  wp.format.value_bits = 12;
-  wp.format.frac_bits = 8;
-  wp.core_size = topo.core_size;
-  finance::ShockParams shock;
-  shock.shocked_banks = {0, 1};
-
+  engine::RunSpec base;
+  base.topology = engine::CorePeripheryTopology(config.num_nodes, config.num_nodes / 10 + 2);
+  base.topology.core_density = 0.5;
+  base.topology.degree_cap = config.degree_bound;
+  base.degree_bound = config.degree_bound;
+  base.iterations = config.iterations;
+  base.format = BenchFormat();
+  base.aggregate_bits = 24;
+  base.noise_alpha = 0.5;
+  base.shock.shocked_banks = {0, 1};
+  base.transfer_budget_alpha = 0.99;
+  base.dlog_range = 0;  // auto-size for negligible lookup failure
+  base.seed = 11;
   {
-    auto params = EnParams(config.degree_bound, config.iterations);
-    finance::EnInstance instance = finance::MakeEnWorkload(g, wp, shock);
-    RunSeries(
-        "EN", g, config, [&] { return finance::MakeEnProgram(params); },
-        [&] { return finance::MakeEnInitialStates(instance, params); });
+    finance::WorkloadParams wp;
+    wp.format = BenchFormat();
+    wp.core_size = base.topology.core_size;
+    base.workload = wp;
   }
-  {
-    auto params = EgjParams(config.degree_bound, config.iterations);
-    finance::EgjInstance instance = finance::MakeEgjWorkload(g, wp, shock);
-    RunSeries(
-        "EGJ", g, config, [&] { return finance::MakeEgjProgram(params); },
-        [&] { return finance::MakeEgjInitialStates(instance, params); });
-  }
+
+  RunSeries("EN", engine::ContagionModel::kEisenbergNoe, base, config);
+  RunSeries("EGJ", engine::ContagionModel::kElliottGolubJackson, base, config);
   std::printf("# shape check: time and traffic grow ~O(k^2) with block size\n");
 }
 

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/runtime.h"
+#include "src/engine/engine.h"
 #include "src/graph/generators.h"
 #include "src/programs/components.h"
 #include "src/programs/histogram.h"
@@ -72,22 +72,22 @@ void EndToEnd() {
   params.noise.alpha = 0.5;
   params.noise.magnitude_bits = 8;
   params.noise.threshold_bits = 12;
-  core::VertexProgram program = programs::BuildInfluenceProgram(params);
-
   std::vector<uint16_t> masses(24, 500);
-  core::RuntimeConfig config;
-  config.block_size = 4;
-  config.seed = 12;
-  core::Runtime runtime(config, g, program);
-  core::RunMetrics metrics;
-  int64_t released = runtime.Run(programs::MakeInfluenceStates(masses), &metrics);
+  engine::RunSpec spec;
+  spec.graph = g;
+  spec.model = engine::ContagionModel::kCustom;
+  spec.custom_program = programs::BuildInfluenceProgram(params);
+  spec.custom_states = programs::MakeInfluenceStates(masses);
+  spec.block_size = 4;
+  spec.seed = 12;
+  engine::RunReport report = engine::Engine(spec).Run();
   auto reference = programs::PlaintextInfluence(g, masses, params);
   int64_t expected = 0;
   for (uint16_t mass : reference) {
     expected += mass;
   }
-  std::printf("released %lld (exact %lld), %s\n", static_cast<long long>(released),
-              static_cast<long long>(expected), metrics.ToString().c_str());
+  std::printf("released %lld (exact %lld), %s\n", static_cast<long long>(report.released),
+              static_cast<long long>(expected), report.metrics.ToString().c_str());
 }
 
 }  // namespace

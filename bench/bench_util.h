@@ -76,12 +76,18 @@ inline BlockMpcResult RunBlockMpc(const circuit::Circuit& circuit, int block_siz
   return result;
 }
 
-// Standard program parameters used across the figure benches (the
-// prototype's 12-bit shares).
+// The figure benches' fixed-point format (the prototype's 12-bit shares).
+inline finance::FixedPointFormat BenchFormat() {
+  finance::FixedPointFormat format;
+  format.value_bits = 12;
+  format.frac_bits = 8;
+  return format;
+}
+
+// Standard program parameters used across the figure benches.
 inline finance::EnProgramParams EnParams(int degree_bound, int iterations = 7) {
   finance::EnProgramParams params;
-  params.format.value_bits = 12;
-  params.format.frac_bits = 8;
+  params.format = BenchFormat();
   params.degree_bound = degree_bound;
   params.iterations = iterations;
   params.noise_alpha = 0.5;
@@ -91,8 +97,7 @@ inline finance::EnProgramParams EnParams(int degree_bound, int iterations = 7) {
 
 inline finance::EgjProgramParams EgjParams(int degree_bound, int iterations = 7) {
   finance::EgjProgramParams params;
-  params.format.value_bits = 12;
-  params.format.frac_bits = 8;
+  params.format = BenchFormat();
   params.degree_bound = degree_bound;
   params.iterations = iterations;
   params.noise_alpha = 0.5;

@@ -14,45 +14,29 @@
 #include <cstdio>
 
 #include "src/audit/verify.h"
-#include "src/core/runtime.h"
-#include "src/finance/eisenberg_noe.h"
-#include "src/finance/workload.h"
-#include "src/graph/generators.h"
+#include "src/engine/engine.h"
 
 int main() {
   using namespace dstress;
 
   // A small Eisenberg–Noe stress test, exactly like quickstart.
-  Rng rng(99);
-  graph::CorePeripheryParams topology;
-  topology.num_vertices = 12;
-  topology.core_size = 4;
-  graph::Graph network = graph::GenerateCorePeriphery(topology, rng);
-
-  finance::WorkloadParams sheets;
-  sheets.core_size = topology.core_size;
-  finance::ShockParams shock;
-  shock.shocked_banks = {0, 1};
-  finance::EnInstance instance = finance::MakeEnWorkload(network, sheets, shock);
-
-  finance::EnProgramParams params;
-  params.degree_bound = network.MaxDegree();
-  params.iterations = 4;
-  params.noise_alpha = 0.5;
-  core::VertexProgram program = finance::MakeEnProgram(params);
-
-  core::RuntimeConfig config;
-  config.block_size = 3;
-  config.seed = 7;
-  core::Runtime runtime(config, network, program);
+  engine::RunSpec spec;
+  spec.topology = engine::CorePeripheryTopology(/*num_vertices=*/12, /*core_size=*/4);
+  spec.model = engine::ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {0, 1};
+  spec.iterations = 4;
+  spec.block_size = 3;
+  spec.noise_alpha = 0.5;
+  spec.seed = 7;
+  engine::Engine engine(spec);
 
   // Every bank records its transcript while the protocol runs.
-  audit::TranscriptRecorder recorder(network.num_vertices());
-  runtime.AttachObserver(&recorder);
+  audit::TranscriptRecorder recorder(engine.graph().num_vertices());
+  engine.AttachObserver(&recorder);
 
-  auto states = finance::MakeEnInitialStates(instance, params);
-  int64_t tds = runtime.Run(states, nullptr);
-  std::printf("released (noised) total dollar shortfall: %lld\n", static_cast<long long>(tds));
+  engine::RunReport report = engine.Run();
+  std::printf("released (noised) total dollar shortfall: %lld\n",
+              static_cast<long long>(report.released));
 
   // The audit: chains intact, every sent message received unmodified.
   audit::AuditReport clean = audit::VerifyTranscripts(recorder);

@@ -7,6 +7,7 @@
 //
 //   network core_periphery 30 6
 //   model egj
+//   mode secure
 //   block_size 4
 //   epsilon 0.23
 //   leverage 0.1
@@ -17,6 +18,7 @@
 #include <cstring>
 
 #include "src/cli/scenario.h"
+#include "src/engine/engine.h"
 
 namespace {
 
@@ -41,18 +43,20 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  std::optional<cli::Scenario> scenario =
+  std::optional<engine::RunSpec> spec =
       std::strcmp(argv[1], "--demo") == 0 ? cli::ParseScenario(kDemoScenario, &error)
                                           : cli::LoadScenarioFile(argv[1], &error);
-  if (!scenario.has_value()) {
+  if (!spec.has_value()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
 
-  std::printf("running %s scenario under DStress...\n",
-              scenario->model == cli::Model::kEisenbergNoe ? "Eisenberg-Noe"
-                                                           : "Elliott-Golub-Jackson");
-  cli::ScenarioResult result = cli::RunScenario(*scenario);
-  std::printf("%s", cli::FormatReport(*scenario, result).c_str());
+  engine::Engine engine(*spec);
+  std::printf("running %s scenario under DStress (%s mode)...\n",
+              spec->model == engine::ContagionModel::kEisenbergNoe ? "Eisenberg-Noe"
+                                                                   : "Elliott-Golub-Jackson",
+              engine::ExecutionModeName(spec->mode));
+  engine::RunReport report = engine.Run();
+  std::printf("%s", engine::FormatReport(*spec, report).c_str());
   return 0;
 }

@@ -11,14 +11,14 @@
 //     clusters, via min-label propagation.
 //
 // Every statistic is computed without any participant learning another's
-// data or the graph topology, and released with differential privacy.
+// data or the graph topology, and released with differential privacy. Each
+// analysis is an engine::RunSpec carrying a custom vertex program.
 //
 // Build & run:  ./build/examples/federated_graph_stats
 
 #include <cstdio>
 
-#include "src/core/runtime.h"
-#include "src/graph/generators.h"
+#include "src/engine/engine.h"
 #include "src/programs/components.h"
 #include "src/programs/influence.h"
 #include "src/programs/private_sum.h"
@@ -40,7 +40,6 @@ int main() {
 
   // A two-cluster communication graph: organizations 0..19 and 20..31,
   // symmetric links, no cross-cluster edges.
-  Rng rng(12);
   graph::Graph g(32);
   auto link = [&g](int u, int v) {
     g.AddEdge(u, v);
@@ -55,9 +54,13 @@ int main() {
   std::printf("graph: %d accounts, %d directed links, max degree %d\n", g.num_vertices(),
               g.num_edges(), g.MaxDegree());
 
-  core::RuntimeConfig config;
-  config.block_size = 4;
-  config.seed = 3;
+  // Shared run shape: the confidential prebuilt network, blocks of k+1 = 4,
+  // a caller-supplied vertex program.
+  engine::RunSpec base;
+  base.graph = g;
+  base.model = engine::ContagionModel::kCustom;
+  base.block_size = 4;
+  base.seed = 3;
 
   // --- 1. private census ------------------------------------------------
   std::vector<uint32_t> activity(32);
@@ -70,11 +73,13 @@ int main() {
   sum_params.degree_bound = g.MaxDegree();
   sum_params.noise = ModestNoise();
   {
-    core::Runtime runtime(config, g, programs::BuildPrivateSumProgram(sum_params));
-    int64_t released =
-        runtime.Run(programs::MakePrivateSumStates(activity, sum_params.value_bits), nullptr);
+    engine::RunSpec spec = base;
+    spec.custom_program = programs::BuildPrivateSumProgram(sum_params);
+    spec.custom_states = programs::MakePrivateSumStates(activity, sum_params.value_bits);
+    engine::RunReport report = engine::Engine(spec).Run();
     std::printf("1. activity census:   released %lld   (true %llu)\n",
-                static_cast<long long>(released), static_cast<unsigned long long>(true_total));
+                static_cast<long long>(report.released),
+                static_cast<unsigned long long>(true_total));
   }
 
   // --- 2. influence diffusion --------------------------------------------
@@ -88,15 +93,17 @@ int main() {
   seeds[0] = 8000;   // seed account in cluster 1
   seeds[20] = 2000;  // seed account in cluster 2
   {
-    core::Runtime runtime(config, g, programs::BuildInfluenceProgram(inf_params));
-    int64_t released = runtime.Run(programs::MakeInfluenceStates(seeds), nullptr);
+    engine::RunSpec spec = base;
+    spec.custom_program = programs::BuildInfluenceProgram(inf_params);
+    spec.custom_states = programs::MakeInfluenceStates(seeds);
+    engine::RunReport report = engine::Engine(spec).Run();
     auto reference = programs::PlaintextInfluence(g, seeds, inf_params);
     int64_t expected = 0;
     for (uint16_t mass : reference) {
       expected += mass;
     }
     std::printf("2. influence mass:    released %lld   (exact %lld)\n",
-                static_cast<long long>(released), static_cast<long long>(expected));
+                static_cast<long long>(report.released), static_cast<long long>(expected));
   }
 
   // --- 3. component count -------------------------------------------------
@@ -106,11 +113,14 @@ int main() {
   comp_params.label_bits = 6;
   comp_params.noise = ModestNoise();
   {
-    core::Runtime runtime(config, g, programs::BuildComponentsProgram(comp_params));
-    int64_t released = runtime.Run(
-        programs::MakeComponentsStates(g.num_vertices(), comp_params.label_bits), nullptr);
+    engine::RunSpec spec = base;
+    spec.custom_program = programs::BuildComponentsProgram(comp_params);
+    spec.custom_states =
+        programs::MakeComponentsStates(g.num_vertices(), comp_params.label_bits);
+    engine::RunReport report = engine::Engine(spec).Run();
     std::printf("3. cluster count:     released %lld   (true %d)\n",
-                static_cast<long long>(released), programs::WeaklyConnectedComponents(g));
+                static_cast<long long>(report.released),
+                programs::WeaklyConnectedComponents(g));
   }
 
   std::printf("\nall three figures were computed under MPC with secret-shared state,\n"

@@ -11,13 +11,14 @@
 // Vertex program: state = 1 bit of "failed"; a failed vertex broadcasts 1,
 // a healthy one broadcasts ⊥ = 0; a vertex fails when any in-neighbor has
 // failed; aggregate = noised count of failed vertices after h iterations.
+// The program rides in a RunSpec as a custom contagion model.
 //
 // Build & run:  ./build/examples/private_reachability
 
 #include <cstdio>
 #include <queue>
 
-#include "src/core/runtime.h"
+#include "src/engine/engine.h"
 #include "src/graph/generators.h"
 
 int main() {
@@ -63,12 +64,14 @@ int main() {
     states[v][0] = 1;
   }
 
-  core::RuntimeConfig config;
-  config.block_size = 4;
-  config.seed = 77;
-  core::Runtime runtime(config, deps, program);
-  core::RunMetrics metrics;
-  int64_t released = runtime.Run(states, &metrics);
+  engine::RunSpec spec;
+  spec.graph = deps;
+  spec.model = engine::ContagionModel::kCustom;
+  spec.custom_program = program;
+  spec.custom_states = states;
+  spec.block_size = 4;
+  spec.seed = 77;
+  engine::RunReport report = engine::Engine(spec).Run();
 
   // Cleartext reference: BFS truncated at kHops.
   std::vector<int> dist(deps.num_vertices(), -1);
@@ -98,8 +101,8 @@ int main() {
   std::printf("failure sources: %zu services; horizon: %d hops\n", initially_failed.size(),
               kHops);
   std::printf("released (noised) blast-radius count: %lld\n",
-              static_cast<long long>(released));
+              static_cast<long long>(report.released));
   std::printf("cleartext reference:                  %d\n", reachable);
-  std::printf("run: %s\n", metrics.ToString().c_str());
+  std::printf("run: %s\n", report.metrics.ToString().c_str());
   return 0;
 }

@@ -7,69 +7,55 @@
 // to k of them) learning another bank's books or the shape of the network,
 // and with differential privacy on the released figure.
 //
+// The whole run is one declarative RunSpec:
+//
+//   engine::RunSpec spec;
+//   spec.topology = engine::CorePeripheryTopology(10, 4);
+//   spec.model = engine::ContagionModel::kEisenbergNoe;
+//   spec.shock.shocked_banks = {4, 5};
+//   spec.iterations = 4;
+//   spec.block_size = 4;
+//   spec.seed = 7;
+//   engine::RunReport report = engine::Engine(spec).Run();
+//
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "src/core/runtime.h"
-#include "src/finance/eisenberg_noe.h"
-#include "src/finance/utility.h"
-#include "src/finance/workload.h"
-#include "src/graph/generators.h"
+#include "src/engine/engine.h"
 
 int main() {
   using namespace dstress;
 
-  // 1. The financial network: a 10-bank core-periphery graph. In a real
-  //    deployment no party would hold this object; each bank would know
-  //    only its own adjacency.
-  Rng rng(42);
-  graph::CorePeripheryParams topology;
-  topology.num_vertices = 10;
-  topology.core_size = 4;
-  graph::Graph network = graph::GenerateCorePeriphery(topology, rng);
+  // 1. The stress test, declaratively: a 10-bank core-periphery network
+  //    (in a real deployment no party would hold the topology; each bank
+  //    knows only its own adjacency), the Eisenberg–Noe contagion model of
+  //    paper Figure 2a, and a shock that wipes out banks 4 and 5. Output
+  //    noise is calibrated as in §4.5 from the defaults eps = 0.23 and
+  //    leverage bound r = 0.1.
+  engine::RunSpec spec;
+  spec.topology = engine::CorePeripheryTopology(/*num_vertices=*/10, /*core_size=*/4);
+  spec.model = engine::ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {4, 5};
+  spec.iterations = 4;  // ~log2(N), Appendix C
+  spec.block_size = 4;  // state is secret-shared across blocks of k+1 = 4
+  spec.seed = 7;
+
+  // 2. Execute under DStress: every bank runs on its own thread, updates
+  //    run in GMW, messages cross edges through the encrypted transfer
+  //    protocol, and the aggregate is noised inside MPC.
+  engine::Engine engine(spec);
   std::printf("network: %d banks, %d directed exposures, max degree %d\n",
-              network.num_vertices(), network.num_edges(), network.MaxDegree());
+              engine.graph().num_vertices(), engine.graph().num_edges(),
+              engine.graph().MaxDegree());
+  engine::RunReport report = engine.Run();
 
-  // 2. Balance sheets plus a shock: banks 4 and 5 lose their reserves.
-  finance::WorkloadParams balance_sheets;
-  balance_sheets.core_size = topology.core_size;
-  finance::ShockParams shock;
-  shock.shocked_banks = {4, 5};
-  finance::EnInstance instance = finance::MakeEnWorkload(network, balance_sheets, shock);
-
-  // 3. The vertex program (Figure 2a of the paper) with dollar-DP output
-  //    noise calibrated as in §4.5: sensitivity 1/r at leverage bound
-  //    r = 0.1, one money unit = $1B granularity.
-  finance::EnProgramParams program_params;
-  program_params.degree_bound = network.MaxDegree();
-  program_params.iterations = 4;  // ~log2(N), Appendix C
-  program_params.noise_alpha = finance::NoiseAlphaForRelease(
-      /*sensitivity_dollars=*/finance::EnSensitivity(0.1), /*epsilon=*/0.23,
-      /*unit_dollars=*/1.0);
-  core::VertexProgram program = finance::MakeEnProgram(program_params);
-  std::printf("update circuit: %s\n", "built");
-
-  // 4. Execute under DStress: every bank runs on its own thread, state is
-  //    secret-shared across blocks of k+1 = 4 banks, updates run in GMW,
-  //    messages cross edges through the encrypted transfer protocol.
-  core::RuntimeConfig config;
-  config.block_size = 4;
-  config.seed = 7;
-  core::Runtime runtime(config, network, program);
-  std::printf("update circuit: %s\n", runtime.update_circuit().stats().ToString().c_str());
-
-  core::RunMetrics metrics;
-  int64_t noised_tds =
-      runtime.Run(finance::MakeEnInitialStates(instance, program_params), &metrics);
-
-  // 5. Compare with the cleartext reference (which a regulator could never
+  // 3. Compare with the cleartext reference (which a regulator could never
   //    compute in practice — it needs all the books).
-  uint64_t exact_tds = finance::EnSolveFixed(instance, program_params);
   std::printf("\nnoised TDS (released): %lld money units\n",
-              static_cast<long long>(noised_tds));
+              static_cast<long long>(report.released));
   std::printf("exact TDS (reference): %llu money units\n",
-              static_cast<unsigned long long>(exact_tds));
-  std::printf("run: %s\n", metrics.ToString().c_str());
+              static_cast<unsigned long long>(report.reference));
+  std::printf("run: %s\n", report.metrics.ToString().c_str());
   return 0;
 }

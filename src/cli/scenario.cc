@@ -1,20 +1,10 @@
 #include "src/cli/scenario.h"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <sstream>
+#include <vector>
 
-#include "src/common/check.h"
-#include "src/common/rng.h"
-#include "src/common/stopwatch.h"
-#include "src/core/runtime.h"
-#include "src/finance/eisenberg_noe.h"
-#include "src/finance/elliott_golub_jackson.h"
-#include "src/finance/utility.h"
-#include "src/finance/workload.h"
-#include "src/graph/generators.h"
 #include "src/graph/io.h"
 
 namespace dstress::cli {
@@ -70,8 +60,8 @@ struct LineParser {
 
 }  // namespace
 
-std::optional<Scenario> ParseScenario(const std::string& text, std::string* error) {
-  Scenario scenario;
+std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::string* error) {
+  engine::RunSpec spec;
   bool saw_network = false;
   std::istringstream stream(text);
   std::string line;
@@ -97,42 +87,42 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
       }
       const std::string& topo = p.tokens[1];
       if (topo == "core_periphery") {
-        scenario.topology = Topology::kCorePeriphery;
-        if (p.tokens.size() != 4 || !p.Int(2, 1, &scenario.num_vertices) ||
-            !p.Int(3, 1, &scenario.core_size)) {
+        spec.topology.kind = engine::TopologySpec::Kind::kCorePeriphery;
+        if (p.tokens.size() != 4 || !p.Int(2, 1, &spec.topology.num_vertices) ||
+            !p.Int(3, 1, &spec.topology.core_size)) {
           if (error->empty()) {
             p.Fail("usage: network core_periphery <N> <core_size>");
           }
           return std::nullopt;
         }
-        if (scenario.core_size > scenario.num_vertices) {
+        if (spec.topology.core_size > spec.topology.num_vertices) {
           p.Fail("core_size exceeds N");
           return std::nullopt;
         }
       } else if (topo == "scale_free") {
-        scenario.topology = Topology::kScaleFree;
-        if (p.tokens.size() != 4 || !p.Int(2, 2, &scenario.num_vertices) ||
-            !p.Int(3, 1, &scenario.links_per_vertex)) {
+        spec.topology.kind = engine::TopologySpec::Kind::kScaleFree;
+        if (p.tokens.size() != 4 || !p.Int(2, 2, &spec.topology.num_vertices) ||
+            !p.Int(3, 1, &spec.topology.links_per_vertex)) {
           if (error->empty()) {
             p.Fail("usage: network scale_free <N> <links_per_vertex>");
           }
           return std::nullopt;
         }
       } else if (topo == "erdos_renyi") {
-        scenario.topology = Topology::kErdosRenyi;
-        if (p.tokens.size() != 4 || !p.Int(2, 1, &scenario.num_vertices) ||
-            !p.Double(3, &scenario.edge_probability)) {
+        spec.topology.kind = engine::TopologySpec::Kind::kErdosRenyi;
+        if (p.tokens.size() != 4 || !p.Int(2, 1, &spec.topology.num_vertices) ||
+            !p.Double(3, &spec.topology.edge_probability)) {
           if (error->empty()) {
             p.Fail("usage: network erdos_renyi <N> <edge_probability>");
           }
           return std::nullopt;
         }
-        if (scenario.edge_probability < 0 || scenario.edge_probability > 1) {
+        if (spec.topology.edge_probability < 0 || spec.topology.edge_probability > 1) {
           p.Fail("edge_probability must be in [0, 1]");
           return std::nullopt;
         }
       } else if (topo == "file") {
-        scenario.topology = Topology::kExplicit;
+        spec.topology.kind = engine::TopologySpec::Kind::kExplicit;
         if (p.tokens.size() != 3) {
           p.Fail("usage: network file <edge-list-path>");
           return std::nullopt;
@@ -143,11 +133,11 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
           p.Fail("edge-list file: " + io_error);
           return std::nullopt;
         }
-        scenario.num_vertices = g->num_vertices();
-        scenario.edges = g->Edges();
+        spec.topology.num_vertices = g->num_vertices();
+        spec.topology.edges = g->Edges();
       } else if (topo == "explicit") {
-        scenario.topology = Topology::kExplicit;
-        if (p.tokens.size() != 3 || !p.Int(2, 1, &scenario.num_vertices)) {
+        spec.topology.kind = engine::TopologySpec::Kind::kExplicit;
+        if (p.tokens.size() != 3 || !p.Int(2, 1, &spec.topology.num_vertices)) {
           if (error->empty()) {
             p.Fail("usage: network explicit <N>");
           }
@@ -164,48 +154,67 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
       if (!p.ArgCount(2) || !p.Int(1, 0, &u) || !p.Int(2, 0, &v)) {
         return std::nullopt;
       }
-      if (!saw_network || scenario.topology != Topology::kExplicit) {
+      if (!saw_network || spec.topology.kind != engine::TopologySpec::Kind::kExplicit) {
         p.Fail("edge requires a preceding 'network explicit' directive");
         return std::nullopt;
       }
-      if (u >= scenario.num_vertices || v >= scenario.num_vertices || u == v) {
+      if (u >= spec.topology.num_vertices || v >= spec.topology.num_vertices || u == v) {
         p.Fail("edge endpoints out of range");
         return std::nullopt;
       }
-      scenario.edges.emplace_back(u, v);
+      spec.topology.edges.emplace_back(u, v);
     } else if (directive == "model") {
       if (!p.ArgCount(1)) {
         return std::nullopt;
       }
       if (p.tokens[1] == "en") {
-        scenario.model = Model::kEisenbergNoe;
+        spec.model = engine::ContagionModel::kEisenbergNoe;
       } else if (p.tokens[1] == "egj") {
-        scenario.model = Model::kElliottGolubJackson;
+        spec.model = engine::ContagionModel::kElliottGolubJackson;
       } else {
         p.Fail("model must be 'en' or 'egj'");
         return std::nullopt;
       }
+    } else if (directive == "mode") {
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      auto mode = engine::ExecutionModeFromName(p.tokens[1]);
+      if (!mode.has_value()) {
+        p.Fail("mode must be 'secure' or 'cleartext'");
+        return std::nullopt;
+      }
+      spec.mode = *mode;
     } else if (directive == "iterations") {
-      if (!p.ArgCount(1) || !p.Int(1, 0, &scenario.iterations)) {
+      if (!p.ArgCount(1) || !p.Int(1, 0, &spec.iterations)) {
         return std::nullopt;
       }
     } else if (directive == "block_size") {
-      if (!p.ArgCount(1) || !p.Int(1, 2, &scenario.block_size)) {
+      if (!p.ArgCount(1) || !p.Int(1, 2, &spec.block_size)) {
+        return std::nullopt;
+      }
+    } else if (directive == "fanout") {
+      if (!p.ArgCount(1) || !p.Int(1, 0, &spec.aggregation_fanout)) {
+        return std::nullopt;
+      }
+      // fanout 1 would make the aggregation-tree reduction never shrink.
+      if (spec.aggregation_fanout == 1) {
+        p.Fail("fanout must be 0 (flat aggregation) or >= 2");
         return std::nullopt;
       }
     } else if (directive == "epsilon") {
-      if (!p.ArgCount(1) || !p.Double(1, &scenario.epsilon)) {
+      if (!p.ArgCount(1) || !p.Double(1, &spec.epsilon)) {
         return std::nullopt;
       }
-      if (scenario.epsilon <= 0) {
+      if (spec.epsilon <= 0) {
         p.Fail("epsilon must be positive");
         return std::nullopt;
       }
     } else if (directive == "leverage") {
-      if (!p.ArgCount(1) || !p.Double(1, &scenario.leverage)) {
+      if (!p.ArgCount(1) || !p.Double(1, &spec.leverage)) {
         return std::nullopt;
       }
-      if (scenario.leverage <= 0 || scenario.leverage > 1) {
+      if (spec.leverage <= 0 || spec.leverage > 1) {
         p.Fail("leverage must be in (0, 1]");
         return std::nullopt;
       }
@@ -219,14 +228,14 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         if (!p.Int(i, 0, &bank)) {
           return std::nullopt;
         }
-        scenario.shocked_banks.push_back(bank);
+        spec.shock.shocked_banks.push_back(bank);
       }
     } else if (directive == "seed") {
       int s = 0;
       if (!p.ArgCount(1) || !p.Int(1, 0, &s)) {
         return std::nullopt;
       }
-      scenario.seed = static_cast<uint64_t>(s);
+      spec.seed = static_cast<uint64_t>(s);
     } else {
       p.Fail("unknown directive '" + directive + "'");
       return std::nullopt;
@@ -236,16 +245,16 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
     *error = "scenario is missing a 'network' directive";
     return std::nullopt;
   }
-  for (int bank : scenario.shocked_banks) {
-    if (bank >= scenario.num_vertices) {
+  for (int bank : spec.shock.shocked_banks) {
+    if (bank >= spec.topology.num_vertices) {
       *error = "shocked bank " + std::to_string(bank) + " out of range";
       return std::nullopt;
     }
   }
-  return scenario;
+  return spec;
 }
 
-std::optional<Scenario> LoadScenarioFile(const std::string& path, std::string* error) {
+std::optional<engine::RunSpec> LoadScenarioFile(const std::string& path, std::string* error) {
   std::ifstream file(path);
   if (!file) {
     *error = "cannot open '" + path + "'";
@@ -254,105 +263,6 @@ std::optional<Scenario> LoadScenarioFile(const std::string& path, std::string* e
   std::ostringstream contents;
   contents << file.rdbuf();
   return ParseScenario(contents.str(), error);
-}
-
-graph::Graph BuildScenarioGraph(const Scenario& scenario) {
-  Rng rng(scenario.seed);
-  switch (scenario.topology) {
-    case Topology::kCorePeriphery: {
-      graph::CorePeripheryParams params;
-      params.num_vertices = scenario.num_vertices;
-      params.core_size = scenario.core_size;
-      return graph::GenerateCorePeriphery(params, rng);
-    }
-    case Topology::kScaleFree:
-      return graph::GenerateScaleFree(scenario.num_vertices, scenario.links_per_vertex, rng);
-    case Topology::kErdosRenyi:
-      return graph::GenerateErdosRenyi(scenario.num_vertices, scenario.edge_probability, rng);
-    case Topology::kExplicit: {
-      graph::Graph g(scenario.num_vertices);
-      for (auto [u, v] : scenario.edges) {
-        g.AddEdge(u, v);
-      }
-      return g;
-    }
-  }
-  DSTRESS_CHECK(false);
-}
-
-int ScenarioIterations(const Scenario& scenario) {
-  if (scenario.iterations > 0) {
-    return scenario.iterations;
-  }
-  // Appendix C: I = ceil(log2 N) suffices on two-tier networks.
-  int i = 1;
-  while ((1 << i) < scenario.num_vertices) {
-    i++;
-  }
-  return i;
-}
-
-ScenarioResult RunScenario(const Scenario& scenario) {
-  graph::Graph network = BuildScenarioGraph(scenario);
-  ScenarioResult result;
-  result.iterations = ScenarioIterations(scenario);
-
-  finance::WorkloadParams sheets;
-  sheets.core_size = scenario.topology == Topology::kCorePeriphery ? scenario.core_size : 0;
-  sheets.seed = scenario.seed;
-  finance::ShockParams shock;
-  shock.shocked_banks = scenario.shocked_banks;
-
-  core::RuntimeConfig config;
-  config.block_size = scenario.block_size;
-  config.seed = scenario.seed;
-
-  Stopwatch timer;
-  core::RunMetrics metrics;
-  if (scenario.model == Model::kEisenbergNoe) {
-    result.model_name = "Eisenberg-Noe";
-    finance::EnInstance instance = finance::MakeEnWorkload(network, sheets, shock);
-    finance::EnProgramParams params;
-    params.degree_bound = network.MaxDegree();
-    params.iterations = result.iterations;
-    params.noise_alpha = finance::NoiseAlphaForRelease(
-        finance::EnSensitivity(scenario.leverage), scenario.epsilon, /*unit_dollars=*/1.0);
-    core::Runtime runtime(config, network, finance::MakeEnProgram(params));
-    result.released_tds = runtime.Run(finance::MakeEnInitialStates(instance, params), &metrics);
-    result.reference_tds = finance::EnSolveFixed(instance, params);
-  } else {
-    result.model_name = "Elliott-Golub-Jackson";
-    finance::EgjInstance instance = finance::MakeEgjWorkload(network, sheets, shock);
-    finance::EgjProgramParams params;
-    params.degree_bound = network.MaxDegree();
-    params.iterations = result.iterations;
-    params.noise_alpha = finance::NoiseAlphaForRelease(
-        finance::EgjSensitivity(scenario.leverage), scenario.epsilon, /*unit_dollars=*/1.0);
-    core::Runtime runtime(config, network, finance::MakeEgjProgram(params));
-    result.released_tds = runtime.Run(finance::MakeEgjInitialStates(instance, params), &metrics);
-    result.reference_tds = finance::EgjSolveFixed(instance, params);
-  }
-  result.seconds = timer.ElapsedSeconds();
-  result.avg_megabytes_per_node = metrics.avg_bytes_per_node / 1e6;
-  return result;
-}
-
-std::string FormatReport(const Scenario& scenario, const ScenarioResult& result) {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "model:               %s\n"
-      "banks:               %d (block size %d, %d iterations)\n"
-      "shocked banks:       %zu\n"
-      "released TDS:        %lld money units (eps=%.3f, leverage r=%.2f)\n"
-      "reference TDS:       %llu money units (cleartext check, not released)\n"
-      "wall time:           %.2f s\n"
-      "traffic per bank:    %.2f MB\n",
-      result.model_name.c_str(), scenario.num_vertices, scenario.block_size, result.iterations,
-      scenario.shocked_banks.size(), static_cast<long long>(result.released_tds),
-      scenario.epsilon, scenario.leverage, static_cast<unsigned long long>(result.reference_tds),
-      result.seconds, result.avg_megabytes_per_node);
-  return buf;
 }
 
 }  // namespace dstress::cli

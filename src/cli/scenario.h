@@ -1,6 +1,8 @@
 // Scenario files: a small text format that lets a regulator (or a test
 // harness) describe a complete DStress stress test — network topology,
-// contagion model, privacy parameters, and shock — without writing C++.
+// contagion model, privacy parameters, shock, and execution mode — without
+// writing C++. The parser is a thin front end: it produces an
+// engine::RunSpec, which engine::Engine executes.
 //
 // Format: one directive per line, `#` starts a comment. Directives:
 //
@@ -11,8 +13,10 @@
 //   network file <path>                         (edge-list file, src/graph/io.h)
 //   edge <u> <v>                                (directed)
 //   model <en|egj>                              (contagion model, §4.2/§4.3)
+//   mode <secure|cleartext>                     (execution backend, default secure)
 //   iterations <I>                              (0 = ceil(log2 N), App. C)
 //   block_size <k+1>
+//   fanout <F>                                  (aggregation tree fan-in; 0 = flat)
 //   epsilon <eps_query>                         (§4.5 output privacy)
 //   leverage <r>                                (sensitivity = 1/r or 2/r)
 //   shock <bank> [bank ...]                     (assets wiped before run)
@@ -25,68 +29,17 @@
 
 #include <optional>
 #include <string>
-#include <vector>
 
-#include "src/graph/graph.h"
+#include "src/engine/run_spec.h"
 
 namespace dstress::cli {
 
-enum class Model {
-  kEisenbergNoe,
-  kElliottGolubJackson,
-};
-
-enum class Topology {
-  kCorePeriphery,
-  kScaleFree,
-  kErdosRenyi,
-  kExplicit,
-};
-
-struct Scenario {
-  Topology topology = Topology::kCorePeriphery;
-  int num_vertices = 0;
-  int core_size = 0;           // core_periphery
-  int links_per_vertex = 0;    // scale_free
-  double edge_probability = 0; // erdos_renyi
-  std::vector<std::pair<int, int>> edges;  // explicit
-
-  Model model = Model::kEisenbergNoe;
-  int iterations = 0;  // 0 = auto (ceil(log2 N))
-  int block_size = 4;
-  double epsilon = 0.23;
-  double leverage = 0.1;
-  std::vector<int> shocked_banks;
-  uint64_t seed = 1;
-};
-
-// Parses scenario text. On failure returns std::nullopt and sets *error to
-// a "line N: what" message.
-std::optional<Scenario> ParseScenario(const std::string& text, std::string* error);
+// Parses scenario text into a run spec. On failure returns std::nullopt and
+// sets *error to a "line N: what" message.
+std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::string* error);
 
 // Reads and parses a scenario file.
-std::optional<Scenario> LoadScenarioFile(const std::string& path, std::string* error);
-
-// Materializes the scenario's network.
-graph::Graph BuildScenarioGraph(const Scenario& scenario);
-
-// Effective iteration count (resolves the iterations=0 auto rule).
-int ScenarioIterations(const Scenario& scenario);
-
-struct ScenarioResult {
-  int64_t released_tds = 0;     // the noised figure DStress outputs
-  uint64_t reference_tds = 0;   // cleartext fixed-point reference
-  double seconds = 0;
-  double avg_megabytes_per_node = 0;
-  int iterations = 0;
-  std::string model_name;
-};
-
-// Runs the scenario end-to-end under the full DStress runtime.
-ScenarioResult RunScenario(const Scenario& scenario);
-
-// Human-readable report.
-std::string FormatReport(const Scenario& scenario, const ScenarioResult& result);
+std::optional<engine::RunSpec> LoadScenarioFile(const std::string& path, std::string* error);
 
 }  // namespace dstress::cli
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
-#include <thread>
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
@@ -66,6 +65,10 @@ std::string RunMetrics::ToString() const {
   return buf;
 }
 
+uint64_t RolePrgSeed(uint64_t run_seed, uint64_t role_tag) {
+  return run_seed * 0x9e3779b97f4a7c15ULL + role_tag;
+}
+
 Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
                  const VertexProgram& program)
     : config_(config),
@@ -73,6 +76,8 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
       program_(program),
       update_circuit_(BuildUpdateCircuit(program)) {
   DSTRESS_CHECK(graph.MaxDegree() <= program.degree_bound);
+  // fanout 1 would make the aggregation-tree reduction never shrink.
+  DSTRESS_CHECK(config.aggregation_fanout != 1);
 
   transfer_params_.block_size = config.block_size;
   transfer_params_.message_bits = program.message_bits;
@@ -101,18 +106,14 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
   dlog_table_ = std::make_unique<crypto::DlogTable>(transfer_params_.dlog_range);
   edges_ = graph.Edges();
 
-  threads_target_ = config.max_parallel_tasks;
-  if (threads_target_ == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    threads_target_ = static_cast<int>(hw == 0 ? 16 : 4 * hw);
-  }
+  threads_target_ = ResolveThreadBudget(config.max_parallel_tasks);
   pool_ = std::make_unique<WorkerPool>(threads_target_);
 }
 
 Runtime::~Runtime() = default;
 
 crypto::ChaCha20Prg Runtime::RolePrg(uint64_t role_tag, uint64_t instance) {
-  return crypto::ChaCha20Prg::FromSeed(config_.seed * 0x9e3779b97f4a7c15ULL + role_tag, instance);
+  return crypto::ChaCha20Prg::FromSeed(RolePrgSeed(config_.seed, role_tag), instance);
 }
 
 mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
@@ -279,7 +280,7 @@ int64_t Runtime::AggregateSingleLevel() {
     }
     // Noise randomness: each member feeds its own uniform bits as its input
     // shares; the shared value is the XOR of all members' bits.
-    auto prg = RolePrg(0x44, m_flat);
+    auto prg = RolePrg(kNoiseRoleTag, m_flat);
     size_t noise_bits = dp::NoiseInputBits(program_.output_noise);
     for (size_t b = 0; b < noise_bits; b++) {
       input.push_back(prg.NextBit() ? 1 : 0);

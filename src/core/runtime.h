@@ -87,6 +87,14 @@ struct RuntimeConfig {
   uint64_t seed = 1;
 };
 
+// Derives the PRG seed for a protocol role from the run seed. Shared with
+// the engine's cleartext backend, which must draw the aggregation-noise
+// bits (role tag kNoiseRoleTag) from the same stream family the secure
+// runtime uses — keep any change to this mixing in sync with nothing else:
+// this function is the single definition.
+constexpr uint64_t kNoiseRoleTag = 0x44;
+uint64_t RolePrgSeed(uint64_t run_seed, uint64_t role_tag);
+
 struct PhaseMetrics {
   double seconds = 0;
   uint64_t bytes = 0;

@@ -4,6 +4,14 @@
 
 namespace dstress::core {
 
+int ResolveThreadBudget(int max_parallel_tasks) {
+  if (max_parallel_tasks > 0) {
+    return max_parallel_tasks;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw == 0 ? 16 : 4 * hw);
+}
+
 WorkerPool::WorkerPool(int num_threads) : capacity_(static_cast<size_t>(num_threads)) {
   DSTRESS_CHECK(num_threads > 0);
 }

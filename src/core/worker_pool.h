@@ -36,6 +36,12 @@
 
 namespace dstress::core {
 
+// Thread budget for a phase scheduler: `max_parallel_tasks` if nonzero,
+// else 4x hardware concurrency (oversubscribed so blocking intra-group
+// receives still leave runnable threads), 16 when concurrency is unknown.
+// Shared by core::Runtime and the engine's cleartext backend.
+int ResolveThreadBudget(int max_parallel_tasks);
+
 class WorkerPool {
  public:
   // `num_threads` is the pool's thread budget. Threads are spawned lazily

@@ -1,0 +1,77 @@
+// ExecutionBackend — the seam between the declarative engine API and the
+// machinery that actually runs a stress test.
+//
+// The engine compiles a RunSpec down to (graph, vertex program, runtime
+// config, initial states) and hands the first three to a backend factory
+// looked up by ExecutionMode in a process-wide registry. Two backends are
+// built in:
+//
+//   kSecure        — secure_backend.h: wraps core::Runtime, i.e. the full
+//                    GMW + OT + §3.5-transfer protocol stack.
+//   kCleartextFast — cleartext_backend.h: same circuits, same transport and
+//                    scheduler layers, no cryptography.
+//
+// RegisterExecutionMode lets deployments override a mode's factory (a test
+// double, or a future TCP multi-process runtime behind kSecure) without any
+// caller changing: every entry point goes through engine::Engine, and the
+// engine goes through this registry.
+#ifndef SRC_ENGINE_BACKEND_H_
+#define SRC_ENGINE_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/engine/run_spec.h"
+#include "src/net/transport.h"
+
+namespace dstress::engine {
+
+// Everything a backend may depend on. The pointed-to objects are owned by
+// the Engine and outlive the backend.
+struct BackendContext {
+  const RunSpec* spec = nullptr;
+  const graph::Graph* graph = nullptr;
+  const core::VertexProgram* program = nullptr;
+  // Schedule knobs, already derived from the spec (block size, fanout,
+  // triple source, seed, transfer parameters).
+  core::RuntimeConfig runtime_config;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Runs the program once on `initial_states` (one state per vertex) and
+  // returns the released aggregate. Reusable: each call is an independent
+  // run. `metrics` may be nullptr.
+  virtual int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
+                          core::RunMetrics* metrics) = 0;
+
+  // Attaches a transport observer (audit layer); must happen before the
+  // first Execute, see net::Transport::SetObserver.
+  virtual void AttachObserver(net::NetworkObserver* observer) = 0;
+
+  // The transport the run's traffic crosses (for traffic accounting).
+  virtual const net::Transport& transport() const = 0;
+};
+
+using ExecutionBackendFactory =
+    std::function<std::unique_ptr<ExecutionBackend>(const BackendContext& context)>;
+
+// Replaces the factory for `mode` process-wide. Thread-safe.
+void RegisterExecutionMode(ExecutionMode mode, ExecutionBackendFactory factory);
+
+// Restores the built-in factory for `mode`.
+void ResetExecutionMode(ExecutionMode mode);
+
+// Instantiates the backend currently registered for `mode`.
+std::unique_ptr<ExecutionBackend> MakeExecutionBackend(ExecutionMode mode,
+                                                       const BackendContext& context);
+
+}  // namespace dstress::engine
+
+#endif  // SRC_ENGINE_BACKEND_H_

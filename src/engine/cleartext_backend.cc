@@ -1,0 +1,273 @@
+#include "src/engine/cleartext_backend.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/core/worker_pool.h"
+#include "src/crypto/chacha20.h"
+#include "src/dp/noise_circuit.h"
+#include "src/net/sim_network.h"
+
+namespace dstress::engine {
+
+namespace {
+
+// Session namespaces, mirroring the secure runtime's convention of keying
+// concurrent protocol streams by phase.
+constexpr net::SessionId kEdgeSession = 1ULL << 60;
+constexpr net::SessionId kGatherSession = 2ULL << 60;
+
+// The aggregation role is played by node 0 (any fixed node works — there is
+// no aggregation block to protect in cleartext mode).
+constexpr net::NodeId kAggregatorNode = 0;
+
+Bytes PackBits(const mpc::BitVector& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); i++) {
+    if (bits[i] & 1) {
+      out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  return out;
+}
+
+mpc::BitVector UnpackBits(const Bytes& raw, size_t bits) {
+  DSTRESS_CHECK(raw.size() == (bits + 7) / 8);
+  mpc::BitVector out(bits);
+  for (size_t i = 0; i < bits; i++) {
+    out[i] = (raw[i / 8] >> (i % 8)) & 1;
+  }
+  return out;
+}
+
+uint64_t BitsToWord(const std::vector<uint8_t>& bits) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); i++) {
+    value |= static_cast<uint64_t>(bits[i] & 1) << i;
+  }
+  return value;
+}
+
+int SlotOf(const std::vector<int>& neighbors, int target) {
+  for (size_t i = 0; i < neighbors.size(); i++) {
+    if (neighbors[i] == target) {
+      return static_cast<int>(i);
+    }
+  }
+  DSTRESS_CHECK(false);
+  return -1;
+}
+
+class CleartextFastBackend : public ExecutionBackend {
+ public:
+  explicit CleartextFastBackend(const BackendContext& context)
+      : graph_(*context.graph),
+        program_(*context.program),
+        config_(context.runtime_config),
+        update_circuit_(core::BuildUpdateCircuit(program_)),
+        contribution_circuit_(core::BuildAggregateCircuit(program_, 1, /*with_noise=*/false)),
+        edges_(graph_.Edges()) {
+    DSTRESS_CHECK(graph_.MaxDegree() <= program_.degree_bound);
+
+    // The in-circuit noise sampler, evaluated in cleartext on seed-derived
+    // uniform bits: the released figure follows the same discrete-Laplace
+    // distribution as a secure run.
+    circuit::Builder noise_builder;
+    noise_builder.OutputWord(dp::BuildGeometricNoise(noise_builder, program_.output_noise,
+                                                     program_.aggregate_bits));
+    noise_circuit_ = std::make_unique<circuit::Circuit>(noise_builder.Build());
+
+    net::TransportOptions transport_options;
+    transport_options.channel_high_watermark_bytes = config_.channel_high_watermark_bytes;
+    net_ = std::make_unique<net::SimNetwork>(graph_.num_vertices(), transport_options);
+
+    pool_ = std::make_unique<core::WorkerPool>(
+        core::ResolveThreadBudget(config_.max_parallel_tasks));
+
+    out_slot_.reserve(edges_.size());
+    in_slot_.reserve(edges_.size());
+    for (auto [i, j] : edges_) {
+      out_slot_.push_back(SlotOf(graph_.OutNeighbors(i), j));
+      in_slot_.push_back(SlotOf(graph_.InNeighbors(j), i));
+    }
+  }
+
+  const char* name() const override { return ExecutionModeName(ExecutionMode::kCleartextFast); }
+
+  int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
+                  core::RunMetrics* metrics) override;
+
+  void AttachObserver(net::NetworkObserver* observer) override { net_->SetObserver(observer); }
+
+  const net::Transport& transport() const override { return *net_; }
+
+ private:
+  void ComputePhase();
+  void CommunicatePhase();
+  int64_t AggregatePhase();
+
+  const graph::Graph& graph_;
+  core::VertexProgram program_;
+  core::RuntimeConfig config_;
+  circuit::Circuit update_circuit_;
+  circuit::Circuit contribution_circuit_;
+  std::unique_ptr<circuit::Circuit> noise_circuit_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<int> out_slot_;
+  std::vector<int> in_slot_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<core::WorkerPool> pool_;
+
+  // Plaintext per-vertex state and message slots; entry v is only touched
+  // by the pool task evaluating vertex v.
+  std::vector<mpc::BitVector> state_;
+  std::vector<std::vector<mpc::BitVector>> inmsg_;   // [vertex][in_slot]
+  std::vector<std::vector<mpc::BitVector>> outmsg_;  // [vertex][out_slot]
+};
+
+void CleartextFastBackend::ComputePhase() {
+  const int d = program_.degree_bound;
+  pool_->RunGrouped(static_cast<size_t>(graph_.num_vertices()), 1, [&](size_t vg, size_t) {
+    int v = static_cast<int>(vg);
+    mpc::BitVector input = state_[v];
+    input.reserve(update_circuit_.num_inputs());
+    for (int slot = 0; slot < d; slot++) {
+      mpc::AppendBits(&input, inmsg_[v][slot]);
+    }
+    std::vector<uint8_t> output = update_circuit_.Eval(input);
+    state_[v].assign(output.begin(), output.begin() + program_.state_bits);
+    size_t cursor = static_cast<size_t>(program_.state_bits);
+    for (int slot = 0; slot < d; slot++) {
+      outmsg_[v][slot].assign(output.begin() + cursor,
+                              output.begin() + cursor + program_.message_bits);
+      cursor += program_.message_bits;
+    }
+  });
+}
+
+void CleartextFastBackend::CommunicatePhase() {
+  // Same discipline as the secure init phase: sends never block, so a
+  // send-all / receive-all sequence is deadlock-free and meters every byte.
+  // Every directed edge carries exactly one L-bit message per iteration —
+  // the secure path's traffic shape with the encryption stripped off.
+  for (size_t e = 0; e < edges_.size(); e++) {
+    auto [i, j] = edges_[e];
+    net_->Send(i, j, PackBits(outmsg_[i][out_slot_[e]]), kEdgeSession | e);
+  }
+  for (size_t e = 0; e < edges_.size(); e++) {
+    auto [i, j] = edges_[e];
+    inmsg_[j][in_slot_[e]] = UnpackBits(net_->Recv(j, i, kEdgeSession | e),
+                                        static_cast<size_t>(program_.message_bits));
+  }
+}
+
+int64_t CleartextFastBackend::AggregatePhase() {
+  const int n = graph_.num_vertices();
+
+  // Gather: every vertex forwards its final state to the aggregator.
+  for (int v = 0; v < n; v++) {
+    net_->Send(v, kAggregatorNode, PackBits(state_[v]), kGatherSession | static_cast<uint64_t>(v));
+  }
+  std::vector<uint64_t> contributions(n, 0);
+  pool_->RunGrouped(static_cast<size_t>(n), 1, [&](size_t vg, size_t) {
+    int v = static_cast<int>(vg);
+    Bytes raw = net_->Recv(kAggregatorNode, v, kGatherSession | static_cast<uint64_t>(v));
+    mpc::BitVector state = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+    contributions[v] = BitsToWord(contribution_circuit_.Eval(state));
+  });
+
+  // Sum of contributions plus sampled output noise, in aggregate_bits
+  // two's-complement arithmetic — exactly the aggregation circuit's math.
+  uint64_t sum = 0;
+  for (uint64_t contribution : contributions) {
+    sum += contribution;
+  }
+  auto prg = crypto::ChaCha20Prg::FromSeed(
+      core::RolePrgSeed(config_.seed, core::kNoiseRoleTag), /*instance=*/0);
+  std::vector<uint8_t> noise_input(noise_circuit_->num_inputs());
+  for (auto& bit : noise_input) {
+    bit = prg.NextBit() ? 1 : 0;
+  }
+  sum += BitsToWord(noise_circuit_->Eval(noise_input));
+
+  const int agg_bits = program_.aggregate_bits;
+  uint64_t mask = agg_bits >= 64 ? ~0ULL : (1ULL << agg_bits) - 1;
+  uint64_t value = sum & mask;
+  if (agg_bits < 64 && (value >> (agg_bits - 1)) != 0) {
+    return static_cast<int64_t>(value) - static_cast<int64_t>(1ULL << agg_bits);
+  }
+  return static_cast<int64_t>(value);
+}
+
+int64_t CleartextFastBackend::Execute(const std::vector<mpc::BitVector>& initial_states,
+                                      core::RunMetrics* metrics) {
+  const int n = graph_.num_vertices();
+  const int d = program_.degree_bound;
+  DSTRESS_CHECK(static_cast<int>(initial_states.size()) == n);
+
+  core::RunMetrics local;
+  core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+  m->aggregate_and_gates =
+      contribution_circuit_.stats().num_and * static_cast<size_t>(n) +
+      noise_circuit_->stats().num_and;
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  Stopwatch phase;
+  state_ = initial_states;
+  for (const mpc::BitVector& state : state_) {
+    DSTRESS_CHECK(static_cast<int>(state.size()) == program_.state_bits);
+  }
+  inmsg_.assign(n, std::vector<mpc::BitVector>(
+                       d, mpc::BitVector(static_cast<size_t>(program_.message_bits), 0)));
+  outmsg_.assign(n, std::vector<mpc::BitVector>(
+                        d, mpc::BitVector(static_cast<size_t>(program_.message_bits), 0)));
+  m->init.seconds = phase.ElapsedSeconds();
+  m->init.bytes = net_->TotalBytes() - bytes_before;
+
+  uint64_t phase_bytes = net_->TotalBytes();
+  for (int iter = 0; iter < program_.iterations; iter++) {
+    phase.Reset();
+    ComputePhase();
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    CommunicatePhase();
+    m->communicate.seconds += phase.ElapsedSeconds();
+    m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+  }
+  // Final computation step, as in the secure schedule (§3.6).
+  phase.Reset();
+  ComputePhase();
+  m->compute.seconds += phase.ElapsedSeconds();
+  m->compute.bytes += net_->TotalBytes() - phase_bytes;
+  phase_bytes = net_->TotalBytes();
+
+  phase.Reset();
+  int64_t result = AggregatePhase();
+  m->aggregate.seconds = phase.ElapsedSeconds();
+  m->aggregate.bytes = net_->TotalBytes() - phase_bytes;
+
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / n;
+  return result;
+}
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> MakeCleartextFastBackend(const BackendContext& context) {
+  return std::make_unique<CleartextFastBackend>(context);
+}
+
+}  // namespace dstress::engine

@@ -1,0 +1,39 @@
+// The kCleartextFast execution backend: scenario sweeps without crypto.
+//
+// The ROADMAP's large scenario sweeps (N in the tens of thousands) are out
+// of reach for the secure stack — every vertex would cost a full GMW block
+// evaluation plus k+1 encrypted transfers per edge per iteration. This
+// backend drops the cryptography but deliberately keeps everything else the
+// secure path has:
+//
+//  * the *semantics*: the very same update / aggregation / noise boolean
+//    circuits are built and evaluated (in cleartext), so fixed-point
+//    saturation, division and clamping behave bit-for-bit like the MPC run
+//    and the released figure matches the EnSolveFixed/EgjSolveFixed
+//    references exactly (modulo the output noise, which is drawn from the
+//    same sampler circuit fed by a seed-derived PRG);
+//  * the *transport layer*: every inter-vertex message (one L-bit word per
+//    edge per iteration, one state word per vertex at aggregation) crosses
+//    a metered net::Transport with the secure path's FIFO (from, to,
+//    session) channel discipline — so traffic shapes are observable and the
+//    planned TCP multi-process transport can back this mode too;
+//  * the *scheduler layer*: compute phases run as (vertex, 1) groups on a
+//    persistent core::WorkerPool, exactly like the secure runtime's phase
+//    batches.
+//
+// What it does not preserve: byte counts (a cleartext message is the L-bit
+// word, not an encrypted share matrix) and, of course, any privacy.
+#ifndef SRC_ENGINE_CLEARTEXT_BACKEND_H_
+#define SRC_ENGINE_CLEARTEXT_BACKEND_H_
+
+#include <memory>
+
+#include "src/engine/backend.h"
+
+namespace dstress::engine {
+
+std::unique_ptr<ExecutionBackend> MakeCleartextFastBackend(const BackendContext& context);
+
+}  // namespace dstress::engine
+
+#endif  // SRC_ENGINE_CLEARTEXT_BACKEND_H_

@@ -1,0 +1,145 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/engine/backend.h"
+#include "src/finance/eisenberg_noe.h"
+#include "src/finance/elliott_golub_jackson.h"
+#include "src/finance/utility.h"
+
+namespace dstress::engine {
+
+namespace {
+
+core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
+  core::RuntimeConfig config;
+  config.block_size = spec.block_size;
+  config.transfer_budget_alpha = spec.transfer_budget_alpha;
+  config.dlog_range = spec.dlog_range;
+  config.use_ot_triples = spec.use_ot_triples;
+  config.aggregation_fanout = spec.aggregation_fanout;
+  config.max_parallel_tasks = spec.max_parallel_tasks;
+  config.channel_high_watermark_bytes = spec.channel_high_watermark_bytes;
+  config.seed = spec.seed;
+  return config;
+}
+
+finance::WorkloadParams DeriveWorkload(const RunSpec& spec) {
+  if (spec.workload.has_value()) {
+    return *spec.workload;
+  }
+  finance::WorkloadParams workload;
+  workload.format = spec.format;
+  workload.seed = spec.seed;
+  if (!spec.graph.has_value() && spec.topology.kind == TopologySpec::Kind::kCorePeriphery) {
+    workload.core_size = spec.topology.core_size;
+  } else {
+    workload.core_size = 0;
+  }
+  return workload;
+}
+
+double DeriveNoiseAlpha(const RunSpec& spec) {
+  if (spec.noise_alpha > 0) {
+    return spec.noise_alpha;
+  }
+  double sensitivity = spec.model == ContagionModel::kEisenbergNoe
+                           ? finance::EnSensitivity(spec.leverage)
+                           : finance::EgjSensitivity(spec.leverage);
+  return finance::NoiseAlphaForRelease(sensitivity, spec.epsilon, /*unit_dollars=*/1.0);
+}
+
+}  // namespace
+
+Engine::Engine(RunSpec spec) : spec_(std::move(spec)) {
+  if (spec_.graph.has_value()) {
+    graph_ = &*spec_.graph;
+  } else {
+    built_graph_.emplace(BuildTopologyGraph(spec_.topology, spec_.seed));
+    graph_ = &*built_graph_;
+  }
+  const int n = graph_->num_vertices();
+  DSTRESS_CHECK(n > 0);
+  const int degree_bound =
+      spec_.degree_bound > 0 ? spec_.degree_bound : std::max(1, graph_->MaxDegree());
+
+  switch (spec_.model) {
+    case ContagionModel::kEisenbergNoe: {
+      model_name_ = "Eisenberg-Noe";
+      iterations_ = spec_.iterations > 0 ? spec_.iterations : AutoIterations(n);
+      finance::EnProgramParams params;
+      params.format = spec_.format;
+      params.degree_bound = degree_bound;
+      params.iterations = iterations_;
+      params.aggregate_bits = spec_.aggregate_bits;
+      params.noise_alpha = DeriveNoiseAlpha(spec_);
+      finance::EnInstance instance =
+          finance::MakeEnWorkload(*graph_, DeriveWorkload(spec_), spec_.shock);
+      program_ = finance::MakeEnProgram(params);
+      initial_states_ = finance::MakeEnInitialStates(instance, params);
+      reference_ = finance::EnSolveFixed(instance, params);
+      has_reference_ = true;
+      break;
+    }
+    case ContagionModel::kElliottGolubJackson: {
+      model_name_ = "Elliott-Golub-Jackson";
+      iterations_ = spec_.iterations > 0 ? spec_.iterations : AutoIterations(n);
+      finance::EgjProgramParams params;
+      params.format = spec_.format;
+      params.degree_bound = degree_bound;
+      params.iterations = iterations_;
+      params.aggregate_bits = spec_.aggregate_bits;
+      params.noise_alpha = DeriveNoiseAlpha(spec_);
+      finance::EgjInstance instance =
+          finance::MakeEgjWorkload(*graph_, DeriveWorkload(spec_), spec_.shock);
+      program_ = finance::MakeEgjProgram(params);
+      initial_states_ = finance::MakeEgjInitialStates(instance, params);
+      reference_ = finance::EgjSolveFixed(instance, params);
+      has_reference_ = true;
+      break;
+    }
+    case ContagionModel::kCustom: {
+      model_name_ = "custom";
+      DSTRESS_CHECK(spec_.custom_program.build_update != nullptr);
+      DSTRESS_CHECK(spec_.custom_program.build_contribution != nullptr);
+      program_ = spec_.custom_program;
+      if (spec_.iterations > 0) {
+        program_.iterations = spec_.iterations;
+      }
+      iterations_ = program_.iterations;
+      DSTRESS_CHECK(static_cast<int>(spec_.custom_states.size()) == n);
+      initial_states_ = spec_.custom_states;
+      break;
+    }
+  }
+
+  BackendContext context;
+  context.spec = &spec_;
+  context.graph = graph_;
+  context.program = &program_;
+  context.runtime_config = DeriveRuntimeConfig(spec_);
+  backend_ = MakeExecutionBackend(spec_.mode, context);
+}
+
+Engine::~Engine() = default;
+
+RunReport Engine::Run() {
+  RunReport report;
+  report.iterations = iterations_;
+  report.model_name = model_name_;
+  report.mode = spec_.mode;
+  report.has_reference = has_reference_;
+  report.reference = reference_;
+  report.released = backend_->Execute(initial_states_, &report.metrics);
+  return report;
+}
+
+void Engine::AttachObserver(net::NetworkObserver* observer) {
+  backend_->AttachObserver(observer);
+}
+
+const net::Transport& Engine::transport() const { return backend_->transport(); }
+
+}  // namespace dstress::engine

@@ -1,0 +1,140 @@
+#include "src/engine/run_spec.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace dstress::engine {
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kSecure:
+      return "secure";
+    case ExecutionMode::kCleartextFast:
+      return "cleartext";
+  }
+  DSTRESS_CHECK(false);
+  return "?";
+}
+
+std::optional<ExecutionMode> ExecutionModeFromName(const std::string& name) {
+  if (name == "secure") {
+    return ExecutionMode::kSecure;
+  }
+  if (name == "cleartext") {
+    return ExecutionMode::kCleartextFast;
+  }
+  return std::nullopt;
+}
+
+TopologySpec CorePeripheryTopology(int num_vertices, int core_size) {
+  TopologySpec topology;
+  topology.kind = TopologySpec::Kind::kCorePeriphery;
+  topology.num_vertices = num_vertices;
+  topology.core_size = core_size;
+  return topology;
+}
+
+TopologySpec ScaleFreeTopology(int num_vertices, int links_per_vertex) {
+  TopologySpec topology;
+  topology.kind = TopologySpec::Kind::kScaleFree;
+  topology.num_vertices = num_vertices;
+  topology.links_per_vertex = links_per_vertex;
+  return topology;
+}
+
+TopologySpec ErdosRenyiTopology(int num_vertices, double edge_probability) {
+  TopologySpec topology;
+  topology.kind = TopologySpec::Kind::kErdosRenyi;
+  topology.num_vertices = num_vertices;
+  topology.edge_probability = edge_probability;
+  return topology;
+}
+
+TopologySpec ExplicitTopology(int num_vertices, std::vector<std::pair<int, int>> edges) {
+  TopologySpec topology;
+  topology.kind = TopologySpec::Kind::kExplicit;
+  topology.num_vertices = num_vertices;
+  topology.edges = std::move(edges);
+  return topology;
+}
+
+namespace {
+
+graph::Graph BuildUncapped(const TopologySpec& topology, Rng& rng) {
+  switch (topology.kind) {
+    case TopologySpec::Kind::kCorePeriphery: {
+      graph::CorePeripheryParams params;
+      params.num_vertices = topology.num_vertices;
+      params.core_size = topology.core_size;
+      params.core_density = topology.core_density;
+      params.max_core_links = topology.max_core_links;
+      return graph::GenerateCorePeriphery(params, rng);
+    }
+    case TopologySpec::Kind::kScaleFree:
+      return graph::GenerateScaleFree(topology.num_vertices, topology.links_per_vertex, rng);
+    case TopologySpec::Kind::kErdosRenyi:
+      return graph::GenerateErdosRenyi(topology.num_vertices, topology.edge_probability, rng);
+    case TopologySpec::Kind::kExplicit: {
+      graph::Graph g(topology.num_vertices);
+      for (auto [u, v] : topology.edges) {
+        g.AddEdge(u, v);
+      }
+      return g;
+    }
+  }
+  DSTRESS_CHECK(false);
+}
+
+}  // namespace
+
+graph::Graph BuildTopologyGraph(const TopologySpec& topology, uint64_t seed) {
+  Rng rng(seed);
+  graph::Graph g = BuildUncapped(topology, rng);
+  if (topology.degree_cap > 0) {
+    g = graph::CapDegree(g, topology.degree_cap);
+  }
+  return g;
+}
+
+int AutoIterations(int num_vertices) {
+  int i = 1;
+  while ((1 << i) < num_vertices) {
+    i++;
+  }
+  return i;
+}
+
+std::string RunReport::ToString() const {
+  char buf[640];
+  std::snprintf(buf, sizeof(buf), "mode=%s released=%lld%s %s", ExecutionModeName(mode),
+                static_cast<long long>(released),
+                has_reference ? (" ref=" + std::to_string(reference)).c_str() : "",
+                metrics.ToString().c_str());
+  return buf;
+}
+
+std::string FormatReport(const RunSpec& spec, const RunReport& report) {
+  int num_vertices =
+      spec.graph.has_value() ? spec.graph->num_vertices() : spec.topology.num_vertices;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "model:               %s\n"
+      "mode:                %s\n"
+      "banks:               %d (block size %d, %d iterations)\n"
+      "shocked banks:       %zu\n"
+      "released TDS:        %lld money units (eps=%.3f, leverage r=%.2f)\n"
+      "reference TDS:       %llu money units (cleartext check, not released)\n"
+      "wall time:           %.2f s\n"
+      "traffic per bank:    %.2f MB\n",
+      report.model_name.c_str(), ExecutionModeName(report.mode), num_vertices, spec.block_size,
+      report.iterations, spec.shock.shocked_banks.size(),
+      static_cast<long long>(report.released), spec.epsilon, spec.leverage,
+      static_cast<unsigned long long>(report.reference), report.metrics.total_seconds,
+      report.metrics.avg_bytes_per_node / 1e6);
+  return buf;
+}
+
+}  // namespace dstress::engine

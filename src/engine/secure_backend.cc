@@ -1,0 +1,35 @@
+#include "src/engine/secure_backend.h"
+
+namespace dstress::engine {
+
+namespace {
+
+class SecureBackend : public ExecutionBackend {
+ public:
+  explicit SecureBackend(const BackendContext& context)
+      : runtime_(context.runtime_config, *context.graph, *context.program) {}
+
+  const char* name() const override { return ExecutionModeName(ExecutionMode::kSecure); }
+
+  int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
+                  core::RunMetrics* metrics) override {
+    return runtime_.Run(initial_states, metrics);
+  }
+
+  void AttachObserver(net::NetworkObserver* observer) override {
+    runtime_.AttachObserver(observer);
+  }
+
+  const net::Transport& transport() const override { return runtime_.network(); }
+
+ private:
+  core::Runtime runtime_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> MakeSecureBackend(const BackendContext& context) {
+  return std::make_unique<SecureBackend>(context);
+}
+
+}  // namespace dstress::engine

@@ -1,0 +1,22 @@
+// The kSecure execution backend: the full DStress protocol stack.
+//
+// A thin adapter over core::Runtime — GMW circuit evaluation over secret
+// shares, Beaver triples (dealer or IKNP OT extension), §3.5 encrypted edge
+// transfers, and in-MPC output noising, scheduled on the persistent worker
+// pool. Behavior and per-node traffic are bit-identical to constructing
+// core::Runtime directly with the same config, graph, program and seed
+// (asserted by engine_test.cc).
+#ifndef SRC_ENGINE_SECURE_BACKEND_H_
+#define SRC_ENGINE_SECURE_BACKEND_H_
+
+#include <memory>
+
+#include "src/engine/backend.h"
+
+namespace dstress::engine {
+
+std::unique_ptr<ExecutionBackend> MakeSecureBackend(const BackendContext& context);
+
+}  // namespace dstress::engine
+
+#endif  // SRC_ENGINE_SECURE_BACKEND_H_

@@ -4,7 +4,7 @@
 
 #include <thread>
 
-#include "src/core/runtime.h"
+#include "src/engine/engine.h"
 #include "src/graph/graph.h"
 #include "src/net/sim_network.h"
 #include "src/programs/private_sum.h"
@@ -156,7 +156,7 @@ TEST(AuditVerifyTest, ConcurrentTrafficStaysConsistent) {
 }
 
 TEST(AuditVerifyTest, FullDStressRunAudits) {
-  // End-to-end: attach a recorder to a real runtime run and verify that
+  // End-to-end: attach a recorder to a real engine run and verify that
   // the complete protocol transcript audits clean.
   graph::Graph g(4);
   g.AddEdge(0, 1);
@@ -169,20 +169,22 @@ TEST(AuditVerifyTest, FullDStressRunAudits) {
   params.noise.alpha = 1e-12;
   params.noise.magnitude_bits = 8;
   params.noise.threshold_bits = 10;
-  core::VertexProgram program = programs::BuildPrivateSumProgram(params);
 
-  core::RuntimeConfig config;
-  config.block_size = 3;
-  config.seed = 31;
-  core::Runtime runtime(config, g, program);
+  engine::RunSpec spec;
+  spec.graph = g;
+  spec.model = engine::ContagionModel::kCustom;
+  spec.custom_program = programs::BuildPrivateSumProgram(params);
+  std::vector<uint32_t> values = {10, 20, 30, 40};
+  spec.custom_states = programs::MakePrivateSumStates(values, params.value_bits);
+  spec.block_size = 3;
+  spec.seed = 31;
+  engine::Engine engine(spec);
 
   TranscriptRecorder recorder(g.num_vertices());
-  runtime.AttachObserver(&recorder);
+  engine.AttachObserver(&recorder);
 
-  std::vector<uint32_t> values = {10, 20, 30, 40};
-  auto states = programs::MakePrivateSumStates(values, params.value_bits);
-  int64_t released = runtime.Run(states, nullptr);
-  EXPECT_EQ(released, 100);
+  engine::RunReport run = engine.Run();
+  EXPECT_EQ(run.released, 100);
 
   AuditReport report = VerifyTranscripts(recorder);
   EXPECT_TRUE(report.ok()) << report.ToString();

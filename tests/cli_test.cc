@@ -4,56 +4,64 @@
 
 #include <fstream>
 
+#include "src/engine/engine.h"
+
 namespace dstress::cli {
 namespace {
 
 TEST(ScenarioParseTest, FullScenarioRoundTrips) {
   std::string error;
-  auto scenario = ParseScenario(R"(
+  auto spec = ParseScenario(R"(
 # comment line
 network core_periphery 50 10
 model egj
+mode cleartext
 iterations 6
 block_size 8
+fanout 16
 epsilon 0.5
 leverage 0.2
 shock 0 1 2
 seed 99
 )",
-                                &error);
-  ASSERT_TRUE(scenario.has_value()) << error;
-  EXPECT_EQ(scenario->topology, Topology::kCorePeriphery);
-  EXPECT_EQ(scenario->num_vertices, 50);
-  EXPECT_EQ(scenario->core_size, 10);
-  EXPECT_EQ(scenario->model, Model::kElliottGolubJackson);
-  EXPECT_EQ(scenario->iterations, 6);
-  EXPECT_EQ(scenario->block_size, 8);
-  EXPECT_DOUBLE_EQ(scenario->epsilon, 0.5);
-  EXPECT_DOUBLE_EQ(scenario->leverage, 0.2);
-  EXPECT_EQ(scenario->shocked_banks, (std::vector<int>{0, 1, 2}));
-  EXPECT_EQ(scenario->seed, 99u);
+                            &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->topology.kind, engine::TopologySpec::Kind::kCorePeriphery);
+  EXPECT_EQ(spec->topology.num_vertices, 50);
+  EXPECT_EQ(spec->topology.core_size, 10);
+  EXPECT_EQ(spec->model, engine::ContagionModel::kElliottGolubJackson);
+  EXPECT_EQ(spec->mode, engine::ExecutionMode::kCleartextFast);
+  EXPECT_EQ(spec->iterations, 6);
+  EXPECT_EQ(spec->block_size, 8);
+  EXPECT_EQ(spec->aggregation_fanout, 16);
+  EXPECT_DOUBLE_EQ(spec->epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(spec->leverage, 0.2);
+  EXPECT_EQ(spec->shock.shocked_banks, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(spec->seed, 99u);
 }
 
 TEST(ScenarioParseTest, DefaultsApply) {
   std::string error;
-  auto scenario = ParseScenario("network scale_free 20 2\n", &error);
-  ASSERT_TRUE(scenario.has_value()) << error;
-  EXPECT_EQ(scenario->model, Model::kEisenbergNoe);
-  EXPECT_EQ(scenario->iterations, 0);
-  EXPECT_EQ(scenario->block_size, 4);
+  auto spec = ParseScenario("network scale_free 20 2\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->model, engine::ContagionModel::kEisenbergNoe);
+  EXPECT_EQ(spec->mode, engine::ExecutionMode::kSecure);
+  EXPECT_EQ(spec->iterations, 0);
+  EXPECT_EQ(spec->block_size, 4);
+  EXPECT_EQ(spec->aggregation_fanout, 0);
 }
 
 TEST(ScenarioParseTest, ExplicitEdges) {
   std::string error;
-  auto scenario = ParseScenario(R"(
+  auto spec = ParseScenario(R"(
 network explicit 4
 edge 0 1
 edge 1 2
 edge 2 3
 )",
-                                &error);
-  ASSERT_TRUE(scenario.has_value()) << error;
-  graph::Graph g = BuildScenarioGraph(*scenario);
+                            &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  graph::Graph g = engine::BuildTopologyGraph(spec->topology, spec->seed);
   EXPECT_EQ(g.num_edges(), 3);
   EXPECT_TRUE(g.HasEdge(0, 1));
   EXPECT_FALSE(g.HasEdge(1, 0));
@@ -68,6 +76,10 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network core_periphery 10\n", "line 1"},
       {"network core_periphery 10 20\n", "core_size exceeds N"},
       {"network scale_free 20 2\nmodel xx\n", "model must be"},
+      {"network scale_free 20 2\nmode tls\n", "mode must be 'secure' or 'cleartext'"},
+      {"network scale_free 20 2\nmode cleartext fast\n", "expected 1 argument"},
+      {"network scale_free 20 2\nfanout x\n", "bad integer"},
+      {"network scale_free 20 2\nfanout 1\n", "fanout must be 0"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
       {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
       {"network scale_free 20 2\nleverage 0\n", "leverage must be in"},
@@ -81,8 +93,8 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
   };
   for (const Case& c : cases) {
     std::string error;
-    auto scenario = ParseScenario(c.text, &error);
-    EXPECT_FALSE(scenario.has_value()) << c.text;
+    auto spec = ParseScenario(c.text, &error);
+    EXPECT_FALSE(spec.has_value()) << c.text;
     EXPECT_NE(error.find(c.expected_fragment), std::string::npos)
         << "input: " << c.text << "\nerror: " << error;
   }
@@ -90,22 +102,10 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
 
 TEST(ScenarioParseTest, CommentsAndBlankLinesIgnored) {
   std::string error;
-  auto scenario = ParseScenario("\n\n# header\nnetwork erdos_renyi 8 0.5   # trailing\n\n", &error);
-  ASSERT_TRUE(scenario.has_value()) << error;
-  EXPECT_EQ(scenario->topology, Topology::kErdosRenyi);
-  EXPECT_DOUBLE_EQ(scenario->edge_probability, 0.5);
-}
-
-TEST(ScenarioIterationsTest, AutoRuleIsCeilLog2) {
-  Scenario s;
-  s.num_vertices = 50;
-  EXPECT_EQ(ScenarioIterations(s), 6);  // 2^6 = 64 >= 50
-  s.num_vertices = 64;
-  EXPECT_EQ(ScenarioIterations(s), 6);
-  s.num_vertices = 65;
-  EXPECT_EQ(ScenarioIterations(s), 7);
-  s.iterations = 3;
-  EXPECT_EQ(ScenarioIterations(s), 3);  // explicit wins
+  auto spec = ParseScenario("\n\n# header\nnetwork erdos_renyi 8 0.5   # trailing\n\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->topology.kind, engine::TopologySpec::Kind::kErdosRenyi);
+  EXPECT_DOUBLE_EQ(spec->topology.edge_probability, 0.5);
 }
 
 TEST(ScenarioGraphTest, TopologiesRespectSizes) {
@@ -115,9 +115,10 @@ TEST(ScenarioGraphTest, TopologiesRespectSizes) {
            "network scale_free 24 2\n",
            "network erdos_renyi 24 0.2\n",
        }) {
-    auto scenario = ParseScenario(text, &error);
-    ASSERT_TRUE(scenario.has_value()) << error;
-    graph::Graph g = BuildScenarioGraph(*scenario);
+    auto spec = ParseScenario(text, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(spec->topology.num_vertices, 24) << text;
+    graph::Graph g = engine::BuildTopologyGraph(spec->topology, spec->seed);
     EXPECT_EQ(g.num_vertices(), 24) << text;
     EXPECT_GT(g.num_edges(), 0) << text;
   }
@@ -125,10 +126,10 @@ TEST(ScenarioGraphTest, TopologiesRespectSizes) {
 
 TEST(ScenarioGraphTest, SameSeedSameGraph) {
   std::string error;
-  auto scenario = ParseScenario("network scale_free 30 2\nseed 5\n", &error);
-  ASSERT_TRUE(scenario.has_value());
-  graph::Graph a = BuildScenarioGraph(*scenario);
-  graph::Graph b = BuildScenarioGraph(*scenario);
+  auto spec = ParseScenario("network scale_free 30 2\nseed 5\n", &error);
+  ASSERT_TRUE(spec.has_value());
+  graph::Graph a = engine::BuildTopologyGraph(spec->topology, spec->seed);
+  graph::Graph b = engine::BuildTopologyGraph(spec->topology, spec->seed);
   EXPECT_EQ(a.Edges(), b.Edges());
 }
 
@@ -139,10 +140,10 @@ TEST(ScenarioParseTest, NetworkFromEdgeListFile) {
     out << "graph 4\n0 1\n1 2\n2 3\n3 0\n";
   }
   std::string error;
-  auto scenario = ParseScenario("network file " + path + "\nshock 2\n", &error);
-  ASSERT_TRUE(scenario.has_value()) << error;
-  EXPECT_EQ(scenario->num_vertices, 4);
-  graph::Graph g = BuildScenarioGraph(*scenario);
+  auto spec = ParseScenario("network file " + path + "\nshock 2\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->topology.num_vertices, 4);
+  graph::Graph g = engine::BuildTopologyGraph(spec->topology, spec->seed);
   EXPECT_EQ(g.num_edges(), 4);
   EXPECT_TRUE(g.HasEdge(3, 0));
 
@@ -156,20 +157,36 @@ TEST(ScenarioRunTest, EndToEndEnAndEgj) {
     std::string text = std::string("network core_periphery 10 3\nmodel ") + model +
                        "\niterations 3\nblock_size 3\nshock 0\nseed 4\n";
     std::string error;
-    auto scenario = ParseScenario(text, &error);
-    ASSERT_TRUE(scenario.has_value()) << error;
-    ScenarioResult result = RunScenario(*scenario);
-    EXPECT_EQ(result.iterations, 3);
-    EXPECT_GT(result.seconds, 0.0);
+    auto spec = ParseScenario(text, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    engine::Engine engine(*spec);
+    engine::RunReport report = engine.Run();
+    EXPECT_EQ(report.iterations, 3);
+    ASSERT_TRUE(report.has_reference);
+    EXPECT_GT(report.metrics.total_seconds, 0.0);
     // The released figure is the reference plus bounded geometric noise;
     // with eps=0.23 and sensitivity<=20 the tail beyond 2000 units is
     // negligible (P < 1e-10).
-    EXPECT_NEAR(static_cast<double>(result.released_tds),
-                static_cast<double>(result.reference_tds), 2000.0)
+    EXPECT_NEAR(static_cast<double>(report.released),
+                static_cast<double>(report.reference), 2000.0)
         << model;
-    std::string report = FormatReport(*scenario, result);
-    EXPECT_NE(report.find("released TDS"), std::string::npos);
+    std::string formatted = engine::FormatReport(*spec, report);
+    EXPECT_NE(formatted.find("released TDS"), std::string::npos);
   }
+}
+
+TEST(ScenarioRunTest, CleartextModeRunsTheSameScenario) {
+  std::string error;
+  auto spec = ParseScenario(
+      "network core_periphery 10 3\nmode cleartext\niterations 3\nshock 0\nseed 4\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  engine::Engine engine(*spec);
+  engine::RunReport report = engine.Run();
+  ASSERT_TRUE(report.has_reference);
+  EXPECT_EQ(report.mode, engine::ExecutionMode::kCleartextFast);
+  EXPECT_NEAR(static_cast<double>(report.released), static_cast<double>(report.reference),
+              2000.0);
+  EXPECT_GT(report.metrics.total_bytes, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// Engine-layer tests: the RunSpec -> Engine -> RunReport API, the
+// ExecutionMode registry, and the two acceptance properties of the
+// redesign:
+//
+//  (a) secure mode is a pure adapter — per-node traffic bytes (the fig4
+//      probe quantity) and the released result are bit-identical to
+//      driving core::Runtime directly with the same seed;
+//  (b) cleartext mode reproduces the fixed-point reference results of the
+//      EN and EGJ models exactly, and scales to a 10,000-vertex sweep in
+//      test time.
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/backend.h"
+#include "src/finance/eisenberg_noe.h"
+#include "src/finance/elliott_golub_jackson.h"
+#include "src/finance/utility.h"
+#include "src/finance/workload.h"
+#include "src/graph/generators.h"
+#include "src/net/sim_network.h"
+#include "src/programs/private_sum.h"
+
+namespace dstress::engine {
+namespace {
+
+graph::Graph Ring(int n) {
+  graph::Graph g(n);
+  for (int v = 0; v < n; v++) {
+    g.AddEdge(v, (v + 1) % n);
+  }
+  return g;
+}
+
+TopologySpec RingTopology(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < n; v++) {
+    edges.emplace_back(v, (v + 1) % n);
+  }
+  return ExplicitTopology(n, std::move(edges));
+}
+
+// (a) The fig4-style traffic probe: an EN run through the engine must be
+// byte-identical, per node, to the same run hand-wired onto core::Runtime.
+TEST(EngineSecureModeTest, TrafficBitIdenticalToDirectRuntime) {
+  Rng rng(31);
+  graph::CorePeripheryParams topo;
+  topo.num_vertices = 10;
+  topo.core_size = 3;
+  graph::Graph g = graph::GenerateCorePeriphery(topo, rng);
+
+  finance::WorkloadParams workload;
+  workload.core_size = 3;
+  finance::ShockParams shock;
+  shock.shocked_banks = {0};
+
+  constexpr uint64_t kSeed = 5;
+  constexpr int kIterations = 3;
+  constexpr double kAlpha = 0.5;
+
+  // The engine path.
+  RunSpec spec;
+  spec.graph = g;
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.workload = workload;
+  spec.shock = shock;
+  spec.noise_alpha = kAlpha;
+  spec.iterations = kIterations;
+  spec.block_size = 3;
+  spec.seed = kSeed;
+  Engine engine(spec);
+  RunReport report = engine.Run();
+
+  // The pre-redesign path: hand-assembled program + workload + runtime.
+  finance::EnProgramParams params;
+  params.degree_bound = g.MaxDegree();
+  params.iterations = kIterations;
+  params.noise_alpha = kAlpha;
+  finance::EnInstance instance = finance::MakeEnWorkload(g, workload, shock);
+  core::RuntimeConfig config;
+  config.block_size = 3;
+  config.seed = kSeed;
+  core::Runtime runtime(config, g, finance::MakeEnProgram(params));
+  core::RunMetrics direct_metrics;
+  int64_t direct_released =
+      runtime.Run(finance::MakeEnInitialStates(instance, params), &direct_metrics);
+
+  EXPECT_EQ(report.released, direct_released);
+  EXPECT_EQ(report.reference, finance::EnSolveFixed(instance, params));
+  EXPECT_EQ(report.metrics.total_bytes, direct_metrics.total_bytes);
+  ASSERT_EQ(engine.transport().num_nodes(), runtime.network().num_nodes());
+  for (int v = 0; v < g.num_vertices(); v++) {
+    net::TrafficStats via_engine = engine.transport().NodeStats(v);
+    net::TrafficStats direct = runtime.network().NodeStats(v);
+    EXPECT_EQ(via_engine.bytes_sent, direct.bytes_sent) << "node " << v;
+    EXPECT_EQ(via_engine.bytes_received, direct.bytes_received) << "node " << v;
+    EXPECT_EQ(via_engine.messages_sent, direct.messages_sent) << "node " << v;
+  }
+}
+
+// (b) Cleartext mode evaluates the same circuits the MPC would, so with
+// noise disabled it must land exactly on the fixed-point references.
+TEST(EngineCleartextModeTest, MatchesEnFixedPointReference) {
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(12, 4);
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {0, 1};
+  spec.noise_alpha = 1e-12;  // effectively no output noise
+  spec.iterations = 4;
+  spec.seed = 3;
+  spec.mode = ExecutionMode::kCleartextFast;
+  RunReport report = Engine(spec).Run();
+  ASSERT_TRUE(report.has_reference);
+  EXPECT_EQ(report.released, static_cast<int64_t>(report.reference));
+  EXPECT_GT(report.metrics.total_bytes, 0u);
+}
+
+TEST(EngineCleartextModeTest, MatchesEgjFixedPointReference) {
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(10, 4);
+  spec.model = ContagionModel::kElliottGolubJackson;
+  spec.shock.shocked_banks = {0, 1};
+  spec.noise_alpha = 1e-12;
+  spec.iterations = 3;
+  spec.seed = 8;
+  spec.mode = ExecutionMode::kCleartextFast;
+  RunReport report = Engine(spec).Run();
+  ASSERT_TRUE(report.has_reference);
+  EXPECT_EQ(report.released, static_cast<int64_t>(report.reference));
+}
+
+// Both modes agree on the same spec when the output noise is disabled.
+TEST(EngineCleartextModeTest, AgreesWithSecureModeOnSameSpec) {
+  RunSpec spec;
+  spec.topology = RingTopology(6);
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {2};
+  spec.noise_alpha = 1e-12;
+  spec.iterations = 3;
+  spec.block_size = 3;
+  spec.seed = 11;
+
+  spec.mode = ExecutionMode::kSecure;
+  RunReport secure = Engine(spec).Run();
+  spec.mode = ExecutionMode::kCleartextFast;
+  RunReport cleartext = Engine(spec).Run();
+  EXPECT_EQ(secure.released, cleartext.released);
+  EXPECT_EQ(secure.reference, cleartext.reference);
+  // The fast path skips the crypto: traffic shrinks by orders of magnitude.
+  EXPECT_LT(cleartext.metrics.total_bytes, secure.metrics.total_bytes / 100);
+}
+
+// The ROADMAP's headline workload for the fast path: a sweep-scale run at
+// N = 10,000 vertices completes through the public API in test time.
+TEST(EngineCleartextModeTest, SweepAtTenThousandVertices) {
+  constexpr int kN = 10000;
+  RunSpec spec;
+  spec.topology = RingTopology(kN);
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {0, 1, 2, 3, 4};
+  spec.noise_alpha = 1e-12;
+  spec.seed = 17;
+  spec.mode = ExecutionMode::kCleartextFast;
+  Engine engine(spec);
+  EXPECT_EQ(engine.iterations(), AutoIterations(kN));  // 14 rounds
+  RunReport report = engine.Run();
+  ASSERT_TRUE(report.has_reference);
+  EXPECT_EQ(report.released, static_cast<int64_t>(report.reference));
+  // Traffic crossed the metered transport: one L-bit word per edge per
+  // iteration plus the aggregation gather.
+  EXPECT_GT(report.metrics.communicate.bytes, 0u);
+  EXPECT_GT(report.metrics.aggregate.bytes, 0u);
+}
+
+TEST(EngineTest, ReusableAndDeterministicForFixedSeed) {
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(10, 3);
+  spec.shock.shocked_banks = {0};
+  spec.iterations = 2;
+  spec.block_size = 3;
+  spec.seed = 9;
+  Engine a(spec);
+  int64_t first = a.Run().released;
+  EXPECT_EQ(first, a.Run().released);  // engine reusable
+  Engine b(spec);
+  EXPECT_EQ(first, b.Run().released);  // deterministic across instances
+}
+
+TEST(EngineTest, CustomProgramRunsThroughBothModes) {
+  graph::Graph g = Ring(6);
+  programs::PrivateSumParams params;
+  params.degree_bound = 1;
+  params.noise.alpha = 1e-12;
+  params.noise.magnitude_bits = 8;
+  params.noise.threshold_bits = 10;
+  std::vector<uint32_t> values = {5, 10, 15, 20, 25, 30};
+
+  RunSpec spec;
+  spec.graph = g;
+  spec.model = ContagionModel::kCustom;
+  spec.custom_program = programs::BuildPrivateSumProgram(params);
+  spec.custom_states = programs::MakePrivateSumStates(values, params.value_bits);
+  spec.block_size = 3;
+  spec.seed = 4;
+  for (ExecutionMode mode : {ExecutionMode::kSecure, ExecutionMode::kCleartextFast}) {
+    spec.mode = mode;
+    RunReport report = Engine(spec).Run();
+    EXPECT_EQ(report.released, programs::PlaintextSum(values, params.aggregate_bits))
+        << ExecutionModeName(mode);
+    EXPECT_FALSE(report.has_reference);
+  }
+}
+
+TEST(EngineTest, AutoIterationsIsCeilLog2) {
+  EXPECT_EQ(AutoIterations(50), 6);  // 2^6 = 64 >= 50
+  EXPECT_EQ(AutoIterations(64), 6);
+  EXPECT_EQ(AutoIterations(65), 7);
+  EXPECT_EQ(AutoIterations(2), 1);
+}
+
+TEST(ExecutionModeTest, NamesRoundTrip) {
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kSecure), "secure");
+  EXPECT_STREQ(ExecutionModeName(ExecutionMode::kCleartextFast), "cleartext");
+  EXPECT_EQ(ExecutionModeFromName("secure"), ExecutionMode::kSecure);
+  EXPECT_EQ(ExecutionModeFromName("cleartext"), ExecutionMode::kCleartextFast);
+  EXPECT_FALSE(ExecutionModeFromName("tls").has_value());
+}
+
+// A registered factory replaces a built-in backend (the seam the planned
+// TCP multi-process transport will use), and ResetExecutionMode restores
+// the built-in.
+class StubBackend : public ExecutionBackend {
+ public:
+  const char* name() const override { return "stub"; }
+  int64_t Execute(const std::vector<mpc::BitVector>&, core::RunMetrics* metrics) override {
+    if (metrics != nullptr) {
+      *metrics = core::RunMetrics{};
+    }
+    return 424242;
+  }
+  void AttachObserver(net::NetworkObserver*) override {}
+  const net::Transport& transport() const override { return net_; }
+
+ private:
+  net::SimNetwork net_{1};
+};
+
+TEST(ExecutionModeRegistryTest, OverrideAndReset) {
+  RegisterExecutionMode(ExecutionMode::kCleartextFast,
+                        [](const BackendContext&) { return std::make_unique<StubBackend>(); });
+
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(8, 2);
+  spec.iterations = 1;
+  spec.mode = ExecutionMode::kCleartextFast;
+  EXPECT_EQ(Engine(spec).Run().released, 424242);
+
+  ResetExecutionMode(ExecutionMode::kCleartextFast);
+  spec.noise_alpha = 1e-12;
+  RunReport real = Engine(spec).Run();
+  EXPECT_EQ(real.released, static_cast<int64_t>(real.reference));
+}
+
+}  // namespace
+}  // namespace dstress::engine

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "src/core/runtime.h"
+#include "src/engine/engine.h"
 #include "src/graph/generators.h"
 #include "src/programs/components.h"
 #include "src/programs/histogram.h"
@@ -255,13 +255,18 @@ TEST(ProgramCircuitTest, InfluenceUpdateMatchesArithmetic) {
   EXPECT_EQ(pushed, (1000u / 2 + 40 + 24) / 4);
 }
 
-// --- end-to-end runs through the full runtime --------------------------------
+// --- end-to-end runs through the engine --------------------------------------
 
-core::RuntimeConfig SmallConfig(uint64_t seed) {
-  core::RuntimeConfig config;
-  config.block_size = 3;
-  config.seed = seed;
-  return config;
+int64_t EngineRun(const graph::Graph& g, core::VertexProgram program,
+                  std::vector<mpc::BitVector> states, uint64_t seed) {
+  engine::RunSpec spec;
+  spec.graph = g;
+  spec.model = engine::ContagionModel::kCustom;
+  spec.custom_program = std::move(program);
+  spec.custom_states = std::move(states);
+  spec.block_size = 3;
+  spec.seed = seed;
+  return engine::Engine(std::move(spec)).Run().released;
 }
 
 TEST(ProgramsEndToEndTest, ReachabilityMatchesBfs) {
@@ -275,8 +280,7 @@ TEST(ProgramsEndToEndTest, ReachabilityMatchesBfs) {
 
   std::vector<int> sources = {0, 9};
   auto states = MakeReachabilityStates(g.num_vertices(), sources);
-  core::Runtime runtime(SmallConfig(21), g, program);
-  int64_t released = runtime.Run(states, nullptr);
+  int64_t released = EngineRun(g, program, states, 21);
   EXPECT_EQ(released, PlaintextReachableCount(g, sources, params.hops));
 }
 
@@ -292,8 +296,7 @@ TEST(ProgramsEndToEndTest, InfluenceMatchesPlaintext) {
 
   std::vector<uint16_t> masses = {100, 200, 300, 400, 500, 600, 700, 800};
   auto states = MakeInfluenceStates(masses);
-  core::Runtime runtime(SmallConfig(22), g, program);
-  int64_t released = runtime.Run(states, nullptr);
+  int64_t released = EngineRun(g, program, states, 22);
 
   auto final_masses = PlaintextInfluence(g, masses, params);
   int64_t expected = 0;
@@ -313,8 +316,7 @@ TEST(ProgramsEndToEndTest, ComponentsCountsTwoCycles) {
   core::VertexProgram program = BuildComponentsProgram(params);
 
   auto states = MakeComponentsStates(g.num_vertices(), params.label_bits);
-  core::Runtime runtime(SmallConfig(23), g, program);
-  int64_t released = runtime.Run(states, nullptr);
+  int64_t released = EngineRun(g, program, states, 23);
   EXPECT_EQ(released, 2);
   EXPECT_EQ(released, PlaintextComponentsCount(g, params.iterations));
 }
@@ -328,8 +330,7 @@ TEST(ProgramsEndToEndTest, PrivateSumMatches) {
 
   std::vector<uint32_t> values = {17, 0, 65535, 3, 900};
   auto states = MakePrivateSumStates(values, params.value_bits);
-  core::Runtime runtime(SmallConfig(24), g, program);
-  int64_t released = runtime.Run(states, nullptr);
+  int64_t released = EngineRun(g, program, states, 24);
   EXPECT_EQ(released, PlaintextSum(values, params.aggregate_bits));
 }
 
@@ -393,8 +394,7 @@ TEST(ProgramsEndToEndTest, HistogramMatchesReference) {
 
   std::vector<int> buckets = {0, 1, 2, 2, 1, 0, 1, 1};
   auto states = MakeHistogramStates(buckets, params);
-  core::Runtime runtime(SmallConfig(25), g, program);
-  int64_t released = runtime.Run(states, nullptr);
+  int64_t released = EngineRun(g, program, states, 25);
   EXPECT_EQ(released, PlaintextPackedHistogram(buckets, params));
   EXPECT_EQ(UnpackHistogram(released, params), (std::vector<uint32_t>{2, 4, 2}));
 }
