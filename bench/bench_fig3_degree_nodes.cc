@@ -23,7 +23,8 @@ void BM_InitializationVsDegree(benchmark::State& state) {
   auto prg = crypto::ChaCha20Prg::FromSeed(1);
   mpc::BitVector bits(program.state_bits, 1);
   for (auto _ : state) {
-    net::SimNetwork net(block_size);
+    std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(block_size);
+    net::Transport& net = *net_owner;
     auto shares = mpc::ShareBits(bits, block_size, prg);
     for (int m = 0; m < block_size; m++) {
       Bytes packed((shares[m].size() + 7) / 8);

@@ -41,7 +41,8 @@ void BM_SingleMessageTransfer(benchmark::State& state) {
   for (auto _ : state) {
     // Nodes: 0 = i, 1 = j, 2.. = block members (distinct for clean
     // per-role accounting).
-    net::SimNetwork net(2 + 2 * block_size);
+    std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(2 + 2 * block_size);
+    net::Transport& net = *net_owner;
     std::vector<net::NodeId> members_i, members_j;
     for (int m = 0; m < block_size; m++) {
       members_i.push_back(2 + m);

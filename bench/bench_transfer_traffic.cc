@@ -42,7 +42,8 @@ void Run() {
     mpc::BitVector message(kBits, 1);
     auto shares = mpc::ShareBits(message, block_size, prg);
 
-    net::SimNetwork net(2 + 2 * block_size);
+    std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(2 + 2 * block_size);
+    net::Transport& net = *net_owner;
     std::vector<net::NodeId> members_i, members_j;
     for (int m = 0; m < block_size; m++) {
       members_i.push_back(2 + m);

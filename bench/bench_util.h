@@ -19,7 +19,7 @@
 #include "src/mpc/gmw.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::bench {
 
@@ -38,7 +38,8 @@ struct BlockMpcResult {
 // microbenchmarks that run each MPC in isolation.
 inline BlockMpcResult RunBlockMpc(const circuit::Circuit& circuit, int block_size,
                                   bool use_ot = false, uint64_t seed = 1) {
-  net::SimNetwork net(block_size);
+  std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(block_size);
+  net::Transport& net = *net_owner;
   auto prg = crypto::ChaCha20Prg::FromSeed(seed);
   mpc::BitVector inputs(circuit.num_inputs());
   for (auto& bit : inputs) {

@@ -1,0 +1,69 @@
+// Wire-codec microbenchmark: encode/decode throughput of the
+// length-prefixed (from, to, session, payload) frames every TCP
+// multi-process run serializes. The TCP backend re-frames each message
+// three times (driver -> sender bank -> receiver bank -> driver), so codec
+// cost is a direct multiplier on the transport's per-message overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "src/net/wire.h"
+
+namespace dstress::bench {
+namespace {
+
+using net::FrameDecoder;
+using net::WireFrame;
+
+void BM_EncodeFrame(benchmark::State& state) {
+  WireFrame frame;
+  frame.from = 3;
+  frame.to = 17;
+  frame.session = 5ULL << 60;
+  frame.payload.assign(static_cast<size_t>(state.range(0)), 0x5a);
+  Bytes out;
+  for (auto _ : state) {
+    out.clear();
+    net::AppendFrame(frame, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_EncodeFrame)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DecodeFrameStream(benchmark::State& state) {
+  // A stream of 64 frames fed in 16 KB slices, the TCP reader's pattern.
+  WireFrame frame;
+  frame.from = 1;
+  frame.to = 2;
+  frame.session = 7;
+  frame.payload.assign(static_cast<size_t>(state.range(0)), 0xa5);
+  Bytes stream;
+  for (int i = 0; i < 64; i++) {
+    net::AppendFrame(frame, &stream);
+  }
+  constexpr size_t kChunk = 16384;
+  for (auto _ : state) {
+    FrameDecoder decoder;
+    WireFrame out;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      size_t n = std::min(kChunk, stream.size() - pos);
+      decoder.Feed(stream.data() + pos, n);
+      pos += n;
+      while (decoder.Next(&out)) {
+        benchmark::DoNotOptimize(out.payload.data());
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_DecodeFrameStream)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace dstress::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// dstress_node: one bank of a TCP multi-process DStress run.
+//
+//   ./build/examples/dstress_node --node 3 --num-nodes 30 --driver 127.0.0.1:7000
+//
+// A driver (any engine run whose TransportSpec names the "tcp" backend and
+// sets node_program to this binary) spawns one of these per bank; each
+// joins the bank mesh and relays the run's wire frames. See
+// src/net/tcp_node.h for the bootstrap protocol and src/cli/node_main.h for
+// the flags.
+
+#include "src/cli/node_main.h"
+
+int main(int argc, char** argv) { return dstress::cli::NodeMain(argc, argv); }

@@ -8,6 +8,7 @@
 //   network core_periphery 30 6
 //   model egj
 //   mode secure
+//   transport tcp      # one process per bank over real sockets (default: sim)
 //   block_size 4
 //   epsilon 0.23
 //   leverage 0.1

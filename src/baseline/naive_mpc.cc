@@ -9,7 +9,7 @@
 #include "src/mpc/gmw.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::baseline {
 
@@ -49,7 +49,8 @@ NaiveMpcResult RunNaiveMatMul(const NaiveMpcParams& params) {
   }
   std::vector<uint8_t> expected = circuit.Eval(inputs);
 
-  net::SimNetwork net(params.parties);
+  std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(params.parties);
+  net::Transport& net = *net_owner;
   auto shares = mpc::ShareBits(inputs, params.parties, prg);
   std::vector<mpc::BitVector> outputs(params.parties);
 

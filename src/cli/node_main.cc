@@ -1,0 +1,90 @@
+#include "src/cli/node_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dstress::cli {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: dstress_node --node <id> --num-nodes <N> --driver <host:port>"
+    " [--bootstrap-timeout-ms <ms>]";
+
+bool ParseInt(const std::string& text, int min_value, int* out) {
+  try {
+    size_t used = 0;
+    int v = std::stoi(text, &used);
+    if (used != text.size() || v < min_value) {
+      return false;
+    }
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<net::TcpNodeConfig> ParseNodeArgs(int argc, char** argv, std::string* error) {
+  net::TcpNodeConfig config;
+  bool saw_node = false;
+  bool saw_num_nodes = false;
+  bool saw_driver = false;
+  if ((argc - 1) % 2 != 0) {
+    *error = std::string("flag '") + argv[argc - 1] + "' is missing a value\n" + kUsage;
+    return std::nullopt;
+  }
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--node") {
+      saw_node = ParseInt(value, 0, &config.node_id);
+      if (!saw_node) {
+        *error = std::string("bad --node '") + value + "'\n" + kUsage;
+        return std::nullopt;
+      }
+    } else if (flag == "--num-nodes") {
+      saw_num_nodes = ParseInt(value, 1, &config.num_nodes);
+      if (!saw_num_nodes) {
+        *error = std::string("bad --num-nodes '") + value + "'\n" + kUsage;
+        return std::nullopt;
+      }
+    } else if (flag == "--driver") {
+      auto colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseInt(value.substr(colon + 1), 1, &config.driver_port)) {
+        *error = std::string("bad --driver '") + value + "' (want host:port)\n" + kUsage;
+        return std::nullopt;
+      }
+      config.driver_host = value.substr(0, colon);
+      saw_driver = true;
+    } else if (flag == "--bootstrap-timeout-ms") {
+      if (!ParseInt(value, 1, &config.bootstrap_timeout_ms)) {
+        *error = std::string("bad --bootstrap-timeout-ms '") + value + "'\n" + kUsage;
+        return std::nullopt;
+      }
+    } else {
+      *error = std::string("unknown flag '") + flag + "'\n" + kUsage;
+      return std::nullopt;
+    }
+  }
+  if (!saw_node || !saw_num_nodes || !saw_driver || config.node_id >= config.num_nodes) {
+    *error = kUsage;
+    return std::nullopt;
+  }
+  return config;
+}
+
+int NodeMain(int argc, char** argv) {
+  std::string error;
+  std::optional<net::TcpNodeConfig> config = ParseNodeArgs(argc, argv, &error);
+  if (!config.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  return net::RunTcpNode(*config);
+}
+
+}  // namespace dstress::cli

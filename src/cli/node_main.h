@@ -1,0 +1,31 @@
+// Argument parsing + entry point for the dstress_node runner — the
+// per-bank process of the TCP transport (examples/dstress_node.cpp is the
+// binary shell around this).
+//
+//   dstress_node --node <id> --num-nodes <N> --driver <host:port>
+//
+// The process rendezvouses with the driver at host:port, joins the bank
+// mesh, relays wire frames until the driver disconnects, then exits 0. A
+// TcpNetwork whose TransportSpec::node_program points at this binary spawns
+// one per bank; operators can also launch them by hand against a driver
+// started with a fixed rendezvous port.
+#ifndef SRC_CLI_NODE_MAIN_H_
+#define SRC_CLI_NODE_MAIN_H_
+
+#include <optional>
+#include <string>
+
+#include "src/net/tcp_node.h"
+
+namespace dstress::cli {
+
+// Parses dstress_node's command line. On failure returns std::nullopt and
+// sets *error to a usage message.
+std::optional<net::TcpNodeConfig> ParseNodeArgs(int argc, char** argv, std::string* error);
+
+// The whole runner: parse, relay, exit status (0 clean, 2 usage error).
+int NodeMain(int argc, char** argv);
+
+}  // namespace dstress::cli
+
+#endif  // SRC_CLI_NODE_MAIN_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/graph/io.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::cli {
 
@@ -185,6 +186,19 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         return std::nullopt;
       }
       spec.mode = *mode;
+    } else if (directive == "transport") {
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (!net::KnownTransportBackend(p.tokens[1])) {
+        std::string known;
+        for (const std::string& name : net::KnownTransportBackends()) {
+          known += known.empty() ? "'" + name + "'" : " or '" + name + "'";
+        }
+        p.Fail("transport must be " + known);
+        return std::nullopt;
+      }
+      spec.transport.backend = p.tokens[1];
     } else if (directive == "iterations") {
       if (!p.ArgCount(1) || !p.Int(1, 0, &spec.iterations)) {
         return std::nullopt;

@@ -14,6 +14,9 @@
 //   edge <u> <v>                                (directed)
 //   model <en|egj>                              (contagion model, §4.2/§4.3)
 //   mode <secure|cleartext>                     (execution backend, default secure)
+//   transport <sim|tcp>                         (wire backend, default sim; `tcp`
+//                                                runs one process per bank — see
+//                                                src/net/transport_spec.h)
 //   iterations <I>                              (0 = ceil(log2 N), App. C)
 //   block_size <k+1>
 //   fanout <F>                                  (aggregation tree fan-in; 0 = flat)

@@ -6,7 +6,6 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
-#include "src/net/sim_network.h"
 
 namespace dstress::core {
 
@@ -100,9 +99,9 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
   setup_config.seed = config.seed;
   setup_ = RunTrustedSetup(setup_config, graph);
 
-  net::TransportOptions transport_options;
-  transport_options.channel_high_watermark_bytes = config.channel_high_watermark_bytes;
-  net_ = std::make_unique<net::SimNetwork>(graph.num_vertices(), transport_options);
+  net_ = net::MakeTransport(
+      config.transport.WithChannelHighWatermark(config.channel_high_watermark_bytes),
+      graph.num_vertices());
   dlog_table_ = std::make_unique<crypto::DlogTable>(transfer_params_.dlog_range);
   edges_ = graph.Edges();
 

@@ -4,10 +4,11 @@
 //
 //   transport (src/net)   — net::Transport carries serialized protocol
 //                           messages over FIFO (from, to, session) channels
-//                           and meters every byte; net::SimNetwork is the
-//                           in-process backend, a TCP multi-process backend
-//                           is planned. net::Channel coalesces a role's
-//                           per-round message bursts.
+//                           and meters every byte; backends are selected by
+//                           name via net::TransportSpec ("sim" in-process,
+//                           "tcp" one process per bank — see
+//                           RuntimeConfig::transport). net::Channel
+//                           coalesces a role's per-round message bursts.
 //   protocol  (src/mpc, src/ot, src/transfer)
 //                         — GMW circuit evaluation, OT-extension triples,
 //                           and the §3.5 share-transfer scheme, all written
@@ -60,6 +61,7 @@
 #include "src/graph/graph.h"
 #include "src/mpc/gmw.h"
 #include "src/net/transport.h"
+#include "src/net/transport_spec.h"
 #include "src/transfer/transfer.h"
 
 namespace dstress::core {
@@ -84,6 +86,9 @@ struct RuntimeConfig {
   // Per-channel queued-byte cap forwarded to the transport
   // (TransportOptions::channel_high_watermark_bytes); 0 = unbounded.
   size_t channel_high_watermark_bytes = 0;
+  // Which wire carries the run (resolved via net::MakeTransport; "sim" or
+  // "tcp" built in). The runtime never names a concrete transport type.
+  net::TransportSpec transport;
   uint64_t seed = 1;
 };
 

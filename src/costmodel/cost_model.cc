@@ -11,7 +11,7 @@
 #include "src/mpc/gmw.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport_spec.h"
 #include "src/transfer/transfer.h"
 
 namespace dstress::costmodel {
@@ -54,7 +54,8 @@ MicroCosts Calibrate(int block_size, int message_bits) {
     b.OutputWord(acc);
     circuit::Circuit circuit = b.Build();
 
-    net::SimNetwork net(block_size);
+    std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(block_size);
+    net::Transport& net = *net_owner;
     auto prg = crypto::ChaCha20Prg::FromSeed(11);
     mpc::BitVector inputs(circuit.num_inputs(), 0);
     for (auto& bit : inputs) {

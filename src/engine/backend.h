@@ -11,10 +11,12 @@
 //   kCleartextFast — cleartext_backend.h: same circuits, same transport and
 //                    scheduler layers, no cryptography.
 //
-// RegisterExecutionMode lets deployments override a mode's factory (a test
-// double, or a future TCP multi-process runtime behind kSecure) without any
-// caller changing: every entry point goes through engine::Engine, and the
-// engine goes through this registry.
+// RegisterExecutionMode lets deployments override a mode's factory (e.g. a
+// test double) without any caller changing: every entry point goes through
+// engine::Engine, and the engine goes through this registry. The wire a
+// mode runs over is chosen separately by RunSpec::transport through the
+// parallel transport registry (src/net/transport_spec.h) — both built-in
+// backends resolve their transport from the spec, never by type name.
 #ifndef SRC_ENGINE_BACKEND_H_
 #define SRC_ENGINE_BACKEND_H_
 

@@ -1,5 +1,6 @@
 #include "src/engine/cleartext_backend.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -9,7 +10,7 @@
 #include "src/core/worker_pool.h"
 #include "src/crypto/chacha20.h"
 #include "src/dp/noise_circuit.h"
-#include "src/net/sim_network.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::engine {
 
@@ -19,9 +20,10 @@ namespace {
 // concurrent protocol streams by phase.
 constexpr net::SessionId kEdgeSession = 1ULL << 60;
 constexpr net::SessionId kGatherSession = 2ULL << 60;
+constexpr net::SessionId kCombineSession = 3ULL << 60;
 
-// The aggregation role is played by node 0 (any fixed node works — there is
-// no aggregation block to protect in cleartext mode).
+// The root aggregation role is played by node 0 (any fixed node works —
+// there is no aggregation block to protect in cleartext mode).
 constexpr net::NodeId kAggregatorNode = 0;
 
 Bytes PackBits(const mpc::BitVector& bits) {
@@ -51,6 +53,14 @@ uint64_t BitsToWord(const std::vector<uint8_t>& bits) {
   return value;
 }
 
+mpc::BitVector WordToBits(uint64_t value, int bits) {
+  mpc::BitVector out(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; i++) {
+    out[i] = (value >> i) & 1;
+  }
+  return out;
+}
+
 int SlotOf(const std::vector<int>& neighbors, int target) {
   for (size_t i = 0; i < neighbors.size(); i++) {
     if (neighbors[i] == target) {
@@ -71,6 +81,8 @@ class CleartextFastBackend : public ExecutionBackend {
         contribution_circuit_(core::BuildAggregateCircuit(program_, 1, /*with_noise=*/false)),
         edges_(graph_.Edges()) {
     DSTRESS_CHECK(graph_.MaxDegree() <= program_.degree_bound);
+    // fanout 1 would make the aggregation-tree reduction never shrink.
+    DSTRESS_CHECK(config_.aggregation_fanout != 1);
 
     // The in-circuit noise sampler, evaluated in cleartext on seed-derived
     // uniform bits: the released figure follows the same discrete-Laplace
@@ -80,9 +92,9 @@ class CleartextFastBackend : public ExecutionBackend {
                                                      program_.aggregate_bits));
     noise_circuit_ = std::make_unique<circuit::Circuit>(noise_builder.Build());
 
-    net::TransportOptions transport_options;
-    transport_options.channel_high_watermark_bytes = config_.channel_high_watermark_bytes;
-    net_ = std::make_unique<net::SimNetwork>(graph_.num_vertices(), transport_options);
+    net_ = net::MakeTransport(
+        config_.transport.WithChannelHighWatermark(config_.channel_high_watermark_bytes),
+        graph_.num_vertices());
 
     pool_ = std::make_unique<core::WorkerPool>(
         core::ResolveThreadBudget(config_.max_parallel_tasks));
@@ -108,6 +120,8 @@ class CleartextFastBackend : public ExecutionBackend {
   void ComputePhase();
   void CommunicatePhase();
   int64_t AggregatePhase();
+  uint64_t GatherFlat();
+  uint64_t GatherTree();
 
   const graph::Graph& graph_;
   core::VertexProgram program_;
@@ -118,7 +132,7 @@ class CleartextFastBackend : public ExecutionBackend {
   std::vector<std::pair<int, int>> edges_;
   std::vector<int> out_slot_;
   std::vector<int> in_slot_;
-  std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<net::Transport> net_;
   std::unique_ptr<core::WorkerPool> pool_;
 
   // Plaintext per-vertex state and message slots; entry v is only touched
@@ -164,10 +178,9 @@ void CleartextFastBackend::CommunicatePhase() {
   }
 }
 
-int64_t CleartextFastBackend::AggregatePhase() {
+// Flat gather: every vertex forwards its final state to the root.
+uint64_t CleartextFastBackend::GatherFlat() {
   const int n = graph_.num_vertices();
-
-  // Gather: every vertex forwards its final state to the aggregator.
   for (int v = 0; v < n; v++) {
     net_->Send(v, kAggregatorNode, PackBits(state_[v]), kGatherSession | static_cast<uint64_t>(v));
   }
@@ -178,13 +191,94 @@ int64_t CleartextFastBackend::AggregatePhase() {
     mpc::BitVector state = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
     contributions[v] = BitsToWord(contribution_circuit_.Eval(state));
   });
-
-  // Sum of contributions plus sampled output noise, in aggregate_bits
-  // two's-complement arithmetic — exactly the aggregation circuit's math.
   uint64_t sum = 0;
   for (uint64_t contribution : contributions) {
     sum += contribution;
   }
+  return sum;
+}
+
+// Tree gather, mirroring the secure runtime's §3.6 aggregation schedule so
+// large-N sweeps don't funnel every state through one node: leaf groups of
+// `fanout` vertices reduce at the group's first vertex, intermediate levels
+// combine up to `fanout` partials, and only the root sees the total. The
+// arithmetic (word sums in aggregate_bits two's complement) is associative,
+// so the released figure is identical to the flat gather's.
+uint64_t CleartextFastBackend::GatherTree() {
+  const int n = graph_.num_vertices();
+  const int fanout = config_.aggregation_fanout;
+  const int num_groups = (n + fanout - 1) / fanout;
+  const size_t agg_bits = static_cast<size_t>(program_.aggregate_bits);
+
+  for (int v = 0; v < n; v++) {
+    net_->Send(v, (v / fanout) * fanout, PackBits(state_[v]),
+               kGatherSession | static_cast<uint64_t>(v));
+  }
+  std::vector<uint64_t> partials(num_groups, 0);
+  std::vector<int> owners(num_groups, 0);
+  pool_->RunGrouped(static_cast<size_t>(num_groups), 1, [&](size_t gg, size_t) {
+    int g = static_cast<int>(gg);
+    int lo = g * fanout;
+    int hi = std::min(n, lo + fanout);
+    uint64_t sum = 0;
+    for (int v = lo; v < hi; v++) {
+      Bytes raw = net_->Recv(lo, v, kGatherSession | static_cast<uint64_t>(v));
+      mpc::BitVector state = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+      sum += BitsToWord(contribution_circuit_.Eval(state));
+    }
+    partials[gg] = sum;
+    owners[gg] = lo;
+  });
+
+  // Combine levels until at most `fanout` partials remain.
+  uint64_t level = 1;
+  while (static_cast<int>(partials.size()) > fanout) {
+    int p = static_cast<int>(partials.size());
+    int next_groups = (p + fanout - 1) / fanout;
+    for (int g = 0; g < p; g++) {
+      net_->Send(owners[g], owners[(g / fanout) * fanout],
+                 PackBits(WordToBits(partials[g], program_.aggregate_bits)),
+                 kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+    }
+    std::vector<uint64_t> next_partials(next_groups, 0);
+    std::vector<int> next_owners(next_groups, 0);
+    pool_->RunGrouped(static_cast<size_t>(next_groups), 1, [&](size_t gg, size_t) {
+      int g = static_cast<int>(gg);
+      int lo = g * fanout;
+      int hi = std::min(p, lo + fanout);
+      uint64_t sum = 0;
+      for (int child = lo; child < hi; child++) {
+        Bytes raw = net_->Recv(owners[lo], owners[child],
+                               kCombineSession | (level << 32) | static_cast<uint64_t>(child));
+        sum += BitsToWord(UnpackBits(raw, agg_bits));
+      }
+      next_partials[gg] = sum;
+      next_owners[gg] = owners[lo];
+    });
+    partials = std::move(next_partials);
+    owners = std::move(next_owners);
+    level++;
+  }
+
+  // Root: combine the remaining partials at the aggregator node.
+  int p = static_cast<int>(partials.size());
+  for (int g = 0; g < p; g++) {
+    net_->Send(owners[g], kAggregatorNode, PackBits(WordToBits(partials[g], program_.aggregate_bits)),
+               kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+  }
+  uint64_t sum = 0;
+  for (int g = 0; g < p; g++) {
+    Bytes raw = net_->Recv(kAggregatorNode, owners[g],
+                           kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+    sum += BitsToWord(UnpackBits(raw, agg_bits));
+  }
+  return sum;
+}
+
+int64_t CleartextFastBackend::AggregatePhase() {
+  // Sum of contributions plus sampled output noise, in aggregate_bits
+  // two's-complement arithmetic — exactly the aggregation circuit's math.
+  uint64_t sum = config_.aggregation_fanout > 0 ? GatherTree() : GatherFlat();
   auto prg = crypto::ChaCha20Prg::FromSeed(
       core::RolePrgSeed(config_.seed, core::kNoiseRoleTag), /*instance=*/0);
   std::vector<uint8_t> noise_input(noise_circuit_->num_inputs());

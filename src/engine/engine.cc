@@ -22,6 +22,7 @@ core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
   config.aggregation_fanout = spec.aggregation_fanout;
   config.max_parallel_tasks = spec.max_parallel_tasks;
   config.channel_high_watermark_bytes = spec.channel_high_watermark_bytes;
+  config.transport = spec.transport;
   config.seed = spec.seed;
   return config;
 }

@@ -123,13 +123,15 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
       buf, sizeof(buf),
       "model:               %s\n"
       "mode:                %s\n"
+      "transport:           %s\n"
       "banks:               %d (block size %d, %d iterations)\n"
       "shocked banks:       %zu\n"
       "released TDS:        %lld money units (eps=%.3f, leverage r=%.2f)\n"
       "reference TDS:       %llu money units (cleartext check, not released)\n"
       "wall time:           %.2f s\n"
       "traffic per bank:    %.2f MB\n",
-      report.model_name.c_str(), ExecutionModeName(report.mode), num_vertices, spec.block_size,
+      report.model_name.c_str(), ExecutionModeName(report.mode), spec.transport.backend.c_str(),
+      num_vertices, spec.block_size,
       report.iterations, spec.shock.shocked_banks.size(),
       static_cast<long long>(report.released), spec.epsilon, spec.leverage,
       static_cast<unsigned long long>(report.reference), report.metrics.total_seconds,

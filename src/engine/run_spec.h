@@ -36,6 +36,7 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/mpc/sharing.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::engine {
 
@@ -143,6 +144,11 @@ struct RunSpec {
 
   // --- execution backend -------------------------------------------------
   ExecutionMode mode = ExecutionMode::kSecure;
+  // Which wire the run crosses, resolved through the transport registry
+  // (net/transport_spec.h): "sim" (in-process, default) or "tcp" (one
+  // process per bank). Orthogonal to `mode`: the same mode runs over any
+  // transport with identical results and per-node traffic stats.
+  net::TransportSpec transport;
 };
 
 // Everything a run produces: the released (noised) figure, the cleartext

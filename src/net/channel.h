@@ -9,7 +9,7 @@
 //
 // When a round emits several messages to the same peer, the batch
 // amortizes the backend's per-send synchronization (one lock + one wakeup
-// on SimNetwork; one write syscall on a future TCP backend). The protocol
+// on SimNetwork; one writer-queue handoff on TcpNetwork). The protocol
 // rounds wired up so far — GMW's per-layer broadcast, the transfer
 // fan-out — emit one message per peer per flush, where Flush degenerates
 // to plain Send: for them the Channel buys the uniform endpoint idiom and

@@ -1,0 +1,110 @@
+// Shared channel-demultiplexing and metering core for queue-based
+// Transport backends.
+//
+// SimNetwork and TcpNetwork differ only in how a sent message reaches the
+// receiving channel's queue (directly under the channel lock vs. through
+// per-bank processes and a reader thread). Everything else — the
+// (from, to, session) channel map, blocking FIFO Recv with its OnRecv
+// hook, per-node traffic counters, the high-watermark cap, and the
+// attach-before-traffic observer rule — is semantics the two must share
+// bit for bit, so it lives here exactly once and backends inherit it.
+//
+// Concurrency contract for derived Send paths: store traffic_started_
+// before acquiring channels_mu_ (shared) and load observer_ under it. With
+// SetObserver holding channels_mu_ exclusively, either the attach CHECK
+// observes the started traffic and aborts, or the attach fully completes
+// first and the send observes the new pointer — never a silently
+// unobserved message.
+#ifndef SRC_NET_CHANNEL_DEMUX_H_
+#define SRC_NET_CHANNEL_DEMUX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/net/transport.h"
+
+namespace dstress::net {
+
+class ChannelDemuxTransport : public Transport {
+ public:
+  ChannelDemuxTransport(int num_nodes, TransportOptions options);
+
+  ChannelDemuxTransport(const ChannelDemuxTransport&) = delete;
+  ChannelDemuxTransport& operator=(const ChannelDemuxTransport&) = delete;
+
+  int num_nodes() const override { return num_nodes_; }
+
+  // Attaches an observer (nullptr detaches). Attaching or detaching after
+  // any message has crossed the transport is a fatal CHECK: the swap would
+  // race the protocol worker threads (see transport.h).
+  void SetObserver(NetworkObserver* observer) override;
+
+  // Dequeues the next message on the (from, to, session) channel in FIFO
+  // order, blocking until one arrives; runs the observer's OnRecv under the
+  // channel lock.
+  Bytes Recv(NodeId to, NodeId from, SessionId session = 0) override;
+
+  TrafficStats NodeStats(NodeId node) const override;
+  uint64_t TotalBytes() const override;
+  uint64_t MaxBytesPerNode() const override;
+  void ResetStats() override;
+
+ protected:
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> queue;
+    size_t queued_bytes = 0;  // bytes currently in `queue`
+  };
+
+  struct PerNodeCounters {
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> messages_received{0};
+  };
+
+  struct ChannelKey {
+    NodeId from;
+    NodeId to;
+    SessionId session;
+    bool operator==(const ChannelKey& o) const {
+      return from == o.from && to == o.to && session == o.session;
+    }
+  };
+  struct ChannelKeyHash {
+    size_t operator()(const ChannelKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.from) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(k.to) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.session + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  Channel& ChannelFor(const ChannelKey& key);
+  void CheckWatermark(const Channel& ch) const;
+  void MeterSend(NodeId from, uint64_t bytes, uint64_t messages);
+
+  int num_nodes_;
+  TransportOptions options_;
+  // Atomic so a SetObserver that loses the race with the first Send is a
+  // missed CHECK rather than undefined behavior.
+  std::atomic<NetworkObserver*> observer_{nullptr};
+  // Set on the first Send; SetObserver refuses to attach afterwards.
+  std::atomic<bool> traffic_started_{false};
+  std::shared_mutex channels_mu_;
+  std::unordered_map<ChannelKey, std::unique_ptr<Channel>, ChannelKeyHash> channels_;
+  std::vector<std::unique_ptr<PerNodeCounters>> counters_;
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_CHANNEL_DEMUX_H_

@@ -1,4 +1,5 @@
-// In-process simulated network: the first Transport backend.
+// In-process simulated network: the first Transport backend ("sim" in the
+// transport registry, transport_spec.h).
 //
 // The paper evaluates DStress on EC2 with one machine per bank; this
 // backend substitutes an in-process transport where every protocol party
@@ -13,40 +14,26 @@
 //    latency.
 //
 // Channels are keyed by (from, to, session); see transport.h for the
-// FIFO/session semantics. SendBatch takes the channel lock once and wakes
-// the consumer once for a whole run of messages, which is what makes
-// net::Channel's coalescing worthwhile on this backend.
+// FIFO/session semantics and channel_demux.h for the shared queue/metering
+// core (Recv, stats, observer rule) this backend inherits. SendBatch takes
+// the channel lock once and wakes the consumer once for a whole run of
+// messages, which is what makes net::Channel's coalescing worthwhile on
+// this backend.
 #ifndef SRC_NET_SIM_NETWORK_H_
 #define SRC_NET_SIM_NETWORK_H_
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/net/channel_demux.h"
 #include "src/net/transport.h"
 
 namespace dstress::net {
 
-class SimNetwork : public Transport {
+class SimNetwork : public ChannelDemuxTransport {
  public:
-  explicit SimNetwork(int num_nodes, TransportOptions options = {});
-
-  SimNetwork(const SimNetwork&) = delete;
-  SimNetwork& operator=(const SimNetwork&) = delete;
-
-  int num_nodes() const override { return num_nodes_; }
-
-  // Attaches an observer (nullptr detaches). Attaching or detaching after
-  // any message has crossed the network is a fatal CHECK: the swap would
-  // race the protocol worker threads (see transport.h).
-  void SetObserver(NetworkObserver* observer) override;
+  explicit SimNetwork(int num_nodes, TransportOptions options = {})
+      : ChannelDemuxTransport(num_nodes, options) {}
 
   // Enqueues a message on the (from, to, session) channel. Thread-safe;
   // never blocks. Queues are unbounded unless
@@ -58,61 +45,6 @@ class SimNetwork : public Transport {
   // acquisition and one consumer wakeup for the whole run.
   void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
                  SessionId session = 0) override;
-
-  // Dequeues the next message on the (from, to, session) channel in FIFO
-  // order, blocking until one arrives.
-  Bytes Recv(NodeId to, NodeId from, SessionId session = 0) override;
-
-  TrafficStats NodeStats(NodeId node) const override;
-  uint64_t TotalBytes() const override;
-  uint64_t MaxBytesPerNode() const override;
-  void ResetStats() override;
-
- private:
-  struct Channel {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Bytes> queue;
-    size_t queued_bytes = 0;  // bytes currently in `queue`
-  };
-
-  struct PerNodeCounters {
-    std::atomic<uint64_t> bytes_sent{0};
-    std::atomic<uint64_t> bytes_received{0};
-    std::atomic<uint64_t> messages_sent{0};
-    std::atomic<uint64_t> messages_received{0};
-  };
-
-  struct ChannelKey {
-    NodeId from;
-    NodeId to;
-    SessionId session;
-    bool operator==(const ChannelKey& o) const {
-      return from == o.from && to == o.to && session == o.session;
-    }
-  };
-  struct ChannelKeyHash {
-    size_t operator()(const ChannelKey& k) const {
-      uint64_t h = static_cast<uint64_t>(k.from) * 0x9e3779b97f4a7c15ULL;
-      h ^= static_cast<uint64_t>(k.to) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      h ^= k.session + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      return static_cast<size_t>(h);
-    }
-  };
-
-  Channel& ChannelFor(const ChannelKey& key);
-  void CheckWatermark(const Channel& ch) const;
-
-  int num_nodes_;
-  TransportOptions options_;
-  // Atomic so a SetObserver that loses the race with the first Send is a
-  // missed CHECK rather than undefined behavior.
-  std::atomic<NetworkObserver*> observer_{nullptr};
-  // Set on the first Send; SetObserver refuses to attach afterwards.
-  std::atomic<bool> traffic_started_{false};
-  std::shared_mutex channels_mu_;
-  std::unordered_map<ChannelKey, std::unique_ptr<Channel>, ChannelKeyHash> channels_;
-  std::vector<std::unique_ptr<PerNodeCounters>> counters_;
 };
 
 }  // namespace dstress::net

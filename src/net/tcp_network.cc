@@ -1,0 +1,202 @@
+#include "src/net/tcp_network.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/tcp_node.h"
+
+namespace dstress::net {
+
+void TcpNetwork::SpawnNodes(const TransportSpec& spec, int listen_fd, int rendezvous_port) {
+  for (NodeId node = 0; node < num_nodes_; node++) {
+    pid_t pid = fork();
+    DSTRESS_CHECK(pid >= 0);
+    if (pid != 0) {
+      links_[node] = std::make_unique<Link>();  // fd filled in at HELLO time
+      links_[node]->pid = pid;
+      continue;
+    }
+    if (spec.node_program.empty()) {
+      // Fork mode: run the node loop directly in the child. Fork happens
+      // before this transport creates any thread; callers construct the
+      // transport before their worker pools for the same reason.
+      close(listen_fd);
+      TcpNodeConfig config;
+      config.node_id = node;
+      config.num_nodes = num_nodes_;
+      config.driver_host = spec.host;
+      config.driver_port = rendezvous_port;
+      config.bootstrap_timeout_ms = spec.bootstrap_timeout_ms;
+      _exit(RunTcpNode(config) == 0 ? 0 : 1);
+    }
+    // Exec mode: spawn the dstress_node runner (the real one-process-per-
+    // bank deployment shape). The listen fd is CLOEXEC.
+    std::string node_arg = std::to_string(node);
+    std::string n_arg = std::to_string(num_nodes_);
+    std::string driver_arg = spec.host + ":" + std::to_string(rendezvous_port);
+    std::string timeout_arg = std::to_string(spec.bootstrap_timeout_ms);
+    execl(spec.node_program.c_str(), spec.node_program.c_str(), "--node", node_arg.c_str(),
+          "--num-nodes", n_arg.c_str(), "--driver", driver_arg.c_str(),
+          "--bootstrap-timeout-ms", timeout_arg.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+}
+
+TcpNetwork::TcpNetwork(int num_nodes, const TransportSpec& spec)
+    : ChannelDemuxTransport(num_nodes, spec.options) {
+  links_.resize(num_nodes);
+
+  // Rendezvous: bind first so every spawned node can dial immediately.
+  int listen_fd = TcpListen(spec.host, spec.port, /*backlog=*/num_nodes);
+  fcntl(listen_fd, F_SETFD, FD_CLOEXEC);
+  int rendezvous_port = TcpListenPort(listen_fd);
+  SpawnNodes(spec, listen_fd, rendezvous_port);
+
+  // HELLO: map each accepted connection to its bank and learn its mesh
+  // listen port.
+  std::vector<int> node_ports(num_nodes, 0);
+  for (int pending = num_nodes; pending > 0; pending--) {
+    int fd = TcpAccept(listen_fd, spec.bootstrap_timeout_ms);
+    FrameDecoder decoder;
+    WireFrame frame;
+    DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &frame, spec.bootstrap_timeout_ms));
+    NodeId node = -1;
+    int port = 0;
+    ParseHelloFrame(frame, &node, &port);
+    DSTRESS_CHECK(node >= 0 && node < num_nodes && links_[node]->fd < 0);
+    links_[node]->fd = fd;
+    links_[node]->decoder = std::move(decoder);
+    node_ports[node] = port;
+  }
+  close(listen_fd);
+
+  // PEERS out, READY back: the mesh is up once every bank confirms.
+  Bytes peers = EncodeFrame(MakePeersFrame(node_ports));
+  for (auto& link : links_) {
+    DSTRESS_CHECK(TcpWriteAll(link->fd, peers.data(), peers.size()));
+  }
+  for (NodeId node = 0; node < num_nodes; node++) {
+    WireFrame frame;
+    DSTRESS_CHECK(TcpReadFrameTimed(links_[node]->fd, &links_[node]->decoder, &frame,
+                                    spec.bootstrap_timeout_ms));
+    DSTRESS_CHECK(ParseReadyFrame(frame) == node);
+  }
+
+  for (NodeId node = 0; node < num_nodes; node++) {
+    links_[node]->out.Start(links_[node]->fd);
+    links_[node]->reader = std::thread([this, node] { ReaderLoop(node); });
+  }
+}
+
+TcpNetwork::~TcpNetwork() {
+  shutting_down_.store(true, std::memory_order_release);
+  // Drain every outgoing queue, then half-close: the nodes see driver EOF,
+  // cascade their own shutdown, and our readers exit on their EOFs.
+  for (auto& link : links_) {
+    link->out.CloseAndJoin();
+  }
+  for (auto& link : links_) {
+    shutdown(link->fd, SHUT_WR);
+  }
+  for (auto& link : links_) {
+    link->reader.join();
+    close(link->fd);
+  }
+  for (auto& link : links_) {
+    int status = 0;
+    waitpid(link->pid, &status, 0);
+  }
+}
+
+void TcpNetwork::Send(NodeId from, NodeId to, Bytes message, SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  DSTRESS_CHECK(session != kControlSession);
+  traffic_started_.store(true, std::memory_order_release);
+  size_t len = message.size();
+  WireFrame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.session = session;
+  frame.payload = std::move(message);
+  Bytes encoded = EncodeFrame(frame);
+  Link& link = *links_[from];
+  {
+    // The shared lock serializes the observer load against SetObserver's
+    // exclusive attach (see channel_demux.h); send_mu orders OnSend with
+    // the wire per sending bank.
+    std::shared_lock<std::shared_mutex> attach_guard(channels_mu_);
+    std::lock_guard<std::mutex> lock(link.send_mu);
+    NetworkObserver* observer = observer_.load(std::memory_order_acquire);
+    if (observer != nullptr) {
+      observer->OnSend(from, to, session, frame.payload);
+    }
+    link.out.Push(std::move(encoded));
+  }
+  MeterSend(from, len, 1);
+}
+
+void TcpNetwork::SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                           SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  DSTRESS_CHECK(session != kControlSession);
+  if (messages.empty()) {
+    return;
+  }
+  traffic_started_.store(true, std::memory_order_release);
+  uint64_t total_len = 0;
+  size_t count = messages.size();
+  std::vector<Bytes> encoded;
+  encoded.reserve(count);
+  WireFrame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.session = session;
+  std::vector<Bytes> payloads = std::move(messages);
+  for (Bytes& payload : payloads) {
+    total_len += payload.size();
+    frame.payload = std::move(payload);
+    encoded.push_back(EncodeFrame(frame));
+    payload = std::move(frame.payload);  // keep for the observer pass
+  }
+  Link& link = *links_[from];
+  {
+    std::shared_lock<std::shared_mutex> attach_guard(channels_mu_);
+    std::lock_guard<std::mutex> lock(link.send_mu);
+    NetworkObserver* observer = observer_.load(std::memory_order_acquire);
+    if (observer != nullptr) {
+      for (const Bytes& payload : payloads) {
+        observer->OnSend(from, to, session, payload);
+      }
+    }
+    link.out.PushAll(std::move(encoded));
+  }
+  MeterSend(from, total_len, count);
+}
+
+void TcpNetwork::ReaderLoop(NodeId bank) {
+  Link& link = *links_[bank];
+  WireFrame frame;
+  while (TcpReadFrame(link.fd, &link.decoder, &frame)) {
+    // A bank only forwards frames addressed to itself.
+    DSTRESS_CHECK(frame.to == bank && frame.from >= 0 && frame.from < num_nodes_);
+    Channel& ch = ChannelFor(ChannelKey{frame.from, frame.to, frame.session});
+    {
+      std::lock_guard<std::mutex> lock(ch.mu);
+      ch.queued_bytes += frame.payload.size();
+      ch.queue.push_back(std::move(frame.payload));
+      CheckWatermark(ch);
+    }
+    ch.cv.notify_one();
+  }
+  // EOF is the shutdown cascade finishing; mid-run it means a bank died.
+  DSTRESS_CHECK(shutting_down_.load(std::memory_order_acquire));
+}
+
+}  // namespace dstress::net

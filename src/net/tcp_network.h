@@ -1,0 +1,97 @@
+// TCP multi-process transport: the deployment-shaped Transport backend
+// ("tcp" in the transport registry, transport_spec.h).
+//
+// The paper ran one party per EC2 machine exchanging serialized byte
+// strings; TcpNetwork reproduces that process boundary on one machine. The
+// driver process (whoever constructed this object — the engine's secure or
+// cleartext backend) spawns one process per bank (forking the node loop in
+// tcp_node.h, or spawning a dstress_node binary when
+// TransportSpec::node_program is set), rendezvouses them into a full TCP
+// mesh, and then every Send travels as a wire.h frame:
+//
+//   driver --> bank `from` process --> bank `to` process --> driver
+//
+// so each message genuinely crosses its sender's and receiver's processes.
+// Delivered frames are demultiplexed into the per-(from, to, session) FIFO
+// queues of the shared channel_demux.h core, whose Recv/stats/observer
+// semantics this backend inherits — which is what keeps a run's per-node
+// TrafficStats bit-identical to the same run over SimNetwork (payload
+// bytes at Send, payload bytes at Recv, frame overhead excluded; asserted
+// in engine_test.cc).
+//
+//  * Send never blocks: frames go onto a per-bank FrameWriterQueue drained
+//    by a dedicated writer thread, regardless of TCP backpressure.
+//  * FIFO per channel: a channel's frames follow one fixed socket path
+//    (driver->from, from->to, to->driver), each hop order-preserving.
+//  * Observer: OnSend fires at Send (the per-bank send lock orders it with
+//    the wire; a shared lock on the core's channels_mu_ serializes it
+//    against SetObserver exactly as in SimNetwork), OnRecv at Recv.
+//  * The high-watermark cap bounds bytes delivered to a channel but not yet
+//    Recv'd (frames still inside the socket path are not counted).
+//
+// Spawn modes: with node_program unset the constructor fork()s the node
+// loop without exec. The children run regular (non-async-signal-safe) code,
+// which glibc supports after fork but POSIX leaves undefined if other
+// threads exist at fork time — the runtime constructs its transport before
+// its worker pool for exactly this reason, and callers holding long-lived
+// thread pools should prefer the exec mode (node_program =
+// examples/dstress_node), which is the real deployment shape anyway.
+#ifndef SRC_NET_TCP_NETWORK_H_
+#define SRC_NET_TCP_NETWORK_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/net/channel_demux.h"
+#include "src/net/tcp_socket.h"
+#include "src/net/transport.h"
+#include "src/net/transport_spec.h"
+
+namespace dstress::net {
+
+class TcpNetwork : public ChannelDemuxTransport {
+ public:
+  // Spawns the bank processes and completes the bootstrap handshake;
+  // returns with the mesh established. Aborts if a bank fails to rendezvous
+  // within spec.bootstrap_timeout_ms.
+  TcpNetwork(int num_nodes, const TransportSpec& spec);
+  ~TcpNetwork() override;
+
+  // Enqueues the frame on the sending bank's writer queue. Thread-safe;
+  // never blocks.
+  void Send(NodeId from, NodeId to, Bytes message, SessionId session = 0) override;
+
+  // Batched Send: identical FIFO boundaries and metering, one writer-queue
+  // handoff for the whole run.
+  void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
+                 SessionId session = 0) override;
+
+ private:
+  // One bank process: its driver-side socket, outgoing writer queue, and
+  // the reader thread delivering its inbound frames.
+  struct Link {
+    int fd = -1;
+    pid_t pid = -1;
+    // Orders OnSend callbacks with the enqueue, per sending bank.
+    std::mutex send_mu;
+    FrameWriterQueue out;
+    FrameDecoder decoder;
+    std::thread reader;
+  };
+
+  void SpawnNodes(const TransportSpec& spec, int listen_fd, int rendezvous_port);
+  void ReaderLoop(NodeId bank);
+
+  std::atomic<bool> shutting_down_{false};
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_TCP_NETWORK_H_

@@ -1,0 +1,216 @@
+#include "src/net/tcp_node.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/tcp_socket.h"
+
+namespace dstress::net {
+
+namespace {
+
+enum ControlType : uint8_t {
+  kHello = 1,
+  kPeers = 2,
+  kMeshHello = 3,
+  kReady = 4,
+};
+
+WireFrame ControlFrame(NodeId from, Bytes payload) {
+  WireFrame frame;
+  frame.from = from;
+  frame.to = -1;
+  frame.session = kControlSession;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+ByteReader ControlReader(const WireFrame& frame, ControlType expected) {
+  DSTRESS_CHECK(frame.session == kControlSession);
+  ByteReader reader(frame.payload);
+  DSTRESS_CHECK(reader.U8() == expected);
+  return reader;
+}
+
+}  // namespace
+
+WireFrame MakeHelloFrame(NodeId node, int listen_port) {
+  ByteWriter w;
+  w.U8(kHello);
+  w.U32(static_cast<uint32_t>(node));
+  w.U32(static_cast<uint32_t>(listen_port));
+  return ControlFrame(node, w.Take());
+}
+
+void ParseHelloFrame(const WireFrame& frame, NodeId* node, int* listen_port) {
+  ByteReader reader = ControlReader(frame, kHello);
+  *node = static_cast<NodeId>(reader.U32());
+  *listen_port = static_cast<int>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+}
+
+WireFrame MakePeersFrame(const std::vector<int>& listen_ports) {
+  ByteWriter w;
+  w.U8(kPeers);
+  w.U32(static_cast<uint32_t>(listen_ports.size()));
+  for (int port : listen_ports) {
+    w.U32(static_cast<uint32_t>(port));
+  }
+  return ControlFrame(-1, w.Take());
+}
+
+std::vector<int> ParsePeersFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kPeers);
+  uint32_t count = reader.U32();
+  std::vector<int> ports(count);
+  for (uint32_t i = 0; i < count; i++) {
+    ports[i] = static_cast<int>(reader.U32());
+  }
+  DSTRESS_CHECK(reader.AtEnd());
+  return ports;
+}
+
+WireFrame MakeMeshHelloFrame(NodeId node) {
+  ByteWriter w;
+  w.U8(kMeshHello);
+  w.U32(static_cast<uint32_t>(node));
+  return ControlFrame(node, w.Take());
+}
+
+NodeId ParseMeshHelloFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kMeshHello);
+  NodeId node = static_cast<NodeId>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+  return node;
+}
+
+WireFrame MakeReadyFrame(NodeId node) {
+  ByteWriter w;
+  w.U8(kReady);
+  w.U32(static_cast<uint32_t>(node));
+  return ControlFrame(node, w.Take());
+}
+
+NodeId ParseReadyFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kReady);
+  NodeId node = static_cast<NodeId>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+  return node;
+}
+
+int RunTcpNode(const TcpNodeConfig& config) {
+  const int n = config.num_nodes;
+  const NodeId self = config.node_id;
+  const int timeout = config.bootstrap_timeout_ms;
+  DSTRESS_CHECK(self >= 0 && self < n);
+
+  // Rendezvous: listen first, then report the assigned port to the driver.
+  int listen_fd = TcpListen(config.driver_host, /*port=*/0, /*backlog=*/n);
+  int my_port = TcpListenPort(listen_fd);
+  int driver_fd = TcpConnect(config.driver_host, config.driver_port, timeout);
+  {
+    Bytes hello = EncodeFrame(MakeHelloFrame(self, my_port));
+    DSTRESS_CHECK(TcpWriteAll(driver_fd, hello.data(), hello.size()));
+  }
+  FrameDecoder driver_decoder;
+  WireFrame frame;
+  DSTRESS_CHECK(TcpReadFrameTimed(driver_fd, &driver_decoder, &frame, timeout));
+  std::vector<int> peer_ports = ParsePeersFrame(frame);
+  DSTRESS_CHECK(static_cast<int>(peer_ports.size()) == n);
+
+  // Mesh: dial every lower id, accept from every higher id. The MESH_HELLO
+  // maps each accepted socket to its NodeId.
+  std::vector<int> peer_fd(n, -1);
+  std::vector<FrameDecoder> peer_decoder(n);
+  for (NodeId j = 0; j < self; j++) {
+    peer_fd[j] = TcpConnect(config.driver_host, peer_ports[j], timeout);
+    Bytes mesh_hello = EncodeFrame(MakeMeshHelloFrame(self));
+    DSTRESS_CHECK(TcpWriteAll(peer_fd[j], mesh_hello.data(), mesh_hello.size()));
+  }
+  for (int pending = n - 1 - self; pending > 0; pending--) {
+    int fd = TcpAccept(listen_fd, timeout);
+    FrameDecoder decoder;
+    WireFrame mesh_hello;
+    DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &mesh_hello, timeout));
+    NodeId peer = ParseMeshHelloFrame(mesh_hello);
+    DSTRESS_CHECK(peer > self && peer < n && peer_fd[peer] == -1);
+    peer_fd[peer] = fd;
+    peer_decoder[peer] = std::move(decoder);
+  }
+  close(listen_fd);
+  {
+    Bytes ready = EncodeFrame(MakeReadyFrame(self));
+    DSTRESS_CHECK(TcpWriteAll(driver_fd, ready.data(), ready.size()));
+  }
+
+  // Data phase: per-peer writer queues keep forwarding non-blocking.
+  FrameWriterQueue upstream;
+  upstream.Start(driver_fd);
+  std::vector<std::unique_ptr<FrameWriterQueue>> outbound(n);
+  for (NodeId j = 0; j < n; j++) {
+    if (peer_fd[j] >= 0) {
+      outbound[j] = std::make_unique<FrameWriterQueue>();
+      outbound[j]->Start(peer_fd[j]);
+    }
+  }
+
+  // Mesh readers: everything a peer sends us is addressed to this bank and
+  // goes up to the driver. A reader exits on its peer's EOF (that peer has
+  // finished its own shutdown).
+  std::vector<std::thread> mesh_readers;
+  for (NodeId j = 0; j < n; j++) {
+    if (peer_fd[j] < 0) {
+      continue;
+    }
+    mesh_readers.emplace_back([&, j] {
+      WireFrame incoming;
+      Bytes raw;
+      while (TcpReadFrame(peer_fd[j], &peer_decoder[j], &incoming, &raw)) {
+        DSTRESS_CHECK(incoming.to == self);
+        upstream.Push(std::move(raw));
+      }
+    });
+  }
+
+  // Driver reader (this thread): route our bank's outgoing frames onto the
+  // mesh verbatim; a self-send loops straight back up.
+  Bytes raw;
+  while (TcpReadFrame(driver_fd, &driver_decoder, &frame, &raw)) {
+    DSTRESS_CHECK(frame.from == self && frame.to >= 0 && frame.to < n);
+    if (frame.to == self) {
+      upstream.Push(std::move(raw));
+    } else {
+      outbound[frame.to]->Push(std::move(raw));
+    }
+  }
+
+  // Driver EOF: drain and half-close every mesh link, wait for the peers'
+  // half-closes, then flush the upstream queue and leave. Ordering matters:
+  // the upstream socket must stay open until every mesh reader has drained,
+  // or late frames from slower peers would be dropped.
+  for (NodeId j = 0; j < n; j++) {
+    if (outbound[j] != nullptr) {
+      outbound[j]->CloseAndJoin();
+      shutdown(peer_fd[j], SHUT_WR);
+    }
+  }
+  for (std::thread& reader : mesh_readers) {
+    reader.join();
+  }
+  upstream.CloseAndJoin();
+  shutdown(driver_fd, SHUT_WR);
+  for (NodeId j = 0; j < n; j++) {
+    if (peer_fd[j] >= 0) {
+      close(peer_fd[j]);
+    }
+  }
+  close(driver_fd);
+  return 0;
+}
+
+}  // namespace dstress::net

@@ -1,0 +1,62 @@
+// The per-bank node process of the TCP transport (the deployment unit the
+// paper ran one-per-EC2-machine).
+//
+// A node process owns one bank's network presence: it rendezvouses with the
+// driver, establishes a full mesh of TCP connections to its peer banks
+// (NodeId -> socket), and then forwards wire frames — frames arriving from
+// the driver with from == self go out on the mesh link for `to` (self-sends
+// loop straight back up); frames arriving on a mesh link with to == self go
+// up to the driver. All forwarding uses per-peer FrameWriterQueue writer
+// threads, so a slow peer never blocks traffic to the others.
+//
+// Bootstrap (all control frames use wire.h's kControlSession):
+//   1. node listens on an OS-assigned port, connects to the driver's
+//      rendezvous address and sends HELLO{node_id, listen_port};
+//   2. driver answers PEERS{listen ports of all banks} once every bank has
+//      said hello;
+//   3. node dials every lower-numbered peer (MESH_HELLO{node_id} identifies
+//      the dialer) and accepts one connection from every higher-numbered
+//      peer, then reports READY;
+//   4. data frames flow; driver EOF starts the shutdown cascade (drain and
+//      close mesh writes, wait for peer EOFs, flush upstream, exit).
+//
+// RunTcpNode is the whole process body: TcpNetwork forks it directly for
+// same-machine runs, and the dstress_node CLI (examples/dstress_node.cpp,
+// src/cli/node_main.h) wraps it for spawning real separate processes.
+#ifndef SRC_NET_TCP_NODE_H_
+#define SRC_NET_TCP_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/wire.h"
+
+namespace dstress::net {
+
+struct TcpNodeConfig {
+  int node_id = -1;
+  int num_nodes = 0;
+  // The driver's rendezvous endpoint; also the interface this node binds.
+  std::string driver_host = "127.0.0.1";
+  int driver_port = 0;
+  int bootstrap_timeout_ms = 30000;
+};
+
+// Runs one bank's relay loop to completion (driver EOF). Returns 0 on a
+// clean shutdown; aborts on protocol violations.
+int RunTcpNode(const TcpNodeConfig& config);
+
+// Bootstrap control frames (shared between the node loop and the driver in
+// tcp_network.cc). Parsers abort on malformed frames.
+WireFrame MakeHelloFrame(NodeId node, int listen_port);
+void ParseHelloFrame(const WireFrame& frame, NodeId* node, int* listen_port);
+WireFrame MakePeersFrame(const std::vector<int>& listen_ports);
+std::vector<int> ParsePeersFrame(const WireFrame& frame);
+WireFrame MakeMeshHelloFrame(NodeId node);
+NodeId ParseMeshHelloFrame(const WireFrame& frame);
+WireFrame MakeReadyFrame(NodeId node);
+NodeId ParseReadyFrame(const WireFrame& frame);
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_TCP_NODE_H_

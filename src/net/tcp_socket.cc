@@ -1,0 +1,287 @@
+#include "src/net/tcp_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace dstress::net {
+
+namespace {
+
+sockaddr_in MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  DSTRESS_CHECK(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1);
+  return addr;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int TcpListen(const std::string& host, int port, int backlog) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  DSTRESS_CHECK(fd >= 0);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddr(host, port);
+  DSTRESS_CHECK(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+  DSTRESS_CHECK(listen(fd, backlog) == 0);
+  return fd;
+}
+
+int TcpListenPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  DSTRESS_CHECK(getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int TcpAccept(int listen_fd, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    pollfd p{};
+    p.fd = listen_fd;
+    p.events = POLLIN;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    int ready = poll(&p, 1, static_cast<int>(std::max<int64_t>(left.count(), 0)));
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    DSTRESS_CHECK(ready == 1);  // 0 = bootstrap timeout (a node process died)
+    break;
+  }
+  int fd = accept(listen_fd, nullptr, nullptr);
+  DSTRESS_CHECK(fd >= 0);
+  SetNoDelay(fd);
+  return fd;
+}
+
+int TcpConnect(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr = MakeAddr(host, port);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    DSTRESS_CHECK(fd >= 0);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      SetNoDelay(fd);
+      return fd;
+    }
+    int err = errno;
+    close(fd);
+    // Only "listener not up yet" is transient mid-bootstrap; any other
+    // errno is a misconfiguration worth reporting immediately, with the
+    // endpoint, instead of burning the whole bootstrap budget.
+    if (err != ECONNREFUSED && err != EINTR && err != ETIMEDOUT && err != EAGAIN) {
+      std::fprintf(stderr, "TcpConnect %s:%d failed: %s\n", host.c_str(), port,
+                   std::strerror(err));
+      DSTRESS_CHECK(false);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "TcpConnect %s:%d timed out after %d ms (last error: %s)\n",
+                   host.c_str(), port, timeout_ms, std::strerror(err));
+      DSTRESS_CHECK(false);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool TcpWriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return false;
+      }
+      DSTRESS_CHECK(false);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+FrameWriterQueue::~FrameWriterQueue() {
+  if (writer_.joinable()) {
+    CloseAndJoin();
+  }
+}
+
+void FrameWriterQueue::Start(int fd) {
+  fd_ = fd;
+  writer_ = std::thread([this] { Loop(); });
+}
+
+void FrameWriterQueue::Push(Bytes encoded) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(encoded));
+  }
+  cv_.notify_one();
+}
+
+void FrameWriterQueue::PushAll(std::vector<Bytes> encoded) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& frame : encoded) {
+      queue_.push_back(std::move(frame));
+    }
+  }
+  cv_.notify_one();
+}
+
+void FrameWriterQueue::CloseAndJoin() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+  }
+  cv_.notify_one();
+  writer_.join();
+}
+
+namespace {
+
+// Writes all `frames` with gathered sendmsg calls (up to 64 buffers per
+// syscall), advancing through partial writes. Returns false if the peer is
+// gone; aborts on other errors.
+bool TcpWritevAll(int fd, const std::vector<Bytes>& frames) {
+  constexpr int kMaxIov = 64;
+  size_t next = 0;
+  while (next < frames.size()) {
+    iovec iov[kMaxIov];
+    int count = 0;
+    size_t total = 0;
+    for (size_t j = next; j < frames.size() && count < kMaxIov; j++, count++) {
+      iov[count].iov_base = const_cast<uint8_t*>(frames[j].data());
+      iov[count].iov_len = frames[j].size();
+      total += frames[j].size();
+    }
+    size_t written = 0;
+    int done = 0;  // fully-sent iovecs in this group
+    while (written < total) {
+      msghdr msg{};
+      msg.msg_iov = iov + done;
+      msg.msg_iovlen = static_cast<size_t>(count - done);
+      ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return false;
+        }
+        DSTRESS_CHECK(false);
+      }
+      written += static_cast<size_t>(n);
+      size_t advance = static_cast<size_t>(n);
+      while (done < count && advance >= iov[done].iov_len) {
+        advance -= iov[done].iov_len;
+        done++;
+      }
+      if (done < count) {
+        iov[done].iov_base = static_cast<uint8_t*>(iov[done].iov_base) + advance;
+        iov[done].iov_len -= advance;
+      }
+    }
+    next += static_cast<size_t>(count);
+  }
+  return true;
+}
+
+}  // namespace
+
+void FrameWriterQueue::Loop() {
+  std::vector<Bytes> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // closing_ with nothing left to drain
+      }
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+    if (!peer_gone_ && !TcpWritevAll(fd_, batch)) {
+      peer_gone_ = true;
+    }
+    batch.clear();
+  }
+}
+
+bool TcpReadFrame(int fd, FrameDecoder* decoder, WireFrame* out, Bytes* raw) {
+  while (!decoder->Next(out, raw)) {
+    uint8_t buf[65536];
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return false;
+      }
+      DSTRESS_CHECK(false);
+    }
+    if (n == 0) {
+      return false;  // clean EOF
+    }
+    decoder->Feed(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool TcpReadFrameTimed(int fd, FrameDecoder* decoder, WireFrame* out, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!decoder->Next(out)) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    int ready = poll(&p, 1, static_cast<int>(std::max<int64_t>(left.count(), 0)));
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    DSTRESS_CHECK(ready == 1);  // 0 = bootstrap timeout (a peer stalled mid-handshake)
+    uint8_t buf[65536];
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return false;
+      }
+      DSTRESS_CHECK(false);
+    }
+    if (n == 0) {
+      return false;  // clean EOF
+    }
+    decoder->Feed(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace dstress::net

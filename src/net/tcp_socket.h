@@ -1,0 +1,93 @@
+// Thin blocking-socket helpers shared by the TCP transport's driver side
+// (tcp_network.cc) and its per-bank node process (tcp_node.cc). IPv4 only,
+// numeric addresses (the default deployment is 127.0.0.1; a multi-machine
+// rendezvous would extend the PEERS handshake, not this layer).
+#ifndef SRC_NET_TCP_SOCKET_H_
+#define SRC_NET_TCP_SOCKET_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/net/wire.h"
+
+namespace dstress::net {
+
+// Binds and listens on host:port (port 0 = OS-assigned) with SO_REUSEADDR
+// and TCP_NODELAY-ready defaults. Returns the listening fd; aborts on
+// failure.
+int TcpListen(const std::string& host, int port, int backlog);
+
+// The port a listening fd is bound to.
+int TcpListenPort(int listen_fd);
+
+// Accepts one connection, waiting up to timeout_ms; aborts on timeout or
+// error. Sets TCP_NODELAY on the accepted socket.
+int TcpAccept(int listen_fd, int timeout_ms);
+
+// Connects to host:port, retrying briefly (the listener may not be up yet
+// during bootstrap) up to timeout_ms; aborts on timeout. TCP_NODELAY set.
+int TcpConnect(const std::string& host, int port, int timeout_ms);
+
+// Writes the whole buffer (MSG_NOSIGNAL). Returns false if the peer is
+// gone; aborts on other errors.
+bool TcpWriteAll(int fd, const uint8_t* data, size_t len);
+
+// Blocking-reads into `decoder` until it yields a frame. Returns false on
+// clean EOF with no complete frame pending; aborts on read errors. `raw`
+// (optional) receives the frame's exact wire bytes for verbatim relaying.
+bool TcpReadFrame(int fd, FrameDecoder* decoder, WireFrame* out, Bytes* raw = nullptr);
+
+// TcpReadFrame with a deadline: aborts if no complete frame arrives within
+// timeout_ms. Bootstrap handshakes use this so a stalled peer (or a stray
+// connection to the rendezvous port) turns into the documented
+// bootstrap-timeout abort instead of a hang.
+bool TcpReadFrameTimed(int fd, FrameDecoder* decoder, WireFrame* out, int timeout_ms);
+
+// A never-blocking outgoing frame queue drained to one socket by a
+// dedicated writer thread — the mechanism that keeps Transport::Send
+// non-blocking regardless of TCP backpressure. Push appends encoded frames
+// in call order; the writer coalesces whatever has queued into a single
+// write. If the peer disappears the queue goes quiet instead of aborting
+// (expected during shutdown; during a run the protocol surfaces it as a
+// hung Recv).
+class FrameWriterQueue {
+ public:
+  FrameWriterQueue() = default;
+  FrameWriterQueue(const FrameWriterQueue&) = delete;
+  FrameWriterQueue& operator=(const FrameWriterQueue&) = delete;
+  ~FrameWriterQueue();
+
+  // Starts the writer thread draining to `fd` (not owned).
+  void Start(int fd);
+
+  // Enqueues one encoded frame. Never blocks.
+  void Push(Bytes encoded);
+
+  // Enqueues a run of encoded frames with one lock acquisition and one
+  // writer wakeup, preserving element order. Never blocks.
+  void PushAll(std::vector<Bytes> encoded);
+
+  // Lets the writer drain everything queued, then stops and joins it. The
+  // fd stays open (the caller decides when to shut it down).
+  void CloseAndJoin();
+
+ private:
+  void Loop();
+
+  int fd_ = -1;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Bytes> queue_;
+  bool closing_ = false;
+  bool peer_gone_ = false;
+  std::thread writer_;
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_TCP_SOCKET_H_

@@ -3,10 +3,21 @@
 // The paper's execution engine (§3.3/§3.6) runs every protocol role as its
 // own party exchanging serialized byte strings. Which wire actually carries
 // those bytes is a deployment decision — the prototype used one EC2 machine
-// per bank, this repo ships an in-process simulation (sim_network.h), and a
-// TCP multi-process backend is planned (see ROADMAP.md "Architecture
-// layers"). Every protocol layer (mpc/, ot/, transfer/, core/) is written
-// against this interface so backends stay interchangeable.
+// per bank — so the channel is an abstraction selected per run, never named
+// by the algorithm layer: a run describes its wire with a
+// net::TransportSpec (backend name + options, transport_spec.h) and
+// MakeTransport resolves it through a registry that mirrors the engine's
+// ExecutionMode registry. Two backends are built in:
+//
+//   "sim" — net::SimNetwork (sim_network.h): in-process queues, every
+//           protocol party on its own thread;
+//   "tcp" — net::TcpNetwork (tcp_network.h): one process per bank, messages
+//           crossing real sockets as the length-prefixed
+//           (from, to, session, payload) frames defined in wire.h.
+//
+// Every protocol layer (mpc/, ot/, transfer/, core/) is written against
+// this interface, and both backends meter the same payload bytes, so a
+// run's TrafficStats are identical whichever wire carries it.
 //
 // Semantics all implementations must provide:
 //
@@ -16,8 +27,9 @@
 //    connection per instance.
 //  * Send never blocks (the no-deadlock arguments of the scheduler rely on
 //    this); Recv blocks until a message is available.
-//  * Every message is metered per sender and per receiver, so the paper's
-//    traffic figures (Figures 4, 5-right, 6-right, §5.3) are exact.
+//  * Every message is metered per sender and per receiver — payload bytes
+//    only, never wire framing — so the paper's traffic figures (Figures 4,
+//    5-right, 6-right, §5.3) are exact and backend-independent.
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
 
@@ -96,7 +108,8 @@ class Transport {
   virtual void ResetStats() = 0;
 
   double AverageBytesPerNode() const {
-    return static_cast<double>(TotalBytes()) / num_nodes();
+    int n = num_nodes();
+    return n > 0 ? static_cast<double>(TotalBytes()) / n : 0.0;
   }
 };
 

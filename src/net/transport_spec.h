@@ -1,0 +1,89 @@
+// TransportSpec + the transport registry: how a deployment chooses the wire
+// its run crosses, mirroring the ExecutionMode registry in
+// src/engine/backend.h.
+//
+// A TransportSpec names a backend plus its options; MakeTransport resolves
+// the name — first against factories installed with RegisterTransport (test
+// doubles, out-of-tree backends), then against the built-ins:
+//
+//   "sim" — net::SimNetwork, the in-process backend (sim_network.h);
+//   "tcp" — net::TcpNetwork, one process per bank exchanging wire.h frames
+//           over real sockets (tcp_network.h).
+//
+// Nothing outside src/net names a concrete transport type: the scheduler
+// (core::RuntimeConfig), the engine (engine::RunSpec) and the CLI
+// (`transport` directive) all carry a TransportSpec and call MakeTransport.
+#ifndef SRC_NET_TRANSPORT_SPEC_H_
+#define SRC_NET_TRANSPORT_SPEC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace dstress::net {
+
+struct TransportSpec {
+  // Registry key; see KnownTransportBackends().
+  std::string backend = "sim";
+
+  // Semantics shared by every backend (channel high-watermark cap).
+  TransportOptions options;
+
+  // --- "tcp" backend only ------------------------------------------------
+  // Rendezvous address the per-bank processes dial (and the interface
+  // everything binds). Port 0 = OS-assigned.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Path to a dstress_node binary to spawn one-per-bank; empty = fork the
+  // in-library node loop directly (the test/CI default).
+  std::string node_program;
+  int bootstrap_timeout_ms = 30000;
+
+  // Copy of this spec with the channel high-watermark overridden when
+  // `cap` is nonzero — the rule every scheduler-level knob
+  // (RuntimeConfig::channel_high_watermark_bytes) applies before
+  // MakeTransport.
+  TransportSpec WithChannelHighWatermark(size_t cap) const {
+    TransportSpec spec = *this;
+    if (cap > 0) {
+      spec.options.channel_high_watermark_bytes = cap;
+    }
+    return spec;
+  }
+};
+
+// Convenience constructors, mirroring the topology helpers in run_spec.h.
+TransportSpec SimTransportSpec();
+TransportSpec TcpTransportSpec(std::string host = "127.0.0.1", int port = 0);
+
+// A ready-to-use in-process transport — the one-liner for microbenchmarks
+// and baselines that just need a default metered wire.
+std::unique_ptr<Transport> MakeSimTransport(int num_nodes);
+
+using TransportFactory =
+    std::function<std::unique_ptr<Transport>(int num_nodes, const TransportSpec& spec)>;
+
+// Installs (or replaces) the factory for `backend` process-wide.
+// Thread-safe. Registering a built-in name overrides it.
+void RegisterTransport(const std::string& backend, TransportFactory factory);
+
+// Drops an installed factory; built-in names fall back to the built-in.
+void ResetTransport(const std::string& backend);
+
+// True if MakeTransport can resolve `backend` (built-in or registered).
+bool KnownTransportBackend(const std::string& backend);
+
+// Every currently resolvable backend name, built-ins first.
+std::vector<std::string> KnownTransportBackends();
+
+// Instantiates the transport `spec` describes for `num_nodes` banks.
+// Aborts on an unknown backend (validate scenario input upstream with
+// KnownTransportBackend).
+std::unique_ptr<Transport> MakeTransport(const TransportSpec& spec, int num_nodes);
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_TRANSPORT_SPEC_H_

@@ -1,0 +1,68 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace dstress::net {
+
+void AppendFrame(const WireFrame& frame, Bytes* out) {
+  DSTRESS_CHECK(frame.payload.size() <= kMaxWirePayload);
+  uint32_t length = static_cast<uint32_t>(16 + frame.payload.size());
+  size_t at = out->size();
+  out->resize(at + 4 + length);
+  uint8_t* p = out->data() + at;
+  uint32_t from = static_cast<uint32_t>(frame.from);
+  uint32_t to = static_cast<uint32_t>(frame.to);
+  std::memcpy(p, &length, 4);
+  std::memcpy(p + 4, &from, 4);
+  std::memcpy(p + 8, &to, 4);
+  std::memcpy(p + 12, &frame.session, 8);
+  if (!frame.payload.empty()) {
+    std::memcpy(p + 20, frame.payload.data(), frame.payload.size());
+  }
+}
+
+Bytes EncodeFrame(const WireFrame& frame) {
+  Bytes out;
+  out.reserve(kWireFrameOverhead + frame.payload.size());
+  AppendFrame(frame, &out);
+  return out;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameDecoder::Next(WireFrame* out, Bytes* raw) {
+  if (buffered_bytes() < 4) {
+    return false;
+  }
+  uint32_t length = 0;
+  std::memcpy(&length, buf_.data() + pos_, 4);
+  DSTRESS_CHECK(length >= 16 && length - 16 <= kMaxWirePayload);
+  if (buffered_bytes() < 4 + static_cast<size_t>(length)) {
+    return false;
+  }
+  const uint8_t* p = buf_.data() + pos_;
+  uint32_t from = 0;
+  uint32_t to = 0;
+  std::memcpy(&from, p + 4, 4);
+  std::memcpy(&to, p + 8, 4);
+  std::memcpy(&out->session, p + 12, 8);
+  out->from = static_cast<NodeId>(static_cast<int32_t>(from));
+  out->to = static_cast<NodeId>(static_cast<int32_t>(to));
+  out->payload.assign(p + 20, p + 4 + length);
+  if (raw != nullptr) {
+    raw->assign(p, p + 4 + length);
+  }
+  pos_ += 4 + static_cast<size_t>(length);
+  return true;
+}
+
+}  // namespace dstress::net

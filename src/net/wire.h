@@ -1,0 +1,84 @@
+// The DStress wire codec: the byte format every multi-process transport
+// backend puts on the wire, one length-prefixed frame per transport message.
+//
+// A frame carries exactly the tuple the Transport interface routes on —
+// (from, to, session, payload) — so a backend that forwards frames verbatim
+// preserves channel identity, FIFO order (frames on one byte stream decode
+// in encode order) and byte-exact traffic metering: the metered quantity is
+// payload.size(), identical to what SimNetwork meters for the same Send.
+//
+// Layout (all integers little-endian, matching ByteWriter):
+//
+//   u32 frame_length   bytes that follow this field (16 + payload size)
+//   u32 from           NodeId, two's complement
+//   u32 to             NodeId, two's complement
+//   u64 session        SessionId
+//   payload            frame_length - 16 raw bytes
+//
+// FrameDecoder is incremental: feed it arbitrary byte slices (whatever
+// read(2) returned) and pop complete frames as they become available, so a
+// socket reader never needs to know frame boundaries up front.
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/net/transport.h"
+
+namespace dstress::net {
+
+struct WireFrame {
+  NodeId from = 0;
+  NodeId to = 0;
+  SessionId session = 0;
+  Bytes payload;
+
+  bool operator==(const WireFrame& o) const {
+    return from == o.from && to == o.to && session == o.session && payload == o.payload;
+  }
+};
+
+// The session id reserved for transport-internal control traffic (the TCP
+// backend's bootstrap handshake). Protocol layers must not use it; the
+// runtime's session namespaces (top bits select the phase) never do.
+constexpr SessionId kControlSession = ~0ULL;
+
+// Frame byte overhead on top of the payload (length prefix + header).
+constexpr size_t kWireFrameOverhead = 20;
+
+// Frames larger than this abort the decoder: no DStress protocol message
+// comes anywhere close, so a bigger length prefix means stream corruption.
+constexpr size_t kMaxWirePayload = size_t{1} << 30;
+
+// Appends the encoded frame to `out` (so a writer can coalesce a run of
+// frames into one buffer / one write call).
+void AppendFrame(const WireFrame& frame, Bytes* out);
+
+Bytes EncodeFrame(const WireFrame& frame);
+
+// Incremental frame parser for one byte stream.
+class FrameDecoder {
+ public:
+  // Buffers `len` more stream bytes.
+  void Feed(const uint8_t* data, size_t len);
+
+  // Pops the next complete frame into *out. Returns false when the buffered
+  // bytes do not yet contain a full frame. Aborts (DSTRESS_CHECK) on a
+  // corrupt length prefix (payload larger than kMaxWirePayload). When `raw`
+  // is non-null it receives the frame's exact wire bytes, so a relay can
+  // forward them verbatim instead of re-encoding.
+  bool Next(WireFrame* out, Bytes* raw = nullptr);
+
+  // Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+}  // namespace dstress::net
+
+#endif  // SRC_NET_WIRE_H_

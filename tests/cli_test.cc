@@ -16,6 +16,7 @@ TEST(ScenarioParseTest, FullScenarioRoundTrips) {
 network core_periphery 50 10
 model egj
 mode cleartext
+transport tcp
 iterations 6
 block_size 8
 fanout 16
@@ -31,6 +32,7 @@ seed 99
   EXPECT_EQ(spec->topology.core_size, 10);
   EXPECT_EQ(spec->model, engine::ContagionModel::kElliottGolubJackson);
   EXPECT_EQ(spec->mode, engine::ExecutionMode::kCleartextFast);
+  EXPECT_EQ(spec->transport.backend, "tcp");
   EXPECT_EQ(spec->iterations, 6);
   EXPECT_EQ(spec->block_size, 8);
   EXPECT_EQ(spec->aggregation_fanout, 16);
@@ -46,6 +48,7 @@ TEST(ScenarioParseTest, DefaultsApply) {
   ASSERT_TRUE(spec.has_value()) << error;
   EXPECT_EQ(spec->model, engine::ContagionModel::kEisenbergNoe);
   EXPECT_EQ(spec->mode, engine::ExecutionMode::kSecure);
+  EXPECT_EQ(spec->transport.backend, "sim");
   EXPECT_EQ(spec->iterations, 0);
   EXPECT_EQ(spec->block_size, 4);
   EXPECT_EQ(spec->aggregation_fanout, 0);
@@ -78,6 +81,8 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network scale_free 20 2\nmodel xx\n", "model must be"},
       {"network scale_free 20 2\nmode tls\n", "mode must be 'secure' or 'cleartext'"},
       {"network scale_free 20 2\nmode cleartext fast\n", "expected 1 argument"},
+      {"network scale_free 20 2\ntransport pigeon\n", "transport must be 'sim' or 'tcp'"},
+      {"network scale_free 20 2\ntransport\n", "expected 1 argument"},
       {"network scale_free 20 2\nfanout x\n", "bad integer"},
       {"network scale_free 20 2\nfanout 1\n", "fanout must be 0"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},

@@ -98,6 +98,51 @@ TEST(EngineSecureModeTest, TrafficBitIdenticalToDirectRuntime) {
   }
 }
 
+// The transport-redesign acceptance property: for one fixed RunSpec, a
+// kSecure run over the TCP multi-process backend produces the same released
+// figure and bit-identical per-node TrafficStats as the same spec over
+// SimNetwork. The spec selects the wire by name only.
+TEST(EngineSecureModeTest, TcpTransportBitIdenticalToSimNetwork) {
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(10, 3);
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {0};
+  spec.noise_alpha = 0.5;
+  spec.iterations = 2;
+  spec.block_size = 3;
+  spec.seed = 5;
+
+  // Snapshot the sim run's stats, then destroy the engine: the TCP backend
+  // forks its bank processes, which is cleanest while no worker-pool
+  // threads from a previous run are alive (see tcp_network.h).
+  RunReport sim_report;
+  std::vector<net::TrafficStats> sim_stats;
+  {
+    spec.transport = net::SimTransportSpec();
+    Engine sim_engine(spec);
+    sim_report = sim_engine.Run();
+    for (int v = 0; v < sim_engine.transport().num_nodes(); v++) {
+      sim_stats.push_back(sim_engine.transport().NodeStats(v));
+    }
+  }
+
+  spec.transport = net::TcpTransportSpec();
+  Engine tcp_engine(spec);
+  RunReport tcp_report = tcp_engine.Run();
+
+  EXPECT_EQ(tcp_report.released, sim_report.released);
+  EXPECT_EQ(tcp_report.metrics.total_bytes, sim_report.metrics.total_bytes);
+  ASSERT_EQ(tcp_engine.transport().num_nodes(), static_cast<int>(sim_stats.size()));
+  for (int v = 0; v < tcp_engine.transport().num_nodes(); v++) {
+    net::TrafficStats tcp = tcp_engine.transport().NodeStats(v);
+    const net::TrafficStats& sim = sim_stats[v];
+    EXPECT_EQ(tcp.bytes_sent, sim.bytes_sent) << "node " << v;
+    EXPECT_EQ(tcp.bytes_received, sim.bytes_received) << "node " << v;
+    EXPECT_EQ(tcp.messages_sent, sim.messages_sent) << "node " << v;
+    EXPECT_EQ(tcp.messages_received, sim.messages_received) << "node " << v;
+  }
+}
+
 // (b) Cleartext mode evaluates the same circuits the MPC would, so with
 // noise disabled it must land exactly on the fixed-point references.
 TEST(EngineCleartextModeTest, MatchesEnFixedPointReference) {
@@ -148,6 +193,42 @@ TEST(EngineCleartextModeTest, AgreesWithSecureModeOnSameSpec) {
   EXPECT_EQ(secure.reference, cleartext.reference);
   // The fast path skips the crypto: traffic shrinks by orders of magnitude.
   EXPECT_LT(cleartext.metrics.total_bytes, secure.metrics.total_bytes / 100);
+}
+
+// The cleartext gather mirrors the secure §3.6 aggregation tree when a
+// fanout is set: the released figure is unchanged (word sums are
+// associative) while the root stops funneling every state — with N=24 and
+// fanout 4 the root receives its own leaf group plus ceil(24/4)=6 partials
+// instead of 24 states.
+TEST(EngineCleartextModeTest, TreeAggregationMatchesFlatAndSpreadsGather) {
+  RunSpec spec;
+  spec.topology = CorePeripheryTopology(24, 5);
+  spec.model = ContagionModel::kEisenbergNoe;
+  spec.shock.shocked_banks = {0, 1};
+  spec.noise_alpha = 1e-12;
+  spec.iterations = 3;
+  spec.seed = 21;
+  spec.mode = ExecutionMode::kCleartextFast;
+
+  Engine flat_engine(spec);
+  RunReport flat = flat_engine.Run();
+
+  spec.aggregation_fanout = 4;
+  Engine tree_engine(spec);
+  RunReport tree = tree_engine.Run();
+
+  EXPECT_EQ(tree.released, flat.released);
+  ASSERT_TRUE(tree.has_reference);
+  EXPECT_EQ(tree.released, static_cast<int64_t>(tree.reference));
+  // The root (node 0) receives strictly fewer messages under the tree.
+  EXPECT_LT(tree_engine.transport().NodeStats(0).messages_received,
+            flat_engine.transport().NodeStats(0).messages_received);
+  // And other nodes now share the gather work.
+  uint64_t non_root_received = 0;
+  for (int v = 1; v < 24; v++) {
+    non_root_received += tree_engine.transport().NodeStats(v).messages_received;
+  }
+  EXPECT_GT(non_root_received, 0u);
 }
 
 // The ROADMAP's headline workload for the fast path: a sweep-scale run at

@@ -1,6 +1,7 @@
 // Interface-conformance tests for net::Transport, exercised through the
-// SimNetwork backend via a Transport* — everything here must hold for any
-// future backend (TCP, cleartext fast-path) as well.
+// SimNetwork backend via a Transport* (tcp_network_test.cc re-runs the
+// same semantics over the TCP backend), plus the TransportSpec registry
+// that selects backends by name.
 #include "src/net/transport.h"
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 
 #include "src/net/channel.h"
 #include "src/net/sim_network.h"
+#include "src/net/transport_spec.h"
 
 namespace dstress::net {
 namespace {
@@ -143,6 +145,77 @@ TEST(TransportTest, HighWatermarkCountsQueuedNotTotalBytes) {
     sim.Recv(1, 0);
   }
   EXPECT_EQ(sim.TotalBytes(), 80u);
+}
+
+// A Transport over zero nodes reports zero average traffic instead of
+// dividing by zero (backends normally forbid construction at n == 0, but
+// the base-class arithmetic must not rely on that).
+class EmptyTransport : public Transport {
+ public:
+  int num_nodes() const override { return 0; }
+  void SetObserver(NetworkObserver*) override {}
+  void Send(NodeId, NodeId, Bytes, SessionId) override {}
+  Bytes Recv(NodeId, NodeId, SessionId) override { return {}; }
+  TrafficStats NodeStats(NodeId) const override { return {}; }
+  uint64_t TotalBytes() const override { return 0; }
+  uint64_t MaxBytesPerNode() const override { return 0; }
+  void ResetStats() override {}
+};
+
+TEST(TransportTest, AverageBytesPerNodeOnEmptyTransportIsZero) {
+  EmptyTransport empty;
+  EXPECT_EQ(empty.AverageBytesPerNode(), 0.0);
+}
+
+TEST(TransportRegistryTest, BuiltinsResolveByName) {
+  EXPECT_TRUE(KnownTransportBackend("sim"));
+  EXPECT_TRUE(KnownTransportBackend("tcp"));
+  EXPECT_FALSE(KnownTransportBackend("carrier-pigeon"));
+
+  auto names = KnownTransportBackends();
+  EXPECT_EQ(names[0], "sim");
+  EXPECT_EQ(names[1], "tcp");
+
+  auto sim = MakeTransport(SimTransportSpec(), 3);
+  EXPECT_EQ(sim->num_nodes(), 3);
+  sim->Send(0, 1, Bytes{1});
+  EXPECT_EQ(sim->Recv(1, 0), Bytes{1});
+}
+
+TEST(TransportRegistryTest, SpecOptionsReachTheBackend) {
+  TransportSpec spec = SimTransportSpec();
+  spec.options.channel_high_watermark_bytes = 16;
+  EXPECT_DEATH(
+      {
+        auto net = MakeTransport(spec, 2);
+        for (int i = 0; i < 3; i++) {
+          net->Send(0, 1, Bytes(8));  // 24 queued bytes > 16 cap
+        }
+      },
+      "CHECK failed");
+}
+
+TEST(TransportRegistryTest, OverrideAndReset) {
+  // A registered factory replaces a built-in by name (the seam a test
+  // double or an out-of-tree backend uses), and ResetTransport restores
+  // the built-in.
+  RegisterTransport("sim", [](int num_nodes, const TransportSpec&) {
+    return std::make_unique<SimNetwork>(num_nodes + 1);
+  });
+  EXPECT_EQ(MakeTransport(SimTransportSpec(), 3)->num_nodes(), 4);
+
+  ResetTransport("sim");
+  EXPECT_EQ(MakeTransport(SimTransportSpec(), 3)->num_nodes(), 3);
+
+  RegisterTransport("loopback", [](int num_nodes, const TransportSpec&) {
+    return std::make_unique<SimNetwork>(num_nodes);
+  });
+  EXPECT_TRUE(KnownTransportBackend("loopback"));
+  TransportSpec spec;
+  spec.backend = "loopback";
+  EXPECT_EQ(MakeTransport(spec, 2)->num_nodes(), 2);
+  ResetTransport("loopback");
+  EXPECT_FALSE(KnownTransportBackend("loopback"));
 }
 
 TEST(ChannelTest, BuffersUntilFlush) {

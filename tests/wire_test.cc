@@ -1,0 +1,124 @@
+// Wire-codec tests: frame round-trips, incremental decoding across
+// arbitrary chunk boundaries (a corpus re-chunked many ways must always
+// decode to the same frame sequence), and corruption detection.
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dstress::net {
+namespace {
+
+std::vector<WireFrame> Corpus() {
+  std::vector<WireFrame> frames;
+  frames.push_back({0, 1, 0, {}});                      // empty payload
+  frames.push_back({1, 0, 7, {0xde, 0xad, 0xbe}});      // small
+  frames.push_back({5, 5, 0, {0x42}});                  // self-send
+  frames.push_back({-1, 2, kControlSession, {1, 2, 3}});  // control, negative id
+  WireFrame big;
+  big.from = 1000000;
+  big.to = 999999;
+  big.session = ~0ULL - 1;
+  big.payload.resize(70000);  // larger than a 64 KB read buffer
+  for (size_t i = 0; i < big.payload.size(); i++) {
+    big.payload[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  frames.push_back(big);
+  frames.push_back({2, 3, 1ULL << 60, {0}});
+  return frames;
+}
+
+TEST(WireTest, SingleFrameRoundTrips) {
+  for (const WireFrame& frame : Corpus()) {
+    Bytes encoded = EncodeFrame(frame);
+    EXPECT_EQ(encoded.size(), kWireFrameOverhead + frame.payload.size());
+    FrameDecoder decoder;
+    decoder.Feed(encoded.data(), encoded.size());
+    WireFrame out;
+    ASSERT_TRUE(decoder.Next(&out));
+    EXPECT_EQ(out, frame);
+    EXPECT_FALSE(decoder.Next(&out));
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(WireTest, AppendFrameConcatenatesStream) {
+  Bytes stream;
+  for (const WireFrame& frame : Corpus()) {
+    AppendFrame(frame, &stream);
+  }
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  for (const WireFrame& frame : Corpus()) {
+    WireFrame out;
+    ASSERT_TRUE(decoder.Next(&out));
+    EXPECT_EQ(out, frame);
+  }
+  WireFrame out;
+  EXPECT_FALSE(decoder.Next(&out));
+}
+
+// The decoder must be insensitive to how read(2) slices the stream: feed
+// the same corpus in many deterministic-pseudorandom chunkings and expect
+// the identical frame sequence every time.
+TEST(WireTest, DecodesAcrossArbitraryChunkBoundaries) {
+  std::vector<WireFrame> corpus = Corpus();
+  Bytes stream;
+  for (const WireFrame& frame : corpus) {
+    AppendFrame(frame, &stream);
+  }
+  uint64_t rng = 12345;
+  for (int round = 0; round < 50; round++) {
+    FrameDecoder decoder;
+    std::vector<WireFrame> decoded;
+    size_t pos = 0;
+    WireFrame out;
+    while (pos < stream.size()) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      // Chunk sizes from 1 byte up to ~8 KB, crossing every boundary kind.
+      size_t chunk = 1 + static_cast<size_t>((rng >> 33) % 8192);
+      chunk = std::min(chunk, stream.size() - pos);
+      decoder.Feed(stream.data() + pos, chunk);
+      pos += chunk;
+      while (decoder.Next(&out)) {
+        decoded.push_back(out);
+      }
+    }
+    ASSERT_EQ(decoded.size(), corpus.size()) << "round " << round;
+    for (size_t i = 0; i < corpus.size(); i++) {
+      EXPECT_EQ(decoded[i], corpus[i]) << "round " << round << " frame " << i;
+    }
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(WireTest, PartialHeaderYieldsNothing) {
+  Bytes encoded = EncodeFrame({1, 2, 3, {9, 9}});
+  FrameDecoder decoder;
+  WireFrame out;
+  for (size_t i = 0; i < encoded.size() - 1; i++) {
+    decoder.Feed(&encoded[i], 1);
+    EXPECT_FALSE(decoder.Next(&out)) << "after byte " << i;
+  }
+  decoder.Feed(&encoded[encoded.size() - 1], 1);
+  EXPECT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out.payload, (Bytes{9, 9}));
+}
+
+TEST(WireTest, CorruptLengthPrefixAborts) {
+  EXPECT_DEATH(
+      {
+        // A length prefix below the 16-byte header minimum is corruption.
+        Bytes bogus(8, 0);
+        bogus[0] = 4;
+        FrameDecoder decoder;
+        decoder.Feed(bogus.data(), bogus.size());
+        WireFrame out;
+        decoder.Next(&out);
+      },
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dstress::net
