@@ -1,12 +1,16 @@
-// dstress_node: one bank of a TCP multi-process DStress run.
+// dstress_node: one bank of a TCP multi-process DStress run — on the
+// driver's machine or any other.
 //
-//   ./build/examples/dstress_node --node 3 --num-nodes 30 --driver 127.0.0.1:7000
+//   ./build/examples/dstress_node --bank 3 --num-nodes 30
+//       --driver-host 10.0.0.1 --driver-port 7400
 //
-// A driver (any engine run whose TransportSpec names the "tcp" backend and
-// sets node_program to this binary) spawns one of these per bank; each
-// joins the bank mesh and relays the run's wire frames. See
-// src/net/tcp_node.h for the bootstrap protocol and src/cli/node_main.h for
-// the flags.
+// A driver (any engine run whose TransportSpec names the "tcp" backend)
+// either spawns one of these per bank (node_program) or, in external-nodes
+// mode, waits for operators to start them — possibly on separate machines,
+// the paper's one-party-per-EC2-machine deployment (README.md,
+// "Quickstart: multi-machine tcp"). Each joins the bank mesh and relays
+// the run's wire frames. See docs/wire-protocol.md for the bootstrap
+// protocol and src/cli/node_main.h for the flags.
 
 #include "src/cli/node_main.h"
 

@@ -8,8 +8,13 @@ namespace dstress::cli {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: dstress_node --node <id> --num-nodes <N> --driver <host:port>"
-    " [--bootstrap-timeout-ms <ms>]";
+    "usage: dstress_node --bank <id> --num-nodes <N> --driver-host <host> --driver-port <port>\n"
+    "       dstress_node --node <id> --num-nodes <N> --driver <host:port>\n"
+    "  [--listen-host <iface>]     interface the mesh listener binds (default: 0.0.0.0)\n"
+    "  [--listen-port <port>]      mesh listen port (default: OS-assigned)\n"
+    "  [--advertise-host <host>]   address peers dial to reach this bank (default: the\n"
+    "                              listen host, or this machine's address toward the driver)\n"
+    "  [--bootstrap-timeout-ms <ms>]";
 
 bool ParseInt(const std::string& text, int min_value, int* out) {
   try {
@@ -39,10 +44,10 @@ std::optional<net::TcpNodeConfig> ParseNodeArgs(int argc, char** argv, std::stri
   for (int i = 1; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
-    if (flag == "--node") {
+    if (flag == "--node" || flag == "--bank") {
       saw_node = ParseInt(value, 0, &config.node_id);
       if (!saw_node) {
-        *error = std::string("bad --node '") + value + "'\n" + kUsage;
+        *error = "bad " + flag + " '" + value + "'\n" + kUsage;
         return std::nullopt;
       }
     } else if (flag == "--num-nodes") {
@@ -60,6 +65,35 @@ std::optional<net::TcpNodeConfig> ParseNodeArgs(int argc, char** argv, std::stri
       }
       config.driver_host = value.substr(0, colon);
       saw_driver = true;
+    } else if (flag == "--driver-host") {
+      if (value.empty()) {
+        *error = std::string("bad --driver-host ''\n") + kUsage;
+        return std::nullopt;
+      }
+      config.driver_host = value;
+    } else if (flag == "--driver-port") {
+      if (!ParseInt(value, 1, &config.driver_port)) {
+        *error = std::string("bad --driver-port '") + value + "'\n" + kUsage;
+        return std::nullopt;
+      }
+      saw_driver = true;
+    } else if (flag == "--listen-host") {
+      if (value.empty()) {
+        *error = std::string("bad --listen-host ''\n") + kUsage;
+        return std::nullopt;
+      }
+      config.listen_host = value;
+    } else if (flag == "--listen-port") {
+      if (!ParseInt(value, 1, &config.listen_port)) {
+        *error = std::string("bad --listen-port '") + value + "'\n" + kUsage;
+        return std::nullopt;
+      }
+    } else if (flag == "--advertise-host") {
+      if (value.empty()) {
+        *error = std::string("bad --advertise-host ''\n") + kUsage;
+        return std::nullopt;
+      }
+      config.advertise_host = value;
     } else if (flag == "--bootstrap-timeout-ms") {
       if (!ParseInt(value, 1, &config.bootstrap_timeout_ms)) {
         *error = std::string("bad --bootstrap-timeout-ms '") + value + "'\n" + kUsage;

@@ -2,13 +2,17 @@
 // per-bank process of the TCP transport (examples/dstress_node.cpp is the
 // binary shell around this).
 //
+//   dstress_node --bank <id> --num-nodes <N> --driver-host <h> --driver-port <p>
 //   dstress_node --node <id> --num-nodes <N> --driver <host:port>
 //
-// The process rendezvouses with the driver at host:port, joins the bank
-// mesh, relays wire frames until the driver disconnects, then exits 0. A
-// TcpNetwork whose TransportSpec::node_program points at this binary spawns
-// one per bank; operators can also launch them by hand against a driver
-// started with a fixed rendezvous port.
+// plus --listen-host / --listen-port / --advertise-host for multi-homed or
+// port-pinned deployments (bind one interface, advertise the address peers
+// dial; see README.md, "Quickstart: multi-machine tcp"). The process rendezvouses with the
+// driver, joins the bank mesh, relays wire frames until the driver
+// disconnects, then exits 0. A TcpNetwork whose TransportSpec::node_program
+// points at this binary spawns one per bank; operators launch them by hand
+// (possibly on separate machines) against a driver whose scenario fixes the
+// rendezvous port and lists `node` directives.
 #ifndef SRC_CLI_NODE_MAIN_H_
 #define SRC_CLI_NODE_MAIN_H_
 

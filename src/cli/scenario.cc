@@ -1,5 +1,7 @@
 #include "src/cli/scenario.h"
 
+#include <arpa/inet.h>
+
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -57,6 +59,41 @@ struct LineParser {
       return Fail("bad number '" + tokens[index] + "'");
     }
   }
+
+  // "host:port" or bare "host" (port stays 0). The port, when present,
+  // must be a valid TCP port; the host must be a numeric IPv4 address —
+  // that is all the socket layer (src/net/tcp_socket.h) speaks, and
+  // rejecting hostnames here gives the error a line number instead of a
+  // mid-bootstrap abort.
+  bool Endpoint(size_t index, net::PeerEndpoint* out) const {
+    const std::string& text = tokens[index];
+    auto colon = text.rfind(':');
+    if (colon == std::string::npos) {
+      out->host = text;
+      out->port = 0;
+    } else {
+      out->host = text.substr(0, colon);
+      std::string port_text = text.substr(colon + 1);
+      try {
+        size_t used = 0;
+        out->port = std::stoi(port_text, &used);
+        if (used != port_text.size() || out->port < 1 || out->port > 65535) {
+          return Fail("bad endpoint '" + text + "' (want host or host:port)");
+        }
+      } catch (...) {
+        return Fail("bad endpoint '" + text + "' (want host or host:port)");
+      }
+    }
+    if (out->host.empty()) {
+      return Fail("bad endpoint '" + text + "' (empty host)");
+    }
+    in_addr parsed;
+    if (inet_pton(AF_INET, out->host.c_str(), &parsed) != 1) {
+      return Fail("host '" + out->host + "' is not a numeric IPv4 address (hostnames are"
+                  " not supported)");
+    }
+    return true;
+  }
 };
 
 }  // namespace
@@ -64,6 +101,10 @@ struct LineParser {
 std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::string* error) {
   engine::RunSpec spec;
   bool saw_network = false;
+  // `node` directives, indexed by bank; node_lines[bank] is the line that
+  // placed it (0 = not placed), for duplicate reporting.
+  std::vector<net::PeerEndpoint> node_endpoints;
+  std::vector<int> node_lines;
   std::istringstream stream(text);
   std::string line;
   LineParser p;
@@ -187,7 +228,8 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
       }
       spec.mode = *mode;
     } else if (directive == "transport") {
-      if (!p.ArgCount(1)) {
+      if (p.tokens.size() != 2 && p.tokens.size() != 3) {
+        p.Fail("usage: transport <backend> [rendezvous-host:port]");
         return std::nullopt;
       }
       if (!net::KnownTransportBackend(p.tokens[1])) {
@@ -199,6 +241,39 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         return std::nullopt;
       }
       spec.transport.backend = p.tokens[1];
+      if (p.tokens.size() == 3) {
+        if (spec.transport.backend != "tcp") {
+          p.Fail("transport '" + spec.transport.backend + "' takes no rendezvous address");
+          return std::nullopt;
+        }
+        net::PeerEndpoint rendezvous;
+        if (!p.Endpoint(2, &rendezvous)) {
+          return std::nullopt;
+        }
+        if (rendezvous.port == 0) {
+          p.Fail("transport tcp rendezvous needs an explicit port (host:port)");
+          return std::nullopt;
+        }
+        spec.transport.host = rendezvous.host;
+        spec.transport.port = rendezvous.port;
+      }
+    } else if (directive == "node") {
+      int bank = 0;
+      net::PeerEndpoint endpoint;
+      if (!p.ArgCount(2) || !p.Int(1, 0, &bank) || !p.Endpoint(2, &endpoint)) {
+        return std::nullopt;
+      }
+      if (bank < static_cast<int>(node_lines.size()) && node_lines[bank] != 0) {
+        p.Fail("bank " + std::to_string(bank) + " already placed on line " +
+               std::to_string(node_lines[bank]));
+        return std::nullopt;
+      }
+      if (bank >= static_cast<int>(node_lines.size())) {
+        node_lines.resize(bank + 1, 0);
+        node_endpoints.resize(bank + 1);
+      }
+      node_lines[bank] = p.line_number;
+      node_endpoints[bank] = std::move(endpoint);
     } else if (directive == "iterations") {
       if (!p.ArgCount(1) || !p.Int(1, 0, &spec.iterations)) {
         return std::nullopt;
@@ -264,6 +339,28 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
       *error = "shocked bank " + std::to_string(bank) + " out of range";
       return std::nullopt;
     }
+  }
+  if (!node_endpoints.empty()) {
+    // `node` directives describe a multi-machine deployment: the driver
+    // waits for externally started dstress_node processes instead of
+    // spawning its own.
+    if (spec.transport.backend != "tcp") {
+      *error = "'node' directives require 'transport tcp'";
+      return std::nullopt;
+    }
+    if (spec.transport.port == 0) {
+      *error = "'node' directives require 'transport tcp <host:port>' with a fixed"
+               " rendezvous port (remote banks must know where to dial)";
+      return std::nullopt;
+    }
+    if (static_cast<int>(node_endpoints.size()) > spec.topology.num_vertices) {
+      *error = "node bank " + std::to_string(node_endpoints.size() - 1) + " out of range (" +
+               std::to_string(spec.topology.num_vertices) + " banks)";
+      return std::nullopt;
+    }
+    node_endpoints.resize(spec.topology.num_vertices);  // unnamed banks: any endpoint
+    spec.transport.external_nodes = true;
+    spec.transport.node_endpoints = std::move(node_endpoints);
   }
   return spec;
 }

@@ -14,9 +14,18 @@
 //   edge <u> <v>                                (directed)
 //   model <en|egj>                              (contagion model, §4.2/§4.3)
 //   mode <secure|cleartext>                     (execution backend, default secure)
-//   transport <sim|tcp>                         (wire backend, default sim; `tcp`
-//                                                runs one process per bank — see
+//   transport <sim|tcp> [host:port]             (wire backend, default sim; `tcp`
+//                                                runs one process per bank, the
+//                                                optional host:port fixes the
+//                                                driver's rendezvous address — see
 //                                                src/net/transport_spec.h)
+//   node <bank> <host[:port]>                   (multi-machine deployment: bank
+//                                                lives in an externally started
+//                                                dstress_node at that endpoint;
+//                                                any `node` line switches the
+//                                                driver to waiting for remote
+//                                                registrations instead of
+//                                                spawning processes itself)
 //   iterations <I>                              (0 = ceil(log2 N), App. C)
 //   block_size <k+1>
 //   fanout <F>                                  (aggregation tree fan-in; 0 = flat)

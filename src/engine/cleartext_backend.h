@@ -15,8 +15,9 @@
 //  * the *transport layer*: every inter-vertex message (one L-bit word per
 //    edge per iteration, one state word per vertex at aggregation) crosses
 //    a metered net::Transport with the secure path's FIFO (from, to,
-//    session) channel discipline — so traffic shapes are observable and the
-//    planned TCP multi-process transport can back this mode too;
+//    session) channel discipline — so traffic shapes are observable and any
+//    registered transport (including the TCP multi-process backend, single-
+//    or multi-machine) can back this mode too;
 //  * the *scheduler layer*: compute phases run as (vertex, 1) groups on a
 //    persistent core::WorkerPool, exactly like the secure runtime's phase
 //    batches.

@@ -118,7 +118,14 @@ std::string RunReport::ToString() const {
 std::string FormatReport(const RunSpec& spec, const RunReport& report) {
   int num_vertices =
       spec.graph.has_value() ? spec.graph->num_vertices() : spec.topology.num_vertices;
-  char buf[640];
+  // For tcp: whether the banks were spawned locally or dialed in from
+  // outside (the multi-machine deployment), and where the rendezvous was.
+  std::string transport = spec.transport.backend;
+  if (spec.transport.backend == "tcp" && spec.transport.external_nodes) {
+    transport += " (external nodes, rendezvous " + spec.transport.host + ":" +
+                 std::to_string(spec.transport.port) + ")";
+  }
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "model:               %s\n"
@@ -130,7 +137,7 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
       "reference TDS:       %llu money units (cleartext check, not released)\n"
       "wall time:           %.2f s\n"
       "traffic per bank:    %.2f MB\n",
-      report.model_name.c_str(), ExecutionModeName(report.mode), spec.transport.backend.c_str(),
+      report.model_name.c_str(), ExecutionModeName(report.mode), transport.c_str(),
       num_vertices, spec.block_size,
       report.iterations, spec.shock.shocked_banks.size(),
       static_cast<long long>(report.released), spec.epsilon, spec.leverage,

@@ -41,8 +41,8 @@
 namespace dstress::engine {
 
 // Execution backends. The registry (backend.h) maps each mode to a factory;
-// new modes (e.g. the planned TCP multi-process transport) plug in there
-// without touching any RunSpec caller.
+// new modes plug in there without touching any RunSpec caller. (The wire a
+// run crosses is orthogonal: RunSpec::transport.)
 enum class ExecutionMode {
   kSecure,
   kCleartextFast,

@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <shared_mutex>
 #include <string>
 #include <utility>
@@ -15,6 +16,9 @@
 namespace dstress::net {
 
 void TcpNetwork::SpawnNodes(const TransportSpec& spec, int listen_fd, int rendezvous_port) {
+  // Spawned nodes must dial a concrete address even when the driver's
+  // listener binds a wildcard interface.
+  const std::string& dial_host = spec.advertise_host.empty() ? spec.host : spec.advertise_host;
   for (NodeId node = 0; node < num_nodes_; node++) {
     pid_t pid = fork();
     DSTRESS_CHECK(pid >= 0);
@@ -31,7 +35,7 @@ void TcpNetwork::SpawnNodes(const TransportSpec& spec, int listen_fd, int rendez
       TcpNodeConfig config;
       config.node_id = node;
       config.num_nodes = num_nodes_;
-      config.driver_host = spec.host;
+      config.driver_host = dial_host;
       config.driver_port = rendezvous_port;
       config.bootstrap_timeout_ms = spec.bootstrap_timeout_ms;
       _exit(RunTcpNode(config) == 0 ? 0 : 1);
@@ -40,7 +44,7 @@ void TcpNetwork::SpawnNodes(const TransportSpec& spec, int listen_fd, int rendez
     // bank deployment shape). The listen fd is CLOEXEC.
     std::string node_arg = std::to_string(node);
     std::string n_arg = std::to_string(num_nodes_);
-    std::string driver_arg = spec.host + ":" + std::to_string(rendezvous_port);
+    std::string driver_arg = dial_host + ":" + std::to_string(rendezvous_port);
     std::string timeout_arg = std::to_string(spec.bootstrap_timeout_ms);
     execl(spec.node_program.c_str(), spec.node_program.c_str(), "--node", node_arg.c_str(),
           "--num-nodes", n_arg.c_str(), "--driver", driver_arg.c_str(),
@@ -53,32 +57,70 @@ TcpNetwork::TcpNetwork(int num_nodes, const TransportSpec& spec)
     : ChannelDemuxTransport(num_nodes, spec.options) {
   links_.resize(num_nodes);
 
-  // Rendezvous: bind first so every spawned node can dial immediately.
-  int listen_fd = TcpListen(spec.host, spec.port, /*backlog=*/num_nodes);
+  // Rendezvous: bind first so every node can dial immediately. The bind
+  // interface may differ from the address nodes dial (listen_host
+  // "0.0.0.0" on a multi-homed driver).
+  const std::string& bind_host = spec.listen_host.empty() ? spec.host : spec.listen_host;
+  if (spec.external_nodes && spec.port == 0) {
+    std::fprintf(stderr, "tcp bootstrap: external_nodes needs a fixed rendezvous port"
+                 " (operators must know where to point dstress_node)\n");
+    DSTRESS_CHECK(false);
+  }
+  DSTRESS_CHECK(spec.node_endpoints.empty() ||
+                static_cast<int>(spec.node_endpoints.size()) == num_nodes);
+  int listen_fd = TcpListen(bind_host, spec.port, /*backlog=*/num_nodes);
   fcntl(listen_fd, F_SETFD, FD_CLOEXEC);
   int rendezvous_port = TcpListenPort(listen_fd);
-  SpawnNodes(spec, listen_fd, rendezvous_port);
+  if (!spec.external_nodes) {
+    SpawnNodes(spec, listen_fd, rendezvous_port);
+  }
 
-  // HELLO: map each accepted connection to its bank and learn its mesh
-  // listen port.
-  std::vector<int> node_ports(num_nodes, 0);
+  // HELLO: map each accepted connection to its bank and learn the mesh
+  // endpoint it advertises to its peers.
+  std::vector<PeerEndpoint> endpoints(num_nodes);
   for (int pending = num_nodes; pending > 0; pending--) {
     int fd = TcpAccept(listen_fd, spec.bootstrap_timeout_ms);
+    if (fd < 0) {
+      std::fprintf(stderr, "tcp bootstrap: only %d of %d banks registered within %d ms;"
+                   " aborting (a bank process never dialed %s:%d)\n",
+                   num_nodes - pending, num_nodes, spec.bootstrap_timeout_ms,
+                   bind_host.c_str(), rendezvous_port);
+      DSTRESS_CHECK(false);
+    }
     FrameDecoder decoder;
     WireFrame frame;
     DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &frame, spec.bootstrap_timeout_ms));
     NodeId node = -1;
-    int port = 0;
-    ParseHelloFrame(frame, &node, &port);
-    DSTRESS_CHECK(node >= 0 && node < num_nodes && links_[node]->fd < 0);
+    PeerEndpoint endpoint;
+    ParseHelloFrame(frame, &node, &endpoint);
+    DSTRESS_CHECK(node >= 0 && node < num_nodes);
+    if (spec.external_nodes && links_[node] == nullptr) {
+      links_[node] = std::make_unique<Link>();  // pid stays -1: not ours to reap
+    }
+    if (links_[node]->fd >= 0) {
+      std::fprintf(stderr, "tcp bootstrap: bank %d registered twice (second HELLO advertised"
+                   " %s) — duplicate --bank in the deployment?\n",
+                   node, endpoint.ToString().c_str());
+      DSTRESS_CHECK(false);
+    }
+    if (!spec.node_endpoints.empty()) {
+      const PeerEndpoint& expected = spec.node_endpoints[node];
+      if ((!expected.host.empty() && expected.host != endpoint.host) ||
+          (expected.port != 0 && expected.port != endpoint.port)) {
+        std::fprintf(stderr, "tcp bootstrap: bank %d advertised %s but the scenario placed it"
+                     " at %s\n", node, endpoint.ToString().c_str(),
+                     expected.ToString().c_str());
+        DSTRESS_CHECK(false);
+      }
+    }
     links_[node]->fd = fd;
     links_[node]->decoder = std::move(decoder);
-    node_ports[node] = port;
+    endpoints[node] = std::move(endpoint);
   }
   close(listen_fd);
 
   // PEERS out, READY back: the mesh is up once every bank confirms.
-  Bytes peers = EncodeFrame(MakePeersFrame(node_ports));
+  Bytes peers = EncodeFrame(MakePeersFrame(endpoints));
   for (auto& link : links_) {
     DSTRESS_CHECK(TcpWriteAll(link->fd, peers.data(), peers.size()));
   }
@@ -110,8 +152,10 @@ TcpNetwork::~TcpNetwork() {
     close(link->fd);
   }
   for (auto& link : links_) {
-    int status = 0;
-    waitpid(link->pid, &status, 0);
+    if (link->pid > 0) {  // external nodes are not our children
+      int status = 0;
+      waitpid(link->pid, &status, 0);
+    }
   }
 }
 

@@ -36,6 +36,16 @@
 // its worker pool for exactly this reason, and callers holding long-lived
 // thread pools should prefer the exec mode (node_program =
 // examples/dstress_node), which is the real deployment shape anyway.
+//
+// Multi-machine mode (TransportSpec::external_nodes): the constructor
+// spawns nothing and instead waits for num_nodes externally started
+// dstress_node processes — on this machine or others — to dial the
+// rendezvous at host:port and register. The PEERS reply carries each
+// bank's advertised (host, port), so the mesh forms across machines; the
+// optional node_endpoints table pins where each bank must be. Bootstrap
+// failures (a bank that never dials in, a duplicate registration, a
+// version mismatch, a misplaced bank) abort with a message naming the
+// offending bank instead of hanging.
 #ifndef SRC_NET_TCP_NETWORK_H_
 #define SRC_NET_TCP_NETWORK_H_
 

@@ -6,102 +6,12 @@
 #include <memory>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/net/tcp_socket.h"
 
 namespace dstress::net {
-
-namespace {
-
-enum ControlType : uint8_t {
-  kHello = 1,
-  kPeers = 2,
-  kMeshHello = 3,
-  kReady = 4,
-};
-
-WireFrame ControlFrame(NodeId from, Bytes payload) {
-  WireFrame frame;
-  frame.from = from;
-  frame.to = -1;
-  frame.session = kControlSession;
-  frame.payload = std::move(payload);
-  return frame;
-}
-
-ByteReader ControlReader(const WireFrame& frame, ControlType expected) {
-  DSTRESS_CHECK(frame.session == kControlSession);
-  ByteReader reader(frame.payload);
-  DSTRESS_CHECK(reader.U8() == expected);
-  return reader;
-}
-
-}  // namespace
-
-WireFrame MakeHelloFrame(NodeId node, int listen_port) {
-  ByteWriter w;
-  w.U8(kHello);
-  w.U32(static_cast<uint32_t>(node));
-  w.U32(static_cast<uint32_t>(listen_port));
-  return ControlFrame(node, w.Take());
-}
-
-void ParseHelloFrame(const WireFrame& frame, NodeId* node, int* listen_port) {
-  ByteReader reader = ControlReader(frame, kHello);
-  *node = static_cast<NodeId>(reader.U32());
-  *listen_port = static_cast<int>(reader.U32());
-  DSTRESS_CHECK(reader.AtEnd());
-}
-
-WireFrame MakePeersFrame(const std::vector<int>& listen_ports) {
-  ByteWriter w;
-  w.U8(kPeers);
-  w.U32(static_cast<uint32_t>(listen_ports.size()));
-  for (int port : listen_ports) {
-    w.U32(static_cast<uint32_t>(port));
-  }
-  return ControlFrame(-1, w.Take());
-}
-
-std::vector<int> ParsePeersFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kPeers);
-  uint32_t count = reader.U32();
-  std::vector<int> ports(count);
-  for (uint32_t i = 0; i < count; i++) {
-    ports[i] = static_cast<int>(reader.U32());
-  }
-  DSTRESS_CHECK(reader.AtEnd());
-  return ports;
-}
-
-WireFrame MakeMeshHelloFrame(NodeId node) {
-  ByteWriter w;
-  w.U8(kMeshHello);
-  w.U32(static_cast<uint32_t>(node));
-  return ControlFrame(node, w.Take());
-}
-
-NodeId ParseMeshHelloFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kMeshHello);
-  NodeId node = static_cast<NodeId>(reader.U32());
-  DSTRESS_CHECK(reader.AtEnd());
-  return node;
-}
-
-WireFrame MakeReadyFrame(NodeId node) {
-  ByteWriter w;
-  w.U8(kReady);
-  w.U32(static_cast<uint32_t>(node));
-  return ControlFrame(node, w.Take());
-}
-
-NodeId ParseReadyFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kReady);
-  NodeId node = static_cast<NodeId>(reader.U32());
-  DSTRESS_CHECK(reader.AtEnd());
-  return node;
-}
 
 int RunTcpNode(const TcpNodeConfig& config) {
   const int n = config.num_nodes;
@@ -109,31 +19,50 @@ int RunTcpNode(const TcpNodeConfig& config) {
   const int timeout = config.bootstrap_timeout_ms;
   DSTRESS_CHECK(self >= 0 && self < n);
 
-  // Rendezvous: listen first, then report the assigned port to the driver.
-  int listen_fd = TcpListen(config.driver_host, /*port=*/0, /*backlog=*/n);
+  // Rendezvous: listen first, then report the advertised endpoint to the
+  // driver. The listen interface defaults to the wildcard, which is right
+  // on any machine — the advertised host (below) is what peers dial.
+  const std::string listen_host = config.listen_host.empty() ? "0.0.0.0" : config.listen_host;
+  int listen_fd = TcpListen(listen_host, config.listen_port, /*backlog=*/n);
   int my_port = TcpListenPort(listen_fd);
   int driver_fd = TcpConnect(config.driver_host, config.driver_port, timeout);
+  PeerEndpoint my_endpoint;
+  my_endpoint.port = my_port;
+  if (!config.advertise_host.empty()) {
+    my_endpoint.host = config.advertise_host;
+  } else if (!config.listen_host.empty() && config.listen_host != "0.0.0.0") {
+    my_endpoint.host = config.listen_host;
+  } else {
+    // The address this machine has on the route to the driver — what peers
+    // on that network can dial.
+    my_endpoint.host = TcpLocalHost(driver_fd);
+  }
   {
-    Bytes hello = EncodeFrame(MakeHelloFrame(self, my_port));
+    Bytes hello = EncodeFrame(MakeHelloFrame(self, my_endpoint));
     DSTRESS_CHECK(TcpWriteAll(driver_fd, hello.data(), hello.size()));
   }
   FrameDecoder driver_decoder;
   WireFrame frame;
   DSTRESS_CHECK(TcpReadFrameTimed(driver_fd, &driver_decoder, &frame, timeout));
-  std::vector<int> peer_ports = ParsePeersFrame(frame);
-  DSTRESS_CHECK(static_cast<int>(peer_ports.size()) == n);
+  std::vector<PeerEndpoint> peers = ParsePeersFrame(frame);
+  DSTRESS_CHECK(static_cast<int>(peers.size()) == n);
 
-  // Mesh: dial every lower id, accept from every higher id. The MESH_HELLO
-  // maps each accepted socket to its NodeId.
+  // Mesh: dial every lower id at its advertised endpoint, accept from every
+  // higher id. The MESH_HELLO maps each accepted socket to its NodeId.
   std::vector<int> peer_fd(n, -1);
   std::vector<FrameDecoder> peer_decoder(n);
   for (NodeId j = 0; j < self; j++) {
-    peer_fd[j] = TcpConnect(config.driver_host, peer_ports[j], timeout);
+    peer_fd[j] = TcpConnect(peers[j].host, peers[j].port, timeout);
     Bytes mesh_hello = EncodeFrame(MakeMeshHelloFrame(self));
     DSTRESS_CHECK(TcpWriteAll(peer_fd[j], mesh_hello.data(), mesh_hello.size()));
   }
   for (int pending = n - 1 - self; pending > 0; pending--) {
     int fd = TcpAccept(listen_fd, timeout);
+    if (fd < 0) {
+      std::fprintf(stderr, "bank %d: bootstrap timed out after %d ms with %d peer link(s)"
+                   " still missing\n", self, timeout, pending);
+      DSTRESS_CHECK(false);
+    }
     FrameDecoder decoder;
     WireFrame mesh_hello;
     DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &mesh_hello, timeout));

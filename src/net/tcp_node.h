@@ -9,25 +9,27 @@
 // up to the driver. All forwarding uses per-peer FrameWriterQueue writer
 // threads, so a slow peer never blocks traffic to the others.
 //
-// Bootstrap (all control frames use wire.h's kControlSession):
-//   1. node listens on an OS-assigned port, connects to the driver's
-//      rendezvous address and sends HELLO{node_id, listen_port};
-//   2. driver answers PEERS{listen ports of all banks} once every bank has
-//      said hello;
-//   3. node dials every lower-numbered peer (MESH_HELLO{node_id} identifies
-//      the dialer) and accepts one connection from every higher-numbered
-//      peer, then reports READY;
+// Bootstrap (all control frames use wire.h's kControlSession and carry the
+// bootstrap protocol version; see docs/wire-protocol.md):
+//   1. node listens on listen_host:listen_port (OS-assigned port when 0),
+//      connects to the driver's rendezvous address and sends
+//      HELLO{node_id, advertised (host, port)};
+//   2. driver answers PEERS{(host, port) of every bank} once every bank has
+//      said hello — banks may live on different machines;
+//   3. node dials every lower-numbered peer at that peer's advertised
+//      endpoint (MESH_HELLO{node_id} identifies the dialer) and accepts one
+//      connection from every higher-numbered peer, then reports READY;
 //   4. data frames flow; driver EOF starts the shutdown cascade (drain and
 //      close mesh writes, wait for peer EOFs, flush upstream, exit).
 //
 // RunTcpNode is the whole process body: TcpNetwork forks it directly for
 // same-machine runs, and the dstress_node CLI (examples/dstress_node.cpp,
-// src/cli/node_main.h) wraps it for spawning real separate processes.
+// src/cli/node_main.h) wraps it for spawning real separate processes —
+// including on machines other than the driver's.
 #ifndef SRC_NET_TCP_NODE_H_
 #define SRC_NET_TCP_NODE_H_
 
 #include <string>
-#include <vector>
 
 #include "src/net/wire.h"
 
@@ -36,26 +38,26 @@ namespace dstress::net {
 struct TcpNodeConfig {
   int node_id = -1;
   int num_nodes = 0;
-  // The driver's rendezvous endpoint; also the interface this node binds.
+  // The driver's rendezvous endpoint this node dials.
   std::string driver_host = "127.0.0.1";
   int driver_port = 0;
+  // Interface the node's mesh listener binds; empty = "0.0.0.0" (all
+  // interfaces), which works on any machine.
+  std::string listen_host;
+  // Mesh listen port; 0 = OS-assigned. Operators pin it when a scenario's
+  // `node` directive declares a fixed endpoint for this bank.
+  int listen_port = 0;
+  // The host peers dial to reach this node (goes into HELLO). Empty = the
+  // listen_host when that names a concrete interface, else the local
+  // address of the driver connection — which is this machine's address on
+  // the route to the driver, the right default on a flat network.
+  std::string advertise_host;
   int bootstrap_timeout_ms = 30000;
 };
 
 // Runs one bank's relay loop to completion (driver EOF). Returns 0 on a
 // clean shutdown; aborts on protocol violations.
 int RunTcpNode(const TcpNodeConfig& config);
-
-// Bootstrap control frames (shared between the node loop and the driver in
-// tcp_network.cc). Parsers abort on malformed frames.
-WireFrame MakeHelloFrame(NodeId node, int listen_port);
-void ParseHelloFrame(const WireFrame& frame, NodeId* node, int* listen_port);
-WireFrame MakePeersFrame(const std::vector<int>& listen_ports);
-std::vector<int> ParsePeersFrame(const WireFrame& frame);
-WireFrame MakeMeshHelloFrame(NodeId node);
-NodeId ParseMeshHelloFrame(const WireFrame& frame);
-WireFrame MakeReadyFrame(NodeId node);
-NodeId ParseReadyFrame(const WireFrame& frame);
 
 }  // namespace dstress::net
 

@@ -25,7 +25,11 @@ sockaddr_in MakeAddr(const std::string& host, int port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  DSTRESS_CHECK(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "'%s' is not a numeric IPv4 address (hostnames are not"
+                 " supported)\n", host.c_str());
+    DSTRESS_CHECK(false);
+  }
   return addr;
 }
 
@@ -42,7 +46,11 @@ int TcpListen(const std::string& host, int port, int backlog) {
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr = MakeAddr(host, port);
-  DSTRESS_CHECK(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "TcpListen: cannot bind %s:%d: %s (not an address on this machine,"
+                 " or the port is taken)\n", host.c_str(), port, std::strerror(errno));
+    DSTRESS_CHECK(false);
+  }
   DSTRESS_CHECK(listen(fd, backlog) == 0);
   return fd;
 }
@@ -66,13 +74,25 @@ int TcpAccept(int listen_fd, int timeout_ms) {
     if (ready < 0 && errno == EINTR) {
       continue;
     }
-    DSTRESS_CHECK(ready == 1);  // 0 = bootstrap timeout (a node process died)
+    if (ready == 0) {
+      return -1;  // bootstrap timeout: nobody dialed in
+    }
+    DSTRESS_CHECK(ready == 1);
     break;
   }
   int fd = accept(listen_fd, nullptr, nullptr);
   DSTRESS_CHECK(fd >= 0);
   SetNoDelay(fd);
   return fd;
+}
+
+std::string TcpLocalHost(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  DSTRESS_CHECK(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  char buf[INET_ADDRSTRLEN];
+  DSTRESS_CHECK(inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) != nullptr);
+  return buf;
 }
 
 int TcpConnect(const std::string& host, int port, int timeout_ms) {
@@ -264,7 +284,12 @@ bool TcpReadFrameTimed(int fd, FrameDecoder* decoder, WireFrame* out, int timeou
     if (ready < 0 && errno == EINTR) {
       continue;
     }
-    DSTRESS_CHECK(ready == 1);  // 0 = bootstrap timeout (a peer stalled mid-handshake)
+    if (ready == 0) {
+      std::fprintf(stderr, "bootstrap: no frame arrived within %d ms (a peer stalled"
+                   " mid-handshake)\n", timeout_ms);
+      DSTRESS_CHECK(false);
+    }
+    DSTRESS_CHECK(ready == 1);
     uint8_t buf[65536];
     ssize_t n = read(fd, buf, sizeof(buf));
     if (n < 0) {

@@ -1,7 +1,7 @@
 // Thin blocking-socket helpers shared by the TCP transport's driver side
 // (tcp_network.cc) and its per-bank node process (tcp_node.cc). IPv4 only,
-// numeric addresses (the default deployment is 127.0.0.1; a multi-machine
-// rendezvous would extend the PEERS handshake, not this layer).
+// numeric addresses; multi-machine placement lives in the PEERS handshake
+// (wire.h / docs/wire-protocol.md), not this layer.
 #ifndef SRC_NET_TCP_SOCKET_H_
 #define SRC_NET_TCP_SOCKET_H_
 
@@ -25,9 +25,16 @@ int TcpListen(const std::string& host, int port, int backlog);
 // The port a listening fd is bound to.
 int TcpListenPort(int listen_fd);
 
-// Accepts one connection, waiting up to timeout_ms; aborts on timeout or
-// error. Sets TCP_NODELAY on the accepted socket.
+// Accepts one connection, waiting up to timeout_ms. Returns -1 on timeout
+// (so the caller can abort with bootstrap context — who is missing, how
+// long it waited); aborts on other errors. Sets TCP_NODELAY on the
+// accepted socket.
 int TcpAccept(int listen_fd, int timeout_ms);
+
+// The numeric local (our-side) address of a connected socket — the address
+// this machine has on the route to the peer. Nodes use it as the default
+// advertised mesh host.
+std::string TcpLocalHost(int fd);
 
 // Connects to host:port, retrying briefly (the listener may not be up yet
 // during bootstrap) up to timeout_ms; aborts on timeout. TCP_NODELAY set.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/net/transport.h"
+#include "src/net/wire.h"
 
 namespace dstress::net {
 
@@ -33,12 +34,32 @@ struct TransportSpec {
   TransportOptions options;
 
   // --- "tcp" backend only ------------------------------------------------
-  // Rendezvous address the per-bank processes dial (and the interface
-  // everything binds). Port 0 = OS-assigned.
+  // Rendezvous address the per-bank processes dial. Port 0 = OS-assigned
+  // (only usable when this driver spawns the nodes itself; external_nodes
+  // deployments need a port the operators can be told in advance).
   std::string host = "127.0.0.1";
   int port = 0;
+  // Interface the driver binds its rendezvous listener on; empty = host.
+  // A multi-machine driver typically binds "0.0.0.0" here while `host`
+  // stays the address spawned/locally-started nodes dial.
+  std::string listen_host;
+  // Address written into locally spawned nodes' --driver flag; empty =
+  // host. Only matters when listen_host is a wildcard and the spawned
+  // nodes must dial a concrete address.
+  std::string advertise_host;
+  // Multi-machine mode: spawn nothing and instead wait for num_nodes
+  // externally started dstress_node processes (one per bank, possibly on
+  // other machines) to dial the rendezvous and register. See
+  // docs/scenario-format.md ("node" directive).
+  bool external_nodes = false;
+  // external_nodes only: the expected advertised endpoint per bank, from
+  // the scenario's `node` directives. An empty host accepts any; a port of
+  // 0 accepts any. A registration that contradicts this table aborts the
+  // bootstrap (a mis-wired deployment fails at rendezvous, not mid-run).
+  std::vector<PeerEndpoint> node_endpoints;
   // Path to a dstress_node binary to spawn one-per-bank; empty = fork the
-  // in-library node loop directly (the test/CI default).
+  // in-library node loop directly (the test/CI default). Ignored when
+  // external_nodes is set.
   std::string node_program;
   int bootstrap_timeout_ms = 30000;
 

@@ -1,5 +1,6 @@
 #include "src/net/wire.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "src/common/check.h"
@@ -37,6 +38,131 @@ void FrameDecoder::Feed(const uint8_t* data, size_t len) {
     pos_ = 0;
   }
   buf_.insert(buf_.end(), data, data + len);
+}
+
+namespace {
+
+enum ControlType : uint8_t {
+  kHello = 1,
+  kPeers = 2,
+  kMeshHello = 3,
+  kReady = 4,
+};
+
+WireFrame ControlFrame(NodeId from, Bytes payload) {
+  WireFrame frame;
+  frame.from = from;
+  frame.to = -1;
+  frame.session = kControlSession;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+// Checks the `type, version` preamble shared by every control frame and
+// returns a reader positioned at the type-specific fields.
+ByteReader ControlReader(const WireFrame& frame, ControlType expected) {
+  DSTRESS_CHECK(frame.session == kControlSession);
+  ByteReader reader(frame.payload);
+  DSTRESS_CHECK(reader.U8() == expected);
+  uint8_t version = reader.U8();
+  if (version != kBootstrapProtocolVersion) {
+    // Note: version-1 builds predate the version byte entirely, so a v1
+    // peer shows up here as whatever byte its payload happened to carry.
+    std::fprintf(stderr,
+                 "bootstrap: peer speaks handshake protocol version %u, this build speaks %u"
+                 " (mixed dstress builds in one deployment? a nonsense version usually means"
+                 " a pre-versioned v1 build)\n",
+                 version, kBootstrapProtocolVersion);
+    DSTRESS_CHECK(false);
+  }
+  return reader;
+}
+
+void WriteEndpoint(ByteWriter* w, const PeerEndpoint& endpoint) {
+  DSTRESS_CHECK(endpoint.host.size() <= 255);
+  DSTRESS_CHECK(endpoint.port >= 0 && endpoint.port <= 65535);
+  w->U8(static_cast<uint8_t>(endpoint.host.size()));
+  w->Raw(reinterpret_cast<const uint8_t*>(endpoint.host.data()), endpoint.host.size());
+  w->U32(static_cast<uint32_t>(endpoint.port));
+}
+
+PeerEndpoint ReadEndpoint(ByteReader* reader) {
+  PeerEndpoint endpoint;
+  uint8_t len = reader->U8();
+  endpoint.host.resize(len);
+  reader->Raw(reinterpret_cast<uint8_t*>(endpoint.host.data()), len);
+  endpoint.port = static_cast<int>(reader->U32());
+  return endpoint;
+}
+
+}  // namespace
+
+WireFrame MakeHelloFrame(NodeId node, const PeerEndpoint& endpoint) {
+  ByteWriter w;
+  w.U8(kHello);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  WriteEndpoint(&w, endpoint);
+  return ControlFrame(node, w.Take());
+}
+
+void ParseHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint) {
+  ByteReader reader = ControlReader(frame, kHello);
+  *node = static_cast<NodeId>(reader.U32());
+  *endpoint = ReadEndpoint(&reader);
+  DSTRESS_CHECK(reader.AtEnd());
+}
+
+WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers) {
+  ByteWriter w;
+  w.U8(kPeers);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(peers.size()));
+  for (const PeerEndpoint& endpoint : peers) {
+    WriteEndpoint(&w, endpoint);
+  }
+  return ControlFrame(-1, w.Take());
+}
+
+std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kPeers);
+  uint32_t count = reader.U32();
+  std::vector<PeerEndpoint> peers(count);
+  for (uint32_t i = 0; i < count; i++) {
+    peers[i] = ReadEndpoint(&reader);
+  }
+  DSTRESS_CHECK(reader.AtEnd());
+  return peers;
+}
+
+WireFrame MakeMeshHelloFrame(NodeId node) {
+  ByteWriter w;
+  w.U8(kMeshHello);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  return ControlFrame(node, w.Take());
+}
+
+NodeId ParseMeshHelloFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kMeshHello);
+  NodeId node = static_cast<NodeId>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+  return node;
+}
+
+WireFrame MakeReadyFrame(NodeId node) {
+  ByteWriter w;
+  w.U8(kReady);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  return ControlFrame(node, w.Take());
+}
+
+NodeId ParseReadyFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kReady);
+  NodeId node = static_cast<NodeId>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+  return node;
 }
 
 bool FrameDecoder::Next(WireFrame* out, Bytes* raw) {

@@ -1,5 +1,8 @@
 // The DStress wire codec: the byte format every multi-process transport
-// backend puts on the wire, one length-prefixed frame per transport message.
+// backend puts on the wire, one length-prefixed frame per transport message,
+// plus the versioned bootstrap control frames the TCP backend's rendezvous
+// handshake exchanges before data flows. docs/wire-protocol.md is the
+// normative prose description of everything in this header.
 //
 // A frame carries exactly the tuple the Transport interface routes on —
 // (from, to, session, payload) — so a backend that forwards frames verbatim
@@ -23,6 +26,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/net/transport.h"
@@ -78,6 +83,47 @@ class FrameDecoder {
   Bytes buf_;
   size_t pos_ = 0;  // consumed prefix of buf_
 };
+
+// ---------------------------------------------------------------------------
+// Bootstrap control frames (TCP rendezvous handshake, kControlSession).
+//
+// Every control payload starts with `u8 type, u8 version`; parsers abort
+// with a version-mismatch message when a peer speaks a different bootstrap
+// protocol revision, so mixed-build deployments fail loudly at rendezvous
+// instead of corrupting a run. Version 2 introduced per-bank (host, port)
+// endpoints in HELLO and PEERS — the multi-machine deployment format;
+// version 1 carried bare ports and assumed every bank lived on the
+// driver's host.
+
+constexpr uint8_t kBootstrapProtocolVersion = 2;
+
+// One bank's advertised mesh listener: the address its peers dial.
+struct PeerEndpoint {
+  std::string host;
+  int port = 0;
+
+  bool operator==(const PeerEndpoint& o) const { return host == o.host && port == o.port; }
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+// HELLO — node -> driver: "bank `node` is up; peers reach me at
+// `endpoint`". Sent once, immediately after dialing the rendezvous.
+WireFrame MakeHelloFrame(NodeId node, const PeerEndpoint& endpoint);
+void ParseHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint);
+
+// PEERS — driver -> every node: the full bank -> endpoint table, sent once
+// all banks have said HELLO. Index = NodeId.
+WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers);
+std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame);
+
+// MESH_HELLO — dialing node -> accepting node: identifies which bank just
+// connected on the mesh.
+WireFrame MakeMeshHelloFrame(NodeId node);
+NodeId ParseMeshHelloFrame(const WireFrame& frame);
+
+// READY — node -> driver: the node's mesh links are all up.
+WireFrame MakeReadyFrame(NodeId node);
+NodeId ParseReadyFrame(const WireFrame& frame);
 
 }  // namespace dstress::net
 

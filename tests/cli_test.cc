@@ -82,7 +82,22 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network scale_free 20 2\nmode tls\n", "mode must be 'secure' or 'cleartext'"},
       {"network scale_free 20 2\nmode cleartext fast\n", "expected 1 argument"},
       {"network scale_free 20 2\ntransport pigeon\n", "transport must be 'sim' or 'tcp'"},
-      {"network scale_free 20 2\ntransport\n", "expected 1 argument"},
+      {"network scale_free 20 2\ntransport\n", "usage: transport"},
+      {"network scale_free 20 2\ntransport sim 127.0.0.1:7000\n", "takes no rendezvous"},
+      {"network scale_free 20 2\ntransport tcp 127.0.0.1\n", "explicit port"},
+      {"network scale_free 20 2\ntransport tcp :7000\n", "empty host"},
+      {"network scale_free 20 2\ntransport tcp 127.0.0.1:x\n", "bad endpoint"},
+      {"network scale_free 20 2\ntransport tcp 127.0.0.1:99999\n", "bad endpoint"},
+      {"network scale_free 20 2\nnode 0\n", "expected 2 argument"},
+      {"network scale_free 20 2\nnode 0 10.0.0.1\n", "require 'transport tcp'"},
+      {"network scale_free 20 2\ntransport tcp\nnode 0 10.0.0.1\n", "fixed rendezvous port"},
+      {"network scale_free 4 2\ntransport tcp 0.0.0.0:7000\nnode 4 10.0.0.1\n", "out of range"},
+      {"network scale_free 20 2\ntransport tcp 0.0.0.0:7000\nnode 1 10.0.0.1\nnode 1 10.0.0.2\n",
+       "already placed on line 3"},
+      {"network scale_free 20 2\ntransport tcp driver.internal:7000\n",
+       "not a numeric IPv4 address"},
+      {"network scale_free 20 2\ntransport tcp 0.0.0.0:7000\nnode 0 bank-host-1\n",
+       "not a numeric IPv4 address"},
       {"network scale_free 20 2\nfanout x\n", "bad integer"},
       {"network scale_free 20 2\nfanout 1\n", "fanout must be 0"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
@@ -103,6 +118,42 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
     EXPECT_NE(error.find(c.expected_fragment), std::string::npos)
         << "input: " << c.text << "\nerror: " << error;
   }
+}
+
+TEST(ScenarioParseTest, MultiMachineNodeDirectives) {
+  std::string error;
+  auto spec = ParseScenario(R"(
+network core_periphery 4 2
+transport tcp 0.0.0.0:7400
+node 0 10.0.0.10:7411
+node 1 10.0.0.11:7411
+node 2 10.0.0.12       # port left to the OS
+seed 3
+)",
+                            &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->transport.backend, "tcp");
+  EXPECT_EQ(spec->transport.host, "0.0.0.0");
+  EXPECT_EQ(spec->transport.port, 7400);
+  EXPECT_TRUE(spec->transport.external_nodes);
+  ASSERT_EQ(spec->transport.node_endpoints.size(), 4u);
+  EXPECT_EQ(spec->transport.node_endpoints[0], (net::PeerEndpoint{"10.0.0.10", 7411}));
+  EXPECT_EQ(spec->transport.node_endpoints[1], (net::PeerEndpoint{"10.0.0.11", 7411}));
+  EXPECT_EQ(spec->transport.node_endpoints[2], (net::PeerEndpoint{"10.0.0.12", 0}));
+  // Bank 3 has no `node` line: any advertised endpoint is accepted.
+  EXPECT_EQ(spec->transport.node_endpoints[3], (net::PeerEndpoint{}));
+}
+
+TEST(ScenarioParseTest, TcpRendezvousAddressWithoutNodeDirectives) {
+  // A fixed rendezvous address alone keeps the driver in spawn-local mode:
+  // external_nodes engages only through `node` directives.
+  std::string error;
+  auto spec = ParseScenario("network scale_free 8 2\ntransport tcp 127.0.0.1:7500\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->transport.host, "127.0.0.1");
+  EXPECT_EQ(spec->transport.port, 7500);
+  EXPECT_FALSE(spec->transport.external_nodes);
+  EXPECT_TRUE(spec->transport.node_endpoints.empty());
 }
 
 TEST(ScenarioParseTest, CommentsAndBlankLinesIgnored) {

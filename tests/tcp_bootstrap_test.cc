@@ -1,0 +1,152 @@
+// TCP bootstrap handshake coverage: the multi-machine rendezvous (external
+// nodes dialing the driver by host:port, per-bank endpoints in PEERS) and
+// its failure paths. Every failure must be loud and attributable — a wrong
+// protocol version, a duplicate bank registration, a bank placed on the
+// wrong machine, or a bank that never dials in all abort the driver with a
+// message naming the problem, never hang the deployment.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/tcp_node.h"
+#include "src/net/tcp_socket.h"
+#include "src/net/tcp_network.h"
+#include "src/net/transport_spec.h"
+
+namespace dstress::net {
+namespace {
+
+// Binds an OS-assigned port and releases it: the standard trick for
+// choosing a rendezvous port a test can hand to both sides. (Racy in
+// principle, fine on a loopback CI host.)
+int PickUnusedPort() {
+  int fd = TcpListen("127.0.0.1", 0, 1);
+  int port = TcpListenPort(fd);
+  close(fd);
+  return port;
+}
+
+TransportSpec ExternalSpec(int port, int timeout_ms) {
+  TransportSpec spec = TcpTransportSpec("127.0.0.1", port);
+  spec.external_nodes = true;
+  spec.bootstrap_timeout_ms = timeout_ms;
+  return spec;
+}
+
+TcpNodeConfig NodeConfig(int bank, int num_nodes, int driver_port) {
+  TcpNodeConfig config;
+  config.node_id = bank;
+  config.num_nodes = num_nodes;
+  config.driver_host = "127.0.0.1";
+  config.driver_port = driver_port;
+  return config;
+}
+
+// External mode end to end, in process: the driver spawns nothing; node
+// loops started independently dial the rendezvous by host:port and the
+// mesh still delivers FIFO traffic with exact metering.
+TEST(TcpBootstrapTest, ExternalNodesFormMeshWithoutSpawning) {
+  constexpr int kNodes = 3;
+  int port = PickUnusedPort();
+  std::vector<std::thread> nodes;
+  for (int bank = 0; bank < kNodes; bank++) {
+    nodes.emplace_back([bank, port] {
+      EXPECT_EQ(RunTcpNode(NodeConfig(bank, kNodes, port)), 0);
+    });
+  }
+  {
+    TransportSpec spec = ExternalSpec(port, 30000);
+    // Pin every bank to the loopback host (ports stay OS-assigned): the
+    // scenario-level placement check in its accepting form.
+    spec.node_endpoints.assign(kNodes, PeerEndpoint{"127.0.0.1", 0});
+    TcpNetwork net(kNodes, spec);
+    net.Send(0, 2, Bytes{1, 2}, 4);
+    net.SendBatch(2, 1, {Bytes{3}, Bytes{4}}, 4);
+    EXPECT_EQ(net.Recv(2, 0, 4), (Bytes{1, 2}));
+    EXPECT_EQ(net.Recv(1, 2, 4), Bytes{3});
+    EXPECT_EQ(net.Recv(1, 2, 4), Bytes{4});
+    EXPECT_EQ(net.NodeStats(0).bytes_sent, 2u);
+    EXPECT_EQ(net.NodeStats(2).bytes_sent, 2u);
+    EXPECT_EQ(net.NodeStats(1).bytes_received, 2u);
+  }  // driver teardown EOFs the nodes, which then exit cleanly
+  for (std::thread& node : nodes) {
+    node.join();
+  }
+}
+
+TEST(TcpBootstrapTest, BankThatNeverDialsInTimesOutWithClearError) {
+  EXPECT_DEATH(
+      {
+        // One bank expected, none started: the driver must give up after
+        // the bootstrap timeout and say who it was waiting for.
+        TcpNetwork net(1, ExternalSpec(PickUnusedPort(), 300));
+      },
+      "0 of 1 banks registered within 300 ms");
+}
+
+TEST(TcpBootstrapTest, WrongProtocolVersionAborts) {
+  EXPECT_DEATH(
+      {
+        int port = PickUnusedPort();
+        std::thread imposter([port] {
+          int fd = TcpConnect("127.0.0.1", port, 5000);
+          WireFrame hello = MakeHelloFrame(0, PeerEndpoint{"127.0.0.1", 1});
+          hello.payload[1] = kBootstrapProtocolVersion + 7;  // a mismatched build
+          Bytes encoded = EncodeFrame(hello);
+          TcpWriteAll(fd, encoded.data(), encoded.size());
+          // Keep the socket open; the driver aborts the whole process.
+          std::this_thread::sleep_for(std::chrono::seconds(10));
+        });
+        TcpNetwork net(1, ExternalSpec(port, 5000));
+      },
+      "speaks handshake protocol version");
+}
+
+TEST(TcpBootstrapTest, DuplicateBankRegistrationAborts) {
+  EXPECT_DEATH(
+      {
+        int port = PickUnusedPort();
+        std::vector<std::thread> clones;
+        for (int i = 0; i < 2; i++) {
+          clones.emplace_back([port] {
+            int fd = TcpConnect("127.0.0.1", port, 5000);
+            Bytes hello = EncodeFrame(MakeHelloFrame(0, PeerEndpoint{"127.0.0.1", 1}));
+            TcpWriteAll(fd, hello.data(), hello.size());
+            std::this_thread::sleep_for(std::chrono::seconds(10));
+          });
+        }
+        // Two connections both claim bank 0 of 2: whichever arrives second
+        // must trip the duplicate-registration abort.
+        TcpNetwork net(2, ExternalSpec(port, 5000));
+      },
+      "bank 0 registered twice");
+}
+
+TEST(TcpBootstrapTest, BankOnWrongHostAborts) {
+  EXPECT_DEATH(
+      {
+        int port = PickUnusedPort();
+        std::thread node([port] { RunTcpNode(NodeConfig(0, 1, port)); });
+        TransportSpec spec = ExternalSpec(port, 5000);
+        // The scenario placed bank 0 on another machine; the loopback
+        // registration must be rejected at rendezvous.
+        PeerEndpoint elsewhere;
+        elsewhere.host = "10.99.99.99";
+        spec.node_endpoints.push_back(elsewhere);
+        TcpNetwork net(1, spec);
+      },
+      "the scenario placed it");
+}
+
+TEST(TcpBootstrapTest, ExternalModeRequiresFixedPort) {
+  EXPECT_DEATH({ TcpNetwork net(1, ExternalSpec(/*port=*/0, 300)); },
+               "needs a fixed rendezvous port");
+}
+
+}  // namespace
+}  // namespace dstress::net

@@ -1,0 +1,191 @@
+// The paper's deployment shape, reproduced over loopback: bank processes
+// are externally exec'd dstress_node binaries that dial the driver by
+// host:port (no fork inheritance of any driver state — each node gets only
+// its command line, exactly like a process started on another machine).
+// The run's results and per-node TrafficStats must stay bit-identical to
+// the same scenario over the in-process `sim` transport.
+//
+// Skipped when the dstress_node binary is not present (running the test
+// outside the build tree).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cli/scenario.h"
+#include "src/engine/engine.h"
+#include "src/net/tcp_socket.h"
+#include "src/net/transport_spec.h"
+
+namespace dstress {
+namespace {
+
+std::string FindNodeBinary() {
+  const char* candidates[] = {"../examples/dstress_node", "examples/dstress_node"};
+  for (const char* path : candidates) {
+    if (access(path, X_OK) == 0) {
+      return path;
+    }
+  }
+  return "";
+}
+
+int PickUnusedPort() {
+  int fd = net::TcpListen("127.0.0.1", 0, 1);
+  int port = net::TcpListenPort(fd);
+  close(fd);
+  return port;
+}
+
+// Launches one bank the way an operator on a remote machine would: a fresh
+// dstress_node process told only the driver's endpoint and its bank id.
+pid_t SpawnNode(const std::string& program, int bank, int num_nodes, int driver_port) {
+  std::string bank_arg = std::to_string(bank);
+  std::string n_arg = std::to_string(num_nodes);
+  std::string port_arg = std::to_string(driver_port);
+  pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    execl(program.c_str(), program.c_str(), "--bank", bank_arg.c_str(), "--num-nodes",
+          n_arg.c_str(), "--driver-host", "127.0.0.1", "--driver-port", port_arg.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+void ReapClean(const std::vector<pid_t>& pids) {
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << "node pid " << pid;
+  }
+}
+
+// A multi-machine scenario file, parameterized on the rendezvous port the
+// test picked: `transport tcp` with `node` host directives, as documented
+// in docs/scenario-format.md.
+std::string DistributedScenario(int port, int banks) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "network core_periphery %d 2\n"
+                "model en\n"
+                "mode secure\n"
+                "transport tcp 127.0.0.1:%d\n",
+                banks, port);
+  std::string text = head;
+  for (int bank = 0; bank < banks; bank++) {
+    text += "node " + std::to_string(bank) + " 127.0.0.1\n";
+  }
+  text +=
+      "block_size 3\n"
+      "iterations 2\n"
+      "shock 0\n"
+      "seed 7\n";
+  return text;
+}
+
+TEST(TcpDistributedTest, ScenarioRunsAgainstExecdNodesBitIdenticalToSim) {
+  constexpr int kBanks = 5;
+  std::string program = FindNodeBinary();
+  if (program.empty()) {
+    GTEST_SKIP() << "dstress_node binary not found";
+  }
+
+  int port = PickUnusedPort();
+  std::string error;
+  auto tcp_spec = cli::ParseScenario(DistributedScenario(port, kBanks), &error);
+  ASSERT_TRUE(tcp_spec.has_value()) << error;
+  ASSERT_TRUE(tcp_spec->transport.external_nodes);
+
+  // The identical run over the in-process transport is the reference.
+  engine::RunSpec sim_spec = *tcp_spec;
+  sim_spec.transport = net::SimTransportSpec();
+  engine::Engine sim_engine(sim_spec);
+  engine::RunReport sim_report = sim_engine.Run();
+
+  // Start the bank processes first; they retry the rendezvous dial until
+  // the driver (the Engine constructor) binds it.
+  std::vector<pid_t> pids;
+  for (int bank = 0; bank < kBanks; bank++) {
+    pids.push_back(SpawnNode(program, bank, kBanks, port));
+  }
+
+  {
+    engine::Engine tcp_engine(*tcp_spec);
+    engine::RunReport tcp_report = tcp_engine.Run();
+
+    EXPECT_EQ(tcp_report.released, sim_report.released);
+    EXPECT_EQ(tcp_report.reference, sim_report.reference);
+    EXPECT_EQ(tcp_report.iterations, sim_report.iterations);
+    for (int bank = 0; bank < kBanks; bank++) {
+      net::TrafficStats tcp_stats = tcp_engine.transport().NodeStats(bank);
+      net::TrafficStats sim_stats = sim_engine.transport().NodeStats(bank);
+      EXPECT_EQ(tcp_stats.bytes_sent, sim_stats.bytes_sent) << "bank " << bank;
+      EXPECT_EQ(tcp_stats.bytes_received, sim_stats.bytes_received) << "bank " << bank;
+      EXPECT_EQ(tcp_stats.messages_sent, sim_stats.messages_sent) << "bank " << bank;
+      EXPECT_EQ(tcp_stats.messages_received, sim_stats.messages_received) << "bank " << bank;
+    }
+  }  // Engine teardown EOFs the nodes: they must all exit 0
+
+  ReapClean(pids);
+}
+
+// The same deployment at the transport layer, with pinned per-bank listen
+// ports: every node passes --listen-host/--listen-port/--advertise-host
+// and the driver's endpoint table verifies the placement.
+TEST(TcpDistributedTest, PinnedEndpointsAcceptMatchingNodes) {
+  constexpr int kBanks = 3;
+  std::string program = FindNodeBinary();
+  if (program.empty()) {
+    GTEST_SKIP() << "dstress_node binary not found";
+  }
+
+  int driver_port = PickUnusedPort();
+  std::vector<int> node_ports;
+  for (int bank = 0; bank < kBanks; bank++) {
+    node_ports.push_back(PickUnusedPort());
+  }
+
+  std::vector<pid_t> pids;
+  std::string n_arg = std::to_string(kBanks);
+  std::string driver_port_arg = std::to_string(driver_port);
+  for (int bank = 0; bank < kBanks; bank++) {
+    std::string bank_arg = std::to_string(bank);
+    std::string listen_port_arg = std::to_string(node_ports[bank]);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      execl(program.c_str(), program.c_str(), "--bank", bank_arg.c_str(), "--num-nodes",
+            n_arg.c_str(), "--driver-host", "127.0.0.1", "--driver-port",
+            driver_port_arg.c_str(), "--listen-host", "127.0.0.1", "--listen-port",
+            listen_port_arg.c_str(), "--advertise-host", "127.0.0.1",
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  {
+    net::TransportSpec spec = net::TcpTransportSpec("127.0.0.1", driver_port);
+    spec.external_nodes = true;
+    for (int bank = 0; bank < kBanks; bank++) {
+      spec.node_endpoints.push_back(net::PeerEndpoint{"127.0.0.1", node_ports[bank]});
+    }
+    auto net = net::MakeTransport(spec, kBanks);
+    net->SendBatch(0, 2, {Bytes{1}, Bytes{2}}, 5);
+    net->Send(2, 1, Bytes{3}, 5);
+    EXPECT_EQ(net->Recv(2, 0, 5), Bytes{1});
+    EXPECT_EQ(net->Recv(2, 0, 5), Bytes{2});
+    EXPECT_EQ(net->Recv(1, 2, 5), Bytes{3});
+  }
+
+  ReapClean(pids);
+}
+
+}  // namespace
+}  // namespace dstress

@@ -106,6 +106,58 @@ TEST(WireTest, PartialHeaderYieldsNothing) {
   EXPECT_EQ(out.payload, (Bytes{9, 9}));
 }
 
+// Bootstrap control frames (docs/wire-protocol.md): every frame round-trips
+// through the codec, uses kControlSession, and carries the handshake
+// protocol version.
+
+TEST(WireBootstrapTest, HelloFrameRoundTrips) {
+  PeerEndpoint endpoint{"10.1.2.3", 7411};
+  WireFrame frame = MakeHelloFrame(5, endpoint);
+  EXPECT_EQ(frame.session, kControlSession);
+  EXPECT_EQ(frame.from, 5);
+  EXPECT_EQ(frame.payload[1], kBootstrapProtocolVersion);
+
+  // Through the codec, as on the wire.
+  Bytes encoded = EncodeFrame(frame);
+  FrameDecoder decoder;
+  decoder.Feed(encoded.data(), encoded.size());
+  WireFrame decoded;
+  ASSERT_TRUE(decoder.Next(&decoded));
+
+  NodeId node = -1;
+  PeerEndpoint out;
+  ParseHelloFrame(decoded, &node, &out);
+  EXPECT_EQ(node, 5);
+  EXPECT_EQ(out, endpoint);
+}
+
+TEST(WireBootstrapTest, PeersFrameRoundTripsPerBankEndpoints) {
+  std::vector<PeerEndpoint> peers = {
+      {"127.0.0.1", 50001},
+      {"10.0.0.11", 7411},
+      {"192.168.7.200", 65535},
+      {"10.0.0.13", 1},
+  };
+  std::vector<PeerEndpoint> out = ParsePeersFrame(MakePeersFrame(peers));
+  EXPECT_EQ(out, peers);
+}
+
+TEST(WireBootstrapTest, MeshHelloAndReadyRoundTrip) {
+  EXPECT_EQ(ParseMeshHelloFrame(MakeMeshHelloFrame(12)), 12);
+  EXPECT_EQ(ParseReadyFrame(MakeReadyFrame(0)), 0);
+}
+
+TEST(WireBootstrapTest, VersionMismatchAborts) {
+  WireFrame frame = MakeReadyFrame(3);
+  frame.payload[1] = kBootstrapProtocolVersion + 1;  // a build from the future
+  EXPECT_DEATH(ParseReadyFrame(frame), "speaks handshake protocol version");
+}
+
+TEST(WireBootstrapTest, WrongControlTypeAborts) {
+  WireFrame hello = MakeHelloFrame(0, {"127.0.0.1", 1});
+  EXPECT_DEATH(ParsePeersFrame(hello), "CHECK failed");
+}
+
 TEST(WireTest, CorruptLengthPrefixAborts) {
   EXPECT_DEATH(
       {

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Documentation lint for the DStress repo.
+
+Keeps README.md and docs/ honest against the code:
+
+  1. Every relative markdown link resolves to an existing file, and every
+     in-page anchor (#section) matches a real heading in its target.
+  2. Every scenario file under examples/scenarios/ parses and validates
+     (`dstress_run --check`).
+  3. Every fenced scenario snippet in the markdown (a ```text block whose
+     first directive is `network ...`) also parses and validates — docs
+     can't drift from the parser.
+
+Usage: tools/check_docs.py [--build-dir build]
+Exit status 0 = clean; nonzero prints every failure.
+
+Stdlib only; needs an existing build of examples/dstress_run for steps
+2 and 3.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"```([^\n`]*)\n(.*?)```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor rule (lowercase, strip punctuation, dashes)."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def check_links(errors: list) -> None:
+    for doc in DOC_FILES:
+        text = doc.read_text()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / path_part).resolve() if path_part else doc
+            if not resolved.exists():
+                errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                anchors = {github_anchor(h) for h in HEADING_RE.findall(resolved.read_text())}
+                if anchor not in anchors:
+                    errors.append(f"{doc.relative_to(REPO)}: dead anchor -> {target}")
+
+
+def run_check(dstress_run: pathlib.Path, scenario: pathlib.Path, label: str, errors: list) -> None:
+    proc = subprocess.run(
+        [str(dstress_run), "--check", str(scenario)], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        errors.append(f"{label}: dstress_run --check failed:\n{proc.stderr.strip()}")
+
+
+def check_scenarios(dstress_run: pathlib.Path, errors: list) -> None:
+    scenarios = sorted((REPO / "examples" / "scenarios").glob("*.scenario"))
+    if not scenarios:
+        errors.append("examples/scenarios/ contains no .scenario files")
+    for scenario in scenarios:
+        run_check(dstress_run, scenario, str(scenario.relative_to(REPO)), errors)
+
+
+def check_snippets(dstress_run: pathlib.Path, errors: list) -> None:
+    for doc in DOC_FILES:
+        for i, (lang, body) in enumerate(FENCE_RE.findall(doc.read_text())):
+            first = next((ln for ln in body.splitlines() if ln.strip()), "")
+            if lang not in ("", "text") or not first.strip().startswith("network "):
+                continue
+            with tempfile.NamedTemporaryFile("w", suffix=".scenario", delete=False) as tmp:
+                tmp.write(body)
+                path = pathlib.Path(tmp.name)
+            run_check(dstress_run, path, f"{doc.relative_to(REPO)} snippet #{i + 1}", errors)
+            path.unlink()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    args = parser.parse_args()
+
+    dstress_run = REPO / args.build_dir / "examples" / "dstress_run"
+    errors: list = []
+    check_links(errors)
+    if dstress_run.exists():
+        check_scenarios(dstress_run, errors)
+        check_snippets(dstress_run, errors)
+    else:
+        errors.append(f"{dstress_run} not built; run cmake --build first")
+
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if not errors:
+        count = sum(1 for _ in (REPO / "examples" / "scenarios").glob("*.scenario"))
+        print(f"docs OK: {len(DOC_FILES)} markdown files linted, {count} scenarios validated")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
