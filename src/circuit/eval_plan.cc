@@ -1,0 +1,81 @@
+#include "src/circuit/eval_plan.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace dstress::circuit {
+
+EvalPlan::EvalPlan(const Circuit& circuit)
+    : gates_(circuit.gates()),
+      outputs_(circuit.outputs()),
+      num_inputs_(circuit.num_inputs()),
+      stats_(circuit.stats()),
+      and_layers_(circuit.and_layers()) {
+  const auto& depth = circuit.and_depth();
+  local_layers_.resize(stats_.and_depth + 1);
+  for (size_t i = 0; i < gates_.size(); i++) {
+    if (gates_[i].op != GateOp::kAnd) {
+      local_layers_[depth[i]].push_back(static_cast<Wire>(i));
+    }
+  }
+  if (and_layers_.empty()) {
+    and_layers_.resize(1);
+  }
+}
+
+void EvalPlan::EvalPacked(const uint64_t* inputs, size_t words_per_row,
+                          uint64_t* outputs) const {
+  const size_t wpr = words_per_row;
+  DSTRESS_CHECK(wpr > 0);
+  std::vector<uint64_t> value(gates_.size() * wpr);
+  uint64_t* rows = value.data();
+  size_t next_input = 0;
+  for (size_t i = 0; i < gates_.size(); i++) {
+    const Gate& g = gates_[i];
+    uint64_t* z = rows + i * wpr;
+    switch (g.op) {
+      case GateOp::kInput: {
+        std::memcpy(z, inputs + next_input * wpr, wpr * sizeof(uint64_t));
+        next_input++;
+        break;
+      }
+      case GateOp::kConst: {
+        uint64_t fill = (g.a & 1) ? ~0ULL : 0ULL;
+        for (size_t w = 0; w < wpr; w++) {
+          z[w] = fill;
+        }
+        break;
+      }
+      case GateOp::kXor: {
+        const uint64_t* a = rows + g.a * wpr;
+        const uint64_t* b = rows + g.b * wpr;
+        for (size_t w = 0; w < wpr; w++) {
+          z[w] = a[w] ^ b[w];
+        }
+        break;
+      }
+      case GateOp::kAnd: {
+        const uint64_t* a = rows + g.a * wpr;
+        const uint64_t* b = rows + g.b * wpr;
+        for (size_t w = 0; w < wpr; w++) {
+          z[w] = a[w] & b[w];
+        }
+        break;
+      }
+      case GateOp::kNot: {
+        const uint64_t* a = rows + g.a * wpr;
+        for (size_t w = 0; w < wpr; w++) {
+          z[w] = ~a[w];
+        }
+        break;
+      }
+    }
+  }
+  DSTRESS_CHECK(next_input == num_inputs_);
+  for (size_t o = 0; o < outputs_.size(); o++) {
+    std::memcpy(outputs + o * wpr, rows + outputs_[o] * wpr, wpr * sizeof(uint64_t));
+  }
+}
+
+}  // namespace dstress::circuit

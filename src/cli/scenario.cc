@@ -278,6 +278,12 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
       if (!p.ArgCount(1) || !p.Int(1, 0, &spec.iterations)) {
         return std::nullopt;
       }
+    } else if (directive == "degree_cap") {
+      // Caps the generated topology's degree (graph::CapDegree), which also
+      // bounds the public degree bound D baked into the update circuit.
+      if (!p.ArgCount(1) || !p.Int(1, 1, &spec.topology.degree_cap)) {
+        return std::nullopt;
+      }
     } else if (directive == "block_size") {
       if (!p.ArgCount(1) || !p.Int(1, 2, &spec.block_size)) {
         return std::nullopt;

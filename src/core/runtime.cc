@@ -11,13 +11,19 @@ namespace dstress::core {
 
 namespace {
 
-// Session-id namespaces (top 3 bits of a 64-bit id select the phase).
+// Session-id namespaces (top 4 bits of a 64-bit id select the phase).
 constexpr net::SessionId kInitSession = 1ULL << 60;
 constexpr net::SessionId kComputeSession = 2ULL << 60;
 constexpr net::SessionId kTransferSession = 3ULL << 60;
 constexpr net::SessionId kAggGatherSession = 4ULL << 60;
 constexpr net::SessionId kAggEvalSession = 5ULL << 60;
 constexpr net::SessionId kAggCombineSession = 6ULL << 60;
+// All lockstep batched GMW exchanges share one session: phases are
+// separated by scheduler barriers (every message of a phase is consumed
+// before the next phase sends), so the per-(from, to, session) FIFO order
+// inside a phase is the only order that matters — and batch_eval.h fixes it
+// by instance order_key.
+constexpr net::SessionId kBatchSession = 7ULL << 60;
 
 // Triple-source tags outside the vertex-id space.
 constexpr uint64_t kAggTripleTag = 1ULL << 40;
@@ -57,10 +63,12 @@ std::string RunMetrics::ToString() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "total=%.2fs (init=%.2fs compute=%.2fs comm=%.2fs agg=%.2fs) "
-                "traffic: total=%.2fMB avg/node=%.2fMB update_ands=%zu agg_ands=%zu iters=%d",
+                "traffic: total=%.2fMB avg/node=%.2fMB update_ands=%zu depth=%zu rounds=%zu "
+                "agg_ands=%zu triples=%llu iters=%d",
                 total_seconds, init.seconds, compute.seconds, communicate.seconds,
                 aggregate.seconds, total_bytes / 1e6, avg_bytes_per_node / 1e6, update_and_gates,
-                aggregate_and_gates, iterations);
+                update_and_depth, update_rounds, aggregate_and_gates,
+                static_cast<unsigned long long>(triples_consumed), iterations);
   return buf;
 }
 
@@ -73,7 +81,8 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
     : config_(config),
       graph_(graph),
       program_(program),
-      update_circuit_(BuildUpdateCircuit(program)) {
+      update_circuit_(BuildUpdateCircuit(program)),
+      update_plan_(update_circuit_) {
   DSTRESS_CHECK(graph.MaxDegree() <= program.degree_bound);
   // fanout 1 would make the aggregation-tree reduction never shrink.
   DSTRESS_CHECK(config.aggregation_fanout != 1);
@@ -178,36 +187,166 @@ void Runtime::InitPhase(const std::vector<mpc::BitVector>& initial_states) {
   }
 }
 
+mpc::BitVector Runtime::AssembleUpdateInput(int v, int m) const {
+  mpc::BitVector input = state_shares_[v][m];
+  input.reserve(update_circuit_.num_inputs());
+  for (int slot = 0; slot < program_.degree_bound; slot++) {
+    mpc::AppendBits(&input, inmsg_shares_[v][slot][m]);
+  }
+  return input;
+}
+
+void Runtime::ScatterUpdateOutput(int v, int m, const mpc::BitVector& output) {
+  // Split: new state, then D outgoing message words.
+  state_shares_[v][m].assign(output.begin(), output.begin() + program_.state_bits);
+  size_t cursor = static_cast<size_t>(program_.state_bits);
+  for (int slot = 0; slot < program_.degree_bound; slot++) {
+    outmsg_shares_[v][slot][m].assign(output.begin() + cursor,
+                                      output.begin() + cursor + program_.message_bits);
+    cursor += program_.message_bits;
+  }
+}
+
+// Compute-phase stats: triples total plus the observed exchange-round
+// count (the rounds max is only meaningful for the update circuit — the
+// aggregation stages account their triples directly).
+void Runtime::AccumulateBatchStats(const mpc::BatchStats& stats) {
+  triples_consumed_.fetch_add(stats.triples_consumed, std::memory_order_relaxed);
+  size_t prev = compute_rounds_.load(std::memory_order_relaxed);
+  while (stats.rounds > prev &&
+         !compute_rounds_.compare_exchange_weak(prev, stats.rounds, std::memory_order_relaxed)) {
+  }
+}
+
 void Runtime::ComputePhase() {
+  if (config_.batch_mpc) {
+    ComputePhaseBatched();
+  } else {
+    ComputePhaseUnbatched();
+  }
+}
+
+// Seed schedule: one pool task and one GmwParty per (vertex, member) role.
+void Runtime::ComputePhaseUnbatched() {
   int n = graph_.num_vertices();
   int k1 = config_.block_size;
-  int d = program_.degree_bound;
 
   RunGrouped(static_cast<size_t>(n), static_cast<size_t>(k1), [&](size_t vg, size_t ms) {
     int v = static_cast<int>(vg);
     int m = static_cast<int>(ms);
     net::SessionId session = kComputeSession | static_cast<uint64_t>(v);
 
-    mpc::BitVector input = state_shares_[v][m];
-    input.reserve(update_circuit_.num_inputs());
-    for (int slot = 0; slot < d; slot++) {
-      mpc::AppendBits(&input, inmsg_shares_[v][slot][m]);
-    }
-
     mpc::TripleSource* triples =
         TripleSourceFor(static_cast<uint64_t>(v), m, session, setup_.blocks[v]);
     mpc::GmwParty party(net_.get(), setup_.blocks[v], m, triples, session);
-    mpc::BitVector output = party.Eval(update_circuit_, input);
+    mpc::PackedShareMatrix input(update_plan_.num_inputs(), 1);
+    input.SetInstance(0, AssembleUpdateInput(v, m));
+    mpc::BatchStats stats;
+    mpc::BitVector output = party.EvalBatch(update_plan_, input, &stats).Instance(0);
+    AccumulateBatchStats(stats);
+    ScatterUpdateOutput(v, m, output);
+  });
+}
 
-    // Split: new state, then D outgoing message words.
-    state_shares_[v][m].assign(output.begin(), output.begin() + program_.state_bits);
-    size_t cursor = static_cast<size_t>(program_.state_bits);
-    for (int slot = 0; slot < d; slot++) {
-      outmsg_shares_[v][slot][m].assign(output.begin() + cursor,
-                                        output.begin() + cursor + program_.message_bits);
-      cursor += program_.message_bits;
+void Runtime::RunBatchedPhase(const std::vector<std::pair<int, int>>& roles,
+                              const std::function<int(int, int)>& node_of,
+                              const std::function<mpc::BatchInstance(int, int)>& make_item,
+                              const std::function<void(size_t, const mpc::BitVector&)>& sink,
+                              bool count_rounds) {
+  auto accumulate = [&](const mpc::BatchStats& stats) {
+    if (count_rounds) {
+      AccumulateBatchStats(stats);
+    } else {
+      triples_consumed_.fetch_add(stats.triples_consumed, std::memory_order_relaxed);
+    }
+  };
+  if (!config_.use_ot_triples) {
+    // Single-scheduler mode: the dealer source needs no communication, so
+    // the whole phase is one lockstep call on this thread.
+    std::vector<mpc::BatchInstance> items;
+    items.reserve(roles.size());
+    for (auto [g, m] : roles) {
+      items.push_back(make_item(g, m));
+    }
+    mpc::BatchStats stats;
+    std::vector<mpc::BitVector> outputs =
+        mpc::EvalBatchInstances(net_.get(), kBatchSession, std::move(items), &stats);
+    accumulate(stats);
+    for (size_t i = 0; i < roles.size(); i++) {
+      sink(i, outputs[i]);
+    }
+    return;
+  }
+  // OT triples: one lockstep task per executing node. Triples are
+  // prefetched inside make_item in role order — ascending by group at
+  // every node — so the collective pairwise OT sessions run in a globally
+  // consistent order and the smallest unfinished group can always progress.
+  std::map<int, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < roles.size(); i++) {
+    by_node[node_of(roles[i].first, roles[i].second)].push_back(i);
+  }
+  std::vector<const std::vector<size_t>*> tasks;
+  tasks.reserve(by_node.size());
+  for (auto& [x, idxs] : by_node) {
+    tasks.push_back(&idxs);
+  }
+  RunGrouped(1, tasks.size(), [&](size_t, size_t t) {
+    const std::vector<size_t>& idxs = *tasks[t];
+    std::vector<mpc::BatchInstance> items;
+    items.reserve(idxs.size());
+    for (size_t i : idxs) {
+      items.push_back(make_item(roles[i].first, roles[i].second));
+    }
+    mpc::BatchStats stats;
+    std::vector<mpc::BitVector> outputs =
+        mpc::EvalBatchInstances(net_.get(), kBatchSession, std::move(items), &stats);
+    accumulate(stats);
+    for (size_t k = 0; k < idxs.size(); k++) {
+      sink(idxs[k], outputs[k]);
     }
   });
+}
+
+// Batched schedule: the step's (vertex, member) roles advance through the
+// update circuit's AND layers in lockstep over bitsliced shares
+// (batch_eval.h) instead of one task + one GmwParty per role. Wire traffic
+// is bit-identical to the unbatched schedule — same per-instance payloads,
+// rounds still = AND depth — but the per-layer synchronization is paid once
+// per scheduler instead of once per role, and the free gates of up to 64
+// roles cost one word op.
+void Runtime::ComputePhaseBatched() {
+  int n = graph_.num_vertices();
+  int k1 = config_.block_size;
+  const size_t num_and = update_circuit_.stats().num_and;
+
+  std::vector<std::pair<int, int>> roles;
+  roles.reserve(static_cast<size_t>(n) * k1);
+  for (int v = 0; v < n; v++) {
+    for (int m = 0; m < k1; m++) {
+      roles.emplace_back(v, m);
+    }
+  }
+  RunBatchedPhase(
+      roles, [&](int v, int m) { return setup_.blocks[v][m]; },
+      [&](int v, int m) {
+        net::SessionId triple_session = kComputeSession | static_cast<uint64_t>(v);
+        mpc::TripleSource* source =
+            TripleSourceFor(static_cast<uint64_t>(v), m, triple_session, setup_.blocks[v]);
+        mpc::BatchInstance item;
+        item.plan = &update_plan_;
+        item.parties = setup_.blocks[v];
+        item.my_index = m;
+        if (num_and > 0) {
+          item.triples = source->Generate(num_and);
+        }
+        item.input_shares = AssembleUpdateInput(v, m);
+        item.order_key = static_cast<uint64_t>(v);
+        return item;
+      },
+      [&](size_t i, const mpc::BitVector& output) {
+        ScatterUpdateOutput(roles[i].first, roles[i].second, output);
+      },
+      /*count_rounds=*/true);
 }
 
 void Runtime::CommunicatePhase() {
@@ -289,6 +428,7 @@ int64_t Runtime::AggregateSingleLevel() {
         TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
     mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
     mpc::BitVector out_shares = party.Eval(agg_circuit, input);
+    triples_consumed_.fetch_add(agg_circuit.stats().num_and, std::memory_order_relaxed);
     mpc::BitVector opened = party.Open(out_shares);
     results[m] = mpc::BitsToSignedWord(opened, 0, program_.aggregate_bits);
   });
@@ -319,14 +459,26 @@ int64_t Runtime::AggregateTree() {
   }
 
   // Leaf level: partial sums of up to `fanout` vertex states stay shared.
-  std::vector<std::vector<mpc::BitVector>> shares(num_groups, std::vector<mpc::BitVector>(k1));
-  RunGrouped(static_cast<size_t>(num_groups), static_cast<size_t>(k1), [&](size_t gg, size_t mm) {
-    int g = static_cast<int>(gg);
-    int m = static_cast<int>(mm);
+  // Each role's input is the gathered state shares of its group's vertices;
+  // each distinct group size needs its own circuit (the last group may be
+  // short), precompiled once per level.
+  std::map<int, std::pair<circuit::Circuit, circuit::EvalPlan>> leaf_plans;
+  auto leaf_plan_for = [&](int size) -> const circuit::EvalPlan& {
+    auto it = leaf_plans.find(size);
+    if (it == leaf_plans.end()) {
+      circuit::Circuit c = BuildAggregateCircuit(program_, size, /*with_noise=*/false);
+      circuit::EvalPlan plan(c);
+      it = leaf_plans.emplace(size, std::make_pair(std::move(c), std::move(plan))).first;
+    }
+    return it->second.second;
+  };
+  leaf_plan_for(std::min(n, fanout));
+  if (n % fanout != 0) {
+    leaf_plan_for(n - (num_groups - 1) * fanout);
+  }
+  auto leaf_input = [&](int g, int m) {
     int lo = g * fanout;
     int hi = std::min(n, lo + fanout);
-    circuit::Circuit partial_circuit =
-        BuildAggregateCircuit(program_, hi - lo, /*with_noise=*/false);
     int agg_node = blocks[g][m];
     mpc::BitVector input;
     for (int v = lo; v < hi; v++) {
@@ -334,12 +486,57 @@ int64_t Runtime::AggregateTree() {
                              kAggGatherSession | static_cast<uint64_t>(v));
       mpc::AppendBits(&input, UnpackBits(raw, static_cast<size_t>(program_.state_bits)));
     }
-    net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
-    mpc::TripleSource* triples =
-        TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g), m, session, blocks[g]);
-    mpc::GmwParty party(net_.get(), blocks[g], m, triples, session);
-    shares[g][m] = party.Eval(partial_circuit, input);
-  });
+    return input;
+  };
+  std::vector<std::vector<mpc::BitVector>> shares(num_groups, std::vector<mpc::BitVector>(k1));
+  if (config_.batch_mpc) {
+    // All leaf roles advance in lockstep (same wire traffic as the
+    // per-role schedule; see ComputePhaseBatched).
+    std::vector<std::pair<int, int>> roles;
+    roles.reserve(static_cast<size_t>(num_groups) * k1);
+    for (int g = 0; g < num_groups; g++) {
+      for (int m = 0; m < k1; m++) {
+        roles.emplace_back(g, m);
+      }
+    }
+    RunBatchedPhase(
+        roles, [&](int g, int m) { return blocks[g][m]; },
+        [&](int g, int m) {
+          int size = std::min(n, g * fanout + fanout) - g * fanout;
+          const circuit::EvalPlan& plan = leaf_plan_for(size);
+          net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
+          mpc::TripleSource* source = TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g),
+                                                      m, session, blocks[g]);
+          mpc::BatchInstance item;
+          item.plan = &plan;
+          item.parties = blocks[g];
+          item.my_index = m;
+          if (plan.stats().num_and > 0) {
+            item.triples = source->Generate(plan.stats().num_and);
+          }
+          item.input_shares = leaf_input(g, m);
+          item.order_key = static_cast<uint64_t>(g);
+          return item;
+        },
+        [&](size_t i, const mpc::BitVector& output) {
+          shares[roles[i].first][roles[i].second] = output;
+        },
+        /*count_rounds=*/false);
+  } else {
+    RunGrouped(static_cast<size_t>(num_groups), static_cast<size_t>(k1),
+               [&](size_t gg, size_t mm) {
+                 int g = static_cast<int>(gg);
+                 int m = static_cast<int>(mm);
+                 int size = std::min(n, g * fanout + fanout) - g * fanout;
+                 const circuit::EvalPlan& plan = leaf_plan_for(size);
+                 net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
+                 mpc::TripleSource* triples = TripleSourceFor(
+                     kAggTripleTag + 1 + static_cast<uint64_t>(g), m, session, blocks[g]);
+                 mpc::GmwParty party(net_.get(), blocks[g], m, triples, session);
+                 shares[g][m] = party.Eval(plan, leaf_input(g, m));
+                 triples_consumed_.fetch_add(plan.stats().num_and, std::memory_order_relaxed);
+               });
+  }
 
   // Intermediate combine levels (without noise) until one root group of at
   // most `fanout` partials remains — the general tree of §3.6. For the
@@ -360,33 +557,82 @@ int64_t Runtime::AggregateTree() {
                    kAggCombineSession | (level << 32) | static_cast<uint64_t>(g));
       }
     }
+    std::map<int, std::pair<circuit::Circuit, circuit::EvalPlan>> combine_plans;
+    auto combine_plan_for = [&](int size) -> const circuit::EvalPlan& {
+      auto it = combine_plans.find(size);
+      if (it == combine_plans.end()) {
+        circuit::Circuit c = BuildCombineCircuit(program_, size, /*with_noise=*/false);
+        circuit::EvalPlan plan(c);
+        it = combine_plans.emplace(size, std::make_pair(std::move(c), std::move(plan))).first;
+      }
+      return it->second.second;
+    };
+    combine_plan_for(std::min(p, fanout));
+    combine_plan_for(p - (next_groups - 1) * fanout);
+    auto combine_input = [&, p](int g, int m, const std::vector<std::vector<int>>& nb) {
+      int lo = g * fanout;
+      int hi = std::min(p, lo + fanout);
+      int agg_node = nb[g][m];
+      mpc::BitVector input;
+      for (int child = lo; child < hi; child++) {
+        Bytes raw =
+            net_->Recv(agg_node, blocks[child][m],
+                       kAggCombineSession | (level << 32) | static_cast<uint64_t>(child));
+        mpc::AppendBits(&input, UnpackBits(raw, static_cast<size_t>(program_.aggregate_bits)));
+      }
+      return input;
+    };
     std::vector<std::vector<mpc::BitVector>> next_shares(next_groups,
                                                          std::vector<mpc::BitVector>(k1));
-    RunGrouped(static_cast<size_t>(next_groups), static_cast<size_t>(k1),
-               [&](size_t gg, size_t mm) {
-                 int g = static_cast<int>(gg);
-                 int m = static_cast<int>(mm);
-                 int lo = g * fanout;
-                 int hi = std::min(p, lo + fanout);
-                 circuit::Circuit combine =
-                     BuildCombineCircuit(program_, hi - lo, /*with_noise=*/false);
-                 int agg_node = next_blocks[g][m];
-                 mpc::BitVector input;
-                 for (int child = lo; child < hi; child++) {
-                   Bytes raw = net_->Recv(
-                       agg_node, blocks[child][m],
-                       kAggCombineSession | (level << 32) | static_cast<uint64_t>(child));
-                   mpc::AppendBits(&input,
-                                   UnpackBits(raw, static_cast<size_t>(program_.aggregate_bits)));
-                 }
-                 net::SessionId session =
-                     kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
-                 mpc::TripleSource* triples = TripleSourceFor(
-                     kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m, session,
-                     next_blocks[g]);
-                 mpc::GmwParty party(net_.get(), next_blocks[g], m, triples, session);
-                 next_shares[g][m] = party.Eval(combine, input);
-               });
+    if (config_.batch_mpc) {
+      std::vector<std::pair<int, int>> roles;
+      roles.reserve(static_cast<size_t>(next_groups) * k1);
+      for (int g = 0; g < next_groups; g++) {
+        for (int m = 0; m < k1; m++) {
+          roles.emplace_back(g, m);
+        }
+      }
+      RunBatchedPhase(
+          roles, [&](int g, int m) { return next_blocks[g][m]; },
+          [&](int g, int m) {
+            int size = std::min(p, g * fanout + fanout) - g * fanout;
+            const circuit::EvalPlan& plan = combine_plan_for(size);
+            net::SessionId session = kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
+            mpc::TripleSource* source =
+                TripleSourceFor(kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m,
+                                session, next_blocks[g]);
+            mpc::BatchInstance item;
+            item.plan = &plan;
+            item.parties = next_blocks[g];
+            item.my_index = m;
+            if (plan.stats().num_and > 0) {
+              item.triples = source->Generate(plan.stats().num_and);
+            }
+            item.input_shares = combine_input(g, m, next_blocks);
+            item.order_key = static_cast<uint64_t>(g);
+            return item;
+          },
+          [&](size_t i, const mpc::BitVector& output) {
+            next_shares[roles[i].first][roles[i].second] = output;
+          },
+          /*count_rounds=*/false);
+    } else {
+      RunGrouped(static_cast<size_t>(next_groups), static_cast<size_t>(k1),
+                 [&](size_t gg, size_t mm) {
+                   int g = static_cast<int>(gg);
+                   int m = static_cast<int>(mm);
+                   int size = std::min(p, g * fanout + fanout) - g * fanout;
+                   const circuit::EvalPlan& plan = combine_plan_for(size);
+                   net::SessionId session =
+                       kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
+                   mpc::TripleSource* triples = TripleSourceFor(
+                       kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m, session,
+                       next_blocks[g]);
+                   mpc::GmwParty party(net_.get(), next_blocks[g], m, triples, session);
+                   next_shares[g][m] = party.Eval(plan, combine_input(g, m, next_blocks));
+                   triples_consumed_.fetch_add(plan.stats().num_and, std::memory_order_relaxed);
+                 });
+    }
     blocks = std::move(next_blocks);
     shares = std::move(next_shares);
     level++;
@@ -421,6 +667,7 @@ int64_t Runtime::AggregateTree() {
         TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
     mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
     mpc::BitVector out_shares = party.Eval(combine_circuit, input);
+    triples_consumed_.fetch_add(combine_circuit.stats().num_and, std::memory_order_relaxed);
     mpc::BitVector opened = party.Open(out_shares);
     results[m] = mpc::BitsToSignedWord(opened, 0, program_.aggregate_bits);
   });
@@ -441,6 +688,9 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   *m = RunMetrics{};
   m->iterations = program_.iterations;
   m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
+  triples_consumed_.store(0, std::memory_order_relaxed);
+  compute_rounds_.store(0, std::memory_order_relaxed);
 
   Stopwatch total;
   uint64_t bytes_before = net_->TotalBytes();
@@ -481,6 +731,8 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   m->total_seconds = total.ElapsedSeconds();
   m->total_bytes = net_->TotalBytes() - bytes_before;
   m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / graph_.num_vertices();
+  m->update_rounds = compute_rounds_.load(std::memory_order_relaxed);
+  m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
   return result;
 }
 

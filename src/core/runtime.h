@@ -48,6 +48,7 @@
 #ifndef SRC_CORE_RUNTIME_H_
 #define SRC_CORE_RUNTIME_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -68,6 +69,13 @@ namespace dstress::core {
 
 struct RuntimeConfig {
   int block_size = 8;  // k+1
+  // Batched MPC data plane (the default): every node evaluates all of its
+  // block roles for a phase in one lockstep mpc::EvalBatchInstances call
+  // over bitsliced packed shares, instead of one task + one GmwParty per
+  // (vertex, member) role. Released figures and per-node TrafficStats are
+  // bit-identical either way (asserted in engine_test.cc); false keeps the
+  // seed one-role-per-task schedule for A/B comparison.
+  bool batch_mpc = true;
   // Transfer-protocol noise and lookup parameters (production-scale alpha
   // needs the paper's 8 GB lookup table; defaults are test-scale).
   double transfer_budget_alpha = 0.9;
@@ -84,7 +92,10 @@ struct RuntimeConfig {
   // pool grows past this if a single protocol group needs more.
   int max_parallel_tasks = 0;
   // Per-channel queued-byte cap forwarded to the transport
-  // (TransportOptions::channel_high_watermark_bytes); 0 = unbounded.
+  // (TransportOptions::channel_high_watermark_bytes); 0 = unbounded. With
+  // batch_mpc on, a round's openings for every instance two nodes share
+  // coalesce onto one channel — size the cap for that sum, not for a
+  // single vertex's burst (see TransportOptions).
   size_t channel_high_watermark_bytes = 0;
   // Which wire carries the run (resolved via net::MakeTransport; "sim" or
   // "tcp" built in). The runtime never names a concrete transport type.
@@ -115,6 +126,16 @@ struct RunMetrics {
   double avg_bytes_per_node = 0;
   size_t update_and_gates = 0;
   size_t aggregate_and_gates = 0;
+  // Circuit-stats surface (run_spec.h FormatReport): the update circuit's
+  // AND depth is the number of GMW communication rounds one computation
+  // step must take; update_rounds is the exchange-round count the MPC layer
+  // actually reported for a step (engine_test asserts they are equal), and
+  // triples_consumed totals the Beaver triples drawn across all parties and
+  // phases of the run. Cleartext runs report the depth but no rounds or
+  // triples (there is no MPC).
+  size_t update_and_depth = 0;
+  size_t update_rounds = 0;
+  uint64_t triples_consumed = 0;
   int iterations = 0;
 
   std::string ToString() const;
@@ -143,10 +164,46 @@ class Runtime {
  private:
   void InitPhase(const std::vector<mpc::BitVector>& initial_states);
   void ComputePhase();
+  // The two computation-step schedules (RuntimeConfig::batch_mpc): one
+  // lockstep batched evaluation per node vs one task per (vertex, member)
+  // role. Identical wire traffic; see docs/packed-eval.md.
+  void ComputePhaseBatched();
+  void ComputePhaseUnbatched();
   void CommunicatePhase();
   int64_t AggregatePhase();
   int64_t AggregateSingleLevel();
   int64_t AggregateTree();
+
+  // This party's share of one update-circuit input vector (state + incoming
+  // message slots) and the inverse scatter of an output vector.
+  mpc::BitVector AssembleUpdateInput(int v, int m) const;
+  void ScatterUpdateOutput(int v, int m, const mpc::BitVector& output);
+  void AccumulateBatchStats(const mpc::BatchStats& stats);
+
+  // Shared scheduler for a batched MPC phase over `roles` = (group,
+  // member) pairs. With a non-interactive triple source the whole phase is
+  // one lockstep EvalBatchInstances call on the calling thread (nothing
+  // ever parks: each round's receives are satisfied by sends earlier in
+  // the same round); with OT triples it runs one lockstep task per
+  // executing node so the pairwise triple protocols can interleave.
+  // make_item(g, m) builds the instance (triples prefetched inside, in
+  // role order), sink(i, output) stores role i's output shares.
+  //
+  // Scheduling tradeoffs (measured on the 1-core CI container; see the
+  // ROADMAP open item on multi-core policy): the single-scheduler mode
+  // trades the seed schedule's cross-block thread parallelism for maximal
+  // slicing width and zero blocking — the right trade when per-layer
+  // synchronization dominates, unproven on many-core hosts (batch_mpc =
+  // false restores the seed schedule). The OT mode needs every node's
+  // task live at once (the lockstep superstep argument), so the pool
+  // grows to one thread per participating node — fine at the block-level
+  // N the ~100x-slower OT configs are practical at, but not a schedule
+  // for OT at thousands of nodes.
+  void RunBatchedPhase(const std::vector<std::pair<int, int>>& roles,
+                       const std::function<int(int, int)>& node_of,
+                       const std::function<mpc::BatchInstance(int, int)>& make_item,
+                       const std::function<void(size_t, const mpc::BitVector&)>& sink,
+                       bool count_rounds);
 
   // Runs fn(group, subtask) for every (group, subtask) pair on the
   // persistent worker pool, with admission aligned to whole groups so
@@ -162,6 +219,9 @@ class Runtime {
   const graph::Graph& graph_;
   VertexProgram program_;
   circuit::Circuit update_circuit_;
+  // Precompiled layer structure of the update circuit, shared by every
+  // round, instance and run (circuit/eval_plan.h).
+  circuit::EvalPlan update_plan_;
   transfer::TransferParams transfer_params_;
   TrustedSetup setup_;
   std::unique_ptr<net::Transport> net_;
@@ -184,6 +244,10 @@ class Runtime {
   std::vector<std::pair<int, int>> edges_;
   int threads_target_ = 0;
   size_t last_aggregate_ands_ = 0;
+
+  // Per-run circuit-stat accumulators (RunMetrics surface).
+  std::atomic<uint64_t> triples_consumed_{0};
+  std::atomic<size_t> compute_rounds_{0};
 };
 
 }  // namespace dstress::core

@@ -1,5 +1,6 @@
 #include "src/costmodel/cost_model.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -37,6 +38,23 @@ std::string Projection::ToString() const {
   return buf;
 }
 
+namespace {
+
+// The multiplier-heavy circuit both calibrations evaluate.
+circuit::Circuit CalibrationCircuit() {
+  circuit::Builder b;
+  circuit::Word x = b.InputWord(32);
+  circuit::Word y = b.InputWord(32);
+  circuit::Word acc = b.Mul(x, y);
+  for (int i = 0; i < 6; i++) {
+    acc = b.Mul(acc, y);
+  }
+  b.OutputWord(acc);
+  return b.Build();
+}
+
+}  // namespace
+
 MicroCosts Calibrate(int block_size, int message_bits) {
   MicroCosts costs;
   costs.calibrated_block_size = block_size;
@@ -44,15 +62,7 @@ MicroCosts Calibrate(int block_size, int message_bits) {
 
   // --- GMW per-AND cost: evaluate a multiplier-heavy circuit in one block.
   {
-    circuit::Builder b;
-    circuit::Word x = b.InputWord(32);
-    circuit::Word y = b.InputWord(32);
-    circuit::Word acc = b.Mul(x, y);
-    for (int i = 0; i < 6; i++) {
-      acc = b.Mul(acc, y);
-    }
-    b.OutputWord(acc);
-    circuit::Circuit circuit = b.Build();
+    circuit::Circuit circuit = CalibrationCircuit();
 
     std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(block_size);
     net::Transport& net = *net_owner;
@@ -63,26 +73,33 @@ MicroCosts Calibrate(int block_size, int message_bits) {
     }
     auto shares = mpc::ShareBits(inputs, block_size, prg);
 
-    Stopwatch timer;
-    std::vector<std::thread> threads;
-    for (int p = 0; p < block_size; p++) {
-      threads.emplace_back([&, p] {
-        std::vector<net::NodeId> ids(block_size);
-        for (int i = 0; i < block_size; i++) {
-          ids[i] = i;
-        }
-        mpc::DealerTripleSource triples(p, block_size, 77);
-        mpc::GmwParty party(&net, ids, p, &triples);
-        party.Eval(circuit, shares[p]);
-      });
+    // Best of a few repetitions: one block evaluation is only ~10 ms, so
+    // a single shot is at the mercy of scheduler noise.
+    constexpr int kGmwReps = 3;
+    double seconds = 0;
+    for (int rep = 0; rep < kGmwReps; rep++) {
+      Stopwatch timer;
+      std::vector<std::thread> threads;
+      for (int p = 0; p < block_size; p++) {
+        threads.emplace_back([&, p, rep] {
+          std::vector<net::NodeId> ids(block_size);
+          for (int i = 0; i < block_size; i++) {
+            ids[i] = i;
+          }
+          mpc::DealerTripleSource triples(p, block_size, 77 + rep);
+          mpc::GmwParty party(&net, ids, p, &triples);
+          party.Eval(circuit, shares[p]);
+        });
+      }
+      for (auto& t : threads) {
+        t.join();
+      }
+      double rep_seconds = timer.ElapsedSeconds();
+      seconds = rep == 0 ? rep_seconds : std::min(seconds, rep_seconds);
     }
-    for (auto& t : threads) {
-      t.join();
-    }
-    double seconds = timer.ElapsedSeconds();
     costs.seconds_per_and = seconds / static_cast<double>(circuit.stats().num_and);
     costs.bytes_per_and = static_cast<double>(net.TotalBytes()) /
-                          (static_cast<double>(block_size) * circuit.stats().num_and);
+                          (static_cast<double>(kGmwReps) * block_size * circuit.stats().num_and);
   }
 
   // --- Transfer protocol per-role costs (pure scheme functions, measured
@@ -93,7 +110,10 @@ MicroCosts Calibrate(int block_size, int message_bits) {
     params.block_size = block_size;
     params.message_bits = message_bits;
     params.budget_alpha = 0.9;
-    params.dlog_range = 512;
+    // Sized for the masking noise at this block size; the fixed 512 the
+    // seed used overflows for the paper's block size 20 and aborts the
+    // full-scale calibration.
+    params.dlog_range = params.RecommendedDlogRange(1e-9);
 
     transfer::BlockKeys dest_keys = transfer::TransferSetup(block_size, message_bits, prg);
     crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
@@ -137,6 +157,71 @@ MicroCosts Calibrate(int block_size, int message_bits) {
     }
     costs.seconds_column_decrypt = timer.ElapsedSeconds() / block_size;
   }
+  return costs;
+}
+
+MicroCosts CalibrateBatched(const MicroCosts& seed_costs, int message_bits, int batch_width) {
+  DSTRESS_CHECK(batch_width > 0);
+  // Transfer costs (and the per-AND wire bytes, which batching does not
+  // change) are identical to the seed schedule's — reuse the caller's
+  // measurement instead of paying the EC microbenchmarks twice.
+  const int block_size = seed_costs.calibrated_block_size;
+  DSTRESS_CHECK(block_size > 0 && seed_costs.calibrated_message_bits == message_bits);
+  MicroCosts costs = seed_costs;
+
+  circuit::Circuit circuit = CalibrationCircuit();
+  circuit::EvalPlan plan(circuit);
+  const size_t num_and = circuit.stats().num_and;
+
+  std::unique_ptr<net::Transport> net_owner = net::MakeSimTransport(block_size);
+  std::vector<net::NodeId> ids(block_size);
+  for (int i = 0; i < block_size; i++) {
+    ids[i] = i;
+  }
+  auto prg = crypto::ChaCha20Prg::FromSeed(11);
+  // batch_width independent instances, each XOR-shared across the block.
+  std::vector<std::vector<mpc::BitVector>> instance_shares;  // [instance][party]
+  instance_shares.reserve(batch_width);
+  for (int j = 0; j < batch_width; j++) {
+    mpc::BitVector inputs(circuit.num_inputs(), 0);
+    for (auto& bit : inputs) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    instance_shares.push_back(mpc::ShareBits(inputs, block_size, prg));
+  }
+  std::vector<mpc::DealerTripleSource> sources;
+  sources.reserve(block_size);
+  for (int p = 0; p < block_size; p++) {
+    sources.emplace_back(p, block_size, 77);
+  }
+
+  // All roles of all instances advance in one lockstep call on this thread
+  // — the runtime's single-scheduler mode. Triple prefetch is inside the
+  // timed section, mirroring Calibrate() where Eval draws its own triples;
+  // best of a few repetitions, like the seed measurement.
+  constexpr int kGmwReps = 3;
+  double seconds = 0;
+  for (int rep = 0; rep < kGmwReps; rep++) {
+    Stopwatch timer;
+    std::vector<mpc::BatchInstance> items;
+    items.reserve(static_cast<size_t>(block_size) * batch_width);
+    for (int p = 0; p < block_size; p++) {
+      for (int j = 0; j < batch_width; j++) {
+        mpc::BatchInstance item;
+        item.plan = &plan;
+        item.parties = ids;
+        item.my_index = p;
+        item.triples = sources[p].Generate(num_and);
+        item.input_shares = instance_shares[j][p];
+        item.order_key = static_cast<uint64_t>(j);
+        items.push_back(std::move(item));
+      }
+    }
+    mpc::EvalBatchInstances(net_owner.get(), /*session=*/0, std::move(items));
+    double rep_seconds = timer.ElapsedSeconds();
+    seconds = rep == 0 ? rep_seconds : std::min(seconds, rep_seconds);
+  }
+  costs.seconds_per_and = seconds / (static_cast<double>(num_and) * batch_width);
   return costs;
 }
 

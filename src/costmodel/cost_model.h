@@ -38,8 +38,19 @@ struct MicroCosts {
   std::string ToString() const;
 };
 
-// Measures the micro costs at the given block size on this machine.
+// Measures the micro costs at the given block size on this machine, with
+// the seed (one GmwParty per role, one thread per member) MPC schedule.
 MicroCosts Calibrate(int block_size, int message_bits);
+
+// Same measurements, but with the batched packed-share data plane the
+// runtime uses by default since the bitsliced refactor
+// (docs/packed-eval.md): `batch_width` independent instances of the block
+// evaluation advance through the AND layers in one lockstep
+// mpc::EvalBatchInstances call, and the per-AND cost is amortized over all
+// of them. `seed_costs` must come from Calibrate() with the same block
+// size: the transfer-protocol terms (and the per-AND wire bytes, which
+// batching does not change) are copied from it rather than re-measured.
+MicroCosts CalibrateBatched(const MicroCosts& seed_costs, int message_bits, int batch_width);
 
 struct ProjectionParams {
   int num_nodes = 1750;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/circuit/builder.h"
+#include "src/circuit/eval_plan.h"
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
 #include "src/core/worker_pool.h"
@@ -127,6 +128,8 @@ class CleartextFastBackend : public ExecutionBackend {
   core::VertexProgram program_;
   core::RuntimeConfig config_;
   circuit::Circuit update_circuit_;
+  // Precompiled once; every computation step's bitsliced chunks reuse it.
+  circuit::EvalPlan update_plan_{update_circuit_};
   circuit::Circuit contribution_circuit_;
   std::unique_ptr<circuit::Circuit> noise_circuit_;
   std::vector<std::pair<int, int>> edges_;
@@ -143,21 +146,53 @@ class CleartextFastBackend : public ExecutionBackend {
 };
 
 void CleartextFastBackend::ComputePhase() {
+  // Word-parallel (bitsliced) evaluation over the precompiled plan: chunks
+  // of up to 64 vertices share one pass over the gate list, vertex j of a
+  // chunk living in bit lane j of every wire row (eval_plan.h). Replaces
+  // the seed's one per-bit Circuit::Eval per vertex.
+  const int n = graph_.num_vertices();
   const int d = program_.degree_bound;
-  pool_->RunGrouped(static_cast<size_t>(graph_.num_vertices()), 1, [&](size_t vg, size_t) {
-    int v = static_cast<int>(vg);
-    mpc::BitVector input = state_[v];
-    input.reserve(update_circuit_.num_inputs());
-    for (int slot = 0; slot < d; slot++) {
-      mpc::AppendBits(&input, inmsg_[v][slot]);
+  const size_t in_rows = update_plan_.num_inputs();
+  const size_t out_rows = update_plan_.num_outputs();
+  const int num_chunks = (n + 63) / 64;
+  pool_->RunGrouped(static_cast<size_t>(num_chunks), 1, [&](size_t chunk, size_t) {
+    const int lo = static_cast<int>(chunk) * 64;
+    const int hi = std::min(n, lo + 64);
+    std::vector<uint64_t> inputs(in_rows, 0);
+    for (int v = lo; v < hi; v++) {
+      const uint64_t lane = 1ULL << (v - lo);
+      size_t row = 0;
+      for (uint8_t bit : state_[v]) {
+        if (bit & 1) {
+          inputs[row] |= lane;
+        }
+        row++;
+      }
+      for (int slot = 0; slot < d; slot++) {
+        for (uint8_t bit : inmsg_[v][slot]) {
+          if (bit & 1) {
+            inputs[row] |= lane;
+          }
+          row++;
+        }
+      }
+      DSTRESS_CHECK(row == in_rows);
     }
-    std::vector<uint8_t> output = update_circuit_.Eval(input);
-    state_[v].assign(output.begin(), output.begin() + program_.state_bits);
-    size_t cursor = static_cast<size_t>(program_.state_bits);
-    for (int slot = 0; slot < d; slot++) {
-      outmsg_[v][slot].assign(output.begin() + cursor,
-                              output.begin() + cursor + program_.message_bits);
-      cursor += program_.message_bits;
+    std::vector<uint64_t> outputs(out_rows);
+    update_plan_.EvalPacked(inputs.data(), /*words_per_row=*/1, outputs.data());
+    for (int v = lo; v < hi; v++) {
+      const int lane = v - lo;
+      size_t row = 0;
+      state_[v].resize(static_cast<size_t>(program_.state_bits));
+      for (auto& bit : state_[v]) {
+        bit = (outputs[row++] >> lane) & 1;
+      }
+      for (int slot = 0; slot < d; slot++) {
+        outmsg_[v][slot].resize(static_cast<size_t>(program_.message_bits));
+        for (auto& bit : outmsg_[v][slot]) {
+          bit = (outputs[row++] >> lane) & 1;
+        }
+      }
     }
   });
 }
@@ -307,6 +342,7 @@ int64_t CleartextFastBackend::Execute(const std::vector<mpc::BitVector>& initial
   *m = core::RunMetrics{};
   m->iterations = program_.iterations;
   m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
   m->aggregate_and_gates =
       contribution_circuit_.stats().num_and * static_cast<size_t>(n) +
       noise_circuit_->stats().num_and;

@@ -23,6 +23,7 @@ core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
   config.max_parallel_tasks = spec.max_parallel_tasks;
   config.channel_high_watermark_bytes = spec.channel_high_watermark_bytes;
   config.transport = spec.transport;
+  config.batch_mpc = spec.mpc_batching;
   config.seed = spec.seed;
   return config;
 }

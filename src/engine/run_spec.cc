@@ -125,7 +125,16 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
     transport += " (external nodes, rendezvous " + spec.transport.host + ":" +
                  std::to_string(spec.transport.port) + ")";
   }
-  char buf[768];
+  // Circuit stats, so reported speedups are attributable: AND gates and
+  // AND-depth fix the MPC work and round count per computation step;
+  // triples are the consumed offline material (0 in cleartext mode).
+  char circuit_line[192];
+  std::snprintf(circuit_line, sizeof(circuit_line),
+                "update circuit:      %zu AND gates, depth %zu (= GMW rounds/step), "
+                "%llu triples consumed\n",
+                report.metrics.update_and_gates, report.metrics.update_and_depth,
+                static_cast<unsigned long long>(report.metrics.triples_consumed));
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "model:               %s\n"
@@ -133,13 +142,14 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
       "transport:           %s\n"
       "banks:               %d (block size %d, %d iterations)\n"
       "shocked banks:       %zu\n"
+      "%s"
       "released TDS:        %lld money units (eps=%.3f, leverage r=%.2f)\n"
       "reference TDS:       %llu money units (cleartext check, not released)\n"
       "wall time:           %.2f s\n"
       "traffic per bank:    %.2f MB\n",
       report.model_name.c_str(), ExecutionModeName(report.mode), transport.c_str(),
       num_vertices, spec.block_size,
-      report.iterations, spec.shock.shocked_banks.size(),
+      report.iterations, spec.shock.shocked_banks.size(), circuit_line,
       static_cast<long long>(report.released), spec.epsilon, spec.leverage,
       static_cast<unsigned long long>(report.reference), report.metrics.total_seconds,
       report.metrics.avg_bytes_per_node / 1e6);

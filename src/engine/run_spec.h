@@ -136,6 +136,11 @@ struct RunSpec {
   int block_size = 4;  // k+1
   int aggregation_fanout = 0;  // 0 = single aggregation block
   bool use_ot_triples = false;
+  // Batched MPC data plane (core::RuntimeConfig::batch_mpc): each node
+  // evaluates all its block roles per step in one lockstep bitsliced batch.
+  // Results and per-node TrafficStats are bit-identical either way; false
+  // keeps the seed one-role-per-task schedule for A/B benchmarking.
+  bool mpc_batching = true;
   int max_parallel_tasks = 0;  // 0 = auto
   size_t channel_high_watermark_bytes = 0;  // 0 = unbounded
   double transfer_budget_alpha = 0.9;

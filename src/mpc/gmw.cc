@@ -4,12 +4,7 @@
 
 namespace dstress::mpc {
 
-using circuit::Gate;
-using circuit::GateOp;
-using circuit::Wire;
-using ot::GetBit;
 using ot::PackedWords;
-using ot::SetBit;
 
 net::Channel GmwParty::MakeChannel(net::Transport* net, std::vector<net::NodeId> parties,
                                    int my_index, net::SessionId session) {
@@ -20,7 +15,8 @@ net::Channel GmwParty::MakeChannel(net::Transport* net, std::vector<net::NodeId>
 
 GmwParty::GmwParty(net::Transport* net, std::vector<net::NodeId> parties, int my_index,
                    TripleSource* triples, net::SessionId session)
-    : channel_(MakeChannel(net, std::move(parties), my_index, session)),
+    : net_(net),
+      channel_(MakeChannel(net, std::move(parties), my_index, session)),
       my_index_(my_index),
       triples_(triples) {}
 
@@ -47,114 +43,50 @@ std::vector<uint64_t> GmwParty::ExchangeXor(const std::vector<uint64_t>& mine) {
 }
 
 BitVector GmwParty::Eval(const circuit::Circuit& circuit, const BitVector& input_shares) {
-  DSTRESS_CHECK(input_shares.size() == circuit.num_inputs());
+  circuit::EvalPlan plan(circuit);
+  return Eval(plan, input_shares);
+}
 
-  // Pre-fetch all triples for this circuit in one batch, so triple
-  // generation cost amortizes across layers.
-  BitTriples triples;
-  size_t triple_cursor = 0;
-  if (circuit.stats().num_and > 0) {
-    triples = triples_->Generate(circuit.stats().num_and);
+BitVector GmwParty::Eval(const circuit::EvalPlan& plan, const BitVector& input_shares) {
+  PackedShareMatrix input(plan.num_inputs(), 1);
+  input.SetInstance(0, input_shares);
+  return EvalBatch(plan, input).Instance(0);
+}
+
+PackedShareMatrix GmwParty::EvalBatch(const circuit::EvalPlan& plan,
+                                      const PackedShareMatrix& input_shares,
+                                      BatchStats* stats) {
+  const size_t w_count = input_shares.instances();
+  DSTRESS_CHECK(w_count > 0);
+  DSTRESS_CHECK(input_shares.rows() == plan.num_inputs());
+
+  // One bulk draw covers every instance; slice j gets the contiguous range
+  // [j*num_and, (j+1)*num_and), a split all parties derive identically.
+  const size_t num_and = plan.stats().num_and;
+  BitTriples bulk;
+  if (num_and > 0) {
+    bulk = triples_->Generate(num_and * w_count);
   }
 
-  const auto& gates = circuit.gates();
-  const auto& depth = circuit.and_depth();
-  const auto& and_layers = circuit.and_layers();
-
-  // Group non-AND gates by AND-depth, preserving topological (index) order
-  // inside each group. Within one round r we evaluate the AND gates of
-  // depth r (one exchange), then the local gates of depth r.
-  std::vector<std::vector<Wire>> local_layers(circuit.stats().and_depth + 1);
-  for (size_t i = 0; i < gates.size(); i++) {
-    if (gates[i].op != GateOp::kAnd) {
-      local_layers[depth[i]].push_back(static_cast<Wire>(i));
+  std::vector<BatchInstance> items(w_count);
+  for (size_t j = 0; j < w_count; j++) {
+    items[j].plan = &plan;
+    items[j].parties = channel_.peers();
+    items[j].my_index = my_index_;
+    if (num_and > 0) {
+      items[j].triples = SliceTriples(bulk, j * num_and, num_and);
     }
+    items[j].input_shares = input_shares.Instance(j);
+    items[j].order_key = j;
   }
+  std::vector<BitVector> outputs =
+      EvalBatchInstances(net_, channel_.session(), std::move(items), stats);
 
-  std::vector<uint8_t> share(gates.size(), 0);
-  size_t next_input = 0;
-  auto eval_local = [&](Wire w) {
-    const Gate& g = gates[w];
-    switch (g.op) {
-      case GateOp::kInput:
-        share[w] = input_shares[next_input++] & 1;
-        break;
-      case GateOp::kConst:
-        // Public constants are held by the leader only; XOR of all shares
-        // then equals the constant.
-        share[w] = is_leader() ? static_cast<uint8_t>(g.a & 1) : 0;
-        break;
-      case GateOp::kXor:
-        share[w] = share[g.a] ^ share[g.b];
-        break;
-      case GateOp::kNot:
-        // NOT is XOR with public 1: the leader flips its share.
-        share[w] = is_leader() ? (share[g.a] ^ 1) : share[g.a];
-        break;
-      case GateOp::kAnd:
-        DSTRESS_CHECK(false);  // handled in the batched path
-        break;
-    }
-  };
-
-  for (Wire w : local_layers[0]) {
-    eval_local(w);
+  PackedShareMatrix result(plan.num_outputs(), w_count);
+  for (size_t j = 0; j < w_count; j++) {
+    result.SetInstance(j, outputs[j]);
   }
-
-  for (size_t round = 1; round < and_layers.size() || round < local_layers.size(); round++) {
-    if (round < and_layers.size() && !and_layers[round].empty()) {
-      const std::vector<Wire>& layer = and_layers[round];
-      size_t n = layer.size();
-      size_t words = PackedWords(n);
-      // Pack d = x ^ a and e = y ^ b for the whole layer: d in words
-      // [0, words), e in [words, 2*words).
-      std::vector<uint64_t> masked(2 * words, 0);
-      for (size_t i = 0; i < n; i++) {
-        const Gate& g = gates[layer[i]];
-        size_t t = triple_cursor + i;
-        bool d = (share[g.a] ^ static_cast<uint8_t>(GetBit(triples.a, t))) & 1;
-        bool e = (share[g.b] ^ static_cast<uint8_t>(GetBit(triples.b, t))) & 1;
-        if (d) {
-          masked[i / 64] |= 1ULL << (i % 64);
-        }
-        if (e) {
-          masked[words + i / 64] |= 1ULL << (i % 64);
-        }
-      }
-      std::vector<uint64_t> opened = ExchangeXor(masked);
-      for (size_t i = 0; i < n; i++) {
-        size_t t = triple_cursor + i;
-        bool d = (opened[i / 64] >> (i % 64)) & 1;
-        bool e = (opened[words + i / 64] >> (i % 64)) & 1;
-        // z = c ^ d*b ^ e*a (^ d*e for the leader).
-        uint8_t z = static_cast<uint8_t>(GetBit(triples.c, t));
-        if (d) {
-          z ^= static_cast<uint8_t>(GetBit(triples.b, t));
-        }
-        if (e) {
-          z ^= static_cast<uint8_t>(GetBit(triples.a, t));
-        }
-        if (d && e && is_leader()) {
-          z ^= 1;
-        }
-        share[layer[i]] = z;
-      }
-      triple_cursor += n;
-    }
-    if (round < local_layers.size()) {
-      for (Wire w : local_layers[round]) {
-        eval_local(w);
-      }
-    }
-  }
-  DSTRESS_CHECK(next_input == circuit.num_inputs());
-
-  BitVector out;
-  out.reserve(circuit.num_outputs());
-  for (Wire w : circuit.outputs()) {
-    out.push_back(share[w]);
-  }
-  return out;
+  return result;
 }
 
 BitVector GmwParty::Open(const BitVector& my_shares) {

@@ -15,6 +15,14 @@
 //    communication rounds equals the circuit's AND depth, not its gate
 //    count. This mirrors the layer batching that makes the paper's
 //    measured MPC costs linear in block size per node.
+//  * Independent instances of the same circuit batch further: EvalBatch
+//    evaluates W instances together over a bitsliced PackedShareMatrix
+//    (packed.h), turning the free gates into word ops (64 instances per
+//    uint64 lane), drawing all W * num_and triples in one bulk
+//    TripleSource::Generate, and coalescing each AND layer's W opening
+//    messages per peer into one SendBatch run. Rounds stay equal to the
+//    AND depth, and each instance's messages stay byte-identical to a solo
+//    Eval — see batch_eval.h. Eval is the W=1 case.
 //
 // Collusion resistance: with k+1 parties, any k colluding members see only
 // uniformly random shares (GMW's guarantee), matching assumption 3 of the
@@ -25,6 +33,9 @@
 #include <vector>
 
 #include "src/circuit/circuit.h"
+#include "src/circuit/eval_plan.h"
+#include "src/mpc/batch_eval.h"
+#include "src/mpc/packed.h"
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
 #include "src/net/channel.h"
@@ -42,8 +53,21 @@ class GmwParty {
   // Evaluates `circuit` on XOR-shared inputs. `input_shares` is this
   // party's share of every input bit (in circuit input order). Returns this
   // party's share of every output bit. Collective: all parties must call
-  // Eval with the same circuit, concurrently.
+  // Eval with the same circuit, concurrently. This overload compiles an
+  // EvalPlan per call; hot paths should precompile the plan once and use
+  // the overloads below.
   BitVector Eval(const circuit::Circuit& circuit, const BitVector& input_shares);
+  BitVector Eval(const circuit::EvalPlan& plan, const BitVector& input_shares);
+
+  // Evaluates the plan's circuit for all W = input_shares.instances()
+  // independent instances together (bitsliced; see file comment). Returns
+  // this party's output shares, one column per instance. Collective: all
+  // parties must call EvalBatch with the same plan and instance count,
+  // concurrently; triples are drawn as one Generate(W * num_and) every
+  // party performs in the same position. `stats` may be nullptr.
+  PackedShareMatrix EvalBatch(const circuit::EvalPlan& plan,
+                              const PackedShareMatrix& input_shares,
+                              BatchStats* stats = nullptr);
 
   // Opens shared bits to all parties (used for final outputs that are
   // public by design). Collective.
@@ -64,6 +88,7 @@ class GmwParty {
   // channel: one buffered broadcast, one flush, then the blocking receives.
   std::vector<uint64_t> ExchangeXor(const std::vector<uint64_t>& mine);
 
+  net::Transport* net_;
   net::Channel channel_;
   int my_index_;
   TripleSource* triples_;

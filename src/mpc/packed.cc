@@ -1,0 +1,55 @@
+#include "src/mpc/packed.h"
+
+#include "src/common/check.h"
+
+namespace dstress::mpc {
+
+void TransposeBits64x64(uint64_t x[64]) {
+  // Butterfly formulated for LSB-first bit order (bit c of word r is
+  // element (r, c)): each stage swaps the (row-low, col-high) quadrant
+  // with the (row-high, col-low) quadrant at its scale.
+  uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      uint64_t t = ((x[k] >> j) ^ x[k + j]) & mask;
+      x[k] ^= t << j;
+      x[k + j] ^= t;
+    }
+  }
+}
+
+BitVector PackedShareMatrix::Instance(size_t j) const {
+  DSTRESS_CHECK(j < instances_);
+  BitVector out(rows_);
+  for (size_t r = 0; r < rows_; r++) {
+    out[r] = Get(r, j) ? 1 : 0;
+  }
+  return out;
+}
+
+void PackedShareMatrix::SetInstance(size_t j, const BitVector& bits) {
+  DSTRESS_CHECK(j < instances_ && bits.size() == rows_);
+  for (size_t r = 0; r < rows_; r++) {
+    Set(r, j, bits[r] & 1);
+  }
+}
+
+PackedShareMatrix PackedShareMatrix::FromInstances(const std::vector<BitVector>& instances) {
+  DSTRESS_CHECK(!instances.empty());
+  PackedShareMatrix m(instances[0].size(), instances.size());
+  for (size_t j = 0; j < instances.size(); j++) {
+    m.SetInstance(j, instances[j]);
+  }
+  return m;
+}
+
+std::vector<BitVector> PackedShareMatrix::ToInstances() const {
+  std::vector<BitVector> out;
+  out.reserve(instances_);
+  for (size_t j = 0; j < instances_; j++) {
+    out.push_back(Instance(j));
+  }
+  return out;
+}
+
+}  // namespace dstress::mpc

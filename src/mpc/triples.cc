@@ -17,6 +17,24 @@ PackedBits RandomPacked(crypto::ChaCha20Prg& prg, size_t words) {
 
 }  // namespace
 
+BitTriples SliceTriples(const BitTriples& src, size_t start, size_t count) {
+  DSTRESS_CHECK(start + count <= src.count);
+  size_t words = PackedWords(count);
+  BitTriples out;
+  out.count = count;
+  out.a.assign(words, 0);
+  out.b.assign(words, 0);
+  out.c.assign(words, 0);
+  for (size_t i = 0; i < count; i++) {
+    ot::SetBit(out.a, i, GetBit(src.a, start + i));
+    ot::SetBit(out.b, i, GetBit(src.b, start + i));
+    if (!src.c.empty()) {
+      ot::SetBit(out.c, i, GetBit(src.c, start + i));
+    }
+  }
+  return out;
+}
+
 DealerTripleSource::DealerTripleSource(int party_index, int num_parties, uint64_t dealer_seed)
     : party_index_(party_index), num_parties_(num_parties), dealer_seed_(dealer_seed) {
   DSTRESS_CHECK(party_index >= 0 && party_index < num_parties);
@@ -24,45 +42,47 @@ DealerTripleSource::DealerTripleSource(int party_index, int num_parties, uint64_
 
 BitTriples DealerTripleSource::Generate(size_t count) {
   size_t words = PackedWords(count);
-  // Re-derive the dealer tape from the shared seed at the current offset.
-  // Every party regenerates the same tape, so shares stay consistent
-  // without communication — this is precisely why dealer mode is a
-  // simulation of an offline phase rather than a secure protocol.
+  // Re-derive the dealer tape from the shared seed. Every party regenerates
+  // the same streams, so shares stay consistent without communication —
+  // this is precisely why dealer mode is a simulation of an offline phase
+  // rather than a secure protocol. Each call claims the next 4*num_parties
+  // block of stream ids under the fixed seed (see calls_ in the header).
+  //
+  // Parties j > 0 hold plain PRG streams (a_j, b_j, c_j) and derive only
+  // their own; party 0's c closes the relation c = a AND b, which is the
+  // only place the other parties' streams are needed. The seed code had
+  // every party derive every stream — an 8x tape-derivation overhead at
+  // block size 8 that the batched data plane's bulk draws made visible.
+  uint64_t stream_base = calls_ * (4ULL * static_cast<uint64_t>(num_parties_));
+  calls_ += 1;
+  auto stream = [&](int j, uint64_t role) {
+    auto prg = crypto::ChaCha20Prg::FromSeed(dealer_seed_, stream_base + 4ULL * j + role);
+    return RandomPacked(prg, words);
+  };
   BitTriples mine;
   mine.count = count;
-  PackedBits a_total(words, 0);
-  PackedBits b_total(words, 0);
-  PackedBits c_rest(words, 0);
-  for (int j = 0; j < num_parties_; j++) {
-    auto prg_a = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 0);
-    auto prg_b = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 1);
-    PackedBits a_j = RandomPacked(prg_a, words);
-    PackedBits b_j = RandomPacked(prg_b, words);
+  mine.a = stream(party_index_, 0);
+  mine.b = stream(party_index_, 1);
+  if (party_index_ != 0) {
+    mine.c = stream(party_index_, 2);
+    return mine;
+  }
+  PackedBits a_total = mine.a;
+  PackedBits b_total = mine.b;
+  mine.c.assign(words, 0);
+  for (int j = 1; j < num_parties_; j++) {
+    PackedBits a_j = stream(j, 0);
+    PackedBits b_j = stream(j, 1);
+    PackedBits c_j = stream(j, 2);
     for (size_t w = 0; w < words; w++) {
       a_total[w] ^= a_j[w];
       b_total[w] ^= b_j[w];
-    }
-    PackedBits c_j;
-    if (j > 0) {
-      auto prg_c = crypto::ChaCha20Prg::FromSeed(dealer_seed_ + offset_, 4ULL * j + 2);
-      c_j = RandomPacked(prg_c, words);
-      for (size_t w = 0; w < words; w++) {
-        c_rest[w] ^= c_j[w];
-      }
-    }
-    if (j == party_index_) {
-      mine.a = std::move(a_j);
-      mine.b = std::move(b_j);
-      mine.c = std::move(c_j);  // empty for party 0, fixed below
+      mine.c[w] ^= c_j[w];
     }
   }
-  if (party_index_ == 0) {
-    mine.c.assign(words, 0);
-    for (size_t w = 0; w < words; w++) {
-      mine.c[w] = (a_total[w] & b_total[w]) ^ c_rest[w];
-    }
+  for (size_t w = 0; w < words; w++) {
+    mine.c[w] ^= a_total[w] & b_total[w];
   }
-  offset_ += count;
   return mine;
 }
 

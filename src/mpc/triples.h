@@ -43,9 +43,15 @@ class TripleSource {
  public:
   virtual ~TripleSource() = default;
   // Collective: every party in the group must call Generate with the same
-  // count, in the same protocol position.
+  // count, in the same protocol position. Counts may vary call to call
+  // (the batched evaluation path draws one bulk range per EvalBatch) as
+  // long as all parties' call sequences match.
   virtual BitTriples Generate(size_t count) = 0;
 };
+
+// Copies triples [start, start+count) of `src` into a fresh BitTriples.
+// Used to split one bulk Generate across the instances of an EvalBatch.
+BitTriples SliceTriples(const BitTriples& src, size_t start, size_t count);
 
 class DealerTripleSource : public TripleSource {
  public:
@@ -56,7 +62,13 @@ class DealerTripleSource : public TripleSource {
   int party_index_;
   int num_parties_;
   uint64_t dealer_seed_;
-  uint64_t offset_ = 0;  // triples consumed so far (keeps parties in sync)
+  // Generate *calls* completed so far — advanced once per call, not once
+  // per triple. The call counter selects a disjoint PRG stream-id range
+  // under the fixed dealer seed, so parties stay in sync for any agreed
+  // sequence of batch sizes and tapes can never collide with another
+  // source's differently-seeded streams (the old per-bit advance perturbed
+  // the seed itself, which adjacent sources could alias).
+  uint64_t calls_ = 0;
 };
 
 class OtTripleSource : public TripleSource {

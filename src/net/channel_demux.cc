@@ -71,6 +71,38 @@ Bytes ChannelDemuxTransport::Recv(NodeId to, NodeId from, SessionId session) {
   return msg;
 }
 
+std::vector<Bytes> ChannelDemuxTransport::RecvBatch(NodeId to, NodeId from, size_t count,
+                                                    SessionId session) {
+  DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  std::vector<Bytes> messages;
+  if (count == 0) {
+    return messages;
+  }
+  messages.reserve(count);
+  Channel& ch = ChannelFor(ChannelKey{from, to, session});
+  uint64_t bytes = 0;
+  {
+    std::unique_lock<std::mutex> lock(ch.mu);
+    while (messages.size() < count) {
+      ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+      NetworkObserver* observer = observer_.load(std::memory_order_acquire);
+      while (!ch.queue.empty() && messages.size() < count) {
+        Bytes msg = std::move(ch.queue.front());
+        ch.queue.pop_front();
+        ch.queued_bytes -= msg.size();
+        if (observer != nullptr) {
+          observer->OnRecv(to, from, session, msg);
+        }
+        bytes += msg.size();
+        messages.push_back(std::move(msg));
+      }
+    }
+  }
+  counters_[to]->bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+  counters_[to]->messages_received.fetch_add(count, std::memory_order_relaxed);
+  return messages;
+}
+
 TrafficStats ChannelDemuxTransport::NodeStats(NodeId node) const {
   DSTRESS_CHECK(node >= 0 && node < num_nodes_);
   const PerNodeCounters& c = *counters_[node];

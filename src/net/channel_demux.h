@@ -52,6 +52,12 @@ class ChannelDemuxTransport : public Transport {
   // channel lock.
   Bytes Recv(NodeId to, NodeId from, SessionId session = 0) override;
 
+  // Batched Recv: drains `count` messages under one channel-lock
+  // acquisition per wakeup instead of one per message, with per-message
+  // metering and OnRecv callbacks identical to `count` single Recvs.
+  std::vector<Bytes> RecvBatch(NodeId to, NodeId from, size_t count,
+                               SessionId session = 0) override;
+
   TrafficStats NodeStats(NodeId node) const override;
   uint64_t TotalBytes() const override;
   uint64_t MaxBytesPerNode() const override;

@@ -9,4 +9,14 @@ void Transport::SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
   }
 }
 
+std::vector<Bytes> Transport::RecvBatch(NodeId to, NodeId from, size_t count,
+                                        SessionId session) {
+  std::vector<Bytes> messages;
+  messages.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    messages.push_back(Recv(to, from, session));
+  }
+  return messages;
+}
+
 }  // namespace dstress::net

@@ -71,7 +71,12 @@ struct TransportOptions {
   // protocol is caught at the offending Send instead of OOMing the process.
   // Size the cap for a full round's burst, not for a drain race: a
   // SendBatch enqueues its whole run before the receiver can dequeue, so a
-  // cap must accommodate the largest coalesced burst a round emits.
+  // cap must accommodate the largest coalesced burst a round emits. Note
+  // the batched MPC data plane (core::RuntimeConfig::batch_mpc, default
+  // on) coalesces a whole phase's per-instance openings onto one
+  // (from, to) channel per round — the per-channel burst there is the sum
+  // of every shared instance's opening block, not one vertex's, so a cap
+  // tuned for the seed one-session-per-vertex schedule must be re-sized.
   size_t channel_high_watermark_bytes = 0;
 };
 
@@ -101,6 +106,16 @@ class Transport {
   // Dequeues the next message on the (from, to, session) channel in FIFO
   // order, blocking until one arrives.
   virtual Bytes Recv(NodeId to, NodeId from, SessionId session = 0) = 0;
+
+  // Dequeues the next `count` messages of the channel with the exact
+  // observable behavior of calling Recv `count` times — same FIFO order,
+  // same per-message metering and observer callbacks — but lets the
+  // backend amortize its synchronization over the burst (the receive-side
+  // mirror of SendBatch; the batched MPC path drains a round's openings
+  // per peer with one call). Blocks until all `count` have arrived. The
+  // default implementation just loops over Recv.
+  virtual std::vector<Bytes> RecvBatch(NodeId to, NodeId from, size_t count,
+                                       SessionId session = 0);
 
   virtual TrafficStats NodeStats(NodeId node) const = 0;
   virtual uint64_t TotalBytes() const = 0;

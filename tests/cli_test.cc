@@ -14,6 +14,7 @@ TEST(ScenarioParseTest, FullScenarioRoundTrips) {
   auto spec = ParseScenario(R"(
 # comment line
 network core_periphery 50 10
+degree_cap 9
 model egj
 mode cleartext
 transport tcp
@@ -30,6 +31,7 @@ seed 99
   EXPECT_EQ(spec->topology.kind, engine::TopologySpec::Kind::kCorePeriphery);
   EXPECT_EQ(spec->topology.num_vertices, 50);
   EXPECT_EQ(spec->topology.core_size, 10);
+  EXPECT_EQ(spec->topology.degree_cap, 9);
   EXPECT_EQ(spec->model, engine::ContagionModel::kElliottGolubJackson);
   EXPECT_EQ(spec->mode, engine::ExecutionMode::kCleartextFast);
   EXPECT_EQ(spec->transport.backend, "tcp");
@@ -100,6 +102,7 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
        "not a numeric IPv4 address"},
       {"network scale_free 20 2\nfanout x\n", "bad integer"},
       {"network scale_free 20 2\nfanout 1\n", "fanout must be 0"},
+      {"network scale_free 20 2\ndegree_cap 0\n", "bad integer"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
       {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
       {"network scale_free 20 2\nleverage 0\n", "leverage must be in"},

@@ -91,6 +91,75 @@ TEST_P(DealerTripleTest, SequentialBatchesStayAligned) {
   }
 }
 
+// Bulk-generation offset regression: the batched evaluation path draws
+// wildly different batch sizes call to call (one bulk range per EvalBatch).
+// The per-call tape advance must keep every party's derivation in sync for
+// any agreed size sequence — checked per batch and over the concatenation
+// of all batches.
+TEST_P(DealerTripleTest, InterleavedBatchSizesStayAligned) {
+  int parties = GetParam();
+  std::vector<DealerTripleSource> sources;
+  for (int p = 0; p < parties; p++) {
+    sources.emplace_back(p, parties, 1234);
+  }
+  std::vector<BitTriples> all(parties);
+  for (size_t batch : {1u, 6500u, 3u, 130u, 64u, 1u}) {
+    std::vector<BitTriples> shares;
+    for (auto& s : sources) {
+      shares.push_back(s.Generate(batch));
+    }
+    CheckTriples(shares, batch);
+    for (int p = 0; p < parties; p++) {
+      BitTriples& acc = all[p];
+      size_t old = acc.count;
+      acc.count += batch;
+      acc.a.resize((acc.count + 63) / 64, 0);
+      acc.b.resize((acc.count + 63) / 64, 0);
+      acc.c.resize((acc.count + 63) / 64, 0);
+      for (size_t t = 0; t < batch; t++) {
+        ot::SetBit(acc.a, old + t, ot::GetBit(shares[p].a, t));
+        ot::SetBit(acc.b, old + t, ot::GetBit(shares[p].b, t));
+        if (!shares[p].c.empty()) {
+          ot::SetBit(acc.c, old + t, ot::GetBit(shares[p].c, t));
+        }
+      }
+    }
+  }
+  CheckTriples(all, all[0].count);
+}
+
+// Every Generate call must deal from a fresh PRG stream: the per-call
+// counter selects a disjoint stream-id range, so no call can replay an
+// earlier call's tape (the old per-bit seed perturbation could alias a
+// neighboring source's seed).
+TEST(DealerTripleSourceTest, FreshCallsUseFreshTape) {
+  DealerTripleSource source(0, 3, 42);
+  BitTriples first = source.Generate(64);
+  BitTriples second = source.Generate(64);
+  EXPECT_NE(first.a, second.a);
+  EXPECT_NE(first.b, second.b);
+}
+
+// SliceTriples must preserve triple validity across arbitrary cut points —
+// the bulk draw of GmwParty::EvalBatch is split per instance this way.
+TEST_P(DealerTripleTest, SlicedBulkBatchesAreValidTriples) {
+  int parties = GetParam();
+  constexpr size_t kPerInstance = 97;
+  constexpr size_t kInstances = 5;
+  std::vector<BitTriples> bulk;
+  for (int p = 0; p < parties; p++) {
+    DealerTripleSource source(p, parties, 77);
+    bulk.push_back(source.Generate(kPerInstance * kInstances));
+  }
+  for (size_t j = 0; j < kInstances; j++) {
+    std::vector<BitTriples> slice;
+    for (int p = 0; p < parties; p++) {
+      slice.push_back(SliceTriples(bulk[p], j * kPerInstance, kPerInstance));
+    }
+    CheckTriples(slice, kPerInstance);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Parties, DealerTripleTest, ::testing::Values(1, 2, 3, 5, 8));
 
 class OtTripleTest : public ::testing::TestWithParam<int> {};
