@@ -11,14 +11,22 @@
 // this figure — a full U.S.-banking-system run (N=1750, D=100) costs hours,
 // not years — is reproduced as the final row.
 //
-// Since the packed-share refactor (docs/packed-eval.md) the bench
-// calibrates the MPC term twice — once with the seed one-role-per-task
-// schedule (mpc_batching=false; the pre-PR schedule reimplemented as the
-// W=1 case of the batch engine, wire-identical and measured within noise
-// of the original per-bit implementation on this container), once with
-// the batched bitsliced data plane the runtime now uses — and A/B-runs
-// the real validation points both ways, so every speedup claim carries
-// its own baseline measured in the same run and build.
+// Since the packed-share refactor (docs/packed-eval.md) and the transfer
+// crypto engine (docs/transfer-crypto.md) the bench calibrates every term
+// twice — the MPC per-AND cost with the seed one-role-per-task schedule vs
+// the batched bitsliced data plane, and the four transfer role costs with
+// the seed pure-scheme functions vs the batched wire-level engine
+// (fixed-base key tables, batch-affine encryption, cached noise points) —
+// and A/B-runs the real validation points with both schedules, so every
+// speedup claim carries its own baseline measured in the same run and
+// build. The projected batched rows also carry the engine's once-per-run
+// certificate-table build charge, so the speedup is honest about setup.
+// Scheduling assumptions differ by design: the seed baseline keeps the
+// paper's conservative no-overlap serialization, while the batched rows
+// model the worker-pool transfer plane overlapping a node's independent
+// per-edge tasks across kTransferWorkers deployment cores (recorded in the
+// JSON as "transfer_workers"); the validation runs below are real
+// wall-clock on this machine and make no such assumption.
 // Everything is also written to BENCH_fig6.json (in the working directory;
 // CI runs from the repo root and uploads it), one entry per (N, mode) with
 // wall-ms, bytes/node and, where a baseline exists, its wall-ms.
@@ -41,6 +49,16 @@ namespace dstress::bench {
 namespace {
 
 int IterationsFor(int n) { return static_cast<int>(std::ceil(std::log2(n))); }
+
+// Deployment cores the batched plane's projection overlaps a node's
+// independent per-edge transfer tasks across (the paper-era EC2 compute
+// node, c4.2xlarge, has 8 vCPUs). The seed-schedule baseline keeps the
+// paper's §5.5 no-overlap serialization (transfer_workers = 1), so the
+// secure-projected speedup column reports the full engine delta: batched
+// arithmetic (tables + batch-affine + caches) times scheduling (worker-pool
+// overlap vs the paper's conservative serialization). See
+// ProjectionParams::transfer_workers and docs/transfer-crypto.md.
+constexpr int kTransferWorkers = 8;
 
 costmodel::ProjectionParams ParamsFor(int n, int degree, int block_size) {
   auto en = EnParams(degree, IterationsFor(n));
@@ -87,6 +105,7 @@ void WriteJson(const std::vector<JsonEntry>& entries, int block_size, double per
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fig6\",\n");
   std::fprintf(f, "  \"block_size\": %d,\n", block_size);
+  std::fprintf(f, "  \"transfer_workers\": %d,\n", kTransferWorkers);
   std::fprintf(f, "  \"mpc_us_per_and_baseline\": %.4f,\n", per_and_seed_us);
   std::fprintf(f, "  \"mpc_us_per_and_batched\": %.4f,\n", per_and_batched_us);
   std::fprintf(f, "  \"mpc_per_and_speedup\": %.2f,\n", per_and_seed_us / per_and_batched_us);
@@ -139,24 +158,28 @@ void Run() {
   double per_and_speedup = seed_costs.seconds_per_and / costs.seconds_per_and;
   std::printf("# GMW per-AND speedup (batched over seed, width 64): %.1fx\n", per_and_speedup);
 
-  // The sweep grid. The projected end-to-end row uses the batched costs
-  // (today's data plane); the secure-mpc rows carry the per-grid-point MPC
-  // wall time under both data planes — the quantity this refactor moves,
-  // and the per-node MPC cost curve figures 3/4 measure. The transfer
-  // (communication) term is EC crypto and identical in both, so end-to-end
-  // improvement on this EC-bound container stays small; the JSON keeps all
-  // three numbers apart so the trajectory is attributable.
-  std::printf("%6s %6s %6s %12s %12s %16s %12s\n", "N", "D", "I", "time(min)", "mpc(min)",
-              "traffic/node(MB)", "mpc-speedup");
+  // The sweep grid. The projected end-to-end rows use the batched costs
+  // (today's data planes) with the seed-cost projection as their same-run
+  // baseline; the secure-mpc rows isolate the MPC term the packed-share
+  // refactor moves. End-to-end time is dominated by the EC transfer
+  // crypto, which the batched wire-level engine now moves directly, so the
+  // secure-projected speedup column is the transfer engine's headline.
+  std::printf("%6s %6s %6s %12s %12s %16s %10s %12s\n", "N", "D", "I", "time(min)", "mpc(min)",
+              "traffic/node(MB)", "speedup", "mpc-speedup");
   for (int degree : {10, 40, 70, 100}) {
     for (int n : {250, 500, 750, 1000, 1250, 1500, 1750, 2000}) {
       costmodel::ProjectionParams params = ParamsFor(n, degree, block_size);
-      costmodel::Projection proj = Project(costs, params);
+      // Seed baseline: paper methodology (transfer_workers = 1). Batched:
+      // the engine's worker-pool transfer plane on a kTransferWorkers-core
+      // deployment node.
       costmodel::Projection proj_seed = Project(seed_costs, params);
+      params.transfer_workers = kTransferWorkers;
+      costmodel::Projection proj = Project(costs, params);
       double mpc_s = proj.compute_seconds + proj.aggregate_seconds;
       double mpc_seed_s = proj_seed.compute_seconds + proj_seed.aggregate_seconds;
-      std::printf("%6d %6d %6d %12.1f %12.2f %16.1f %11.1fx\n", n, degree, IterationsFor(n),
-                  proj.total_seconds / 60, mpc_s / 60, proj.traffic_bytes_per_node / 1e6,
+      std::printf("%6d %6d %6d %12.1f %12.2f %16.1f %9.1fx %11.1fx\n", n, degree,
+                  IterationsFor(n), proj.total_seconds / 60, mpc_s / 60,
+                  proj.traffic_bytes_per_node / 1e6, proj_seed.total_seconds / proj.total_seconds,
                   mpc_seed_s / mpc_s);
       JsonEntry endtoend{n, degree, "secure-projected", proj.total_seconds * 1e3,
                          proj_seed.total_seconds * 1e3, proj.traffic_bytes_per_node};
@@ -167,7 +190,9 @@ void Run() {
     }
   }
   {
-    costmodel::Projection us = Project(costs, ParamsFor(1750, 100, block_size));
+    costmodel::ProjectionParams us_params = ParamsFor(1750, 100, block_size);
+    us_params.transfer_workers = kTransferWorkers;
+    costmodel::Projection us = Project(costs, us_params);
     std::printf("# headline: N=1750 D=100 -> %.1f hours, %.0f MB per node "
                 "(paper: ~4.8 h, ~750 MB on EC2)\n",
                 us.total_seconds / 3600, us.traffic_bytes_per_node / 1e6);
@@ -183,7 +208,9 @@ void Run() {
       costmodel::WanParams wan;
       wan.rtt_ms = rtt;
       wan.bandwidth_mbps = mbps;
-      costmodel::Projection proj = ProjectWan(costs, ParamsFor(1750, 100, block_size), wan);
+      costmodel::ProjectionParams wan_params = ParamsFor(1750, 100, block_size);
+      wan_params.transfer_workers = kTransferWorkers;
+      costmodel::Projection proj = ProjectWan(costs, wan_params, wan);
       std::printf("%10.0f %15.0f %12.1f\n", rtt, mbps, proj.total_seconds / 3600);
     }
   }
@@ -200,11 +227,18 @@ void Run() {
     int degree = FullScale() ? 10 : 6;
     engine::RunSpec spec = ValidationSpec(n, degree, block_size);
 
+    // Baseline = the full seed schedule: both batched planes off.
     spec.mpc_batching = false;
+    spec.transfer_batching = false;
     engine::RunReport baseline = engine::Engine(spec).Run();
     spec.mpc_batching = true;
+    spec.transfer_batching = true;
     engine::RunReport report = engine::Engine(spec).Run();
+    // The batched planes must release the same figure over the same wire
+    // bytes — speedup claims only count if the protocol is unchanged.
     DSTRESS_CHECK(report.released == baseline.released);
+    DSTRESS_CHECK(report.metrics.total_bytes == baseline.metrics.total_bytes);
+    DSTRESS_CHECK(report.metrics.avg_bytes_per_node == baseline.metrics.avg_bytes_per_node);
 
     costmodel::Projection proj = Project(costs, ParamsFor(n, degree, block_size));
     std::printf(
@@ -222,8 +256,8 @@ void Run() {
                              report.metrics.avg_bytes_per_node});
   }
   std::printf("# note: end-to-end time on this container is dominated by the EC transfer\n"
-              "# crypto, which the packed data plane does not touch; the MPC rows isolate\n"
-              "# the batched evaluation path itself.\n");
+              "# crypto, so the 'secure' rows' speedup tracks the batched transfer engine;\n"
+              "# the MPC rows isolate the packed evaluation path.\n");
 
   // Beyond the projection: the cleartext fast path actually executes the
   // large-N sweep the secure mode can only model — same circuits, same

@@ -325,6 +325,20 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         }
         spec.shock.shocked_banks.push_back(bank);
       }
+    } else if (directive == "transfer_batching") {
+      // A/B knob for the batched transfer crypto engine; results and traffic
+      // are bit-identical either way, only CPU time differs.
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "on") {
+        spec.transfer_batching = true;
+      } else if (p.tokens[1] == "off") {
+        spec.transfer_batching = false;
+      } else {
+        p.Fail("transfer_batching must be 'on' or 'off'");
+        return std::nullopt;
+      }
     } else if (directive == "seed") {
       int s = 0;
       if (!p.ArgCount(1) || !p.Int(1, 0, &s)) {

@@ -65,6 +65,10 @@
 #include "src/net/transport_spec.h"
 #include "src/transfer/transfer.h"
 
+namespace dstress::transfer {
+class EvenNoiseCache;  // batch_engine.h; held by unique_ptr only
+}
+
 namespace dstress::core {
 
 struct RuntimeConfig {
@@ -76,6 +80,14 @@ struct RuntimeConfig {
   // bit-identical either way (asserted in engine_test.cc); false keeps the
   // seed one-role-per-task schedule for A/B comparison.
   bool batch_mpc = true;
+  // Batched transfer data plane (the default): every edge's sender/source/
+  // dest/receiver role work runs as per-edge batched tasks over the
+  // fixed-base/batch-affine crypto engine (src/transfer/batch_engine.h)
+  // instead of one task + one pure-scheme call per role. Wire bytes,
+  // released figures and per-node TrafficStats are bit-identical either way
+  // (asserted in transfer_test.cc/engine_test.cc); false keeps the seed
+  // schedule for A/B comparison. See docs/transfer-crypto.md.
+  bool batch_transfer = true;
   // Transfer-protocol noise and lookup parameters (production-scale alpha
   // needs the paper's 8 GB lookup table; defaults are test-scale).
   double transfer_budget_alpha = 0.9;
@@ -170,6 +182,11 @@ class Runtime {
   void ComputePhaseBatched();
   void ComputePhaseUnbatched();
   void CommunicatePhase();
+  // The two communication-step schedules (RuntimeConfig::batch_transfer):
+  // four barrier-separated sub-phases of per-edge batched crypto vs one
+  // task per transfer role. Identical wire traffic; docs/transfer-crypto.md.
+  void CommunicatePhaseBatched();
+  void CommunicatePhaseUnbatched();
   int64_t AggregatePhase();
   int64_t AggregateSingleLevel();
   int64_t AggregateTree();
@@ -226,6 +243,9 @@ class Runtime {
   TrustedSetup setup_;
   std::unique_ptr<net::Transport> net_;
   std::unique_ptr<crypto::DlogTable> dlog_table_;
+  // Noise points for the batched aggregation step, sized to the dlog table
+  // range; built on the first batched communication step.
+  std::unique_ptr<transfer::EvenNoiseCache> noise_cache_;
   std::unique_ptr<WorkerPool> pool_;
 
   // Shares indexed [vertex][member]: the runtime stores them centrally, but

@@ -13,6 +13,7 @@
 #include "src/mpc/sharing.h"
 #include "src/mpc/triples.h"
 #include "src/net/transport_spec.h"
+#include "src/transfer/batch_engine.h"
 #include "src/transfer/transfer.h"
 
 namespace dstress::costmodel {
@@ -21,10 +22,11 @@ std::string MicroCosts::ToString() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "per-AND: %.2f us / %.1f B; transfer: encrypt=%.2f ms endpoint=%.2f ms "
-                "adjust=%.2f ms decrypt=%.2f ms (block=%d L=%d)",
+                "adjust=%.2f ms decrypt=%.2f ms table-build=%.2f ms (block=%d L=%d)",
                 seconds_per_and * 1e6, bytes_per_and, seconds_bundle_encrypt * 1e3,
                 seconds_source_endpoint * 1e3, seconds_dest_adjust * 1e3,
-                seconds_column_decrypt * 1e3, calibrated_block_size, calibrated_message_bits);
+                seconds_column_decrypt * 1e3, seconds_cert_table_build * 1e3,
+                calibrated_block_size, calibrated_message_bits);
   return buf;
 }
 
@@ -102,8 +104,12 @@ MicroCosts Calibrate(int block_size, int message_bits) {
                           (static_cast<double>(kGmwReps) * block_size * circuit.stats().num_and);
   }
 
-  // --- Transfer protocol per-role costs (pure scheme functions, measured
-  // without network overhead).
+  // --- Transfer protocol per-role costs, wire-to-wire: each role is timed
+  // exactly as its Run*-task body executes it — deserialize incoming wire
+  // bytes, run the scheme function, serialize outgoing wire bytes — without
+  // the network itself. The codec is real per-role CPU (a field inversion
+  // per compressed point written, a square root per point read), so leaving
+  // it out would understate every role and overstate nothing.
   {
     auto prg = crypto::ChaCha20Prg::FromSeed(21);
     transfer::TransferParams params;
@@ -128,29 +134,43 @@ MicroCosts Calibrate(int block_size, int message_bits) {
 
     constexpr int kReps = 3;
     Stopwatch timer;
-    std::vector<transfer::SubshareBundle> bundles;
+    std::vector<Bytes> bundle_wires;  // RunSenderMember: encrypt + serialize
     for (int member = 0; member < block_size; member++) {
-      bundles.push_back(transfer::EncryptSubshares(share, cert, prg));
+      bundle_wires.push_back(transfer::EncryptSubshares(share, cert, prg).Serialize());
     }
     costs.seconds_bundle_encrypt = timer.ElapsedSeconds() / block_size;
 
     timer.Reset();
-    transfer::AggregatedColumns agg = transfer::AggregateSubshares(bundles, params, prg);
-    for (int rep = 1; rep < kReps; rep++) {
-      agg = transfer::AggregateSubshares(bundles, params, prg);
+    Bytes agg_wire;  // RunSourceEndpoint: deserialize all + aggregate + serialize
+    for (int rep = 0; rep < kReps; rep++) {
+      std::vector<transfer::SubshareBundle> bundles;
+      bundles.reserve(block_size);
+      for (const Bytes& raw : bundle_wires) {
+        bundles.push_back(transfer::SubshareBundle::Deserialize(raw, block_size, message_bits));
+      }
+      agg_wire = transfer::AggregateSubshares(bundles, params, prg).Serialize();
     }
     costs.seconds_source_endpoint = timer.ElapsedSeconds() / kReps;
 
     timer.Reset();
-    transfer::AggregatedColumns adjusted = transfer::AdjustAggregated(agg, neighbor_key);
-    for (int rep = 1; rep < kReps; rep++) {
-      adjusted = transfer::AdjustAggregated(agg, neighbor_key);
+    std::vector<Bytes> column_wires;  // RunDestEndpoint: deser + adjust + fan out
+    for (int rep = 0; rep < kReps; rep++) {
+      transfer::AggregatedColumns agg =
+          transfer::AggregatedColumns::Deserialize(agg_wire, block_size, message_bits);
+      transfer::AggregatedColumns adjusted = transfer::AdjustAggregated(agg, neighbor_key);
+      column_wires.clear();
+      for (int member = 0; member < block_size; member++) {
+        transfer::MemberColumn column{adjusted.c1, adjusted.c2[member]};
+        column_wires.push_back(column.Serialize());
+      }
     }
     costs.seconds_dest_adjust = timer.ElapsedSeconds() / kReps;
 
     timer.Reset();
     for (int member = 0; member < block_size; member++) {
-      transfer::MemberColumn column{adjusted.c1, adjusted.c2[member]};
+      // RunReceiverMember: deserialize + recover.
+      transfer::MemberColumn column =
+          transfer::MemberColumn::Deserialize(column_wires[member], message_bits);
       mpc::BitVector recovered;
       bool ok = transfer::RecoverShare(column, dest_keys.members[member], table, &recovered);
       DSTRESS_CHECK(ok);
@@ -162,9 +182,9 @@ MicroCosts Calibrate(int block_size, int message_bits) {
 
 MicroCosts CalibrateBatched(const MicroCosts& seed_costs, int message_bits, int batch_width) {
   DSTRESS_CHECK(batch_width > 0);
-  // Transfer costs (and the per-AND wire bytes, which batching does not
-  // change) are identical to the seed schedule's — reuse the caller's
-  // measurement instead of paying the EC microbenchmarks twice.
+  // The per-AND wire bytes are copied from the seed measurement (batching
+  // does not change the wire); the per-AND time and all four transfer role
+  // times are re-measured through the batched engines below.
   const int block_size = seed_costs.calibrated_block_size;
   DSTRESS_CHECK(block_size > 0 && seed_costs.calibrated_message_bits == message_bits);
   MicroCosts costs = seed_costs;
@@ -222,6 +242,86 @@ MicroCosts CalibrateBatched(const MicroCosts& seed_costs, int message_bits, int 
     seconds = rep == 0 ? rep_seconds : std::min(seconds, rep_seconds);
   }
   costs.seconds_per_and = seconds / (static_cast<double>(num_and) * batch_width);
+
+  // --- Transfer role costs through the batched wire-level engine. Mirrors
+  // Calibrate()'s setup; the wire bytes the two paths produce are
+  // bit-identical (transfer_test pins this), only the CPU time differs.
+  {
+    auto prg = crypto::ChaCha20Prg::FromSeed(21);
+    transfer::TransferParams params;
+    params.block_size = block_size;
+    params.message_bits = message_bits;
+    params.budget_alpha = 0.9;
+    params.dlog_range = params.RecommendedDlogRange(1e-9);
+
+    transfer::BlockKeys dest_keys = transfer::TransferSetup(block_size, message_bits, prg);
+    crypto::U256 neighbor_key = prg.NextScalar(crypto::CurveOrder());
+    transfer::BlockCertificate cert =
+        transfer::MakeBlockCertificate(transfer::PublicKeysOf(dest_keys), neighbor_key);
+    crypto::DlogTable table(params.dlog_range);
+    transfer::EvenNoiseCache noise(table.range());
+
+    // Once-per-run cert table build (Project() charges it k1*D times per
+    // node). Copies taken before the first Tables() call have an empty
+    // cache, so each rep measures a real build.
+    constexpr int kReps = 3;
+    std::vector<transfer::BlockCertificate> cert_copies(kReps, cert);
+    double build_seconds = 0;
+    for (int rep = 0; rep < kReps; rep++) {
+      Stopwatch timer;
+      cert_copies[rep].Tables();
+      double rep_seconds = timer.ElapsedSeconds();
+      build_seconds = rep == 0 ? rep_seconds : std::min(build_seconds, rep_seconds);
+    }
+    costs.seconds_cert_table_build = build_seconds;
+    cert = std::move(cert_copies[0]);  // tables already built: steady state
+
+    mpc::BitVector share(message_bits, 0);
+    for (auto& bit : share) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    std::vector<mpc::BitVector> member_shares(block_size, share);
+
+    double encrypt_seconds = 0;
+    std::vector<Bytes> bundles;
+    for (int rep = 0; rep < kReps; rep++) {
+      std::vector<crypto::ChaCha20Prg> prgs;
+      for (int member = 0; member < block_size; member++) {
+        prgs.push_back(crypto::ChaCha20Prg::FromSeed(100 + member));
+      }
+      Stopwatch timer;
+      bundles = transfer::EncryptSubsharesWire(member_shares, cert, prgs);
+      double rep_seconds = timer.ElapsedSeconds();
+      encrypt_seconds = rep == 0 ? rep_seconds : std::min(encrypt_seconds, rep_seconds);
+    }
+    costs.seconds_bundle_encrypt = encrypt_seconds / block_size;
+
+    Stopwatch timer;
+    Bytes agg = transfer::AggregateSubsharesWire(bundles, params, prg, noise);
+    for (int rep = 1; rep < kReps; rep++) {
+      agg = transfer::AggregateSubsharesWire(bundles, params, prg, noise);
+    }
+    costs.seconds_source_endpoint = timer.ElapsedSeconds() / kReps;
+
+    timer.Reset();
+    std::vector<Bytes> columns = transfer::AdjustAndSplitWire(agg, neighbor_key, params);
+    for (int rep = 1; rep < kReps; rep++) {
+      columns = transfer::AdjustAndSplitWire(agg, neighbor_key, params);
+    }
+    costs.seconds_dest_adjust = timer.ElapsedSeconds() / kReps;
+
+    std::vector<const transfer::MemberKeys*> member_keys;
+    for (int member = 0; member < block_size; member++) {
+      member_keys.push_back(&dest_keys.members[member]);
+    }
+    // The per-column c1 table build happens inside RecoverSharesWire, so it
+    // is part of the measured per-use cost, as in the real schedule.
+    timer.Reset();
+    std::vector<mpc::BitVector> recovered;
+    bool ok = transfer::RecoverSharesWire(columns, member_keys, table, params, &recovered);
+    DSTRESS_CHECK(ok);
+    costs.seconds_column_decrypt = timer.ElapsedSeconds() / block_size;
+  }
   return costs;
 }
 
@@ -253,6 +353,16 @@ Projection Project(const MicroCosts& costs, const ProjectionParams& p) {
   out.communicate_seconds =
       iters * (k1 * d * costs.seconds_bundle_encrypt + d * costs.seconds_source_endpoint +
                d * costs.seconds_dest_adjust + k1 * d * costs.seconds_column_decrypt);
+  // Batched engine only (zero for seed costs): each node builds fixed-base
+  // key tables for every (block membership, out-edge certificate) pair once
+  // per run, reused across all iterations' encryptions.
+  out.communicate_seconds += k1 * d * costs.seconds_cert_table_build;
+  // Transfer-plane overlap (see ProjectionParams::transfer_workers): the
+  // node's k1*d per-edge tasks are independent, so with W workers the CPU
+  // time divides by min(W, task count). At the paper's scale (k1*d >= 200)
+  // the min never binds; it guards toy parameter sets.
+  double workers = std::min(static_cast<double>(std::max(p.transfer_workers, 1)), k1 * d);
+  out.communicate_seconds /= workers;
   double bundle_bytes = (1.0 + k1 * p.message_bits) * point;
   double column_bytes = (1.0 + p.message_bits) * point;
   double communicate_traffic =

@@ -106,6 +106,14 @@ EcPoint EcPoint::FromAffine(const Fp& x, const Fp& y) {
   return EcPoint(x, y, Fp::FromUint64(1));
 }
 
+EcPoint EcPoint::FromAffinePoint(const AffinePoint& p) {
+  if (p.infinity) {
+    return Infinity();
+  }
+  DSTRESS_DCHECK(p.y.Square() == p.x.Square() * p.x + CurveB());
+  return EcPoint(p.x, p.y, Fp::FromUint64(1));
+}
+
 EcPoint EcPoint::Neg() const {
   if (IsInfinity()) {
     return *this;
@@ -348,6 +356,72 @@ void EcPoint::CompressBatch(const EcPoint* points, size_t count, uint8_t* out) {
     slot[0] = ay.IsOdd() ? 0x03 : 0x02;
     ax.raw().ToBytesBe(slot + 1);
   }
+}
+
+void EcPoint::ToAffineBatch(const EcPoint* points, size_t count, AffinePoint* out) {
+  // Same Montgomery walk as CompressBatch, but the affine coordinates are
+  // the product rather than an intermediate.
+  std::vector<Fp> prefix(count);
+  Fp running = Fp::FromUint64(1);
+  for (size_t i = 0; i < count; i++) {
+    prefix[i] = running;
+    if (!points[i].IsInfinity()) {
+      running = running * points[i].z_;
+    }
+  }
+  Fp inv_all = running.Inv();
+  for (size_t idx = count; idx-- > 0;) {
+    const EcPoint& p = points[idx];
+    if (p.IsInfinity()) {
+      out[idx] = AffinePoint{};
+      continue;
+    }
+    Fp zinv = inv_all * prefix[idx];
+    inv_all = inv_all * p.z_;
+    Fp zinv2 = zinv.Square();
+    out[idx].x = p.x_ * zinv2;
+    out[idx].y = p.y_ * zinv2 * zinv;
+    out[idx].infinity = false;
+  }
+}
+
+bool EcPoint::DecompressBatch(const uint8_t* in, size_t count, EcPoint* out) {
+  for (size_t i = 0; i < count; i++) {
+    auto p = Decompress(in + i * kCompressedSize);
+    if (!p.has_value()) {
+      return false;
+    }
+    out[i] = *p;
+  }
+  return true;
+}
+
+bool EcPoint::DecompressBatch(const uint8_t* in, size_t count, AffinePoint* out) {
+  for (size_t i = 0; i < count; i++) {
+    auto p = Decompress(in + i * kCompressedSize);
+    if (!p.has_value()) {
+      return false;
+    }
+    if (p->IsInfinity()) {
+      out[i] = AffinePoint{};
+    } else {
+      // Decompress() constructs via FromAffine, so z == 1 and the Jacobian
+      // coordinates are already the affine ones.
+      out[i].x = p->x_;
+      out[i].y = p->y_;
+      out[i].infinity = false;
+    }
+  }
+  return true;
+}
+
+void SplitScalarGlv(const U256& e, U256* k1, int* sign1, U256* k2, int* sign2) {
+  SplitLambda(e, k1, sign1, k2, sign2);
+}
+
+const Fp& EndomorphismBeta() {
+  static const Fp beta = Fp::FromHex(kBetaHex);
+  return beta;
 }
 
 }  // namespace dstress::crypto

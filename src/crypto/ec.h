@@ -18,6 +18,15 @@ namespace dstress::crypto {
 // Order of the secp256k1 group (prime).
 const U256& CurveOrder();
 
+// A point in affine coordinates with an explicit infinity flag — the element
+// format of the batch-affine engine (fixed_base.h), whose shared-inversion
+// addition needs x and y directly rather than Jacobian coordinates. The
+// default-constructed value is the point at infinity.
+struct AffinePoint {
+  Fp x, y;
+  bool infinity = true;
+};
+
 class EcPoint {
  public:
   // Point at infinity.
@@ -29,6 +38,9 @@ class EcPoint {
   // Constructs from affine coordinates; the caller asserts (x, y) is on the
   // curve (checked in debug builds).
   static EcPoint FromAffine(const Fp& x, const Fp& y);
+  // Lifts a batch-engine affine point back into the Jacobian representation
+  // (no field work; trusts the input is on the curve, like FromAffine).
+  static EcPoint FromAffinePoint(const AffinePoint& p);
 
   bool IsInfinity() const { return z_.IsZero(); }
 
@@ -53,6 +65,20 @@ class EcPoint {
   // subshare bundles, which carry (k+1)^2 * L points per transfer.
   static void CompressBatch(const EcPoint* points, size_t count, uint8_t* out);
 
+  // Converts `count` points to affine with one shared field inversion —
+  // feeds the batch-affine engine (table builds, burst decryption).
+  static void ToAffineBatch(const EcPoint* points, size_t count, AffinePoint* out);
+
+  // Decompresses `count` packed 33-byte encodings (the inverse of
+  // CompressBatch's layout). Returns false if any encoding is invalid, in
+  // which case `out` is unspecified. The square root per point is inherent;
+  // what the batch form saves is the per-point validity plumbing on the
+  // deserialization hot path.
+  static bool DecompressBatch(const uint8_t* in, size_t count, EcPoint* out);
+  // Same, decoding straight into batch-engine affine form (decompression is
+  // natively affine, so this skips the Jacobian round trip).
+  static bool DecompressBatch(const uint8_t* in, size_t count, AffinePoint* out);
+
   // Equality in the group (compares affine forms; handles infinity).
   bool operator==(const EcPoint& other) const;
   bool operator!=(const EcPoint& other) const { return !(*this == other); }
@@ -66,6 +92,15 @@ class EcPoint {
 // k*G using a precomputed table for the fixed generator (much faster than
 // EcPoint::Generator().Mul(k); encryption does two of these per ciphertext).
 EcPoint MulBase(const U256& k);
+
+// --- GLV decomposition (exposed for the fixed-base tables) -------------------
+// secp256k1 admits the endomorphism phi(x, y) = (beta*x, y) = lambda*(x, y).
+// SplitScalarGlv writes e ≡ sign1*k1 + lambda*sign2*k2 (mod n) with k1, k2
+// short (~128 bits); e must already be reduced mod n. EcPoint::Mul uses the
+// same split internally; fixed_base.h uses it to halve the window count of
+// its per-key tables (one table for P, one derived table for phi(P)).
+void SplitScalarGlv(const U256& e, U256* k1, int* sign1, U256* k2, int* sign2);
+const Fp& EndomorphismBeta();
 
 }  // namespace dstress::crypto
 

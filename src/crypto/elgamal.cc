@@ -1,5 +1,6 @@
 #include "src/crypto/elgamal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/check.h"
@@ -100,35 +101,71 @@ EcPoint ElGamalDecryptPoint(const U256& secret, const ElGamalCiphertext& ct) {
   return ct.c2.Add(ct.c1.Mul(secret).Neg());
 }
 
-uint64_t DlogTable::KeyOf(const EcPoint& point) {
-  auto compressed = point.Compress();
-  Sha256Digest digest = Sha256::Hash(compressed.data(), compressed.size());
+uint64_t DlogTable::KeyOfBytes(const uint8_t* bytes33) {
+  Sha256Digest digest = Sha256::Hash(bytes33, EcPoint::kCompressedSize);
   uint64_t key;
   std::memcpy(&key, digest.data(), 8);
   return key;
 }
 
+uint64_t DlogTable::KeyOf(const EcPoint& point) {
+  auto compressed = point.Compress();
+  return KeyOfBytes(compressed.data());
+}
+
 DlogTable::DlogTable(int64_t range) : range_(range) {
   DSTRESS_CHECK(range >= 0);
   map_.reserve(static_cast<size_t>(2 * range + 1));
+  auto insert = [this](uint64_t key, int64_t m) {
+    bool inserted = map_.emplace(key, m).second;
+    // Distinct m map to distinct points (prime group order far exceeds any
+    // table range), so a duplicate key means the truncated 64-bit digests
+    // collided — which would silently decrypt to the wrong plaintext on
+    // every future hit. Abort the build instead.
+    DSTRESS_CHECK(inserted);
+  };
   // Walk m = 0, +1, ..., +range and 0, -1, ..., -range with cheap group
-  // additions; compression needs affine coordinates, which Compress()
-  // computes per point — acceptable because tables are built once.
+  // additions, compressing in chunks so the affine normalization cost is
+  // one shared inversion per chunk rather than one per entry.
   const EcPoint& g = EcPoint::Generator();
   EcPoint neg_g = g.Neg();
   EcPoint pos = EcPoint::Infinity();
   EcPoint neg = EcPoint::Infinity();
-  map_.emplace(KeyOf(pos), 0);
-  for (int64_t m = 1; m <= range; m++) {
-    pos = pos.Add(g);
-    neg = neg.Add(neg_g);
-    map_.emplace(KeyOf(pos), m);
-    map_.emplace(KeyOf(neg), -m);
+  insert(KeyOf(pos), 0);
+  constexpr int64_t kChunk = 512;
+  std::vector<EcPoint> points;
+  std::vector<int64_t> values;
+  std::vector<uint8_t> compressed(2 * kChunk * EcPoint::kCompressedSize);
+  for (int64_t start = 1; start <= range; start += kChunk) {
+    const int64_t end = std::min(range, start + kChunk - 1);
+    points.clear();
+    values.clear();
+    for (int64_t m = start; m <= end; m++) {
+      pos = pos.Add(g);
+      neg = neg.Add(neg_g);
+      points.push_back(pos);
+      values.push_back(m);
+      points.push_back(neg);
+      values.push_back(-m);
+    }
+    EcPoint::CompressBatch(points.data(), points.size(), compressed.data());
+    for (size_t i = 0; i < points.size(); i++) {
+      insert(KeyOfBytes(compressed.data() + i * EcPoint::kCompressedSize), values[i]);
+    }
   }
 }
 
 bool DlogTable::Lookup(const EcPoint& point, int64_t* out) const {
   auto it = map_.find(KeyOf(point));
+  if (it == map_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+bool DlogTable::LookupCompressed(const uint8_t* bytes33, int64_t* out) const {
+  auto it = map_.find(KeyOfBytes(bytes33));
   if (it == map_.end()) {
     return false;
   }

@@ -94,11 +94,16 @@ class DlogTable {
   // Returns false if the point is outside the covered range (the protocol's
   // "failure probability" event, Appendix B).
   bool Lookup(const EcPoint& point, int64_t* out) const;
+  // Lookup keyed by an already-compressed encoding — the batched decrypt
+  // path serializes decrypted points in bulk and never materializes
+  // EcPoint forms just to hash them.
+  bool LookupCompressed(const uint8_t* bytes33, int64_t* out) const;
   // Convenience: full decrypt of a ciphertext.
   bool Decrypt(const U256& secret, const ElGamalCiphertext& ct, int64_t* out) const;
 
  private:
   static uint64_t KeyOf(const EcPoint& point);
+  static uint64_t KeyOfBytes(const uint8_t* bytes33);
 
   int64_t range_;
   std::unordered_map<uint64_t, int64_t> map_;

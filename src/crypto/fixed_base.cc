@@ -1,0 +1,401 @@
+#include "src/crypto/fixed_base.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dstress::crypto {
+
+namespace {
+
+// Signed 4-bit-window expansion of a GLV half-scalar: k = sum d_j * 16^j
+// with d_j in [-8, 8]. `sign` folds the decomposition sign into every digit.
+void RecodeHalf(const U256& k, int sign, int8_t out[FixedBaseTable::kHalfWindows]) {
+  int carry = 0;
+  for (int j = 0; j < FixedBaseTable::kHalfWindows; j++) {
+    int d = static_cast<int>((k.w[j / 16] >> (4 * (j % 16))) & 0xF) + carry;
+    carry = 0;
+    if (d > 8) {
+      d -= 16;
+      carry = 1;
+    }
+    out[j] = static_cast<int8_t>(sign * d);
+  }
+  // GLV halves are < 2^129, so window 32 (bits 128..131) absorbs the final
+  // carry; anything left would silently drop scalar bits.
+  DSTRESS_CHECK(carry == 0);
+  DSTRESS_CHECK((k.w[2] >> 4) == 0 && k.w[3] == 0);
+}
+
+enum class AddKind : uint8_t { kKeep, kCopy, kGeneric, kDouble, kInfinity };
+
+}  // namespace
+
+FixedBaseTable::Recoding FixedBaseTable::Recode(const U256& k) {
+  U256 e = k;
+  while (Cmp(e, CurveOrder()) >= 0) {
+    SubWithBorrow(e, CurveOrder(), &e);
+  }
+  U256 k1, k2;
+  int sign1 = 1, sign2 = 1;
+  SplitScalarGlv(e, &k1, &sign1, &k2, &sign2);
+  Recoding r;
+  RecodeHalf(k1, sign1, r.digit1);
+  RecodeHalf(k2, sign2, r.digit2);
+  return r;
+}
+
+FixedBaseTable::FixedBaseTable(const EcPoint& base) {
+  *this = std::move(BuildMany({base}).front());
+}
+
+std::vector<FixedBaseTable> FixedBaseTable::BuildMany(const std::vector<EcPoint>& bases) {
+  const size_t m = bases.size();
+  std::vector<FixedBaseTable> out(m, FixedBaseTable());
+  if (m == 0) {
+    return out;
+  }
+  for (auto& table : out) {
+    table.entries_.resize(kHalfWindows * kEntriesPerWindow);
+    table.endo_entries_.resize(kHalfWindows * kEntriesPerWindow);
+  }
+  const Fp& beta = EndomorphismBeta();
+
+  // Two build strategies with the same result. The per-window scheme pays
+  // one shared inversion per batch-affine call (8 calls per window, 264
+  // total), amortized across the m key lanes — a win for certificate-sized
+  // batches but a 10x loss at m = 1, where each call inverts for a single
+  // lane. Small batches take the ladder scheme, which amortizes across the
+  // m * 33 window lanes instead.
+  constexpr size_t kPerWindowThreshold = 32;
+
+  if (m >= kPerWindowThreshold) {
+    // Entirely affine, one lane per key: window j's entry chain d * B_j for
+    // d = 1..8 is seven batch additions of B_j, and the next window base
+    // B_{j+1} = 16 * B_j is ONE batch doubling of the d=8 entry (8 * B_j) —
+    // replacing the four Jacobian doublings per window a 16^j ladder pays.
+    // phi(x, y) = (beta*x, y) fills the endomorphism entry as each base
+    // entry lands, for one field multiplication per entry.
+    std::vector<AffinePoint> base(m);
+    EcPoint::ToAffineBatch(bases.data(), m, base.data());
+    std::vector<AffinePoint> cur(m);
+    for (int j = 0; j < kHalfWindows; j++) {
+      cur = base;
+      for (int d = 1; d <= kEntriesPerWindow; d++) {
+        if (d > 1) {
+          BatchAddAssign(cur.data(), base.data(), m);
+        }
+        for (size_t t = 0; t < m; t++) {
+          AffinePoint e = cur[t];
+          out[t].entries_[j * kEntriesPerWindow + (d - 1)] = e;
+          if (!e.infinity) {
+            e.x = e.x * beta;
+          }
+          out[t].endo_entries_[j * kEntriesPerWindow + (d - 1)] = e;
+        }
+      }
+      if (j + 1 < kHalfWindows) {
+        base = cur;
+        // Self-addition classifies every lane as a doubling (the addend is
+        // never read back after the slope is formed), so aliasing is safe.
+        BatchAddAssign(base.data(), base.data(), m);
+      }
+    }
+    return out;
+  }
+
+  // Ladder 16^j * base per key (Jacobian doubling), normalized with one
+  // shared inversion; entry chains d = 1..8 then advance in lockstep across
+  // every (key, window) lane.
+  const size_t lanes = m * kHalfWindows;
+  std::vector<EcPoint> ladder(lanes);
+  for (size_t t = 0; t < m; t++) {
+    EcPoint p = bases[t];
+    for (int j = 0; j < kHalfWindows; j++) {
+      ladder[t * kHalfWindows + j] = p;
+      p = p.Double().Double().Double().Double();
+    }
+  }
+  std::vector<AffinePoint> base_row(lanes);
+  EcPoint::ToAffineBatch(ladder.data(), lanes, base_row.data());
+
+  std::vector<AffinePoint> cur = base_row;
+  for (int d = 1; d <= kEntriesPerWindow; d++) {
+    if (d > 1) {
+      BatchAddAssign(cur.data(), base_row.data(), lanes);
+    }
+    for (size_t t = 0; t < m; t++) {
+      for (int j = 0; j < kHalfWindows; j++) {
+        AffinePoint e = cur[t * kHalfWindows + j];
+        out[t].entries_[j * kEntriesPerWindow + (d - 1)] = e;
+        if (!e.infinity) {
+          e.x = e.x * beta;
+        }
+        out[t].endo_entries_[j * kEntriesPerWindow + (d - 1)] = e;
+      }
+    }
+  }
+  return out;
+}
+
+EcPoint FixedBaseTable::Mul(const U256& k) const {
+  // Single-point evaluation accumulates in Jacobian form (mixed additions
+  // against the affine entries); batched evaluation goes through MulBatch,
+  // where the per-window inversion is shared.
+  Recoding r = Recode(k);
+  EcPoint acc = EcPoint::Infinity();
+  for (int j = 0; j < kHalfWindows; j++) {
+    for (int half = 0; half < 2; half++) {
+      int d = half == 0 ? r.digit1[j] : r.digit2[j];
+      if (d == 0) {
+        continue;
+      }
+      const AffinePoint& entry =
+          half == 0 ? Entry(j, d > 0 ? d : -d) : EndoEntry(j, d > 0 ? d : -d);
+      EcPoint p = EcPoint::FromAffinePoint(entry);
+      acc = acc.Add(d > 0 ? p : p.Neg());
+    }
+  }
+  return acc;
+}
+
+void BatchAddSelected(AffinePoint* acc, const size_t* indices, const AffinePoint* add,
+                      size_t count) {
+  // Pass 1: classify every lane and collect the denominators that need
+  // inverting (x2 - x1 for generic additions, 2*y for doublings). The
+  // scratch vectors persist across calls: this runs once per window level
+  // for every bundle in a transfer batch, and per-call allocation showed up
+  // in profiles.
+  static thread_local std::vector<AddKind> kind;
+  static thread_local std::vector<Fp> den;
+  kind.assign(count, AddKind::kKeep);
+  den.clear();
+  den.reserve(count);
+  for (size_t t = 0; t < count; t++) {
+    const AffinePoint& p = acc[indices ? indices[t] : t];
+    const AffinePoint& q = add[t];
+    if (q.infinity) {
+      kind[t] = AddKind::kKeep;
+    } else if (p.infinity) {
+      kind[t] = AddKind::kCopy;
+    } else if (p.x != q.x) {
+      kind[t] = AddKind::kGeneric;
+      den.push_back(q.x - p.x);
+    } else if (p.y == q.y && !p.y.IsZero()) {
+      kind[t] = AddKind::kDouble;
+      den.push_back(p.y + p.y);
+    } else {
+      kind[t] = AddKind::kInfinity;  // P + (-P), or doubling a 2-torsion y=0
+    }
+  }
+  Fp::BatchInvert(den.data(), den.size());
+
+  // Pass 2: finish each lane with its inverted denominator.
+  size_t cursor = 0;
+  for (size_t t = 0; t < count; t++) {
+    AffinePoint& p = acc[indices ? indices[t] : t];
+    const AffinePoint& q = add[t];
+    switch (kind[t]) {
+      case AddKind::kKeep:
+        break;
+      case AddKind::kCopy:
+        p = q;
+        break;
+      case AddKind::kInfinity:
+        p = AffinePoint{};
+        break;
+      case AddKind::kGeneric: {
+        Fp lambda = (q.y - p.y) * den[cursor++];
+        Fp x3 = lambda.Square() - p.x - q.x;
+        p.y = lambda * (p.x - x3) - p.y;
+        p.x = x3;
+        break;
+      }
+      case AddKind::kDouble: {
+        Fp xx = p.x.Square();
+        Fp lambda = (xx + xx + xx) * den[cursor++];
+        Fp x3 = lambda.Square() - p.x - p.x;
+        p.y = lambda * (p.x - x3) - p.y;
+        p.x = x3;
+        break;
+      }
+    }
+  }
+}
+
+void BatchAddAssign(AffinePoint* acc, const AffinePoint* add, size_t count) {
+  BatchAddSelected(acc, nullptr, add, count);
+}
+
+void BatchAddRows(const AffinePoint* a, const AffinePoint* b, AffinePoint* dst, size_t count,
+                  const Fp* endo, bool negate) {
+  static thread_local std::vector<AddKind> kind;
+  static thread_local std::vector<Fp> den;
+  static thread_local std::vector<AffinePoint> tb;
+  kind.resize(count);
+  den.clear();
+  den.reserve(count);
+
+  // Pass 1: classify and collect denominators. A transformed addend is
+  // staged once; an untransformed one is read from `b` in both passes.
+  const AffinePoint* qs = b;
+  if (endo != nullptr || negate) {
+    tb.resize(count);
+    for (size_t t = 0; t < count; t++) {
+      AffinePoint q = b[t];
+      if (!q.infinity) {
+        if (endo != nullptr) {
+          q.x = q.x * *endo;
+        }
+        if (negate) {
+          q.y = q.y.Neg();
+        }
+      }
+      tb[t] = q;
+    }
+    qs = tb.data();
+  }
+  for (size_t t = 0; t < count; t++) {
+    const AffinePoint& p = a[t];
+    const AffinePoint& q = qs[t];
+    if (q.infinity) {
+      kind[t] = AddKind::kKeep;
+    } else if (p.infinity) {
+      kind[t] = AddKind::kCopy;
+    } else if (p.x != q.x) {
+      kind[t] = AddKind::kGeneric;
+      den.push_back(q.x - p.x);
+    } else if (p.y == q.y && !p.y.IsZero()) {
+      kind[t] = AddKind::kDouble;
+      den.push_back(p.y + p.y);
+    } else {
+      kind[t] = AddKind::kInfinity;
+    }
+  }
+  Fp::BatchInvert(den.data(), den.size());
+
+  // Pass 2: results are computed into locals before any store, so `dst`
+  // aliasing `a` (or, lane-wise, `b`) stays correct.
+  size_t cursor = 0;
+  for (size_t t = 0; t < count; t++) {
+    const AffinePoint& p = a[t];
+    const AffinePoint& q = qs[t];
+    switch (kind[t]) {
+      case AddKind::kKeep:
+        dst[t] = p;
+        break;
+      case AddKind::kCopy:
+        dst[t] = q;
+        break;
+      case AddKind::kInfinity:
+        dst[t] = AffinePoint{};
+        break;
+      case AddKind::kGeneric: {
+        Fp lambda = (q.y - p.y) * den[cursor++];
+        Fp x3 = lambda.Square() - p.x - q.x;
+        Fp y3 = lambda * (p.x - x3) - p.y;
+        dst[t].x = x3;
+        dst[t].y = y3;
+        dst[t].infinity = false;
+        break;
+      }
+      case AddKind::kDouble: {
+        Fp xx = p.x.Square();
+        Fp lambda = (xx + xx + xx) * den[cursor++];
+        Fp x3 = lambda.Square() - p.x - p.x;
+        Fp y3 = lambda * (p.x - x3) - p.y;
+        dst[t].x = x3;
+        dst[t].y = y3;
+        dst[t].infinity = false;
+        break;
+      }
+    }
+  }
+}
+
+void MulBatch(const MulTask* tasks, size_t count, AffinePoint* out) {
+  for (size_t i = 0; i < count; i++) {
+    out[i] = AffinePoint{};
+  }
+  static thread_local std::vector<size_t> idx;
+  static thread_local std::vector<AffinePoint> add;
+  idx.reserve(count);
+  add.reserve(count);
+  // Two passes per window level (base table, then endomorphism table) so a
+  // lane never receives two addends inside one batch call.
+  for (int j = 0; j < FixedBaseTable::kHalfWindows; j++) {
+    for (int half = 0; half < 2; half++) {
+      idx.clear();
+      add.clear();
+      for (size_t i = 0; i < count; i++) {
+        const FixedBaseTable::Recoding& r = *tasks[i].recoding;
+        int d = half == 0 ? r.digit1[j] : r.digit2[j];
+        if (d == 0) {
+          continue;
+        }
+        const AffinePoint& entry = half == 0 ? tasks[i].table->Entry(j, d > 0 ? d : -d)
+                                             : tasks[i].table->EndoEntry(j, d > 0 ? d : -d);
+        AffinePoint a = entry;
+        if (d < 0 && !a.infinity) {
+          a.y = a.y.Neg();
+        }
+        idx.push_back(i);
+        add.push_back(a);
+      }
+      if (!idx.empty()) {
+        BatchAddSelected(out, idx.data(), add.data(), idx.size());
+      }
+    }
+  }
+}
+
+FixedBaseTableSet FixedBaseTableSet::Build(const std::vector<EcPoint>& bases) {
+  FixedBaseTableSet set;
+  set.m_ = bases.size();
+  if (set.m_ == 0) {
+    return set;
+  }
+  const size_t m = set.m_;
+  set.entries_.resize(static_cast<size_t>(FixedBaseTable::kHalfWindows) *
+                      FixedBaseTable::kEntriesPerWindow * m);
+
+  // Same per-window affine lockstep as BuildMany, but zero-copy: row(j, 1)
+  // IS the window base B_j, each chain step writes row(j, d) = row(j, d-1)
+  // + row(j, 1) out of place, and B_{j+1} = 16 * B_j lands directly in
+  // row(j+1, 1) as one batch doubling of row(j, 8).
+  EcPoint::ToAffineBatch(bases.data(), m, set.MutableRow(0, 1));
+  for (int j = 0; j < FixedBaseTable::kHalfWindows; j++) {
+    const AffinePoint* base = set.Row(j, 1);
+    for (int d = 2; d <= FixedBaseTable::kEntriesPerWindow; d++) {
+      BatchAddRows(set.Row(j, d - 1), base, set.MutableRow(j, d), m, nullptr, false);
+    }
+    if (j + 1 < FixedBaseTable::kHalfWindows) {
+      const AffinePoint* top = set.Row(j, FixedBaseTable::kEntriesPerWindow);
+      // a == b, so every lane is a doubling (see BuildMany).
+      BatchAddRows(top, top, set.MutableRow(j + 1, 1), m, nullptr, false);
+    }
+  }
+  return set;
+}
+
+void FixedBaseTableSet::MulShared(const FixedBaseTable::Recoding& recoding,
+                                  AffinePoint* out) const {
+  const size_t m = m_;
+  for (size_t i = 0; i < m; i++) {
+    out[i] = AffinePoint{};
+  }
+  const Fp& beta = EndomorphismBeta();
+  for (int j = 0; j < FixedBaseTable::kHalfWindows; j++) {
+    for (int half = 0; half < 2; half++) {
+      int d = half == 0 ? recoding.digit1[j] : recoding.digit2[j];
+      if (d == 0) {
+        continue;
+      }
+      // phi (x *= beta) for the endomorphism half and the digit sign are
+      // applied by the add itself while the row is read.
+      BatchAddRows(out, Row(j, d > 0 ? d : -d), out, m, half == 1 ? &beta : nullptr, d < 0);
+    }
+  }
+}
+
+}  // namespace dstress::crypto

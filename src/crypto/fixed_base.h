@@ -1,0 +1,152 @@
+// Fixed-base scalar multiplication for arbitrary base points, plus the
+// lockstep batch-affine engine behind the transfer-phase crypto path
+// (docs/transfer-crypto.md).
+//
+// A FixedBaseTable generalizes the MulBase generator comb to any base point
+// P: it precomputes signed-window multiples of P in *affine* coordinates
+// (normalized with Montgomery-trick batch inversion at build time) so each
+// evaluation window costs one mixed addition instead of a full Jacobian one.
+// The scalar is GLV-split into two ~128-bit halves, one walked against the
+// table for P and one against the derived table for phi(P) = (beta*x, y) —
+// halving the window count for the same digit density, and making the
+// endomorphism table almost free to build (one field multiplication per
+// entry).
+//
+// The table exists for the transfer hot path, where the *same* certificate
+// key multiplies a fresh ephemeral every transfer and the same ephemeral
+// multiplies (k+1)*L different keys per bundle: recodings are computed once
+// per scalar and shared across every lane that uses that scalar, and MulBatch
+// advances all lanes in lockstep so each window level pays a single shared
+// field inversion for the whole burst.
+#ifndef SRC_CRYPTO_FIXED_BASE_H_
+#define SRC_CRYPTO_FIXED_BASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/ec.h"
+
+namespace dstress::crypto {
+
+class FixedBaseTable {
+ public:
+  static constexpr int kWindowBits = 4;
+  // ceil(129 / 4) = 33 windows cover a GLV half-scalar (|k| < 2^129) plus
+  // the signed-digit carry out of window 31.
+  static constexpr int kHalfWindows = 33;
+  static constexpr int kEntriesPerWindow = 8;  // digits d in [1, 8]
+
+  // GLV-split signed-window digits of one scalar: digit1 walks the base
+  // table, digit2 the endomorphism table, every digit in [-8, 8]. One
+  // recoding serves every lane that multiplies by the same scalar.
+  struct Recoding {
+    int8_t digit1[kHalfWindows];
+    int8_t digit2[kHalfWindows];
+  };
+  // k is interpreted mod n, like EcPoint::Mul.
+  static Recoding Recode(const U256& k);
+
+  explicit FixedBaseTable(const EcPoint& base);
+  // Builds one table per base with every entry chain advanced in lockstep
+  // (shared-inversion batch addition across all bases and windows) — the
+  // per-certificate build path, ~7x cheaper per key than isolated builds.
+  static std::vector<FixedBaseTable> BuildMany(const std::vector<EcPoint>& bases);
+
+  // k * base; identical in value to base.Mul(k) for every k (the randomized
+  // corpus test pins this). Single-point convenience — the hot path uses
+  // MulBatch.
+  EcPoint Mul(const U256& k) const;
+
+  // Entry(j, d) = d * 16^j * base, EndoEntry(j, d) = d * 16^j * phi(base),
+  // both affine; d in [1, kEntriesPerWindow].
+  const AffinePoint& Entry(int window, int d) const {
+    return entries_[window * kEntriesPerWindow + (d - 1)];
+  }
+  const AffinePoint& EndoEntry(int window, int d) const {
+    return endo_entries_[window * kEntriesPerWindow + (d - 1)];
+  }
+
+ private:
+  FixedBaseTable() = default;
+
+  std::vector<AffinePoint> entries_;       // [kHalfWindows * kEntriesPerWindow]
+  std::vector<AffinePoint> endo_entries_;  // phi(base) mirror
+};
+
+// --- batch-affine primitives -------------------------------------------------
+
+// acc[i] += add[i] for every lane, sharing one field inversion across the
+// batch (Montgomery's trick). Every special case is handled exactly:
+// infinities on either side, doubling (P + P), and cancellation
+// (P + (-P) = infinity).
+void BatchAddAssign(AffinePoint* acc, const AffinePoint* add, size_t count);
+
+// acc[indices[t]] += add[t]. Indices must be distinct within one call (each
+// lane's accumulator is read once, before any write).
+void BatchAddSelected(AffinePoint* acc, const size_t* indices, const AffinePoint* add,
+                      size_t count);
+
+// dst[t] = a[t] + T(b[t]) with T applying the optional endomorphism
+// (x *= *endo) and negation to the addend as it is read — the zero-copy
+// core under FixedBaseTableSet. `dst` may alias `a` (accumulate in place)
+// and, when no transform is requested, pass-2 reads `b` directly, so a
+// table row is consumed without ever being staged. `b` must not alias
+// `dst` unless it also aliases `a` elementwise.
+void BatchAddRows(const AffinePoint* a, const AffinePoint* b, AffinePoint* dst, size_t count,
+                  const Fp* endo, bool negate);
+
+// One lane of a batched multiplication: out = scalar(recoding) * base(table).
+// Both pointers alias freely across lanes — e.g. one recoding against many
+// tables (bundle encryption) or one table against many recodings (column
+// decryption).
+struct MulTask {
+  const FixedBaseTable* table;
+  const FixedBaseTable::Recoding* recoding;
+};
+
+// Evaluates every task in lockstep: per window level, one shared-inversion
+// batch addition across all lanes with a nonzero digit. Results are affine,
+// ready for direct compressed serialization.
+void MulBatch(const MulTask* tasks, size_t count, AffinePoint* out);
+
+// Window-major structure-of-arrays variant of BuildMany + MulBatch for the
+// one shape the transfer hot path actually has: a fixed SET of base points
+// (one per certificate [member][bit] key) all multiplied by the SAME scalar
+// (the bundle's shared ephemeral). Storing entries row-major by
+// (window, digit) makes every MulShared gather a contiguous num_keys-sized
+// row instead of one cache-missing load per 42 KB-strided per-key table,
+// and the shared scalar means one digit decision covers the whole row.
+// The endomorphism mirror is not materialized: phi is applied to the row
+// while the addend is staged (one field multiplication per lane), halving
+// build work and memory next to FixedBaseTable.
+class FixedBaseTableSet {
+ public:
+  // One shared normalization + per-window batch chains across all keys;
+  // intended for certificate-sized sets (~100+ keys) where the per-row
+  // inversion amortizes.
+  static FixedBaseTableSet Build(const std::vector<EcPoint>& bases);
+
+  size_t num_keys() const { return m_; }
+
+  // out[i] = k(recoding) * base_i for every key, advanced entirely in
+  // batch-affine lockstep across the set.
+  void MulShared(const FixedBaseTable::Recoding& recoding, AffinePoint* out) const;
+
+ private:
+  const AffinePoint* Row(int window, int d) const {
+    return entries_.data() +
+           (static_cast<size_t>(window) * FixedBaseTable::kEntriesPerWindow + (d - 1)) * m_;
+  }
+  AffinePoint* MutableRow(int window, int d) {
+    return entries_.data() +
+           (static_cast<size_t>(window) * FixedBaseTable::kEntriesPerWindow + (d - 1)) * m_;
+  }
+
+  size_t m_ = 0;
+  // Row (window j, digit d) holds d * 16^j * base_i for i = 0..m_-1.
+  std::vector<AffinePoint> entries_;
+};
+
+}  // namespace dstress::crypto
+
+#endif  // SRC_CRYPTO_FIXED_BASE_H_

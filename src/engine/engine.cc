@@ -24,6 +24,7 @@ core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
   config.channel_high_watermark_bytes = spec.channel_high_watermark_bytes;
   config.transport = spec.transport;
   config.batch_mpc = spec.mpc_batching;
+  config.batch_transfer = spec.transfer_batching;
   config.seed = spec.seed;
   return config;
 }

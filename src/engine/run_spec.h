@@ -141,6 +141,11 @@ struct RunSpec {
   // Results and per-node TrafficStats are bit-identical either way; false
   // keeps the seed one-role-per-task schedule for A/B benchmarking.
   bool mpc_batching = true;
+  // Batched transfer plane (core::RuntimeConfig::batch_transfer): per-edge
+  // role work runs as batched tasks against fixed-base key tables. Wire
+  // bytes, released figures, and per-node TrafficStats are bit-identical
+  // either way; false keeps the seed per-role schedule for A/B benchmarking.
+  bool transfer_batching = true;
   int max_parallel_tasks = 0;  // 0 = auto
   size_t channel_high_watermark_bytes = 0;  // 0 = unbounded
   double transfer_budget_alpha = 0.9;

@@ -1,0 +1,85 @@
+// Batched, wire-level implementations of the four transfer roles — the
+// tentpole of the transfer-phase crypto engine (docs/transfer-crypto.md).
+//
+// Each function performs the same cryptographic work as its pure-scheme
+// counterpart in transfer.h but for a whole per-edge burst at once, keeping
+// points in batch-affine form end to end:
+//
+//  * every (recipient, bit) slot of every bundle is one lane of a single
+//    MulBatch over the certificate's FixedBaseTables, sharing one scalar
+//    recoding per sender and one field inversion per window level;
+//  * results are serialized straight from affine coordinates, so the
+//    per-point Jacobian normalization (one field inversion each) on the
+//    seed serialization path disappears;
+//  * aggregation masks come from the EvenNoiseCache instead of a fresh
+//    MulBase per (recipient, bit) slot;
+//  * decryption builds one table for the column's shared ephemeral c1 and
+//    evaluates all (member, bit) secrets against it in lockstep.
+//
+// Bit-fidelity contract: given the same PRG streams, every Bytes value
+// produced here is byte-identical to what the seed schedule sends
+// (transfer_test pins this). Compressed encodings are unique per group
+// element, so equality of group values implies equality of wire bytes; the
+// draw order of every PRG consumer matches the seed path exactly.
+#ifndef SRC_TRANSFER_BATCH_ENGINE_H_
+#define SRC_TRANSFER_BATCH_ENGINE_H_
+
+#include <vector>
+
+#include "src/transfer/transfer.h"
+
+namespace dstress::transfer {
+
+// Cache of even noise points mask*G for the aggregation step: the even
+// geometric masks are small with overwhelming probability, so a dense table
+// of the likely range turns each mask application into a lookup. Out-of-range
+// masks fall back to a MulBase evaluation.
+class EvenNoiseCache {
+ public:
+  // Covers even masks with |mask| <= 2*min(half_range, internal cap).
+  explicit EvenNoiseCache(int64_t half_range);
+
+  // `even_mask` must be even (the transfer only ever applies even noise).
+  crypto::AffinePoint Get(int64_t even_mask) const;
+
+  int64_t covered_steps() const { return max_steps_; }
+
+ private:
+  int64_t max_steps_;
+  std::vector<crypto::AffinePoint> pos_;  // pos_[t] = 2t*G
+  std::vector<crypto::AffinePoint> neg_;  // neg_[t] = -2t*G
+};
+
+// All sender members of one edge in one pass. member_share_bits[x] is member
+// x's L-bit share; prgs[x] is member x's role PRG, consumed exactly as
+// EncryptSubshares does (ShareBits, then one ephemeral scalar). Returns each
+// member's serialized SubshareBundle.
+std::vector<Bytes> EncryptSubsharesWire(const std::vector<mpc::BitVector>& member_share_bits,
+                                        const BlockCertificate& cert,
+                                        std::vector<crypto::ChaCha20Prg>& prgs);
+
+// Node i's aggregation + masking over the serialized bundles; `prg` draws
+// the masks in the same (recipient, bit) order as AggregateSubshares.
+// Returns the serialized AggregatedColumns.
+Bytes AggregateSubsharesWire(const std::vector<Bytes>& bundle_wires, const TransferParams& params,
+                             crypto::ChaCha20Prg& prg, const EvenNoiseCache& noise);
+
+// Node j's adjustment + fan-out split: adjusts c1 with the neighbor key and
+// splices each recipient's c2 row out of the aggregate wire verbatim
+// (compressed encodings are unique, so re-serialization is the identity).
+// Returns one serialized MemberColumn per recipient.
+std::vector<Bytes> AdjustAndSplitWire(const Bytes& agg_wire, const crypto::U256& neighbor_key,
+                                      const TransferParams& params);
+
+// All receiver members of one edge in one pass: one FixedBaseTable for the
+// shared c1, every (member, bit) secret evaluated in lockstep. Returns false
+// on any lookup-table miss (the Appendix B failure event, same contract as
+// RecoverShare).
+bool RecoverSharesWire(const std::vector<Bytes>& column_wires,
+                       const std::vector<const MemberKeys*>& member_keys,
+                       const crypto::DlogTable& table, const TransferParams& params,
+                       std::vector<mpc::BitVector>* shares_out);
+
+}  // namespace dstress::transfer
+
+#endif  // SRC_TRANSFER_BATCH_ENGINE_H_

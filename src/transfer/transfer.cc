@@ -106,6 +106,30 @@ BlockCertificate BlockCertificate::Deserialize(const Bytes& raw) {
   return cert;
 }
 
+std::shared_ptr<const CertTables> BlockCertificate::Tables() const {
+  auto cached = std::atomic_load_explicit(&tables_cache_, std::memory_order_acquire);
+  if (cached) {
+    return cached;
+  }
+  auto built = std::make_shared<CertTables>();
+  built->block_size = static_cast<int>(keys.size());
+  built->message_bits = keys.empty() ? 0 : static_cast<int>(keys[0].size());
+  std::vector<crypto::EcPoint> bases;
+  bases.reserve(static_cast<size_t>(built->block_size) * built->message_bits);
+  for (const auto& member : keys) {
+    for (const auto& pub : member) {
+      bases.push_back(pub.point);
+    }
+  }
+  built->set = crypto::FixedBaseTableSet::Build(bases);
+  std::shared_ptr<const CertTables> expected;
+  std::shared_ptr<const CertTables> desired = built;
+  if (std::atomic_compare_exchange_strong(&tables_cache_, &expected, desired)) {
+    return desired;
+  }
+  return expected;
+}
+
 size_t SubshareBundle::SerializedSize() const {
   size_t slots = 0;
   for (const auto& row : c2) {

@@ -33,9 +33,11 @@
 #ifndef SRC_TRANSFER_TRANSFER_H_
 #define SRC_TRANSFER_TRANSFER_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/crypto/elgamal.h"
+#include "src/crypto/fixed_base.h"
 #include "src/mpc/sharing.h"
 #include "src/net/transport.h"
 
@@ -81,6 +83,18 @@ using BlockPublicKeys = std::vector<std::vector<crypto::ElGamalPublicKey>>;  // 
 BlockKeys TransferSetup(int block_size, int message_bits, crypto::ChaCha20Prg& prg);
 BlockPublicKeys PublicKeysOf(const BlockKeys& keys);
 
+// Fixed-base tables for every [member][bit] key of one certificate — the
+// batched encrypt path's amortization unit: built once per certificate,
+// reused by every per-run transfer along that edge. Keys are flattened in
+// [member * message_bits + bit] order, matching a bundle's (recipient, bit)
+// slot order, so one MulShared call against the set produces a whole
+// bundle's c2 lanes.
+struct CertTables {
+  int block_size = 0;
+  int message_bits = 0;
+  crypto::FixedBaseTableSet set;
+};
+
 // Appendix A `RandomizeKey`: the block certificate C_{i,j} — every member
 // key blinded by the neighbor key r (TP-signed in the paper; the signature
 // is modeled by provenance here since the TP is a trusted setup entity).
@@ -89,6 +103,15 @@ struct BlockCertificate {
 
   Bytes Serialize() const;
   static BlockCertificate Deserialize(const Bytes& raw);
+
+  // Fixed-base tables for every key, built lazily on first use and cached.
+  // Thread-safe via an atomic shared_ptr rather than a mutex so the struct
+  // stays copyable; concurrent first calls may briefly duplicate the build
+  // (benign — the results are value-identical and one wins the exchange).
+  std::shared_ptr<const CertTables> Tables() const;
+
+  // Lazy cache behind Tables(); not part of the serialized form.
+  mutable std::shared_ptr<const CertTables> tables_cache_;
 };
 BlockCertificate MakeBlockCertificate(const BlockPublicKeys& publics, const crypto::U256& r);
 

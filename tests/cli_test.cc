@@ -24,6 +24,7 @@ fanout 16
 epsilon 0.5
 leverage 0.2
 shock 0 1 2
+transfer_batching off
 seed 99
 )",
                             &error);
@@ -41,6 +42,7 @@ seed 99
   EXPECT_DOUBLE_EQ(spec->epsilon, 0.5);
   EXPECT_DOUBLE_EQ(spec->leverage, 0.2);
   EXPECT_EQ(spec->shock.shocked_banks, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(spec->transfer_batching);
   EXPECT_EQ(spec->seed, 99u);
 }
 
@@ -54,6 +56,7 @@ TEST(ScenarioParseTest, DefaultsApply) {
   EXPECT_EQ(spec->iterations, 0);
   EXPECT_EQ(spec->block_size, 4);
   EXPECT_EQ(spec->aggregation_fanout, 0);
+  EXPECT_TRUE(spec->transfer_batching);
 }
 
 TEST(ScenarioParseTest, ExplicitEdges) {
@@ -104,6 +107,7 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network scale_free 20 2\nfanout 1\n", "fanout must be 0"},
       {"network scale_free 20 2\ndegree_cap 0\n", "bad integer"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
+      {"network scale_free 20 2\ntransfer_batching maybe\n", "transfer_batching must be"},
       {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
       {"network scale_free 20 2\nleverage 0\n", "leverage must be in"},
       {"network scale_free 20 2\nedge 0 1\n", "network explicit"},

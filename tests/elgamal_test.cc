@@ -173,6 +173,27 @@ TEST(DlogTableTest, CoversSymmetricRange) {
   EXPECT_FALSE(table.Lookup(MulBase(EncodeExponent(-51)), &out));
 }
 
+TEST(DlogTableTest, LargeRangeBuildsWithoutDigestCollisions) {
+  // The build aborts on any truncated-digest collision; a deliberately large
+  // range exercises that check across ~600k emplaces and the chunked batch
+  // compression path, with spot lookups at the extremes and interior.
+  constexpr int64_t kRange = 300000;
+  DlogTable table(kRange);
+  EXPECT_EQ(table.entries(), static_cast<size_t>(2 * kRange + 1));
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{12345}, int64_t{-299999},
+                    kRange, -kRange}) {
+    int64_t out = 0;
+    ASSERT_TRUE(table.Lookup(MulBase(EncodeExponent(m)), &out)) << m;
+    EXPECT_EQ(out, m);
+  }
+  int64_t out = 0;
+  EXPECT_FALSE(table.Lookup(MulBase(EncodeExponent(kRange + 1)), &out));
+  // The compressed-bytes lookup used by the batched decrypt path agrees.
+  auto compressed = MulBase(EncodeExponent(777)).Compress();
+  ASSERT_TRUE(table.LookupCompressed(compressed.data(), &out));
+  EXPECT_EQ(out, 777);
+}
+
 TEST(DlogTableTest, ZeroRangeOnlyInfinity) {
   DlogTable table(0);
   int64_t out = -1;

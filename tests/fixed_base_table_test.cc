@@ -1,0 +1,204 @@
+#include "src/crypto/fixed_base.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/crypto/chacha20.h"
+
+namespace dstress::crypto {
+namespace {
+
+U256 OrderMinusOne() {
+  U256 e;
+  SubWithBorrow(CurveOrder(), U256::One(), &e);
+  return e;
+}
+
+// The randomized corpus the satellite task pins: table-backed multiplication
+// must agree with the generic ladder for every scalar, including the group
+// identities 0, 1, n-1 and the wrap-around n itself.
+TEST(FixedBaseTableTest, MulMatchesGenericMulOnCorpus) {
+  auto prg = ChaCha20Prg::FromSeed(71);
+  std::vector<EcPoint> bases = {
+      EcPoint::Generator(),
+      MulBase(prg.NextScalar(CurveOrder())),
+      MulBase(prg.NextScalar(CurveOrder())),
+  };
+  std::vector<U256> corpus = {U256(0), U256::One(), U256(2),     U256(8),
+                              U256(16), U256(255),  OrderMinusOne(), CurveOrder()};
+  // Powers of two hit every window boundary; n + small exercises reduction.
+  U256 pow2 = U256::One();
+  for (int i = 0; i < 255; i++) {
+    pow2 = Shl(pow2, 1);
+    if (i % 16 == 0) {
+      corpus.push_back(pow2);
+    }
+  }
+  U256 above_n;
+  AddWithCarry(CurveOrder(), U256(12345), &above_n);
+  corpus.push_back(above_n);
+  while (corpus.size() < 1000) {
+    corpus.push_back(prg.NextScalar(CurveOrder()));
+  }
+
+  for (const EcPoint& base : bases) {
+    FixedBaseTable table(base);
+    for (const U256& k : corpus) {
+      EXPECT_EQ(table.Mul(k), base.Mul(k));
+    }
+  }
+}
+
+TEST(FixedBaseTableTest, InfinityBaseYieldsInfinity) {
+  FixedBaseTable table(EcPoint::Infinity());
+  auto prg = ChaCha20Prg::FromSeed(72);
+  for (int i = 0; i < 8; i++) {
+    EXPECT_TRUE(table.Mul(prg.NextScalar(CurveOrder())).IsInfinity());
+  }
+}
+
+TEST(FixedBaseTableTest, BuildManyMatchesSingleBuilds) {
+  auto prg = ChaCha20Prg::FromSeed(73);
+  std::vector<EcPoint> bases;
+  for (int i = 0; i < 5; i++) {
+    bases.push_back(MulBase(prg.NextScalar(CurveOrder())));
+  }
+  auto tables = FixedBaseTable::BuildMany(bases);
+  ASSERT_EQ(tables.size(), bases.size());
+  for (size_t t = 0; t < bases.size(); t++) {
+    for (int i = 0; i < 16; i++) {
+      U256 k = prg.NextScalar(CurveOrder());
+      EXPECT_EQ(tables[t].Mul(k), bases[t].Mul(k));
+    }
+  }
+}
+
+TEST(FixedBaseTableTest, MulBatchMatchesPerLaneMul) {
+  auto prg = ChaCha20Prg::FromSeed(74);
+  std::vector<EcPoint> bases;
+  for (int i = 0; i < 4; i++) {
+    bases.push_back(MulBase(prg.NextScalar(CurveOrder())));
+  }
+  auto tables = FixedBaseTable::BuildMany(bases);
+
+  // Shared recodings across lanes, mixed with zero and boundary scalars —
+  // the exact aliasing pattern of bundle encryption.
+  std::vector<U256> scalars = {prg.NextScalar(CurveOrder()), U256(0), U256::One(),
+                               OrderMinusOne()};
+  std::vector<FixedBaseTable::Recoding> recodings;
+  for (const U256& k : scalars) {
+    recodings.push_back(FixedBaseTable::Recode(k));
+  }
+  std::vector<MulTask> tasks;
+  std::vector<std::pair<size_t, size_t>> expect;  // (table, scalar)
+  for (size_t t = 0; t < tables.size(); t++) {
+    for (size_t s = 0; s < scalars.size(); s++) {
+      tasks.push_back(MulTask{&tables[t], &recodings[s]});
+      expect.emplace_back(t, s);
+    }
+  }
+  std::vector<AffinePoint> out(tasks.size());
+  MulBatch(tasks.data(), tasks.size(), out.data());
+  for (size_t i = 0; i < tasks.size(); i++) {
+    auto [t, s] = expect[i];
+    EXPECT_EQ(EcPoint::FromAffinePoint(out[i]), bases[t].Mul(scalars[s]));
+  }
+}
+
+TEST(FixedBaseTableSetTest, MulSharedMatchesGenericMulOnCorpus) {
+  auto prg = ChaCha20Prg::FromSeed(78);
+  // Mixed set sizes straddle the per-window build threshold; a duplicated
+  // base and the generator exercise equal-lane and canonical cases.
+  for (size_t m : {1u, 3u, 40u}) {
+    std::vector<EcPoint> bases;
+    bases.push_back(EcPoint::Generator());
+    while (bases.size() < m) {
+      bases.push_back(MulBase(prg.NextScalar(CurveOrder())));
+    }
+    if (m >= 3) {
+      bases[m - 1] = bases[0];
+    }
+    FixedBaseTableSet set = FixedBaseTableSet::Build(bases);
+    ASSERT_EQ(set.num_keys(), bases.size());
+
+    std::vector<U256> corpus = {U256(0), U256::One(), U256(16), OrderMinusOne(), CurveOrder()};
+    while (corpus.size() < 64) {
+      corpus.push_back(prg.NextScalar(CurveOrder()));
+    }
+    std::vector<AffinePoint> out(bases.size());
+    for (const U256& k : corpus) {
+      set.MulShared(FixedBaseTable::Recode(k), out.data());
+      for (size_t i = 0; i < bases.size(); i++) {
+        EXPECT_EQ(EcPoint::FromAffinePoint(out[i]), bases[i].Mul(k)) << "key " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchAffineTest, BatchAddAssignHandlesEverySpecialCase) {
+  auto prg = ChaCha20Prg::FromSeed(75);
+  EcPoint p = MulBase(prg.NextScalar(CurveOrder()));
+  EcPoint q = MulBase(prg.NextScalar(CurveOrder()));
+
+  std::vector<EcPoint> lhs = {p, EcPoint::Infinity(), p, p, EcPoint::Infinity(), q};
+  std::vector<EcPoint> rhs = {q, p, p, p.Neg(), EcPoint::Infinity(), EcPoint::Infinity()};
+  std::vector<AffinePoint> acc(lhs.size()), add(rhs.size());
+  EcPoint::ToAffineBatch(lhs.data(), lhs.size(), acc.data());
+  EcPoint::ToAffineBatch(rhs.data(), rhs.size(), add.data());
+
+  BatchAddAssign(acc.data(), add.data(), acc.size());
+  for (size_t i = 0; i < acc.size(); i++) {
+    EXPECT_EQ(EcPoint::FromAffinePoint(acc[i]), lhs[i].Add(rhs[i])) << "lane " << i;
+  }
+}
+
+TEST(BatchAffineTest, BatchAddSelectedTouchesOnlyIndexedLanes) {
+  auto prg = ChaCha20Prg::FromSeed(76);
+  std::vector<EcPoint> points;
+  for (int i = 0; i < 6; i++) {
+    points.push_back(MulBase(prg.NextScalar(CurveOrder())));
+  }
+  std::vector<AffinePoint> acc(points.size());
+  EcPoint::ToAffineBatch(points.data(), points.size(), acc.data());
+
+  EcPoint delta = MulBase(prg.NextScalar(CurveOrder()));
+  AffinePoint delta_aff;
+  EcPoint::ToAffineBatch(&delta, 1, &delta_aff);
+  std::vector<size_t> indices = {1, 4};
+  std::vector<AffinePoint> add = {delta_aff, delta_aff};
+  BatchAddSelected(acc.data(), indices.data(), add.data(), indices.size());
+  for (size_t i = 0; i < points.size(); i++) {
+    EcPoint want = (i == 1 || i == 4) ? points[i].Add(delta) : points[i];
+    EXPECT_EQ(EcPoint::FromAffinePoint(acc[i]), want) << "lane " << i;
+  }
+}
+
+TEST(BatchAffineTest, ToAffineBatchAndDecompressBatchRoundTrip) {
+  auto prg = ChaCha20Prg::FromSeed(77);
+  std::vector<EcPoint> points = {EcPoint::Infinity()};
+  for (int i = 0; i < 40; i++) {
+    points.push_back(MulBase(prg.NextScalar(CurveOrder())));
+  }
+  points.push_back(EcPoint::Infinity());
+
+  std::vector<AffinePoint> affine(points.size());
+  EcPoint::ToAffineBatch(points.data(), points.size(), affine.data());
+  for (size_t i = 0; i < points.size(); i++) {
+    EXPECT_EQ(EcPoint::FromAffinePoint(affine[i]), points[i]) << "lane " << i;
+  }
+
+  std::vector<uint8_t> wire(points.size() * EcPoint::kCompressedSize);
+  EcPoint::CompressBatch(points.data(), points.size(), wire.data());
+  std::vector<EcPoint> decoded(points.size());
+  ASSERT_TRUE(EcPoint::DecompressBatch(wire.data(), points.size(), decoded.data()));
+  for (size_t i = 0; i < points.size(); i++) {
+    EXPECT_EQ(decoded[i], points[i]) << "lane " << i;
+  }
+
+  wire[1] ^= 0xFF;  // corrupt one x coordinate
+  EXPECT_FALSE(EcPoint::DecompressBatch(wire.data(), points.size(), decoded.data()));
+}
+
+}  // namespace
+}  // namespace dstress::crypto

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/net/sim_network.h"
+#include "src/transfer/batch_engine.h"
 
 namespace dstress::transfer {
 namespace {
@@ -232,6 +233,89 @@ TEST(TransferTest, NetworkedRolesEndToEnd) {
   // Traffic sanity: node 0 (source endpoint) received the k+1 bundles.
   EXPECT_GE(net.NodeStats(0).bytes_received,
             static_cast<uint64_t>(kBlock) * (1 + kBlock * kBits) * 33);
+}
+
+TEST(TransferBatchEngineTest, WireBytesBitIdenticalToSeedPath) {
+  // The tentpole fidelity contract: with identical PRG streams, every wire
+  // message the batched engine produces is byte-identical to the seed
+  // schedule's, across all four roles.
+  constexpr int kBlock = 4;
+  constexpr int kBits = 6;
+  auto setup_prg = crypto::ChaCha20Prg::FromSeed(20);
+  TransferParams params;
+  params.block_size = kBlock;
+  params.message_bits = kBits;
+  params.budget_alpha = 0.9;
+  params.dlog_range = params.RecommendedDlogRange(1e-12);
+
+  BlockKeys keys = TransferSetup(kBlock, kBits, setup_prg);
+  crypto::U256 neighbor_key = setup_prg.NextScalar(crypto::CurveOrder());
+  BlockCertificate cert = MakeBlockCertificate(PublicKeysOf(keys), neighbor_key);
+  crypto::DlogTable table(params.dlog_range);
+  EvenNoiseCache noise(params.dlog_range);
+
+  mpc::BitVector message = {1, 0, 1, 1, 0, 1};
+  auto shares = mpc::ShareBits(message, kBlock, setup_prg);
+
+  // Senders: seed path and batched path from identical per-member PRGs.
+  std::vector<Bytes> seed_bundles;
+  std::vector<SubshareBundle> bundles;
+  for (int x = 0; x < kBlock; x++) {
+    auto prg = crypto::ChaCha20Prg::FromSeed(500 + x);
+    bundles.push_back(EncryptSubshares(shares[x], cert, prg));
+    seed_bundles.push_back(bundles.back().Serialize());
+  }
+  std::vector<crypto::ChaCha20Prg> batch_prgs;
+  for (int x = 0; x < kBlock; x++) {
+    batch_prgs.push_back(crypto::ChaCha20Prg::FromSeed(500 + x));
+  }
+  std::vector<Bytes> batch_bundles = EncryptSubsharesWire(shares, cert, batch_prgs);
+  ASSERT_EQ(batch_bundles.size(), seed_bundles.size());
+  for (int x = 0; x < kBlock; x++) {
+    EXPECT_EQ(batch_bundles[x], seed_bundles[x]) << "sender " << x;
+  }
+
+  // Source endpoint aggregation + masking.
+  auto seed_agg_prg = crypto::ChaCha20Prg::FromSeed(600);
+  Bytes seed_agg = AggregateSubshares(bundles, params, seed_agg_prg).Serialize();
+  auto batch_agg_prg = crypto::ChaCha20Prg::FromSeed(600);
+  Bytes batch_agg = AggregateSubsharesWire(batch_bundles, params, batch_agg_prg, noise);
+  EXPECT_EQ(batch_agg, seed_agg);
+
+  // Dest endpoint adjustment + split.
+  AggregatedColumns adjusted = AdjustAggregated(
+      AggregatedColumns::Deserialize(seed_agg, kBlock, kBits), neighbor_key);
+  std::vector<Bytes> batch_columns = AdjustAndSplitWire(batch_agg, neighbor_key, params);
+  ASSERT_EQ(batch_columns.size(), static_cast<size_t>(kBlock));
+  for (int y = 0; y < kBlock; y++) {
+    Bytes seed_column = MemberColumn{adjusted.c1, adjusted.c2[y]}.Serialize();
+    EXPECT_EQ(batch_columns[y], seed_column) << "recipient " << y;
+  }
+
+  // Receivers: batched recovery agrees with per-member seed recovery and
+  // reconstructs the message.
+  std::vector<const MemberKeys*> key_ptrs;
+  for (int y = 0; y < kBlock; y++) {
+    key_ptrs.push_back(&keys.members[y]);
+  }
+  std::vector<mpc::BitVector> batch_shares;
+  ASSERT_TRUE(RecoverSharesWire(batch_columns, key_ptrs, table, params, &batch_shares));
+  for (int y = 0; y < kBlock; y++) {
+    mpc::BitVector seed_share;
+    ASSERT_TRUE(RecoverShare(MemberColumn{adjusted.c1, adjusted.c2[y]}, keys.members[y], table,
+                             &seed_share));
+    EXPECT_EQ(batch_shares[y], seed_share) << "recipient " << y;
+  }
+  EXPECT_EQ(mpc::ReconstructBits(batch_shares), message);
+}
+
+TEST(TransferBatchEngineTest, NoiseCacheMatchesMulBase) {
+  EvenNoiseCache cache(64);
+  for (int64_t mask : {int64_t{0}, int64_t{2}, int64_t{-2}, int64_t{128}, int64_t{-128},
+                       int64_t{1 << 20}, -int64_t{1 << 20}}) {
+    crypto::EcPoint want = crypto::MulBase(crypto::EncodeExponent(mask));
+    EXPECT_EQ(crypto::EcPoint::FromAffinePoint(cache.Get(mask)), want) << mask;
+  }
 }
 
 TEST(TransferTest, EffectiveAlphaFormula) {

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_fig6.json (ROADMAP item 1's acceptance hook).
+
+Every bench_fig6 run records, for each `secure-projected` row, both the
+batched-engine projection and its seed-schedule baseline measured in the
+SAME run on the SAME machine, so the recorded speedup column is immune to
+host speed and only moves when the engine/baseline ratio moves. This gate
+fails the run if any row's speedup falls below the floor — i.e. if the
+transfer crypto engine's win over the seed schedule regresses.
+
+Usage: tools/check_bench.py BENCH_fig6.json [--min-speedup 5.0]
+                                            [--mode secure-projected]
+Exit status 0 = every row at or above the floor; nonzero prints each
+offending row. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="path to BENCH_fig6.json")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="floor for every row's same-run speedup")
+    parser.add_argument("--mode", default="secure-projected",
+                        help="entry mode the gate applies to")
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        bench = json.load(f)
+
+    rows = [e for e in bench.get("entries", []) if e.get("mode") == args.mode]
+    if not rows:
+        print(f"FAIL: no '{args.mode}' entries in {args.bench_json}")
+        return 1
+
+    failures = []
+    worst = None
+    for e in rows:
+        baseline = e.get("wall_ms_baseline")
+        wall = e.get("wall_ms")
+        if baseline is None or not wall or wall <= 0:
+            failures.append((e, None))
+            continue
+        speedup = baseline / wall
+        if worst is None or speedup < worst[1]:
+            worst = (e, speedup)
+        if speedup < args.min_speedup:
+            failures.append((e, speedup))
+
+    if failures:
+        for e, speedup in failures:
+            shown = "missing baseline" if speedup is None else f"{speedup:.2f}x"
+            print(f"FAIL: N={e.get('N')} D={e.get('D')} {args.mode}: {shown} "
+                  f"< {args.min_speedup:.2f}x floor")
+        return 1
+
+    e, speedup = worst
+    print(f"OK: {len(rows)} '{args.mode}' rows >= {args.min_speedup:.2f}x "
+          f"(worst {speedup:.2f}x at N={e.get('N')} D={e.get('D')}, "
+          f"block_size={bench.get('block_size')}, "
+          f"transfer_workers={bench.get('transfer_workers')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
