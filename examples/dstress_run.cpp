@@ -46,6 +46,10 @@ void PrintCheckSummary(const dstress::engine::RunSpec& spec) {
               spec.topology.num_vertices,
               spec.model == ContagionModel::kEisenbergNoe ? "en" : "egj",
               dstress::engine::ExecutionModeName(spec.mode), spec.transport.backend.c_str());
+  if (spec.ensemble.has_value()) {
+    std::printf("ensemble: %d scenario(s)%s\n", spec.ensemble->Width(),
+                spec.ensemble->epsilon_budget > 0 ? " (epsilon budget capped)" : "");
+  }
   if (spec.transport.external_nodes) {
     std::printf("multi-machine deployment: rendezvous %s:%d, %d external bank process(es)\n",
                 spec.transport.host.c_str(), spec.transport.port, spec.topology.num_vertices);
@@ -90,6 +94,16 @@ int main(int argc, char** argv) {
   }
 
   engine::Engine engine(*spec);
+  if (spec->ensemble.has_value()) {
+    std::printf("running %d-scenario %s ensemble under DStress (%s mode)...\n",
+                spec->ensemble->Width(),
+                spec->model == engine::ContagionModel::kEisenbergNoe ? "Eisenberg-Noe"
+                                                                     : "Elliott-Golub-Jackson",
+                engine::ExecutionModeName(spec->mode));
+    ensemble::EnsembleReport report = engine.RunEnsemble();
+    std::printf("%s", ensemble::FormatEnsembleReport(*spec, report).c_str());
+    return 0;
+  }
   std::printf("running %s scenario under DStress (%s mode)...\n",
               spec->model == engine::ContagionModel::kEisenbergNoe ? "Eisenberg-Noe"
                                                                    : "Elliott-Golub-Jackson",

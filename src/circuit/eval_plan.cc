@@ -26,10 +26,15 @@ EvalPlan::EvalPlan(const Circuit& circuit)
 
 void EvalPlan::EvalPacked(const uint64_t* inputs, size_t words_per_row,
                           uint64_t* outputs) const {
+  std::vector<uint64_t> value(gates_.size() * words_per_row);
+  EvalPacked(inputs, words_per_row, outputs, value.data());
+}
+
+void EvalPlan::EvalPacked(const uint64_t* inputs, size_t words_per_row,
+                          uint64_t* outputs, uint64_t* scratch) const {
   const size_t wpr = words_per_row;
   DSTRESS_CHECK(wpr > 0);
-  std::vector<uint64_t> value(gates_.size() * wpr);
-  uint64_t* rows = value.data();
+  uint64_t* rows = scratch;
   size_t next_input = 0;
   for (size_t i = 0; i < gates_.size(); i++) {
     const Gate& g = gates_[i];

@@ -53,6 +53,14 @@ class EvalPlan {
   // extract only the lanes they packed.
   void EvalPacked(const uint64_t* inputs, size_t words_per_row, uint64_t* outputs) const;
 
+  // As above with a caller-provided wire scratch of num_wires() *
+  // words_per_row words, for hot loops that evaluate the same plan many
+  // times (the ensemble plane re-evaluates per 16-word chunk). The scratch
+  // may be uninitialized: gates are written in topological order before any
+  // reader, and lanes beyond the real instance count are garbage either way.
+  void EvalPacked(const uint64_t* inputs, size_t words_per_row, uint64_t* outputs,
+                  uint64_t* scratch) const;
+
  private:
   std::vector<Gate> gates_;
   std::vector<Wire> outputs_;

@@ -323,7 +323,103 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         if (!p.Int(i, 0, &bank)) {
           return std::nullopt;
         }
+        // A duplicate entry would double-shock a bank silently; more likely
+        // it is a typo in a long bank list, so reject it with the index.
+        for (int existing : spec.shock.shocked_banks) {
+          if (existing == bank) {
+            p.Fail("duplicate shocked bank " + std::to_string(bank));
+            return std::nullopt;
+          }
+        }
         spec.shock.shocked_banks.push_back(bank);
+      }
+    } else if (directive == "ensemble") {
+      if (p.tokens.size() < 2) {
+        p.Fail("ensemble needs a sub-directive (scenario, shock_draws, shock_magnitude_range,"
+               " banks_per_draw, perturb_workload, budget)");
+        return std::nullopt;
+      }
+      if (!spec.ensemble.has_value()) {
+        spec.ensemble.emplace();
+      }
+      ensemble::EnsembleSpec& es = *spec.ensemble;
+      const std::string& sub = p.tokens[1];
+      if (sub == "scenario") {
+        if (p.tokens.size() < 3) {
+          p.Fail("usage: ensemble scenario <bank> [bank...]");
+          return std::nullopt;
+        }
+        ensemble::Scenario scenario;
+        scenario.shock.survival = spec.shock.survival;
+        scenario.label = "scenario";
+        for (size_t i = 2; i < p.tokens.size(); i++) {
+          int bank = 0;
+          if (!p.Int(i, 0, &bank)) {
+            return std::nullopt;
+          }
+          for (int existing : scenario.shock.shocked_banks) {
+            if (existing == bank) {
+              p.Fail("duplicate shocked bank " + std::to_string(bank));
+              return std::nullopt;
+            }
+          }
+          scenario.shock.shocked_banks.push_back(bank);
+          scenario.label += " " + p.tokens[i];
+        }
+        es.scenarios.push_back(std::move(scenario));
+      } else if (sub == "shock_draws") {
+        // "ensemble shock_draws <K> seed <S>"
+        if (p.tokens.size() != 5 || p.tokens[3] != "seed") {
+          p.Fail("usage: ensemble shock_draws <K> seed <S>");
+          return std::nullopt;
+        }
+        int draws = 0;
+        int draw_seed = 0;
+        if (!p.Int(2, 1, &draws) || !p.Int(4, 0, &draw_seed)) {
+          return std::nullopt;
+        }
+        es.shock_draws = draws;
+        es.draw_seed = static_cast<uint64_t>(draw_seed);
+      } else if (sub == "shock_magnitude_range") {
+        if (p.tokens.size() != 4 || !p.Double(2, &es.magnitude_lo) ||
+            !p.Double(3, &es.magnitude_hi)) {
+          if (error->empty()) {
+            p.Fail("usage: ensemble shock_magnitude_range <lo> <hi>");
+          }
+          return std::nullopt;
+        }
+        if (es.magnitude_lo < 0 || es.magnitude_hi > 1 || es.magnitude_lo > es.magnitude_hi) {
+          p.Fail("shock_magnitude_range wants 0 <= lo <= hi <= 1");
+          return std::nullopt;
+        }
+        es.has_magnitude_range = true;
+      } else if (sub == "banks_per_draw") {
+        if (p.tokens.size() != 3 || !p.Int(2, 1, &es.banks_per_draw)) {
+          if (error->empty()) {
+            p.Fail("usage: ensemble banks_per_draw <B>");
+          }
+          return std::nullopt;
+        }
+      } else if (sub == "perturb_workload") {
+        if (p.tokens.size() != 3 || (p.tokens[2] != "on" && p.tokens[2] != "off")) {
+          p.Fail("usage: ensemble perturb_workload on|off");
+          return std::nullopt;
+        }
+        es.perturb_workload = p.tokens[2] == "on";
+      } else if (sub == "budget") {
+        if (p.tokens.size() != 3 || !p.Double(2, &es.epsilon_budget)) {
+          if (error->empty()) {
+            p.Fail("usage: ensemble budget <epsilon>");
+          }
+          return std::nullopt;
+        }
+        if (es.epsilon_budget <= 0) {
+          p.Fail("ensemble budget must be positive");
+          return std::nullopt;
+        }
+      } else {
+        p.Fail("unknown ensemble sub-directive '" + sub + "'");
+        return std::nullopt;
       }
     } else if (directive == "transfer_batching") {
       // A/B knob for the batched transfer crypto engine; results and traffic
@@ -357,6 +453,40 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
   for (int bank : spec.shock.shocked_banks) {
     if (bank >= spec.topology.num_vertices) {
       *error = "shocked bank " + std::to_string(bank) + " out of range";
+      return std::nullopt;
+    }
+  }
+  if (spec.ensemble.has_value()) {
+    const ensemble::EnsembleSpec& es = *spec.ensemble;
+    if (es.scenarios.empty() && es.shock_draws == 0) {
+      *error = "ensemble needs 'ensemble scenario' lines or 'ensemble shock_draws'";
+      return std::nullopt;
+    }
+    if (!es.scenarios.empty() && es.shock_draws > 0) {
+      *error = "ensemble cannot mix explicit 'ensemble scenario' lines with"
+               " 'ensemble shock_draws'";
+      return std::nullopt;
+    }
+    if (es.shock_draws == 0 && (es.has_magnitude_range || es.banks_per_draw > 0)) {
+      *error = "ensemble draw knobs (shock_magnitude_range, banks_per_draw) require"
+               " 'ensemble shock_draws'";
+      return std::nullopt;
+    }
+    if (es.banks_per_draw > spec.topology.num_vertices) {
+      *error = "ensemble banks_per_draw " + std::to_string(es.banks_per_draw) +
+               " exceeds the network's " + std::to_string(spec.topology.num_vertices) + " banks";
+      return std::nullopt;
+    }
+    for (const ensemble::Scenario& scenario : es.scenarios) {
+      for (int bank : scenario.shock.shocked_banks) {
+        if (bank >= spec.topology.num_vertices) {
+          *error = "ensemble scenario bank " + std::to_string(bank) + " out of range";
+          return std::nullopt;
+        }
+      }
+    }
+    if (es.Width() > 1 && spec.aggregation_fanout > 0) {
+      *error = "an ensemble wider than 1 requires flat aggregation (fanout 0)";
       return std::nullopt;
     }
   }

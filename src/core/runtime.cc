@@ -98,7 +98,8 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
     // Auto-size: a run performs about |E|·(k+1)·L·I bit-sum lookups; budget
     // a 1e-6 total failure probability across all of them.
     double draws = static_cast<double>(graph.Edges().size()) * config.block_size *
-                   program.message_bits * std::max(program.iterations, 1);
+                   program.message_bits * std::max(program.iterations, 1) *
+                   std::max(config.ensemble_width, 1);
     transfer_params_.dlog_range =
         transfer_params_.RecommendedDlogRange(1e-6 / std::max(draws, 1.0));
   }
@@ -353,7 +354,7 @@ void Runtime::ComputePhaseBatched() {
 
 void Runtime::CommunicatePhase() {
   if (config_.batch_transfer) {
-    CommunicatePhaseBatched();
+    CommunicatePhaseBatched(/*scenario=*/0);
   } else {
     CommunicatePhaseUnbatched();
   }
@@ -365,8 +366,16 @@ void Runtime::CommunicatePhase() {
 // every Recv is satisfied by a Send from an earlier sub-phase and no task
 // ever parks on a peer. Messages, sessions and byte counts are identical to
 // the unbatched schedule; only the CPU cost per role changes.
-void Runtime::CommunicatePhaseBatched() {
+void Runtime::CommunicatePhaseBatched(int scenario) {
   int k1 = config_.block_size;
+  const int n = graph_.num_vertices();
+  // Ensemble lane (scenario > 0): shares live at flat index s*n + v, and
+  // sessions / PRG instances are salted per scenario so lanes stay
+  // independent streams. scenario == 0 reduces to the solo schedule
+  // bit-for-bit (offset 0, salt 0, same PRG instances).
+  const size_t vertex_offset = static_cast<size_t>(scenario) * n;
+  const uint64_t session_salt = static_cast<uint64_t>(scenario) << 40;
+  const uint64_t prg_base = static_cast<uint64_t>(scenario) * edges_.size();
   if (noise_cache_ == nullptr) {
     noise_cache_ = std::make_unique<transfer::EvenNoiseCache>(dlog_table_->range());
   }
@@ -375,15 +384,15 @@ void Runtime::CommunicatePhaseBatched() {
   // edge sharing the certificate's fixed-base tables.
   RunGrouped(edges_.size(), 1, [&](size_t e, size_t) {
     auto [i, j] = edges_[e];
-    net::SessionId session = kTransferSession | e;
+    net::SessionId session = kTransferSession | session_salt | e;
     int out_slot = SlotOf(graph_.OutNeighbors(i), j);
     std::vector<mpc::BitVector> shares;
     std::vector<crypto::ChaCha20Prg> prgs;
     shares.reserve(k1);
     prgs.reserve(k1);
     for (int x = 0; x < k1; x++) {
-      shares.push_back(outmsg_shares_[i][out_slot][x]);
-      prgs.push_back(RolePrg(0x22, (e << 8) | static_cast<uint64_t>(x)));
+      shares.push_back(outmsg_shares_[vertex_offset + i][out_slot][x]);
+      prgs.push_back(RolePrg(0x22, ((prg_base + e) << 8) | static_cast<uint64_t>(x)));
     }
     std::vector<Bytes> bundles =
         transfer::EncryptSubsharesWire(shares, setup_.edge_certificates.at({i, j}), prgs);
@@ -396,13 +405,13 @@ void Runtime::CommunicatePhaseBatched() {
   // Sub-phase 2: node i aggregates + masks every edge's bundles.
   RunGrouped(edges_.size(), 1, [&](size_t e, size_t) {
     auto [i, j] = edges_[e];
-    net::SessionId session = kTransferSession | e;
+    net::SessionId session = kTransferSession | session_salt | e;
     std::vector<Bytes> bundles;
     bundles.reserve(k1);
     for (int member : setup_.blocks[i]) {
       bundles.push_back(net_->Recv(i, member, transfer::TransferSubSession(session, 0)));
     }
-    auto prg = RolePrg(0x33, e);
+    auto prg = RolePrg(0x33, prg_base + e);
     Bytes agg = transfer::AggregateSubsharesWire(bundles, transfer_params_, prg, *noise_cache_);
     net_->Send(i, j, std::move(agg), transfer::TransferSubSession(session, 1));
   });
@@ -411,7 +420,7 @@ void Runtime::CommunicatePhaseBatched() {
   // burst as RunDestEndpoint, so per-node traffic accounting matches).
   RunGrouped(edges_.size(), 1, [&](size_t e, size_t) {
     auto [i, j] = edges_[e];
-    net::SessionId session = kTransferSession | e;
+    net::SessionId session = kTransferSession | session_salt | e;
     int in_slot = SlotOf(graph_.InNeighbors(j), i);
     Bytes agg = net_->Recv(j, i, transfer::TransferSubSession(session, 1));
     std::vector<Bytes> columns =
@@ -428,7 +437,7 @@ void Runtime::CommunicatePhaseBatched() {
   // per edge sharing the c1 fixed-base table.
   RunGrouped(edges_.size(), 1, [&](size_t e, size_t) {
     auto [i, j] = edges_[e];
-    net::SessionId session = kTransferSession | e;
+    net::SessionId session = kTransferSession | session_salt | e;
     int in_slot = SlotOf(graph_.InNeighbors(j), i);
     std::vector<Bytes> columns;
     std::vector<const transfer::MemberKeys*> keys;
@@ -446,7 +455,7 @@ void Runtime::CommunicatePhaseBatched() {
     // P_fail event, negligible by parameter choice and fatal if it fires.
     DSTRESS_CHECK(ok);
     for (int y = 0; y < k1; y++) {
-      inmsg_shares_[j][in_slot][y] = std::move(shares[y]);
+      inmsg_shares_[vertex_offset + j][in_slot][y] = std::move(shares[y]);
     }
   });
 }
@@ -836,6 +845,268 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   m->update_rounds = compute_rounds_.load(std::memory_order_relaxed);
   m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
   return result;
+}
+
+// --- scenario ensemble (RunEnsemble) ---------------------------------------
+//
+// S scenarios advance in lockstep as extra lanes of the batched planes:
+// role (s, v) lives at flat share index s*n + v, compute phases batch all
+// S*n vertex instances into one EvalBatchInstances pass, transfers reuse the
+// scenario-salted CommunicatePhaseBatched, and a single batched aggregation
+// opens S noised figures. Scenario s's released figure equals
+// Run(initial_states[s]): init-share and transfer randomness cancel out of
+// opened values, and the aggregation noise is drawn from the same
+// (kNoiseRoleTag, m) streams every solo run uses.
+
+void Runtime::InitPhaseEnsemble(const std::vector<std::vector<mpc::BitVector>>& initial_states) {
+  const int n = graph_.num_vertices();
+  const int k1 = config_.block_size;
+  const int d = program_.degree_bound;
+  const int num_scenarios = static_cast<int>(initial_states.size());
+  const size_t total = static_cast<size_t>(num_scenarios) * n;
+
+  state_shares_.assign(total, std::vector<mpc::BitVector>(k1));
+  inmsg_shares_.assign(
+      total, std::vector<std::vector<mpc::BitVector>>(
+                 d, std::vector<mpc::BitVector>(k1, mpc::BitVector(program_.message_bits, 0))));
+  outmsg_shares_.assign(
+      total, std::vector<std::vector<mpc::BitVector>>(
+                 d, std::vector<mpc::BitVector>(k1, mpc::BitVector(program_.message_bits, 0))));
+
+  for (int s = 0; s < num_scenarios; s++) {
+    const uint64_t salt = static_cast<uint64_t>(s) << 40;
+    DSTRESS_CHECK(static_cast<int>(initial_states[s].size()) == n);
+    for (int v = 0; v < n; v++) {
+      DSTRESS_CHECK(static_cast<int>(initial_states[s][v].size()) == program_.state_bits);
+      auto prg = RolePrg(0x11, static_cast<uint64_t>(s) * n + static_cast<uint64_t>(v));
+      auto shares = mpc::ShareBits(initial_states[s][v], k1, prg);
+      for (int m = 0; m < k1; m++) {
+        net_->Send(v, setup_.blocks[v][m], PackBits(shares[m]),
+                   kInitSession | salt | static_cast<uint64_t>(v));
+      }
+    }
+  }
+  for (int s = 0; s < num_scenarios; s++) {
+    const uint64_t salt = static_cast<uint64_t>(s) << 40;
+    for (int v = 0; v < n; v++) {
+      for (int m = 0; m < k1; m++) {
+        Bytes raw = net_->Recv(setup_.blocks[v][m], v, kInitSession | salt | static_cast<uint64_t>(v));
+        state_shares_[static_cast<size_t>(s) * n + v][m] =
+            UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+      }
+    }
+  }
+}
+
+void Runtime::ComputePhaseEnsemble(int num_scenarios) {
+  const int n = graph_.num_vertices();
+  const int k1 = config_.block_size;
+  const size_t num_and = update_circuit_.stats().num_and;
+
+  std::vector<std::pair<int, int>> roles;
+  roles.reserve(static_cast<size_t>(num_scenarios) * n * k1);
+  for (int g = 0; g < num_scenarios * n; g++) {
+    for (int m = 0; m < k1; m++) {
+      roles.emplace_back(g, m);
+    }
+  }
+  RunBatchedPhase(
+      roles, [&](int g, int m) { return setup_.blocks[g % n][m]; },
+      [&](int g, int m) {
+        // Triple sources are shared per (vertex, member) across scenarios —
+        // consumed in ascending scenario order at every member, and triple
+        // randomness cancels out of opened results anyway.
+        const int v = g % n;
+        net::SessionId triple_session = kComputeSession | static_cast<uint64_t>(v);
+        mpc::TripleSource* source =
+            TripleSourceFor(static_cast<uint64_t>(v), m, triple_session, setup_.blocks[v]);
+        mpc::BatchInstance item;
+        item.plan = &update_plan_;
+        item.parties = setup_.blocks[v];
+        item.my_index = m;
+        if (num_and > 0) {
+          item.triples = source->Generate(num_and);
+        }
+        item.input_shares = AssembleUpdateInput(g, m);
+        item.order_key = static_cast<uint64_t>(g);
+        return item;
+      },
+      [&](size_t i, const mpc::BitVector& output) {
+        ScatterUpdateOutput(roles[i].first, roles[i].second, output);
+      },
+      /*count_rounds=*/true);
+}
+
+std::vector<int64_t> Runtime::AggregateEnsemble(int num_scenarios) {
+  const int n = graph_.num_vertices();
+  const int k1 = config_.block_size;
+  circuit::Circuit agg_circuit = BuildAggregateCircuit(program_, n, /*with_noise=*/true);
+  circuit::EvalPlan agg_plan(agg_circuit);
+  const size_t num_and = agg_circuit.stats().num_and;
+  last_aggregate_ands_ = num_and * static_cast<size_t>(num_scenarios);
+
+  for (int s = 0; s < num_scenarios; s++) {
+    const uint64_t salt = static_cast<uint64_t>(s) << 40;
+    for (int v = 0; v < n; v++) {
+      for (int m = 0; m < k1; m++) {
+        net_->Send(setup_.blocks[v][m], setup_.aggregation_block[m],
+                   PackBits(state_shares_[static_cast<size_t>(s) * n + v][m]),
+                   kAggGatherSession | salt | static_cast<uint64_t>(v));
+      }
+    }
+  }
+
+  std::vector<std::pair<int, int>> roles;  // (scenario, member)
+  roles.reserve(static_cast<size_t>(num_scenarios) * k1);
+  for (int s = 0; s < num_scenarios; s++) {
+    for (int m = 0; m < k1; m++) {
+      roles.emplace_back(s, m);
+    }
+  }
+  std::vector<std::vector<mpc::BitVector>> out_shares(num_scenarios,
+                                                      std::vector<mpc::BitVector>(k1));
+  RunBatchedPhase(
+      roles, [&](int, int m) { return setup_.aggregation_block[m]; },
+      [&](int s, int m) {
+        const uint64_t salt = static_cast<uint64_t>(s) << 40;
+        mpc::BitVector input;
+        input.reserve(agg_circuit.num_inputs());
+        for (int v = 0; v < n; v++) {
+          Bytes raw = net_->Recv(setup_.aggregation_block[m], setup_.blocks[v][m],
+                                 kAggGatherSession | salt | static_cast<uint64_t>(v));
+          mpc::AppendBits(&input, UnpackBits(raw, static_cast<size_t>(program_.state_bits)));
+        }
+        // Fresh (kNoiseRoleTag, m) stream per scenario: every lane gets the
+        // exact noise its solo run would draw.
+        auto prg = RolePrg(kNoiseRoleTag, static_cast<uint64_t>(m));
+        size_t noise_bits = dp::NoiseInputBits(program_.output_noise);
+        for (size_t b = 0; b < noise_bits; b++) {
+          input.push_back(prg.NextBit() ? 1 : 0);
+        }
+        mpc::TripleSource* source =
+            TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+        mpc::BatchInstance item;
+        item.plan = &agg_plan;
+        item.parties = setup_.aggregation_block;
+        item.my_index = m;
+        if (num_and > 0) {
+          item.triples = source->Generate(num_and);
+        }
+        item.input_shares = std::move(input);
+        item.order_key = static_cast<uint64_t>(s);
+        return item;
+      },
+      [&](size_t i, const mpc::BitVector& output) {
+        out_shares[roles[i].first][roles[i].second] = output;
+      },
+      /*count_rounds=*/false);
+
+  // Open every scenario's noised aggregate: a full share exchange among the
+  // aggregation block (every member both sends and receives, so no session
+  // queue is left behind).
+  for (int s = 0; s < num_scenarios; s++) {
+    const uint64_t salt = static_cast<uint64_t>(s) << 40;
+    for (int m = 0; m < k1; m++) {
+      for (int m2 = 0; m2 < k1; m2++) {
+        if (m2 == m) {
+          continue;
+        }
+        net_->Send(setup_.aggregation_block[m], setup_.aggregation_block[m2],
+                   PackBits(out_shares[s][m]),
+                   kAggCombineSession | salt | static_cast<uint64_t>(m));
+      }
+    }
+  }
+  std::vector<int64_t> results(num_scenarios, 0);
+  for (int s = 0; s < num_scenarios; s++) {
+    const uint64_t salt = static_cast<uint64_t>(s) << 40;
+    for (int m = 0; m < k1; m++) {
+      mpc::BitVector opened = out_shares[s][m];
+      for (int m2 = 0; m2 < k1; m2++) {
+        if (m2 == m) {
+          continue;
+        }
+        Bytes raw = net_->Recv(setup_.aggregation_block[m], setup_.aggregation_block[m2],
+                               kAggCombineSession | salt | static_cast<uint64_t>(m2));
+        mpc::BitVector other = UnpackBits(raw, opened.size());
+        for (size_t b = 0; b < opened.size(); b++) {
+          opened[b] ^= other[b];
+        }
+      }
+      if (m == 0) {
+        results[s] = mpc::BitsToSignedWord(opened, 0, program_.aggregate_bits);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<int64_t> Runtime::RunEnsemble(
+    const std::vector<std::vector<mpc::BitVector>>& initial_states, RunMetrics* metrics) {
+  const int num_scenarios = static_cast<int>(initial_states.size());
+  DSTRESS_CHECK(num_scenarios > 0);
+  if (num_scenarios == 1) {
+    // Width-1 ensemble == solo run, traffic included.
+    RunMetrics local;
+    RunMetrics* m = metrics != nullptr ? metrics : &local;
+    return {Run(initial_states[0], m)};
+  }
+  // S > 1 aggregates all scenarios through the flat batched aggregation;
+  // the tree variant has no ensemble schedule.
+  DSTRESS_CHECK(config_.aggregation_fanout == 0);
+
+  RunMetrics local;
+  RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
+  triples_consumed_.store(0, std::memory_order_relaxed);
+  compute_rounds_.store(0, std::memory_order_relaxed);
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  Stopwatch phase;
+  InitPhaseEnsemble(initial_states);
+  m->init.seconds = phase.ElapsedSeconds();
+  m->init.bytes = net_->TotalBytes() - bytes_before;
+
+  uint64_t phase_bytes = net_->TotalBytes();
+  for (int iter = 0; iter < program_.iterations; iter++) {
+    phase.Reset();
+    ComputePhaseEnsemble(num_scenarios);
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    for (int s = 0; s < num_scenarios; s++) {
+      CommunicatePhaseBatched(s);
+    }
+    m->communicate.seconds += phase.ElapsedSeconds();
+    m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+  }
+  phase.Reset();
+  ComputePhaseEnsemble(num_scenarios);
+  m->compute.seconds += phase.ElapsedSeconds();
+  m->compute.bytes += net_->TotalBytes() - phase_bytes;
+  phase_bytes = net_->TotalBytes();
+
+  phase.Reset();
+  last_aggregate_ands_ = 0;
+  std::vector<int64_t> results = AggregateEnsemble(num_scenarios);
+  m->aggregate_and_gates = last_aggregate_ands_;
+  m->aggregate.seconds = phase.ElapsedSeconds();
+  m->aggregate.bytes = net_->TotalBytes() - phase_bytes;
+
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / graph_.num_vertices();
+  m->update_rounds = compute_rounds_.load(std::memory_order_relaxed);
+  m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
+  return results;
 }
 
 }  // namespace dstress::core

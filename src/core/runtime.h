@@ -112,6 +112,10 @@ struct RuntimeConfig {
   // Which wire carries the run (resolved via net::MakeTransport; "sim" or
   // "tcp" built in). The runtime never names a concrete transport type.
   net::TransportSpec transport;
+  // Largest scenario count Runtime::RunEnsemble will be called with (1 =
+  // solo runs only). Only scales the auto-sized dlog-table failure budget:
+  // an ensemble multiplies the transfer draws per run by its width.
+  int ensemble_width = 1;
   uint64_t seed = 1;
 };
 
@@ -164,6 +168,19 @@ class Runtime {
   // run (state is re-initialized), but OT/triple sessions persist.
   int64_t Run(const std::vector<mpc::BitVector>& initial_states, RunMetrics* metrics);
 
+  // Scenario-ensemble run: S independent programs (initial_states[s][v] =
+  // scenario s's state for vertex v) advance in one lockstep pass — every
+  // batched phase carries all S scenarios as extra lanes of the same
+  // EvalBatchInstances / per-edge transfer batches — and S noised
+  // aggregates are opened. Scenario s's figure is identical to
+  // Run(initial_states[s]): per-scenario PRG roles (init shares, transfer
+  // masks, aggregation noise) reproduce the solo streams, and S == 1
+  // delegates to Run() outright (bit-identical traffic included). Ensembles
+  // always use the batched planes regardless of batch_mpc/batch_transfer;
+  // S > 1 requires aggregation_fanout == 0 (flat aggregation).
+  std::vector<int64_t> RunEnsemble(const std::vector<std::vector<mpc::BitVector>>& initial_states,
+                                   RunMetrics* metrics);
+
   const net::Transport& network() const { return *net_; }
   // Attaches a NetworkObserver (e.g. an audit::TranscriptRecorder; nullptr
   // detaches); see src/audit. Must happen before the first Run: the
@@ -185,11 +202,20 @@ class Runtime {
   // The two communication-step schedules (RuntimeConfig::batch_transfer):
   // four barrier-separated sub-phases of per-edge batched crypto vs one
   // task per transfer role. Identical wire traffic; docs/transfer-crypto.md.
-  void CommunicatePhaseBatched();
+  // `scenario` selects the ensemble lane (0 = the solo run: sessions and
+  // PRG instances are then exactly the seed schedule's).
+  void CommunicatePhaseBatched(int scenario);
   void CommunicatePhaseUnbatched();
   int64_t AggregatePhase();
   int64_t AggregateSingleLevel();
   int64_t AggregateTree();
+
+  // Ensemble phases (RunEnsemble, S > 1): the share arrays are sized S*n
+  // and role (s, v) lives at flat index s*n + v, so the solo
+  // Assemble/Scatter helpers work unchanged on flat indices.
+  void InitPhaseEnsemble(const std::vector<std::vector<mpc::BitVector>>& initial_states);
+  void ComputePhaseEnsemble(int num_scenarios);
+  std::vector<int64_t> AggregateEnsemble(int num_scenarios);
 
   // This party's share of one update-circuit input vector (state + incoming
   // message slots) and the inverse scatter of an output vector.

@@ -1,5 +1,7 @@
 #include "src/dp/release.h"
 
+#include <cstdio>
+
 #include "src/common/check.h"
 #include "src/dp/samplers.h"
 
@@ -15,6 +17,36 @@ std::optional<int64_t> ReleaseManager::Release(const std::string& label, int64_t
   int64_t released = GeometricMechanism(prg_, value, sensitivity, epsilon);
   history_.push_back(ReleaseRecord{label, epsilon, sensitivity, released});
   return released;
+}
+
+bool ReleaseManager::ChargeEnsemble(const std::string& label, int count, double epsilon_each,
+                                    std::string* error) {
+  DSTRESS_CHECK(count > 0);
+  DSTRESS_CHECK(epsilon_each > 0);
+  const double composed = static_cast<double>(count) * epsilon_each;
+  const double remaining = accountant_.remaining();
+  if (composed > remaining) {
+    if (error != nullptr) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "ensemble '%s': composed epsilon %.6g (%d scenarios x %.6g) exceeds "
+                    "remaining budget %.6g by %.6g; refusing release",
+                    label.c_str(), composed, count, epsilon_each, remaining,
+                    composed - remaining);
+      *error = buf;
+    }
+    return false;
+  }
+  DSTRESS_CHECK(accountant_.Charge(composed));
+  for (int k = 0; k < count; k++) {
+    history_.push_back(ReleaseRecord{label + "[" + std::to_string(k) + "/" +
+                                         std::to_string(count) + "]",
+                                     epsilon_each, /*sensitivity=*/0, /*released_value=*/0});
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  return true;
 }
 
 }  // namespace dstress::dp

@@ -42,6 +42,17 @@ class ReleaseManager {
   std::optional<int64_t> Release(const std::string& label, int64_t value, double sensitivity,
                                  double epsilon);
 
+  // Ensemble composition: an ensemble of `count` scenarios each released at
+  // epsilon_each composes (sequential composition) to count * epsilon_each.
+  // Charges the composed epsilon atomically — either the whole ensemble fits
+  // in the remaining budget and is charged, or nothing is charged, false is
+  // returned, and *error names the overrun (composed eps, remaining budget,
+  // and by how much the ensemble exceeds it). The per-scenario charges are
+  // recorded in history() as "<label>[k/count]" entries so the audit trail
+  // stays per-release.
+  bool ChargeEnsemble(const std::string& label, int count, double epsilon_each,
+                      std::string* error);
+
   // New budget year (paper: replenished once per year).
   void Replenish() { accountant_.Replenish(); }
 

@@ -53,6 +53,17 @@ class ExecutionBackend {
   virtual int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
                           core::RunMetrics* metrics) = 0;
 
+  // Ensemble plane: one run per element of `per_scenario_states` (scenario
+  // s's state for vertex v at per_scenario_states[s][v]), returning one
+  // released aggregate per scenario. The built-in backends pack scenarios
+  // into the lanes of the batched data planes so the whole ensemble costs
+  // one lockstep pass; the default implementation is the semantic fallback
+  // (independent Execute per scenario) so registered override backends keep
+  // working. Scenario s's figure must equal a solo Execute of its states.
+  virtual std::vector<int64_t> ExecuteEnsemble(
+      const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+      core::RunMetrics* metrics);
+
   // Attaches a transport observer (audit layer); must happen before the
   // first Execute, see net::Transport::SetObserver.
   virtual void AttachObserver(net::NetworkObserver* observer) = 0;

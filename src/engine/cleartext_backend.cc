@@ -11,6 +11,7 @@
 #include "src/core/worker_pool.h"
 #include "src/crypto/chacha20.h"
 #include "src/dp/noise_circuit.h"
+#include "src/mpc/packed.h"
 #include "src/net/transport_spec.h"
 
 namespace dstress::engine {
@@ -60,6 +61,38 @@ mpc::BitVector WordToBits(uint64_t value, int bits) {
     out[i] = (value >> i) & 1;
   }
   return out;
+}
+
+// Bit-packed payload helpers for the ensemble wire format: bit r of
+// scenario s travels at payload bit r*S + s, so an S=1 payload is
+// byte-identical to PackBits of the corresponding solo message.
+// Byte-wise, not bit-wise: lane groups are up to 64 bits and these run once
+// per (edge, message bit), which is the ensemble communicate phase's hot
+// loop. Groups never overlap, so OR-ing into the zero-initialized payload
+// is enough.
+void InsertBits(Bytes* out, size_t bit_offset, uint64_t bits, int count) {
+  if (count < 64) {
+    bits &= (1ULL << count) - 1;
+  }
+  size_t byte = bit_offset / 8;
+  const int shift = static_cast<int>(bit_offset % 8);
+  (*out)[byte] |= static_cast<uint8_t>(bits << shift);
+  for (int written = 8 - shift; written < count; written += 8) {
+    (*out)[++byte] |= static_cast<uint8_t>(bits >> written);
+  }
+}
+
+uint64_t ExtractBits(const Bytes& raw, size_t bit_offset, int count) {
+  size_t byte = bit_offset / 8;
+  const int shift = static_cast<int>(bit_offset % 8);
+  uint64_t bits = raw[byte] >> shift;
+  for (int got = 8 - shift; got < count; got += 8) {
+    bits |= static_cast<uint64_t>(raw[++byte]) << got;
+  }
+  if (count < 64) {
+    bits &= (1ULL << count) - 1;
+  }
+  return bits;
 }
 
 int SlotOf(const std::vector<int>& neighbors, int target) {
@@ -113,6 +146,10 @@ class CleartextFastBackend : public ExecutionBackend {
   int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
                   core::RunMetrics* metrics) override;
 
+  std::vector<int64_t> ExecuteEnsemble(
+      const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+      core::RunMetrics* metrics) override;
+
   void AttachObserver(net::NetworkObserver* observer) override { net_->SetObserver(observer); }
 
   const net::Transport& transport() const override { return *net_; }
@@ -124,6 +161,16 @@ class CleartextFastBackend : public ExecutionBackend {
   uint64_t GatherFlat();
   uint64_t GatherTree();
 
+  // Scenario-ensemble lane plane (docs/ensemble.md): scenario s of a
+  // <=64-wide chunk lives in lane v*P + s of a packed matrix (P = smallest
+  // power of two >= S, so a vertex's lanes form one contiguous group).
+  void EvalPlanPacked(const circuit::EvalPlan& plan, const mpc::PackedShareMatrix& in_mat,
+                      mpc::PackedShareMatrix& out_mat);
+  void CommunicateEnsembleChunk(const mpc::PackedShareMatrix& out_mat,
+                                mpc::PackedShareMatrix& in_mat, int num_scenarios, int stride);
+  void AggregateEnsembleChunk(const mpc::PackedShareMatrix& state_mat, int num_scenarios,
+                              int stride, int64_t* results);
+
   const graph::Graph& graph_;
   core::VertexProgram program_;
   core::RuntimeConfig config_;
@@ -131,6 +178,9 @@ class CleartextFastBackend : public ExecutionBackend {
   // Precompiled once; every computation step's bitsliced chunks reuse it.
   circuit::EvalPlan update_plan_{update_circuit_};
   circuit::Circuit contribution_circuit_;
+  // Packed plan over the single-vertex contribution circuit: the ensemble
+  // aggregation evaluates all n*S contributions in one bitsliced pass.
+  circuit::EvalPlan contribution_plan_{contribution_circuit_};
   std::unique_ptr<circuit::Circuit> noise_circuit_;
   std::vector<std::pair<int, int>> edges_;
   std::vector<int> out_slot_;
@@ -329,6 +379,261 @@ int64_t CleartextFastBackend::AggregatePhase() {
     return static_cast<int64_t>(value) - static_cast<int64_t>(1ULL << agg_bits);
   }
   return static_cast<int64_t>(value);
+}
+
+void CleartextFastBackend::EvalPlanPacked(const circuit::EvalPlan& plan,
+                                          const mpc::PackedShareMatrix& in_mat,
+                                          mpc::PackedShareMatrix& out_mat) {
+  const size_t words = in_mat.words_per_row();
+  const size_t in_rows = plan.num_inputs();
+  const size_t out_rows = plan.num_outputs();
+  const size_t num_wires = plan.num_wires();
+  // Small word chunks keep the per-task wire scratch (num_wires * chunk
+  // words) cache-resident; one 64-lane-wide pass over a large circuit would
+  // blow it out.
+  constexpr size_t kWordsPerTask = 16;
+  const size_t num_tasks = (words + kWordsPerTask - 1) / kWordsPerTask;
+  pool_->RunGrouped(num_tasks, 1, [&](size_t task, size_t) {
+    const size_t w0 = task * kWordsPerTask;
+    const size_t cw = std::min(kWordsPerTask, words - w0);
+    // Uninitialized on purpose: in/out are fully written before being read,
+    // and the 4-arg EvalPacked tolerates garbage scratch. Zeroing num_wires
+    // * cw words per task would cost more than the evaluation itself.
+    std::unique_ptr<uint64_t[]> in_chunk(new uint64_t[in_rows * cw]);
+    std::unique_ptr<uint64_t[]> out_chunk(new uint64_t[out_rows * cw]);
+    std::unique_ptr<uint64_t[]> scratch(new uint64_t[num_wires * cw]);
+    for (size_t r = 0; r < in_rows; r++) {
+      std::copy_n(in_mat.row(r) + w0, cw, &in_chunk[r * cw]);
+    }
+    plan.EvalPacked(in_chunk.get(), cw, out_chunk.get(), scratch.get());
+    for (size_t r = 0; r < out_rows; r++) {
+      std::copy_n(&out_chunk[r * cw], cw, out_mat.row(r) + w0);
+    }
+  });
+}
+
+void CleartextFastBackend::CommunicateEnsembleChunk(const mpc::PackedShareMatrix& out_mat,
+                                                    mpc::PackedShareMatrix& in_mat,
+                                                    int num_scenarios, int stride) {
+  // One message per directed edge regardless of the scenario count — the
+  // whole point of the lane plane's amortization. Payload bit r*S + s is
+  // message bit r of scenario s.
+  const int sb = program_.state_bits;
+  const int mb = program_.message_bits;
+  const size_t payload_bits = static_cast<size_t>(mb) * num_scenarios;
+  for (size_t e = 0; e < edges_.size(); e++) {
+    auto [i, j] = edges_[e];
+    Bytes payload((payload_bits + 7) / 8, 0);
+    const size_t row0 = static_cast<size_t>(sb) + static_cast<size_t>(out_slot_[e]) * mb;
+    for (int r = 0; r < mb; r++) {
+      InsertBits(&payload, static_cast<size_t>(r) * num_scenarios,
+                 out_mat.GetLaneGroup(row0 + r, static_cast<size_t>(i) * stride, num_scenarios),
+                 num_scenarios);
+    }
+    net_->Send(i, j, std::move(payload), kEdgeSession | e);
+  }
+  for (size_t e = 0; e < edges_.size(); e++) {
+    auto [i, j] = edges_[e];
+    Bytes raw = net_->Recv(j, i, kEdgeSession | e);
+    DSTRESS_CHECK(raw.size() == (payload_bits + 7) / 8);
+    const size_t row0 = static_cast<size_t>(sb) + static_cast<size_t>(in_slot_[e]) * mb;
+    for (int r = 0; r < mb; r++) {
+      in_mat.SetLaneGroup(row0 + r, static_cast<size_t>(j) * stride, num_scenarios,
+                          ExtractBits(raw, static_cast<size_t>(r) * num_scenarios, num_scenarios));
+    }
+  }
+}
+
+void CleartextFastBackend::AggregateEnsembleChunk(const mpc::PackedShareMatrix& state_mat,
+                                                  int num_scenarios, int stride,
+                                                  int64_t* results) {
+  const int n = graph_.num_vertices();
+  const int sb = program_.state_bits;
+  const size_t payload_bits = static_cast<size_t>(sb) * num_scenarios;
+  for (int v = 0; v < n; v++) {
+    Bytes payload((payload_bits + 7) / 8, 0);
+    for (int r = 0; r < sb; r++) {
+      InsertBits(&payload, static_cast<size_t>(r) * num_scenarios,
+                 state_mat.GetLaneGroup(r, static_cast<size_t>(v) * stride, num_scenarios),
+                 num_scenarios);
+    }
+    net_->Send(v, kAggregatorNode, std::move(payload), kGatherSession | static_cast<uint64_t>(v));
+  }
+
+  const size_t lanes = static_cast<size_t>(n) * stride;
+  mpc::PackedShareMatrix contrib_in(contribution_plan_.num_inputs(), lanes);
+  for (int v = 0; v < n; v++) {
+    Bytes raw = net_->Recv(kAggregatorNode, v, kGatherSession | static_cast<uint64_t>(v));
+    DSTRESS_CHECK(raw.size() == (payload_bits + 7) / 8);
+    for (int r = 0; r < sb; r++) {
+      contrib_in.SetLaneGroup(r, static_cast<size_t>(v) * stride, num_scenarios,
+                              ExtractBits(raw, static_cast<size_t>(r) * num_scenarios,
+                                          num_scenarios));
+    }
+  }
+  mpc::PackedShareMatrix contrib_out(contribution_plan_.num_outputs(), lanes);
+  EvalPlanPacked(contribution_plan_, contrib_in, contrib_out);
+
+  // Per vertex: bit-transpose the agg_bits x S contribution block so word s
+  // becomes scenario s's contribution word, then accumulate — no per-bit
+  // loops in the reduction.
+  const int agg_bits = program_.aggregate_bits;
+  DSTRESS_CHECK(agg_bits <= 64);
+  std::vector<uint64_t> sums(num_scenarios, 0);
+  uint64_t block[64];
+  for (int v = 0; v < n; v++) {
+    for (int b = 0; b < 64; b++) {
+      block[b] = b < agg_bits
+                     ? contrib_out.GetLaneGroup(b, static_cast<size_t>(v) * stride, num_scenarios)
+                     : 0;
+    }
+    mpc::TransposeBits64x64(block);
+    for (int s = 0; s < num_scenarios; s++) {
+      sums[s] += block[s];
+    }
+  }
+
+  // The noise is sampled once and added to every scenario's sum: each solo
+  // run with the same seed draws this exact stream, which is what makes
+  // every lane bit-identical to its solo release.
+  auto prg = crypto::ChaCha20Prg::FromSeed(
+      core::RolePrgSeed(config_.seed, core::kNoiseRoleTag), /*instance=*/0);
+  std::vector<uint8_t> noise_input(noise_circuit_->num_inputs());
+  for (auto& bit : noise_input) {
+    bit = prg.NextBit() ? 1 : 0;
+  }
+  const uint64_t noise = BitsToWord(noise_circuit_->Eval(noise_input));
+
+  const uint64_t mask = agg_bits >= 64 ? ~0ULL : (1ULL << agg_bits) - 1;
+  for (int s = 0; s < num_scenarios; s++) {
+    uint64_t value = (sums[s] + noise) & mask;
+    if (agg_bits < 64 && (value >> (agg_bits - 1)) != 0) {
+      results[s] = static_cast<int64_t>(value) - static_cast<int64_t>(1ULL << agg_bits);
+    } else {
+      results[s] = static_cast<int64_t>(value);
+    }
+  }
+}
+
+std::vector<int64_t> CleartextFastBackend::ExecuteEnsemble(
+    const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+    core::RunMetrics* metrics) {
+  const int total_scenarios = static_cast<int>(per_scenario_states.size());
+  DSTRESS_CHECK(total_scenarios > 0);
+  if (total_scenarios == 1) {
+    // Width-1 ensemble == solo run, traffic included.
+    core::RunMetrics local;
+    core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+    return {Execute(per_scenario_states[0], m)};
+  }
+  // Mirrors the secure plane: the ensemble aggregation schedule is flat.
+  DSTRESS_CHECK(config_.aggregation_fanout == 0);
+
+  const int n = graph_.num_vertices();
+  const int sb = program_.state_bits;
+
+  core::RunMetrics local;
+  core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  std::vector<int64_t> results(total_scenarios, 0);
+  for (int chunk_lo = 0; chunk_lo < total_scenarios; chunk_lo += 64) {
+    const int num_scenarios = std::min(64, total_scenarios - chunk_lo);
+    int stride = 1;
+    while (stride < num_scenarios) {
+      stride <<= 1;
+    }
+    const size_t lanes = static_cast<size_t>(n) * stride;
+
+    Stopwatch phase;
+    uint64_t chunk_bytes = net_->TotalBytes();
+    mpc::PackedShareMatrix in_mat(update_plan_.num_inputs(), lanes);
+    mpc::PackedShareMatrix out_mat(update_plan_.num_outputs(), lanes);
+    for (int s = 0; s < num_scenarios; s++) {
+      const auto& states = per_scenario_states[chunk_lo + s];
+      DSTRESS_CHECK(static_cast<int>(states.size()) == n);
+      for (int v = 0; v < n; v++) {
+        DSTRESS_CHECK(static_cast<int>(states[v].size()) == sb);
+      }
+    }
+    if (sb <= 64) {
+      // Per vertex: word-pack each scenario's state, transpose the S x sb
+      // block, and the rows come out as ready-made lane groups.
+      uint64_t block[64];
+      for (int v = 0; v < n; v++) {
+        for (int s = 0; s < 64; s++) {
+          uint64_t word = 0;
+          if (s < num_scenarios) {
+            const mpc::BitVector& state = per_scenario_states[chunk_lo + s][v];
+            for (int r = 0; r < sb; r++) {
+              word |= static_cast<uint64_t>(state[r] & 1) << r;
+            }
+          }
+          block[s] = word;
+        }
+        mpc::TransposeBits64x64(block);
+        for (int r = 0; r < sb; r++) {
+          in_mat.SetLaneGroup(r, static_cast<size_t>(v) * stride, num_scenarios, block[r]);
+        }
+      }
+    } else {
+      for (int v = 0; v < n; v++) {
+        for (int r = 0; r < sb; r++) {
+          uint64_t bits = 0;
+          for (int s = 0; s < num_scenarios; s++) {
+            if (per_scenario_states[chunk_lo + s][v][r] & 1) {
+              bits |= 1ULL << s;
+            }
+          }
+          in_mat.SetLaneGroup(r, static_cast<size_t>(v) * stride, num_scenarios, bits);
+        }
+      }
+    }
+    m->init.seconds += phase.ElapsedSeconds();
+    m->init.bytes += net_->TotalBytes() - chunk_bytes;
+
+    uint64_t phase_bytes = net_->TotalBytes();
+    for (int iter = 0; iter < program_.iterations; iter++) {
+      phase.Reset();
+      EvalPlanPacked(update_plan_, in_mat, out_mat);
+      for (int r = 0; r < sb; r++) {
+        std::copy_n(out_mat.row(r), out_mat.words_per_row(), in_mat.row(r));
+      }
+      m->compute.seconds += phase.ElapsedSeconds();
+      m->compute.bytes += net_->TotalBytes() - phase_bytes;
+      phase_bytes = net_->TotalBytes();
+
+      phase.Reset();
+      CommunicateEnsembleChunk(out_mat, in_mat, num_scenarios, stride);
+      m->communicate.seconds += phase.ElapsedSeconds();
+      m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+      phase_bytes = net_->TotalBytes();
+    }
+    phase.Reset();
+    EvalPlanPacked(update_plan_, in_mat, out_mat);
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    AggregateEnsembleChunk(out_mat, num_scenarios, stride, &results[chunk_lo]);
+    m->aggregate_and_gates +=
+        contribution_circuit_.stats().num_and * static_cast<size_t>(n) * num_scenarios +
+        noise_circuit_->stats().num_and;
+    m->aggregate.seconds += phase.ElapsedSeconds();
+    m->aggregate.bytes += net_->TotalBytes() - phase_bytes;
+  }
+
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / n;
+  return results;
 }
 
 int64_t CleartextFastBackend::Execute(const std::vector<mpc::BitVector>& initial_states,

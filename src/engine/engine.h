@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/engine/run_spec.h"
+#include "src/ensemble/ensemble.h"
 #include "src/net/transport.h"
 
 namespace dstress::engine {
@@ -45,8 +46,16 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Executes the stress test once. Reusable: each call is an independent
-  // run over the same compiled spec.
+  // run over the same compiled spec. With spec.ensemble set this runs the
+  // *base* scenario only; use RunEnsemble for the ensemble.
   RunReport Run();
+
+  // Executes every scenario of spec.ensemble in one lockstep pass (one lane
+  // per scenario in the batched data planes) and reduces the per-lane
+  // figures into a distributional report. Charges the composed epsilon
+  // against spec.ensemble->epsilon_budget first and aborts — naming the
+  // overrun — if the ensemble does not fit. Requires spec.ensemble.
+  ensemble::EnsembleReport RunEnsemble();
 
   // Attaches a transport observer (e.g. audit::TranscriptRecorder; nullptr
   // detaches). Must be called before the first Run().
@@ -75,6 +84,15 @@ class Engine {
   std::string model_name_;
   int iterations_ = 0;
   std::unique_ptr<ExecutionBackend> backend_;
+
+  // Ensemble compilation (spec_.ensemble): the materialized scenarios, one
+  // initial-state vector per scenario, and the cleartext reference channel
+  // (per-scenario reference TDS + per-bank default indicators).
+  void CompileEnsemble(int degree_bound);
+  std::vector<ensemble::Scenario> scenarios_;
+  std::vector<std::vector<mpc::BitVector>> ensemble_states_;
+  std::vector<uint64_t> ensemble_refs_;
+  std::vector<std::vector<uint8_t>> ensemble_defaults_;
 };
 
 }  // namespace dstress::engine

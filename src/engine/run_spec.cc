@@ -106,6 +106,21 @@ int AutoIterations(int num_vertices) {
   return i;
 }
 
+finance::WorkloadParams DeriveWorkloadParams(const RunSpec& spec) {
+  if (spec.workload.has_value()) {
+    return *spec.workload;
+  }
+  finance::WorkloadParams workload;
+  workload.format = spec.format;
+  workload.seed = spec.seed;
+  if (!spec.graph.has_value() && spec.topology.kind == TopologySpec::Kind::kCorePeriphery) {
+    workload.core_size = spec.topology.core_size;
+  } else {
+    workload.core_size = 0;
+  }
+  return workload;
+}
+
 std::string RunReport::ToString() const {
   char buf[640];
   std::snprintf(buf, sizeof(buf), "mode=%s released=%lld%s %s", ExecutionModeName(mode),
@@ -139,7 +154,7 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
       buf, sizeof(buf),
       "model:               %s\n"
       "mode:                %s\n"
-      "transport:           %s\n"
+      "transport:           %s (mpc_batching=%s, transfer_batching=%s)\n"
       "banks:               %d (block size %d, %d iterations)\n"
       "shocked banks:       %zu\n"
       "%s"
@@ -148,6 +163,7 @@ std::string FormatReport(const RunSpec& spec, const RunReport& report) {
       "wall time:           %.2f s\n"
       "traffic per bank:    %.2f MB\n",
       report.model_name.c_str(), ExecutionModeName(report.mode), transport.c_str(),
+      spec.mpc_batching ? "on" : "off", spec.transfer_batching ? "on" : "off",
       num_vertices, spec.block_size,
       report.iterations, spec.shock.shocked_banks.size(), circuit_line,
       static_cast<long long>(report.released), spec.epsilon, spec.leverage,

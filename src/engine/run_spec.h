@@ -31,6 +31,7 @@
 
 #include "src/core/runtime.h"
 #include "src/core/vertex_program.h"
+#include "src/ensemble/spec.h"
 #include "src/finance/fixed_point.h"
 #include "src/finance/workload.h"
 #include "src/graph/generators.h"
@@ -99,6 +100,13 @@ graph::Graph BuildTopologyGraph(const TopologySpec& topology, uint64_t seed);
 // networks. Used whenever RunSpec::iterations is 0.
 int AutoIterations(int num_vertices);
 
+struct RunSpec;
+
+// The workload parameters a spec implies: spec.workload when set, otherwise
+// defaults derived from format/seed/topology. Public so the ensemble layer
+// can materialize per-scenario workloads consistent with solo runs.
+finance::WorkloadParams DeriveWorkloadParams(const RunSpec& spec);
+
 struct RunSpec {
   // --- the network -------------------------------------------------------
   // A prebuilt graph wins over the topology spec.
@@ -121,6 +129,12 @@ struct RunSpec {
   // (format, seed, core size of a core-periphery topology).
   std::optional<finance::WorkloadParams> workload;
   finance::ShockParams shock;
+
+  // Scenario ensemble (src/ensemble): when set, Engine::RunEnsemble packs
+  // one scenario per lane of the batched planes and returns an
+  // ensemble::EnsembleReport instead of a single figure. The base spec's
+  // shock is the template the generator varies. EN/EGJ models only.
+  std::optional<ensemble::EnsembleSpec> ensemble;
 
   // Custom vertex program (model == kCustom): the program is used as given
   // (its own iterations/noise), custom_states holds one initial state per

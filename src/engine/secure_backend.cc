@@ -16,6 +16,12 @@ class SecureBackend : public ExecutionBackend {
     return runtime_.Run(initial_states, metrics);
   }
 
+  std::vector<int64_t> ExecuteEnsemble(
+      const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+      core::RunMetrics* metrics) override {
+    return runtime_.RunEnsemble(per_scenario_states, metrics);
+  }
+
   void AttachObserver(net::NetworkObserver* observer) override {
     runtime_.AttachObserver(observer);
   }

@@ -1,0 +1,86 @@
+// Ensemble reduce + report: from per-lane released figures to a
+// distributional stress report.
+//
+// The engine runs every scenario of an EnsembleSpec as one lane of the
+// batched planes and hands the per-lane figures (plus the cleartext
+// reference channel: per-scenario reference TDS and per-bank default
+// indicators) to this layer, which reduces them into loss quantiles,
+// mean/stddev, and per-bank default-probability bands.
+//
+// Semantics pinned here (and asserted by tests/ensemble_test.cc):
+//  - each lane's released figure is bit-identical to an independent solo
+//    run of SoloSpecFor(base, scenario);
+//  - quantiles are nearest-rank over the per-scenario released figures;
+//  - default bands are normal-approximation 95% intervals
+//    p ± 1.96·sqrt(p(1−p)/K), clamped to [0, 1], over the cleartext
+//    per-scenario default indicators (diagnostic channel — never released
+//    in a real deployment, like RunReport::reference).
+#ifndef SRC_ENSEMBLE_ENSEMBLE_H_
+#define SRC_ENSEMBLE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/run_spec.h"
+#include "src/ensemble/spec.h"
+
+namespace dstress::ensemble {
+
+struct ScenarioResult {
+  std::string label;
+  int64_t released = 0;
+  bool has_reference = false;
+  uint64_t reference = 0;
+};
+
+struct EnsembleReport {
+  std::vector<ScenarioResult> scenarios;
+
+  // Distribution of the released figure across scenarios.
+  double mean = 0;
+  double stddev = 0;
+  int64_t min_released = 0;
+  int64_t max_released = 0;
+  int64_t p05 = 0, p25 = 0, p50 = 0, p75 = 0, p95 = 0;
+
+  // Per-bank default-probability bands (empty for custom programs without a
+  // reference channel): point estimate + clamped 95% interval.
+  std::vector<double> default_probability;
+  std::vector<double> default_band_lo;
+  std::vector<double> default_band_hi;
+
+  // Privacy accounting: composed epsilon of the ensemble vs the cap.
+  double epsilon_each = 0;
+  double epsilon_total = 0;
+  double epsilon_budget = 0;  // 0 = uncapped
+
+  core::RunMetrics metrics;
+  int iterations = 0;
+  std::string model_name;
+  engine::ExecutionMode mode = engine::ExecutionMode::kSecure;
+
+  std::string ToString() const;
+};
+
+// Nearest-rank quantile (q in [0, 1]) of an ascending-sorted sample.
+int64_t QuantileNearestRank(const std::vector<int64_t>& sorted, double q);
+
+// Fills the distributional fields of *report from report->scenarios and the
+// per-scenario per-bank default indicators (defaults[s][v]; pass {} when the
+// model has no reference channel).
+void ReduceEnsemble(const std::vector<std::vector<uint8_t>>& defaults, EnsembleReport* report);
+
+// The solo RunSpec a scenario is equivalent to: base spec with the
+// scenario's shock, the ensemble cleared, and the workload re-seeded when
+// the scenario perturbs balance sheets. Lane s of an ensemble run must
+// reproduce SoloSpecFor(base, scenarios[s]) bit-exactly.
+engine::RunSpec SoloSpecFor(const engine::RunSpec& base, const Scenario& scenario);
+
+// Multi-line regulator-facing report (the ensemble sibling of
+// engine::FormatReport).
+std::string FormatEnsembleReport(const engine::RunSpec& spec, const EnsembleReport& report);
+
+}  // namespace dstress::ensemble
+
+#endif  // SRC_ENSEMBLE_ENSEMBLE_H_

@@ -1,0 +1,54 @@
+#include "src/ensemble/spec.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace dstress::ensemble {
+
+std::vector<Scenario> MaterializeScenarios(const EnsembleSpec& spec,
+                                           const finance::ShockParams& base_shock,
+                                           int num_banks) {
+  if (!spec.scenarios.empty()) {
+    DSTRESS_CHECK(spec.shock_draws == 0);
+    return spec.scenarios;
+  }
+  DSTRESS_CHECK(spec.shock_draws > 0);
+  DSTRESS_CHECK(num_banks > 0);
+  int per_draw = spec.banks_per_draw > 0
+                     ? spec.banks_per_draw
+                     : std::max(1, static_cast<int>(base_shock.shocked_banks.size()));
+  DSTRESS_CHECK(per_draw <= num_banks);
+  Rng rng(spec.draw_seed);
+  std::vector<Scenario> out;
+  out.reserve(spec.shock_draws);
+  for (int k = 0; k < spec.shock_draws; k++) {
+    Scenario sc;
+    // Distinct banks per draw: rejection-sample against the set so far.
+    while (static_cast<int>(sc.shock.shocked_banks.size()) < per_draw) {
+      int bank = static_cast<int>(rng.Below(static_cast<uint64_t>(num_banks)));
+      if (std::find(sc.shock.shocked_banks.begin(), sc.shock.shocked_banks.end(), bank) ==
+          sc.shock.shocked_banks.end()) {
+        sc.shock.shocked_banks.push_back(bank);
+      }
+    }
+    std::sort(sc.shock.shocked_banks.begin(), sc.shock.shocked_banks.end());
+    sc.shock.survival =
+        spec.has_magnitude_range
+            ? spec.magnitude_lo + (spec.magnitude_hi - spec.magnitude_lo) * rng.Uniform()
+            : base_shock.survival;
+    if (spec.perturb_workload) {
+      sc.workload_seed = rng.Next();
+    }
+    char label[96];
+    std::snprintf(label, sizeof(label), "draw %d: %d banks, survival %.3f", k, per_draw,
+                  sc.shock.survival);
+    sc.label = label;
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace dstress::ensemble

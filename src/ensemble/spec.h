@@ -1,0 +1,78 @@
+// Scenario-ensemble specification: what varies across the lanes of one run.
+//
+// PR 5's packed planes evaluate up to 64 instances per 64-bit word, but
+// every lane carried the *same* scenario — pure throughput. An EnsembleSpec
+// describes a set of scenarios (explicit shock lists, or seeded Monte Carlo
+// draws over shocked-bank sets, shock magnitudes, and balance-sheet
+// perturbations) that the engine materializes into per-lane initial shares,
+// so one lockstep pass returns a distribution instead of a point estimate.
+//
+// This header is engine-free on purpose: RunSpec embeds an EnsembleSpec, and
+// the reduce/report half that needs the engine lives in
+// src/ensemble/ensemble.h.
+#ifndef SRC_ENSEMBLE_SPEC_H_
+#define SRC_ENSEMBLE_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/finance/workload.h"
+
+namespace dstress::ensemble {
+
+// One lane's worth of "what is different about this world".
+struct Scenario {
+  finance::ShockParams shock;
+  // When set, the scenario also perturbs the balance sheets: the workload is
+  // regenerated with this seed instead of the base spec's (per-lane workload
+  // materialization). Unset = every lane shares the base balance sheets.
+  std::optional<uint64_t> workload_seed;
+  std::string label;
+};
+
+struct EnsembleSpec {
+  // Explicit scenario list ("ensemble scenario <bank...>" directives). When
+  // non-empty it *is* the ensemble; the draw knobs below must stay unset.
+  std::vector<Scenario> scenarios;
+
+  // Monte Carlo generator ("shock_draws <K> seed <S>"): K scenarios, each
+  // shocking a freshly drawn set of distinct banks.
+  int shock_draws = 0;
+  uint64_t draw_seed = 1;
+  // Banks per drawn shock set; 0 = size of the base spec's shock set
+  // (minimum 1).
+  int banks_per_draw = 0;
+
+  // "shock_magnitude_range <lo> <hi>": each draw's survival fraction is
+  // uniform in [lo, hi] instead of the base shock's survival.
+  bool has_magnitude_range = false;
+  double magnitude_lo = 0.0;
+  double magnitude_hi = 0.0;
+
+  // "ensemble perturb_workload on": each draw also regenerates the balance
+  // sheets under a drawn workload seed.
+  bool perturb_workload = false;
+
+  // "ensemble budget <eps>": cap on the composed epsilon of the whole
+  // ensemble (count * per-scenario epsilon). 0 = uncapped. The engine
+  // refuses (aborts, naming the overrun) before computing anything.
+  double epsilon_budget = 0.0;
+
+  int Width() const {
+    return scenarios.empty() ? shock_draws : static_cast<int>(scenarios.size());
+  }
+};
+
+// Expands the spec into Width() concrete scenarios. Explicit scenarios pass
+// through verbatim; draws are deterministic in draw_seed (Rng-driven:
+// distinct-bank sets over [0, num_banks), survival from the magnitude range
+// or base_shock.survival, workload seeds when perturb_workload).
+std::vector<Scenario> MaterializeScenarios(const EnsembleSpec& spec,
+                                           const finance::ShockParams& base_shock,
+                                           int num_banks);
+
+}  // namespace dstress::ensemble
+
+#endif  // SRC_ENSEMBLE_SPEC_H_

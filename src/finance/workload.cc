@@ -42,12 +42,17 @@ EnInstance MakeEnWorkload(const graph::Graph& graph, const WorkloadParams& param
           params.format.SaturateValue(JitteredAmount(params.base_debt, edge_scale, rng));
     }
   }
+  ApplyEnShock(instance, shock);
+  return instance;
+}
+
+void ApplyEnShock(EnInstance& instance, const ShockParams& shock) {
+  const int n = static_cast<int>(instance.cash.size());
   for (int bank : shock.shocked_banks) {
     DSTRESS_CHECK(bank >= 0 && bank < n);
     instance.cash[bank] =
         static_cast<uint64_t>(static_cast<double>(instance.cash[bank]) * shock.survival);
   }
-  return instance;
 }
 
 EgjInstance MakeEgjWorkload(const graph::Graph& graph, const WorkloadParams& params,
@@ -115,12 +120,17 @@ EgjInstance MakeEgjWorkload(const graph::Graph& graph, const WorkloadParams& par
         static_cast<uint64_t>(val[v] * params.penalty_ratio));
   }
 
+  ApplyEgjShock(instance, shock);
+  return instance;
+}
+
+void ApplyEgjShock(EgjInstance& instance, const ShockParams& shock) {
+  const int n = static_cast<int>(instance.base.size());
   for (int bank : shock.shocked_banks) {
     DSTRESS_CHECK(bank >= 0 && bank < n);
     instance.base[bank] =
         static_cast<uint64_t>(static_cast<double>(instance.base[bank]) * shock.survival);
   }
-  return instance;
 }
 
 }  // namespace dstress::finance

@@ -47,6 +47,13 @@ EnInstance MakeEnWorkload(const graph::Graph& graph, const WorkloadParams& param
 EgjInstance MakeEgjWorkload(const graph::Graph& graph, const WorkloadParams& params,
                             const ShockParams& shock);
 
+// Shock application split out of the Make* generators: all RNG draws happen
+// before the shock, so an ensemble can generate one base instance per
+// workload seed and stamp many per-lane shocks onto copies of it instead of
+// regenerating the workload per scenario.
+void ApplyEnShock(EnInstance& instance, const ShockParams& shock);
+void ApplyEgjShock(EgjInstance& instance, const ShockParams& shock);
+
 }  // namespace dstress::finance
 
 #endif  // SRC_FINANCE_WORKLOAD_H_

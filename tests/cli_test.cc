@@ -238,6 +238,80 @@ TEST(ScenarioRunTest, EndToEndEnAndEgj) {
   }
 }
 
+TEST(ScenarioParseTest, DuplicateShockedBankRejected) {
+  std::string error;
+  auto spec = ParseScenario("network core_periphery 10 3\nshock 0 3 3\n", &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("duplicate shocked bank 3"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, EnsembleDirectivesRoundTrip) {
+  std::string error;
+  auto spec = ParseScenario(
+      "network scale_free 20 2\n"
+      "mode cleartext\n"
+      "shock 0\n"
+      "ensemble shock_draws 16 seed 7\n"
+      "ensemble shock_magnitude_range 0.1 0.6\n"
+      "ensemble banks_per_draw 2\n"
+      "ensemble perturb_workload on\n"
+      "ensemble budget 4.0\n",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_TRUE(spec->ensemble.has_value());
+  EXPECT_EQ(spec->ensemble->shock_draws, 16);
+  EXPECT_EQ(spec->ensemble->draw_seed, 7u);
+  EXPECT_TRUE(spec->ensemble->has_magnitude_range);
+  EXPECT_DOUBLE_EQ(spec->ensemble->magnitude_lo, 0.1);
+  EXPECT_DOUBLE_EQ(spec->ensemble->magnitude_hi, 0.6);
+  EXPECT_EQ(spec->ensemble->banks_per_draw, 2);
+  EXPECT_TRUE(spec->ensemble->perturb_workload);
+  EXPECT_DOUBLE_EQ(spec->ensemble->epsilon_budget, 4.0);
+  EXPECT_EQ(spec->ensemble->Width(), 16);
+}
+
+TEST(ScenarioParseTest, EnsembleExplicitScenarios) {
+  std::string error;
+  auto spec = ParseScenario(
+      "network core_periphery 10 3\n"
+      "ensemble scenario 0\n"
+      "ensemble scenario 1 2\n",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_TRUE(spec->ensemble.has_value());
+  ASSERT_EQ(spec->ensemble->scenarios.size(), 2u);
+  EXPECT_EQ(spec->ensemble->scenarios[0].shock.shocked_banks, (std::vector<int>{0}));
+  EXPECT_EQ(spec->ensemble->scenarios[1].shock.shocked_banks, (std::vector<int>{1, 2}));
+}
+
+TEST(ScenarioParseTest, EnsembleValidationErrors) {
+  struct Case {
+    const char* text;
+    const char* want;
+  };
+  const Case cases[] = {
+      {"network core_periphery 10 3\nensemble scenario 0 0\n", "duplicate shocked bank 0"},
+      {"network core_periphery 10 3\nensemble budget 1\n",
+       "needs 'ensemble scenario' lines or 'ensemble shock_draws'"},
+      {"network core_periphery 10 3\nensemble scenario 0\n"
+       "ensemble shock_draws 4 seed 1\n",
+       "cannot mix"},
+      {"network core_periphery 10 3\nensemble scenario 0\n"
+       "ensemble banks_per_draw 2\n",
+       "'ensemble shock_draws'"},
+      {"network core_periphery 10 3\nensemble scenario 12\n", "out of range"},
+      {"network core_periphery 10 3\nfanout 2\nensemble scenario 0\nensemble scenario 1\n",
+       "requires flat aggregation (fanout 0)"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    auto spec = ParseScenario(c.text, &error);
+    EXPECT_FALSE(spec.has_value()) << c.text;
+    EXPECT_NE(error.find(c.want), std::string::npos)
+        << "wanted '" << c.want << "' in: " << error;
+  }
+}
+
 TEST(ScenarioRunTest, CleartextModeRunsTheSameScenario) {
   std::string error;
   auto spec = ParseScenario(

@@ -284,6 +284,36 @@ TEST(ReleaseManagerTest, ReplenishStartsANewYear) {
   EXPECT_EQ(manager.history().size(), 2u);
 }
 
+TEST(ReleaseManagerTest, ChargeEnsembleComposesAndRecordsPerScenario) {
+  ReleaseManager manager(2.0, 9);
+  std::string error;
+  ASSERT_TRUE(manager.ChargeEnsemble("sweep", 4, 0.4, &error)) << error;
+  EXPECT_NEAR(manager.spent_budget(), 1.6, 1e-9);
+  ASSERT_EQ(manager.history().size(), 4u);
+  EXPECT_NE(manager.history()[0].label.find("sweep"), std::string::npos);
+  EXPECT_NE(manager.history()[3].label.find("3/4"), std::string::npos);
+}
+
+TEST(ReleaseManagerTest, ChargeEnsembleRefusalIsAtomicAndNamesOverrun) {
+  ReleaseManager manager(1.0, 9);
+  std::string error;
+  EXPECT_FALSE(manager.ChargeEnsemble("big", 3, 0.5, &error));
+  // Nothing charged, nothing recorded.
+  EXPECT_DOUBLE_EQ(manager.spent_budget(), 0.0);
+  EXPECT_TRUE(manager.history().empty());
+  // The error names the composed epsilon, the remaining budget, and the
+  // overrun.
+  EXPECT_NE(error.find("ensemble 'big'"), std::string::npos) << error;
+  EXPECT_NE(error.find("composed epsilon 1.5"), std::string::npos) << error;
+  EXPECT_NE(error.find("3 scenarios x 0.5"), std::string::npos) << error;
+  EXPECT_NE(error.find("exceeds remaining budget 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("by 0.5"), std::string::npos) << error;
+  EXPECT_NE(error.find("refusing release"), std::string::npos) << error;
+  // The budget is still usable after the refusal.
+  EXPECT_TRUE(manager.ChargeEnsemble("fits", 2, 0.5, &error)) << error;
+  EXPECT_DOUBLE_EQ(manager.spent_budget(), 1.0);
+}
+
 TEST(ReleaseManagerTest, NoiseScalesWithSensitivityOverEpsilon) {
   // Empirical spread of releases grows with sensitivity/epsilon.
   auto spread = [](double sensitivity, double epsilon) {

@@ -8,15 +8,61 @@ host speed and only moves when the engine/baseline ratio moves. This gate
 fails the run if any row's speedup falls below the floor — i.e. if the
 transfer crypto engine's win over the seed schedule regresses.
 
+With --ensemble-min-speedup the gate additionally pins the scenario-ensemble
+amortization: every `cleartext-ensemble` row (wall_ms vs wall_ms_baseline =
+K independent solo runs) must be at or above that floor.
+
+Row hygiene: a row whose wall_ms_baseline is 0 is SKIPPED by name (a zero
+baseline means "no baseline measured this run", and dividing by it would
+crash the gate); a row with missing or non-numeric wall_ms / wall_ms_baseline
+is a FAILURE naming the offending row's N, D, and mode.
+
 Usage: tools/check_bench.py BENCH_fig6.json [--min-speedup 5.0]
                                             [--mode secure-projected]
-Exit status 0 = every row at or above the floor; nonzero prints each
+                                            [--ensemble-min-speedup 10.0]
+Exit status 0 = every gated row at or above its floor; nonzero prints each
 offending row. Stdlib only.
 """
 
 import argparse
 import json
 import sys
+
+
+def is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def row_name(entry, mode) -> str:
+    return f"N={entry.get('N')} D={entry.get('D')} mode={entry.get('mode', mode)}"
+
+
+def gate_rows(rows, mode, floor):
+    """Returns (failure_lines, skip_lines, worst) for one mode's rows."""
+    failures = []
+    skips = []
+    worst = None
+    for e in rows:
+        baseline = e.get("wall_ms_baseline")
+        wall = e.get("wall_ms")
+        if not is_number(wall) or wall <= 0:
+            failures.append(f"FAIL: {row_name(e, mode)}: malformed wall_ms {wall!r}")
+            continue
+        if not is_number(baseline):
+            failures.append(
+                f"FAIL: {row_name(e, mode)}: malformed wall_ms_baseline {baseline!r}")
+            continue
+        if baseline == 0:
+            skips.append(f"SKIP: {row_name(e, mode)}: wall_ms_baseline == 0 "
+                         "(no baseline measured); row not gated")
+            continue
+        speedup = baseline / wall
+        if worst is None or speedup < worst[1]:
+            worst = (e, speedup)
+        if speedup < floor:
+            failures.append(f"FAIL: {row_name(e, mode)}: {speedup:.2f}x "
+                            f"< {floor:.2f}x floor")
+    return failures, skips, worst
 
 
 def main() -> int:
@@ -26,37 +72,48 @@ def main() -> int:
                         help="floor for every row's same-run speedup")
     parser.add_argument("--mode", default="secure-projected",
                         help="entry mode the gate applies to")
+    parser.add_argument("--ensemble-min-speedup", type=float, default=None,
+                        help="when set, also gate 'cleartext-ensemble' rows "
+                             "(wall vs K solo runs) at this amortization floor")
     args = parser.parse_args()
 
     with open(args.bench_json) as f:
         bench = json.load(f)
+    entries = bench.get("entries", [])
 
-    rows = [e for e in bench.get("entries", []) if e.get("mode") == args.mode]
+    rows = [e for e in entries if e.get("mode") == args.mode]
     if not rows:
         print(f"FAIL: no '{args.mode}' entries in {args.bench_json}")
         return 1
+    failures, skips, worst = gate_rows(rows, args.mode, args.min_speedup)
 
-    failures = []
-    worst = None
-    for e in rows:
-        baseline = e.get("wall_ms_baseline")
-        wall = e.get("wall_ms")
-        if baseline is None or not wall or wall <= 0:
-            failures.append((e, None))
-            continue
-        speedup = baseline / wall
-        if worst is None or speedup < worst[1]:
-            worst = (e, speedup)
-        if speedup < args.min_speedup:
-            failures.append((e, speedup))
+    ensemble_rows = []
+    if args.ensemble_min_speedup is not None:
+        ensemble_rows = [e for e in entries if e.get("mode") == "cleartext-ensemble"]
+        if not ensemble_rows:
+            failures.append(f"FAIL: no 'cleartext-ensemble' entries in "
+                            f"{args.bench_json} (ensemble gate requested)")
+        else:
+            ens_failures, ens_skips, ens_worst = gate_rows(
+                ensemble_rows, "cleartext-ensemble", args.ensemble_min_speedup)
+            failures += ens_failures
+            skips += ens_skips
+            if ens_worst is not None:
+                e, speedup = ens_worst
+                skips.append(f"ensemble: {len(ensemble_rows)} rows, worst "
+                             f"{speedup:.2f}x amortization at N={e.get('N')} "
+                             f"K={e.get('scenarios')} scenarios")
 
+    for line in skips:
+        print(line)
     if failures:
-        for e, speedup in failures:
-            shown = "missing baseline" if speedup is None else f"{speedup:.2f}x"
-            print(f"FAIL: N={e.get('N')} D={e.get('D')} {args.mode}: {shown} "
-                  f"< {args.min_speedup:.2f}x floor")
+        for line in failures:
+            print(line)
         return 1
 
+    if worst is None:
+        print(f"FAIL: every '{args.mode}' row was skipped; nothing gated")
+        return 1
     e, speedup = worst
     print(f"OK: {len(rows)} '{args.mode}' rows >= {args.min_speedup:.2f}x "
           f"(worst {speedup:.2f}x at N={e.get('N')} D={e.get('D')}, "
