@@ -95,6 +95,11 @@ struct JsonEntry {
   double bytes_per_node = 0;
   // Scenario-ensemble rows only: lane count K (baseline = K solo runs).
   int scenarios = 0;
+  // secure-ha rows only (docs/ha.md): heartbeat/control traffic and
+  // checkpoint wall time. Negative = not an HA row (fields omitted).
+  // check_bench.py prints these as informational columns, never gated.
+  double ha_control_bytes = -1;
+  double ha_checkpoint_ms = -1;
 };
 
 void WriteJson(const std::vector<JsonEntry>& entries, int block_size, double per_and_seed_us,
@@ -122,6 +127,10 @@ void WriteJson(const std::vector<JsonEntry>& entries, int block_size, double per
     if (e.wall_ms_baseline >= 0) {
       std::fprintf(f, ", \"wall_ms_baseline\": %.2f, \"speedup\": %.2f", e.wall_ms_baseline,
                    e.wall_ms > 0 ? e.wall_ms_baseline / e.wall_ms : 0.0);
+    }
+    if (e.ha_control_bytes >= 0) {
+      std::fprintf(f, ", \"ha_control_bytes\": %.0f, \"ha_checkpoint_ms\": %.2f",
+                   e.ha_control_bytes, e.ha_checkpoint_ms);
     }
     std::fprintf(f, ", \"bytes_per_node\": %.0f}%s\n", e.bytes_per_node,
                  i + 1 < entries.size() ? "," : "");
@@ -259,6 +268,44 @@ void Run() {
     json.push_back(JsonEntry{n, degree, "secure-mpc", report.metrics.compute.seconds * 1e3,
                              baseline.metrics.compute.seconds * 1e3,
                              report.metrics.avg_bytes_per_node});
+
+    // HA overhead at the acceptance point (N=20, docs/ha.md): the same
+    // run over real sockets, plain vs HA-enabled (heartbeats + sequence
+    // wrapping + periodic checkpoints). check_bench.py prints the row's
+    // control traffic and checkpoint time as informational columns; it is
+    // never gated — heartbeat bytes scale with wall time, not protocol.
+    if (n == 20) {
+      engine::RunSpec tcp_spec = ValidationSpec(n, degree, block_size);
+      tcp_spec.transport.backend = "tcp";
+      engine::RunReport tcp_plain = engine::Engine(tcp_spec).Run();
+      DSTRESS_CHECK(tcp_plain.released == report.released);
+
+      const char* ckpt = "/tmp/bench_fig6_ha.ckpt";
+      tcp_spec.transport.ha.enabled = true;
+      tcp_spec.transport.ha.heartbeat_ms = 50;
+      tcp_spec.ha_checkpoint_every = 2;
+      tcp_spec.ha_checkpoint_path = ckpt;
+      engine::RunReport tcp_ha = engine::Engine(tcp_spec).Run();
+      DSTRESS_CHECK(tcp_ha.released == report.released);
+      DSTRESS_CHECK(tcp_ha.metrics.avg_bytes_per_node == tcp_plain.metrics.avg_bytes_per_node);
+      std::remove(ckpt);
+
+      double overhead_pct = tcp_plain.metrics.total_seconds > 0
+                                ? (tcp_ha.metrics.total_seconds / tcp_plain.metrics.total_seconds -
+                                   1.0) * 100.0
+                                : 0.0;
+      std::printf(
+          "N=%-5d D=%-3d ha (tcp): %6.1f s vs %6.1f s plain (%+.1f%%), %.2f MB control "
+          "traffic, %.3f s checkpointing\n",
+          n, degree, tcp_ha.metrics.total_seconds, tcp_plain.metrics.total_seconds, overhead_pct,
+          tcp_ha.metrics.ha_control_bytes / 1e6, tcp_ha.metrics.ha_checkpoint_seconds);
+      JsonEntry ha_row{n, degree, "secure-ha", tcp_ha.metrics.total_seconds * 1e3,
+                       tcp_plain.metrics.total_seconds * 1e3,
+                       tcp_ha.metrics.avg_bytes_per_node};
+      ha_row.ha_control_bytes = static_cast<double>(tcp_ha.metrics.ha_control_bytes);
+      ha_row.ha_checkpoint_ms = tcp_ha.metrics.ha_checkpoint_seconds * 1e3;
+      json.push_back(ha_row);
+    }
   }
   std::printf("# note: end-to-end time on this container is dominated by the EC transfer\n"
               "# crypto, so the 'secure' rows' speedup tracks the batched transfer engine;\n"

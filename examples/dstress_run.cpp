@@ -3,6 +3,8 @@
 //   ./build/examples/dstress_run <scenario-file>
 //   ./build/examples/dstress_run --demo               (built-in demo scenario)
 //   ./build/examples/dstress_run --check <scenario>   (validate only, don't run)
+//   ./build/examples/dstress_run --resume <scenario>  (restart from the scenario's
+//                                                      ha checkpoint_path; docs/ha.md)
 //
 // Scenario format: see docs/scenario-format.md (runnable examples under
 // examples/scenarios/). Example:
@@ -69,15 +71,18 @@ int main(int argc, char** argv) {
   using namespace dstress;
 
   bool check_only = argc == 3 && std::strcmp(argv[1], "--check") == 0;
-  if (argc != 2 && !check_only) {
-    std::fprintf(stderr, "usage: %s <scenario-file> | --demo | --check <scenario-file>\n",
+  bool resume = argc == 3 && std::strcmp(argv[1], "--resume") == 0;
+  if (argc != 2 && !check_only && !resume) {
+    std::fprintf(stderr,
+                 "usage: %s <scenario-file> | --demo | --check <scenario-file> |"
+                 " --resume <scenario-file>\n",
                  argv[0]);
     return 2;
   }
 
   std::string error;
   std::optional<engine::RunSpec> spec;
-  if (check_only) {
+  if (check_only || resume) {
     spec = cli::LoadScenarioFile(argv[2], &error);
   } else if (std::strcmp(argv[1], "--demo") == 0) {
     spec = cli::ParseScenario(kDemoScenario, &error);
@@ -91,6 +96,13 @@ int main(int argc, char** argv) {
   if (check_only) {
     PrintCheckSummary(*spec);
     return 0;
+  }
+  if (resume) {
+    if (spec->ha_checkpoint_path.empty()) {
+      std::fprintf(stderr, "error: --resume needs 'ha checkpoint_path <file>' in the scenario\n");
+      return 1;
+    }
+    spec->ha_resume = true;
   }
 
   engine::Engine engine(*spec);

@@ -14,7 +14,9 @@ constexpr char kUsage[] =
     "  [--listen-port <port>]      mesh listen port (default: OS-assigned)\n"
     "  [--advertise-host <host>]   address peers dial to reach this bank (default: the\n"
     "                              listen host, or this machine's address toward the driver)\n"
-    "  [--bootstrap-timeout-ms <ms>]";
+    "  [--bootstrap-timeout-ms <ms>]\n"
+    "  [--resume]                  rejoin a live HA run as this bank's replacement\n"
+    "                              (docs/ha.md)";
 
 bool ParseInt(const std::string& text, int min_value, int* out) {
   try {
@@ -37,13 +39,18 @@ std::optional<net::TcpNodeConfig> ParseNodeArgs(int argc, char** argv, std::stri
   bool saw_node = false;
   bool saw_num_nodes = false;
   bool saw_driver = false;
-  if ((argc - 1) % 2 != 0) {
-    *error = std::string("flag '") + argv[argc - 1] + "' is missing a value\n" + kUsage;
-    return std::nullopt;
-  }
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; i++) {
     std::string flag = argv[i];
-    std::string value = argv[i + 1];
+    // Valueless flags first; everything else consumes the next argument.
+    if (flag == "--resume") {
+      config.resume = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      *error = std::string("flag '") + flag + "' is missing a value\n" + kUsage;
+      return std::nullopt;
+    }
+    std::string value = argv[++i];
     if (flag == "--node" || flag == "--bank") {
       saw_node = ParseInt(value, 0, &config.node_id);
       if (!saw_node) {

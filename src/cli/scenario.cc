@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/graph/io.h"
+#include "src/ha/faulty.h"
 #include "src/net/transport_spec.h"
 
 namespace dstress::cli {
@@ -99,6 +100,9 @@ struct LineParser {
 }  // namespace
 
 std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::string* error) {
+  // The "faulty" backend resolves through the registry like any other name;
+  // make sure it is installed before `transport` directives are validated.
+  ha::RegisterHaTransports();
   engine::RunSpec spec;
   bool saw_network = false;
   // `node` directives, indexed by bank; node_lines[bank] is the line that
@@ -228,7 +232,7 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
       }
       spec.mode = *mode;
     } else if (directive == "transport") {
-      if (p.tokens.size() != 2 && p.tokens.size() != 3) {
+      if (p.tokens.size() < 2) {
         p.Fail("usage: transport <backend> [rendezvous-host:port]");
         return std::nullopt;
       }
@@ -241,13 +245,31 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         return std::nullopt;
       }
       spec.transport.backend = p.tokens[1];
-      if (p.tokens.size() == 3) {
-        if (spec.transport.backend != "tcp") {
+      // The fault-injection wrapper names the real backend it decorates:
+      // `transport faulty <sim|tcp> [host:port]` (docs/ha.md).
+      size_t addr_index = 2;
+      if (spec.transport.backend == "faulty") {
+        if (p.tokens.size() < 3 || (p.tokens[2] != "sim" && p.tokens[2] != "tcp")) {
+          p.Fail("usage: transport faulty <sim|tcp> [rendezvous-host:port]");
+          return std::nullopt;
+        }
+        spec.transport.faulty_inner = p.tokens[2];
+        addr_index = 3;
+      }
+      if (p.tokens.size() > addr_index + 1) {
+        p.Fail("usage: transport <backend> [rendezvous-host:port]");
+        return std::nullopt;
+      }
+      if (p.tokens.size() == addr_index + 1) {
+        const bool tcp_like = spec.transport.backend == "tcp" ||
+                              (spec.transport.backend == "faulty" &&
+                               spec.transport.faulty_inner == "tcp");
+        if (!tcp_like) {
           p.Fail("transport '" + spec.transport.backend + "' takes no rendezvous address");
           return std::nullopt;
         }
         net::PeerEndpoint rendezvous;
-        if (!p.Endpoint(2, &rendezvous)) {
+        if (!p.Endpoint(addr_index, &rendezvous)) {
           return std::nullopt;
         }
         if (rendezvous.port == 0) {
@@ -256,6 +278,98 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         }
         spec.transport.host = rendezvous.host;
         spec.transport.port = rendezvous.port;
+      }
+    } else if (directive == "node_program") {
+      // Path to a dstress_node binary the driver execs one-per-bank (the
+      // real deployment shape; required for HA auto-respawn).
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      spec.transport.node_program = p.tokens[1];
+    } else if (directive == "ha") {
+      if (p.tokens.size() < 2) {
+        p.Fail("ha needs a sub-directive (on, heartbeat_ms, suspect_after_ms, dead_after_ms,"
+               " resume_timeout_ms, resume_buffer_mb, respawn, checkpoint_every,"
+               " checkpoint_path, fault)");
+        return std::nullopt;
+      }
+      net::HaSpec& ha = spec.transport.ha;
+      const std::string& sub = p.tokens[1];
+      if (sub == "on") {
+        if (!p.ArgCount(1)) {
+          return std::nullopt;
+        }
+        ha.enabled = true;
+      } else if (sub == "heartbeat_ms" || sub == "suspect_after_ms" || sub == "dead_after_ms" ||
+                 sub == "resume_timeout_ms" || sub == "resume_buffer_mb") {
+        int v = 0;
+        if (!p.ArgCount(2) || !p.Int(2, 1, &v)) {
+          return std::nullopt;
+        }
+        ha.enabled = true;
+        if (sub == "heartbeat_ms") {
+          ha.heartbeat_ms = v;
+        } else if (sub == "suspect_after_ms") {
+          ha.suspect_after_ms = v;
+        } else if (sub == "dead_after_ms") {
+          ha.dead_after_ms = v;
+        } else if (sub == "resume_timeout_ms") {
+          ha.resume_timeout_ms = v;
+        } else {
+          ha.resume_buffer_bytes = static_cast<size_t>(v) << 20;
+        }
+      } else if (sub == "respawn") {
+        if (p.tokens.size() != 3 || (p.tokens[2] != "on" && p.tokens[2] != "off")) {
+          p.Fail("usage: ha respawn on|off");
+          return std::nullopt;
+        }
+        ha.enabled = true;
+        ha.auto_respawn = p.tokens[2] == "on";
+      } else if (sub == "checkpoint_every") {
+        // Checkpointing is orthogonal to the transport HA layer: it also
+        // protects sim runs (driver restart with --resume), so it does not
+        // flip ha.enabled.
+        if (!p.ArgCount(2) || !p.Int(2, 1, &spec.ha_checkpoint_every)) {
+          return std::nullopt;
+        }
+      } else if (sub == "checkpoint_path") {
+        if (!p.ArgCount(2)) {
+          return std::nullopt;
+        }
+        spec.ha_checkpoint_path = p.tokens[2];
+      } else if (sub == "fault") {
+        // `ha fault kill|drop_link <bank> after_sends <K>` /
+        // `ha fault delay <ms> after_sends <K>` — the deterministic fault
+        // schedule of `transport faulty` (ha::FaultyTransport).
+        net::FaultSpec fault;
+        int value = 0;
+        int after = 0;
+        if (p.tokens.size() != 6 || p.tokens[4] != "after_sends" || !p.Int(3, 0, &value) ||
+            !p.Int(5, 1, &after)) {
+          if (error->empty()) {
+            p.Fail("usage: ha fault kill|drop_link <bank> after_sends <K>  or"
+                   "  ha fault delay <ms> after_sends <K>");
+          }
+          return std::nullopt;
+        }
+        if (p.tokens[2] == "kill") {
+          fault.action = net::FaultSpec::Action::kKillNode;
+          fault.node = value;
+        } else if (p.tokens[2] == "drop_link") {
+          fault.action = net::FaultSpec::Action::kDropLink;
+          fault.node = value;
+        } else if (p.tokens[2] == "delay") {
+          fault.action = net::FaultSpec::Action::kDelay;
+          fault.delay_ms = value;
+        } else {
+          p.Fail("ha fault action must be 'kill', 'drop_link' or 'delay'");
+          return std::nullopt;
+        }
+        fault.after_sends = static_cast<uint64_t>(after);
+        spec.transport.faults.push_back(fault);
+      } else {
+        p.Fail("unknown ha sub-directive '" + sub + "'");
+        return std::nullopt;
       }
     } else if (directive == "node") {
       int bank = 0;
@@ -511,6 +625,26 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
     node_endpoints.resize(spec.topology.num_vertices);  // unnamed banks: any endpoint
     spec.transport.external_nodes = true;
     spec.transport.node_endpoints = std::move(node_endpoints);
+  }
+  if (!spec.transport.faults.empty() && spec.transport.backend != "faulty") {
+    *error = "'ha fault' directives require 'transport faulty <sim|tcp>'";
+    return std::nullopt;
+  }
+  for (const net::FaultSpec& fault : spec.transport.faults) {
+    if (fault.action != net::FaultSpec::Action::kDelay &&
+        fault.node >= spec.topology.num_vertices) {
+      *error = "ha fault bank " + std::to_string(fault.node) + " out of range";
+      return std::nullopt;
+    }
+  }
+  if (spec.transport.ha.enabled &&
+      spec.transport.ha.dead_after_ms < spec.transport.ha.suspect_after_ms) {
+    *error = "ha dead_after_ms must be >= suspect_after_ms";
+    return std::nullopt;
+  }
+  if (spec.ha_checkpoint_every > 0 && spec.ha_checkpoint_path.empty()) {
+    *error = "'ha checkpoint_every' requires 'ha checkpoint_path <file>'";
+    return std::nullopt;
   }
   return spec;
 }

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stopwatch.h"
+#include "src/ha/checkpoint.h"
 #include "src/net/channel.h"
 #include "src/transfer/batch_engine.h"
 
@@ -71,7 +72,15 @@ std::string RunMetrics::ToString() const {
                 aggregate.seconds, total_bytes / 1e6, avg_bytes_per_node / 1e6, update_and_gates,
                 update_and_depth, update_rounds, aggregate_and_gates,
                 static_cast<unsigned long long>(triples_consumed), iterations);
-  return buf;
+  std::string out = buf;
+  if (ha_control_bytes > 0 || ha_resumes > 0 || ha_checkpoint_seconds > 0 ||
+      resumed_from_iteration >= 0) {
+    std::snprintf(buf, sizeof(buf), " ha: ctrl=%.2fMB resumes=%d ckpt=%.2fs resumed_from=%d",
+                  ha_control_bytes / 1e6, ha_resumes, ha_checkpoint_seconds,
+                  resumed_from_iteration);
+    out += buf;
+  }
+  return out;
 }
 
 uint64_t RolePrgSeed(uint64_t run_seed, uint64_t role_tag) {
@@ -88,6 +97,12 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
   DSTRESS_CHECK(graph.MaxDegree() <= program.degree_bound);
   // fanout 1 would make the aggregation-tree reduction never shrink.
   DSTRESS_CHECK(config.aggregation_fanout != 1);
+  if (config.checkpoint_every > 0 || config.resume) {
+    // Checkpoints only rewind dealer triple tapes (src/ha/checkpoint.h);
+    // OT sessions hold cross-process key state that cannot be restored.
+    DSTRESS_CHECK(!config.use_ot_triples);
+    DSTRESS_CHECK(!config.checkpoint_path.empty());
+  }
 
   transfer_params_.block_size = config.block_size;
   transfer_params_.message_bits = program.message_bits;
@@ -155,6 +170,82 @@ mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
 void Runtime::RunGrouped(size_t groups, size_t subtasks,
                          const std::function<void(size_t, size_t)>& fn) {
   pool_->RunGrouped(groups, subtasks, fn);
+}
+
+uint64_t Runtime::ConfigFingerprint() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(graph_.num_vertices()));
+  mix(static_cast<uint64_t>(edges_.size()));
+  mix(static_cast<uint64_t>(config_.block_size));
+  mix(static_cast<uint64_t>(program_.state_bits));
+  mix(static_cast<uint64_t>(program_.message_bits));
+  mix(static_cast<uint64_t>(program_.degree_bound));
+  mix(static_cast<uint64_t>(program_.iterations));
+  mix(static_cast<uint64_t>(config_.aggregation_fanout));
+  mix(config_.seed);
+  return h;
+}
+
+void Runtime::SaveCheckpoint(int next_iteration, RunMetrics* m) {
+  Stopwatch sw;
+  ha::RuntimeSnapshot snapshot;
+  snapshot.config_fingerprint = ConfigFingerprint();
+  snapshot.next_iteration = next_iteration;
+  snapshot.state_shares = state_shares_;
+  snapshot.inmsg_shares = inmsg_shares_;
+  snapshot.outmsg_shares = outmsg_shares_;
+  {
+    std::lock_guard<std::mutex> lock(triple_mu_);
+    for (const auto& [key, source] : triple_sources_) {
+      auto* dealer = dynamic_cast<mpc::DealerTripleSource*>(source.get());
+      DSTRESS_CHECK(dealer != nullptr);  // the ctor rejects checkpoint + OT
+      snapshot.triple_cursors.push_back({key.first, key.second, dealer->calls()});
+    }
+  }
+  std::string error;
+  if (!ha::SaveSnapshot(config_.checkpoint_path, snapshot, &error)) {
+    std::fprintf(stderr, "checkpoint: %s\n", error.c_str());
+    DSTRESS_CHECK(false);
+  }
+  m->ha_checkpoint_seconds += sw.ElapsedSeconds();
+}
+
+int Runtime::RestoreCheckpoint() {
+  ha::RuntimeSnapshot snapshot;
+  std::string error;
+  if (!ha::LoadSnapshot(config_.checkpoint_path, &snapshot, &error)) {
+    std::fprintf(stderr, "resume: %s\n", error.c_str());
+    DSTRESS_CHECK(false);
+  }
+  if (snapshot.config_fingerprint != ConfigFingerprint()) {
+    std::fprintf(stderr, "resume: checkpoint %s is from a different run configuration\n",
+                 config_.checkpoint_path.c_str());
+    DSTRESS_CHECK(false);
+  }
+  state_shares_ = std::move(snapshot.state_shares);
+  inmsg_shares_ = std::move(snapshot.inmsg_shares);
+  outmsg_shares_ = std::move(snapshot.outmsg_shares);
+  DSTRESS_CHECK(static_cast<int>(state_shares_.size()) == graph_.num_vertices());
+  {
+    // Fresh dealer sources fast-forwarded to the saved tape positions; any
+    // source the snapshot does not name starts at zero calls, exactly as
+    // the uninterrupted run would first touch it.
+    std::lock_guard<std::mutex> lock(triple_mu_);
+    for (const auto& cursor : snapshot.triple_cursors) {
+      auto source = std::make_unique<mpc::DealerTripleSource>(
+          cursor.member, config_.block_size, config_.seed ^ cursor.tag);
+      source->FastForward(cursor.calls);
+      triple_sources_[{cursor.tag, cursor.member}] = std::move(source);
+    }
+  }
+  DSTRESS_CHECK(snapshot.next_iteration >= 0 && snapshot.next_iteration <= program_.iterations);
+  return snapshot.next_iteration;
 }
 
 void Runtime::InitPhase(const std::vector<mpc::BitVector>& initial_states) {
@@ -807,12 +898,21 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   uint64_t bytes_before = net_->TotalBytes();
 
   Stopwatch phase;
-  InitPhase(initial_states);
-  m->init.seconds = phase.ElapsedSeconds();
-  m->init.bytes = net_->TotalBytes() - bytes_before;
+  int start_iteration = 0;
+  if (config_.resume) {
+    // Rejoin at the checkpointed iteration barrier: the share arrays and
+    // dealer tapes replace the init phase (docs/ha.md).
+    start_iteration = RestoreCheckpoint();
+    m->resumed_from_iteration = start_iteration;
+    m->init.seconds = phase.ElapsedSeconds();
+  } else {
+    InitPhase(initial_states);
+    m->init.seconds = phase.ElapsedSeconds();
+    m->init.bytes = net_->TotalBytes() - bytes_before;
+  }
 
   uint64_t phase_bytes = net_->TotalBytes();
-  for (int iter = 0; iter < program_.iterations; iter++) {
+  for (int iter = start_iteration; iter < program_.iterations; iter++) {
     phase.Reset();
     ComputePhase();
     m->compute.seconds += phase.ElapsedSeconds();
@@ -824,6 +924,10 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
     m->communicate.seconds += phase.ElapsedSeconds();
     m->communicate.bytes += net_->TotalBytes() - phase_bytes;
     phase_bytes = net_->TotalBytes();
+
+    if (config_.checkpoint_every > 0 && (iter + 1) % config_.checkpoint_every == 0) {
+      SaveCheckpoint(iter + 1, m);
+    }
   }
   // Final computation step (§3.6).
   phase.Reset();
@@ -844,6 +948,8 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / graph_.num_vertices();
   m->update_rounds = compute_rounds_.load(std::memory_order_relaxed);
   m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
+  m->ha_control_bytes = net_->HaControlBytes();
+  m->ha_resumes = net_->HaResumeCount();
   return result;
 }
 
@@ -1106,6 +1212,8 @@ std::vector<int64_t> Runtime::RunEnsemble(
   m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / graph_.num_vertices();
   m->update_rounds = compute_rounds_.load(std::memory_order_relaxed);
   m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
+  m->ha_control_bytes = net_->HaControlBytes();
+  m->ha_resumes = net_->HaResumeCount();
   return results;
 }
 

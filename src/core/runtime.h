@@ -117,6 +117,19 @@ struct RuntimeConfig {
   // an ensemble multiplies the transfer draws per run by its width.
   int ensemble_width = 1;
   uint64_t seed = 1;
+  // --- HA checkpointing (src/ha/checkpoint.h, docs/ha.md) -----------------
+  // >0: Run() snapshots its phase state to checkpoint_path after every
+  // `checkpoint_every`-th communication step (an iteration barrier).
+  // Requires use_ot_triples == false (OT sessions hold unrewindable
+  // cross-process state) and applies to solo Run() only, not RunEnsemble.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  // Resume Run() from checkpoint_path instead of starting at iteration 0:
+  // restores the share arrays and dealer-triple tape positions and skips
+  // the init phase. The released figure is bit-identical to an
+  // uninterrupted run (the config fingerprint guards against resuming a
+  // different run shape).
+  bool resume = false;
 };
 
 // Derives the PRG seed for a protocol role from the run seed. Shared with
@@ -153,6 +166,16 @@ struct RunMetrics {
   size_t update_rounds = 0;
   uint64_t triples_consumed = 0;
   int iterations = 0;
+  // HA surface (docs/ha.md), all zero when the HA layer is off: transport
+  // fault-tolerance traffic (heartbeats, resume handshakes, replays —
+  // excluded from the byte totals above), completed session resumes, wall
+  // time spent writing checkpoints, and the iteration a resumed run
+  // restarted from (-1 = not resumed). ToString appends them only when HA
+  // was active, so non-HA reports are unchanged.
+  uint64_t ha_control_bytes = 0;
+  int ha_resumes = 0;
+  double ha_checkpoint_seconds = 0;
+  int resumed_from_iteration = -1;
 
   std::string ToString() const;
 };
@@ -257,6 +280,16 @@ class Runtime {
   mpc::TripleSource* TripleSourceFor(uint64_t tag, int member_index, net::SessionId session,
                                      const std::vector<int>& block);
   crypto::ChaCha20Prg RolePrg(uint64_t role_tag, uint64_t instance);
+
+  // HA checkpointing (config_.checkpoint_every / config_.resume). The
+  // fingerprint covers every parameter that shapes the share arrays and
+  // triple tapes, so a checkpoint can never be replayed into a different
+  // run. SaveCheckpoint snapshots after the iteration barrier;
+  // RestoreCheckpoint returns the iteration to resume at (aborts when the
+  // file is unreadable or from another run).
+  uint64_t ConfigFingerprint() const;
+  void SaveCheckpoint(int next_iteration, RunMetrics* m);
+  int RestoreCheckpoint();
 
   RuntimeConfig config_;
   const graph::Graph& graph_;

@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/dp/release.h"
 #include "src/engine/backend.h"
+#include "src/ha/faulty.h"
 #include "src/finance/eisenberg_noe.h"
 #include "src/finance/elliott_golub_jackson.h"
 #include "src/finance/utility.h"
@@ -29,6 +30,9 @@ core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
   config.batch_mpc = spec.mpc_batching;
   config.batch_transfer = spec.transfer_batching;
   config.seed = spec.seed;
+  config.checkpoint_every = spec.ha_checkpoint_every;
+  config.checkpoint_path = spec.ha_checkpoint_path;
+  config.resume = spec.ha_resume;
   if (spec.ensemble.has_value()) {
     config.ensemble_width = std::max(1, spec.ensemble->Width());
   }
@@ -48,6 +52,10 @@ double DeriveNoiseAlpha(const RunSpec& spec) {
 }  // namespace
 
 Engine::Engine(RunSpec spec) : spec_(std::move(spec)) {
+  // Make the "faulty" fault-injection backend resolvable by name before any
+  // transport spec is materialized (the registry is the only way scenarios
+  // reach it; explicit because static-lib self-registration gets dropped).
+  ha::RegisterHaTransports();
   if (spec_.graph.has_value()) {
     graph_ = &*spec_.graph;
   } else {

@@ -165,6 +165,12 @@ struct RunSpec {
   double transfer_budget_alpha = 0.9;
   int64_t dlog_range = 0;  // 0 = auto-size
   uint64_t seed = 1;
+  // HA checkpointing (core::RuntimeConfig, docs/ha.md): snapshot phase
+  // state to ha_checkpoint_path every `ha_checkpoint_every` iterations;
+  // ha_resume restarts a run from that snapshot (dstress_run --resume).
+  int ha_checkpoint_every = 0;
+  std::string ha_checkpoint_path;
+  bool ha_resume = false;
 
   // --- execution backend -------------------------------------------------
   ExecutionMode mode = ExecutionMode::kSecure;

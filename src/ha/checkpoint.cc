@@ -1,0 +1,188 @@
+#include "src/ha/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/crypto/sha256.h"
+
+namespace dstress::ha {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'T', 'R', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteBits(ByteWriter* w, const mpc::BitVector& bits) { w->Blob(bits); }
+
+mpc::BitVector ReadBits(ByteReader* r) { return r->Blob(); }
+
+void WriteShares2(ByteWriter* w, const std::vector<std::vector<mpc::BitVector>>& a) {
+  w->U32(static_cast<uint32_t>(a.size()));
+  for (const auto& row : a) {
+    w->U32(static_cast<uint32_t>(row.size()));
+    for (const auto& bits : row) {
+      WriteBits(w, bits);
+    }
+  }
+}
+
+std::vector<std::vector<mpc::BitVector>> ReadShares2(ByteReader* r) {
+  std::vector<std::vector<mpc::BitVector>> a(r->U32());
+  for (auto& row : a) {
+    row.resize(r->U32());
+    for (auto& bits : row) {
+      bits = ReadBits(r);
+    }
+  }
+  return a;
+}
+
+void WriteShares3(ByteWriter* w, const std::vector<std::vector<std::vector<mpc::BitVector>>>& a) {
+  w->U32(static_cast<uint32_t>(a.size()));
+  for (const auto& plane : a) {
+    WriteShares2(w, plane);
+  }
+}
+
+std::vector<std::vector<std::vector<mpc::BitVector>>> ReadShares3(ByteReader* r) {
+  std::vector<std::vector<std::vector<mpc::BitVector>>> a(r->U32());
+  for (auto& plane : a) {
+    plane = ReadShares2(r);
+  }
+  return a;
+}
+
+}  // namespace
+
+Bytes EncodeSnapshot(const RuntimeSnapshot& snapshot) {
+  ByteWriter w;
+  w.U64(snapshot.config_fingerprint);
+  w.U32(static_cast<uint32_t>(snapshot.next_iteration));
+  WriteShares2(&w, snapshot.state_shares);
+  WriteShares3(&w, snapshot.inmsg_shares);
+  WriteShares3(&w, snapshot.outmsg_shares);
+  w.U32(static_cast<uint32_t>(snapshot.triple_cursors.size()));
+  for (const auto& cursor : snapshot.triple_cursors) {
+    w.U64(cursor.tag);
+    w.U32(static_cast<uint32_t>(cursor.member));
+    w.U64(cursor.calls);
+  }
+  return w.Take();
+}
+
+RuntimeSnapshot DecodeSnapshot(const Bytes& body) {
+  ByteReader r(body);
+  RuntimeSnapshot snapshot;
+  snapshot.config_fingerprint = r.U64();
+  snapshot.next_iteration = static_cast<int32_t>(r.U32());
+  snapshot.state_shares = ReadShares2(&r);
+  snapshot.inmsg_shares = ReadShares3(&r);
+  snapshot.outmsg_shares = ReadShares3(&r);
+  snapshot.triple_cursors.resize(r.U32());
+  for (auto& cursor : snapshot.triple_cursors) {
+    cursor.tag = r.U64();
+    cursor.member = static_cast<int32_t>(r.U32());
+    cursor.calls = r.U64();
+  }
+  DSTRESS_CHECK(r.AtEnd());
+  return snapshot;
+}
+
+bool SaveSnapshot(const std::string& path, const RuntimeSnapshot& snapshot, std::string* error) {
+  Bytes body = EncodeSnapshot(snapshot);
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(body);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
+    }
+    return false;
+  }
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  uint32_t version = kFormatVersion;
+  ok = ok && std::fwrite(&version, 1, sizeof(version), f) == sizeof(version);
+  ok = ok && (body.empty() || std::fwrite(body.data(), 1, body.size(), f) == body.size());
+  ok = ok && std::fwrite(digest.data(), 1, digest.size(), f) == digest.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    if (error != nullptr) {
+      *error = "short write to " + tmp + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " to " + path + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadSnapshot(const std::string& path, RuntimeSnapshot* snapshot, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  Bytes file;
+  uint8_t buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    file.insert(file.end(), buf, buf + n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    if (error != nullptr) {
+      *error = "read error on " + path;
+    }
+    return false;
+  }
+
+  constexpr size_t kHeader = sizeof(kMagic) + sizeof(uint32_t);
+  constexpr size_t kDigest = 32;
+  if (file.size() < kHeader + kDigest) {
+    if (error != nullptr) {
+      *error = path + " is truncated (" + std::to_string(file.size()) + " bytes)";
+    }
+    return false;
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (error != nullptr) {
+      *error = path + " is not a DStress checkpoint (bad magic)";
+    }
+    return false;
+  }
+  uint32_t version;
+  std::memcpy(&version, file.data() + sizeof(kMagic), sizeof(version));
+  if (version != kFormatVersion) {
+    if (error != nullptr) {
+      *error = path + " has checkpoint format version " + std::to_string(version) +
+               "; this build reads version " + std::to_string(kFormatVersion);
+    }
+    return false;
+  }
+  Bytes body(file.begin() + kHeader, file.end() - kDigest);
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(body);
+  if (std::memcmp(digest.data(), file.data() + (file.size() - kDigest), kDigest) != 0) {
+    if (error != nullptr) {
+      *error = path + " fails its integrity check (torn write or corruption)";
+    }
+    return false;
+  }
+  // The digest matched, so the body is byte-exact what SaveSnapshot wrote;
+  // the strict (aborting) decoder is safe from here.
+  *snapshot = DecodeSnapshot(body);
+  return true;
+}
+
+}  // namespace dstress::ha

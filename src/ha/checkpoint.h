@@ -1,0 +1,79 @@
+// Runtime phase-state checkpoints (docs/ha.md): the on-disk snapshot format
+// behind `ha checkpoint_every` and `--resume`.
+//
+// DStress's secure runtime is a deterministic lockstep computation: between
+// iteration barriers the only state a rejoining driver needs is the share
+// arrays (state, in-slot and out-slot message shares for every vertex and
+// block member), the iteration cursor, and the position of every dealer
+// triple tape. A snapshot captures exactly that, plus a fingerprint of the
+// run configuration so a checkpoint can never be replayed into a different
+// run shape. Because the PRG roles are stateless (every phase derives fresh
+// streams from (seed, role, instance)), restoring those arrays and
+// fast-forwarding the triple tapes reproduces the remaining iterations —
+// and therefore the released figures — bit-identically.
+//
+// Snapshots only cover dealer-triple runs (use_ot_triples = false): OT
+// sessions hold cross-process key state that cannot be re-wound from one
+// side. The runtime enforces this at configuration time.
+//
+// File format (little-endian, ByteWriter):
+//
+//   "DSTRCKPT"            8-byte magic
+//   u32 format version    currently 1
+//   body                  EncodeSnapshot output
+//   sha256(body)          32 trailing bytes
+//
+// SaveSnapshot writes to `<path>.tmp` and renames, so a crash mid-write
+// leaves the previous checkpoint intact. LoadSnapshot verifies magic,
+// version and digest and reports failures as error strings (a torn or
+// stale file must surface as "cannot resume", not a CHECK abort deep in
+// the parser).
+#ifndef SRC_HA_CHECKPOINT_H_
+#define SRC_HA_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/mpc/sharing.h"
+
+namespace dstress::ha {
+
+struct RuntimeSnapshot {
+  // FNV-1a over the run parameters that shape the share arrays and tapes
+  // (core::Runtime::ConfigFingerprint). Load-time mismatch = wrong run.
+  uint64_t config_fingerprint = 0;
+  // The first iteration still to execute when resuming.
+  int32_t next_iteration = 0;
+  // Share arrays exactly as the runtime holds them: [vertex][member],
+  // [vertex][slot][member].
+  std::vector<std::vector<mpc::BitVector>> state_shares;
+  std::vector<std::vector<std::vector<mpc::BitVector>>> inmsg_shares;
+  std::vector<std::vector<std::vector<mpc::BitVector>>> outmsg_shares;
+  // One cursor per live DealerTripleSource: fast-forwarding a fresh source
+  // to `calls` reproduces its tape position.
+  struct TripleCursor {
+    uint64_t tag = 0;
+    int32_t member = 0;
+    uint64_t calls = 0;
+  };
+  std::vector<TripleCursor> triple_cursors;
+};
+
+// Body codec (no framing/digest). DecodeSnapshot aborts on a malformed
+// body — callers reach it only through LoadSnapshot's digest check.
+Bytes EncodeSnapshot(const RuntimeSnapshot& snapshot);
+RuntimeSnapshot DecodeSnapshot(const Bytes& body);
+
+// Atomically writes `snapshot` to `path` (tmp + rename). Returns false and
+// fills `error` on I/O failure.
+bool SaveSnapshot(const std::string& path, const RuntimeSnapshot& snapshot, std::string* error);
+
+// Reads and verifies `path`. Returns false and fills `error` when the file
+// is missing, truncated, corrupt, or a different format version.
+bool LoadSnapshot(const std::string& path, RuntimeSnapshot* snapshot, std::string* error);
+
+}  // namespace dstress::ha
+
+#endif  // SRC_HA_CHECKPOINT_H_

@@ -1,0 +1,83 @@
+#include "src/ha/failure_detector.h"
+
+#include "src/common/check.h"
+
+namespace dstress::ha {
+
+const char* PeerHealthName(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kAlive:
+      return "alive";
+    case PeerHealth::kSuspect:
+      return "suspect";
+    case PeerHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(int num_peers, FailureDetectorParams params, int64_t now_ms)
+    : params_(params) {
+  DSTRESS_CHECK(num_peers >= 0);
+  DSTRESS_CHECK(params_.suspect_after_ms > 0);
+  DSTRESS_CHECK(params_.dead_after_ms >= params_.suspect_after_ms);
+  peers_.resize(static_cast<size_t>(num_peers));
+  for (PeerState& p : peers_) p.last_heard_ms = now_ms;
+}
+
+void FailureDetector::OnHeartbeat(int peer, int64_t now_ms) {
+  DSTRESS_CHECK(peer >= 0 && peer < static_cast<int>(peers_.size()));
+  PeerState& p = peers_[static_cast<size_t>(peer)];
+  p.last_heard_ms = now_ms;
+  p.health = PeerHealth::kAlive;
+  p.dead_since_ms = 0;
+}
+
+void FailureDetector::OnConnectionLoss(int peer, int64_t now_ms) {
+  DSTRESS_CHECK(peer >= 0 && peer < static_cast<int>(peers_.size()));
+  PeerState& p = peers_[static_cast<size_t>(peer)];
+  if (p.health != PeerHealth::kDead) {
+    p.health = PeerHealth::kDead;
+    p.dead_since_ms = now_ms;
+  }
+}
+
+std::vector<FailureDetector::Transition> FailureDetector::Tick(int64_t now_ms) {
+  std::vector<Transition> transitions;
+  for (size_t i = 0; i < peers_.size(); i++) {
+    PeerState& p = peers_[i];
+    if (p.health == PeerHealth::kDead) continue;
+    int64_t silent = now_ms - p.last_heard_ms;
+    PeerHealth next = p.health;
+    if (silent >= params_.dead_after_ms) {
+      next = PeerHealth::kDead;
+    } else if (silent >= params_.suspect_after_ms) {
+      next = PeerHealth::kSuspect;
+    }
+    if (next != p.health) {
+      transitions.push_back(Transition{static_cast<int>(i), p.health, next});
+      p.health = next;
+      if (next == PeerHealth::kDead) {
+        // Date the death at the moment the silence budget ran out, not at
+        // the (possibly late) tick that noticed it.
+        p.dead_since_ms = p.last_heard_ms + params_.dead_after_ms;
+      }
+    }
+  }
+  return transitions;
+}
+
+PeerHealth FailureDetector::health(int peer) const {
+  DSTRESS_CHECK(peer >= 0 && peer < static_cast<int>(peers_.size()));
+  return peers_[static_cast<size_t>(peer)].health;
+}
+
+int64_t FailureDetector::DeadForMs(int peer, int64_t now_ms) const {
+  DSTRESS_CHECK(peer >= 0 && peer < static_cast<int>(peers_.size()));
+  const PeerState& p = peers_[static_cast<size_t>(peer)];
+  if (p.health != PeerHealth::kDead) return 0;
+  int64_t dead_for = now_ms - p.dead_since_ms;
+  return dead_for > 0 ? dead_for : 0;
+}
+
+}  // namespace dstress::ha

@@ -1,0 +1,67 @@
+// Per-peer liveness state machine for the driver-side heartbeat monitor
+// (docs/ha.md). Pure and clock-free: every entry point takes the caller's
+// monotonic clock reading in milliseconds, so tests drive it deterministically
+// and the TCP monitor thread feeds it a steady_clock sample.
+//
+// A peer is kAlive while heartbeat acks keep arriving, degrades to kSuspect
+// after `suspect_after_ms` of silence, to kDead after `dead_after_ms`, and an
+// observed connection loss (reader EOF on the peer's link) is an immediate
+// kDead regardless of timers. A heartbeat from any state revives the peer to
+// kAlive — a resumed session starts a fresh silence window.
+#ifndef DSTRESS_HA_FAILURE_DETECTOR_H_
+#define DSTRESS_HA_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dstress::ha {
+
+enum class PeerHealth { kAlive, kSuspect, kDead };
+
+const char* PeerHealthName(PeerHealth health);
+
+struct FailureDetectorParams {
+  int64_t suspect_after_ms = 1000;
+  int64_t dead_after_ms = 3000;
+};
+
+class FailureDetector {
+ public:
+  // All peers start kAlive with their silence window opened at `now_ms`.
+  FailureDetector(int num_peers, FailureDetectorParams params, int64_t now_ms);
+
+  // A heartbeat ack arrived from `peer`: refresh its window and revive it.
+  void OnHeartbeat(int peer, int64_t now_ms);
+
+  // The peer's link dropped (reader saw EOF / reset): immediately kDead.
+  void OnConnectionLoss(int peer, int64_t now_ms);
+
+  struct Transition {
+    int peer;
+    PeerHealth from;
+    PeerHealth to;
+  };
+
+  // Advances timer-driven degradations and returns every state change.
+  std::vector<Transition> Tick(int64_t now_ms);
+
+  PeerHealth health(int peer) const;
+
+  // How long `peer` has been kDead (0 when it is not dead). The monitor
+  // declares the run lost once this exceeds the resume budget.
+  int64_t DeadForMs(int peer, int64_t now_ms) const;
+
+ private:
+  struct PeerState {
+    PeerHealth health = PeerHealth::kAlive;
+    int64_t last_heard_ms = 0;
+    int64_t dead_since_ms = 0;
+  };
+
+  FailureDetectorParams params_;
+  std::vector<PeerState> peers_;
+};
+
+}  // namespace dstress::ha
+
+#endif  // DSTRESS_HA_FAILURE_DETECTOR_H_

@@ -1,0 +1,104 @@
+#include "src/ha/faulty.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/channel_demux.h"
+
+namespace dstress::ha {
+
+FaultyTransport::FaultyTransport(int num_nodes, const net::TransportSpec& spec) {
+  DSTRESS_CHECK(spec.faulty_inner != "faulty");  // no self-decoration
+  if (!net::KnownTransportBackend(spec.faulty_inner)) {
+    std::fprintf(stderr, "transport faulty: unknown inner backend '%s'\n",
+                 spec.faulty_inner.c_str());
+    DSTRESS_CHECK(false);
+  }
+  net::TransportSpec inner_spec = spec;
+  inner_spec.backend = spec.faulty_inner;
+  inner_spec.faults.clear();
+  inner_ = net::MakeTransport(inner_spec, num_nodes);
+  faults_ = spec.faults;
+  std::stable_sort(faults_.begin(), faults_.end(),
+                   [](const net::FaultSpec& a, const net::FaultSpec& b) {
+                     return a.after_sends < b.after_sends;
+                   });
+}
+
+void FaultyTransport::Send(net::NodeId from, net::NodeId to, Bytes message,
+                           net::SessionId session) {
+  MaybeFire(sends_.fetch_add(1, std::memory_order_relaxed) + 1);
+  inner_->Send(from, to, std::move(message), session);
+}
+
+void FaultyTransport::SendBatch(net::NodeId from, net::NodeId to, std::vector<Bytes> messages,
+                                net::SessionId session) {
+  // A batch counts each element, so a threshold landing inside the batch
+  // fires before any of it is forwarded — the nearest deterministic point.
+  MaybeFire(sends_.fetch_add(messages.size(), std::memory_order_relaxed) + messages.size());
+  inner_->SendBatch(from, to, std::move(messages), session);
+}
+
+void FaultyTransport::MaybeFire(uint64_t count) {
+  if (next_fault_ >= faults_.size()) {  // benign race: rechecked under the lock
+    return;
+  }
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  while (next_fault_ < faults_.size() && faults_[next_fault_].after_sends <= count) {
+    Fire(faults_[next_fault_]);
+    next_fault_++;
+  }
+}
+
+void FaultyTransport::Fire(const net::FaultSpec& fault) {
+  switch (fault.action) {
+    case net::FaultSpec::Action::kDelay:
+      std::fprintf(stderr, "faulty: injecting %d ms delay at send #%llu\n", fault.delay_ms,
+                   static_cast<unsigned long long>(fault.after_sends));
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+      return;
+    case net::FaultSpec::Action::kKillNode:
+    case net::FaultSpec::Action::kDropLink: {
+      const bool kill = fault.action == net::FaultSpec::Action::kKillNode;
+      std::fprintf(stderr, "faulty: injecting %s of bank %d at send #%llu\n",
+                   kill ? "kill" : "link drop", fault.node,
+                   static_cast<unsigned long long>(fault.after_sends));
+      auto* injectable = dynamic_cast<net::FaultInjectable*>(inner_.get());
+      if (injectable != nullptr) {
+        if (kill) {
+          injectable->InjectNodeKill(fault.node);
+        } else {
+          injectable->InjectLinkDrop(fault.node);
+        }
+        return;
+      }
+      // Backends without process/socket boundaries (sim): the fault is not
+      // recoverable, so it degrades to declaring the peer dead — blocked
+      // receivers on its channels wake with a clear error instead of
+      // hanging (channel_demux.h).
+      auto* demux = dynamic_cast<net::ChannelDemuxTransport*>(inner_.get());
+      DSTRESS_CHECK(demux != nullptr);
+      demux->DeclarePeerDead(fault.node,
+                             std::string("injected ") + (kill ? "kill" : "link drop") +
+                                 " at send #" + std::to_string(fault.after_sends));
+      return;
+    }
+  }
+  DSTRESS_CHECK(false);
+}
+
+void RegisterHaTransports() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    net::RegisterTransport("faulty", [](int num_nodes, const net::TransportSpec& spec) {
+      return std::make_unique<FaultyTransport>(num_nodes, spec);
+    });
+  });
+}
+
+}  // namespace dstress::ha

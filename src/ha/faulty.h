@@ -1,0 +1,92 @@
+// ha::FaultyTransport — deterministic fault injection for any transport
+// backend (`transport faulty <sim|tcp>` in scenarios; docs/ha.md).
+//
+// The wrapper decorates a real backend (TransportSpec::faulty_inner) and
+// fires the scripted FaultSpec schedule at exact cumulative send counts:
+// the Kth Send of a scenario is the same Send every run, so a fault fires
+// at an identical protocol position with no timers or races involved —
+// which is what lets CI assert bit-identical recovery output.
+//
+//   kKillNode — SIGKILL the target bank (TCP, via net::FaultInjectable);
+//               on backends without process boundaries it declares the
+//               peer dead (ChannelDemuxTransport::DeclarePeerDead), which
+//               exercises the blocked-Recv wake-with-error path instead.
+//   kDropLink — sever the driver <-> bank socket (TCP); declares the peer
+//               dead elsewhere.
+//   kDelay    — stall the offending Send by delay_ms. Perturbs timing
+//               without touching delivery: figures must be unchanged.
+//
+// All forwarding is transparent: metering, observers and the HA counters
+// come straight from the inner backend, so a faulty-wrapped run's
+// TrafficStats equal the unwrapped run's.
+#ifndef SRC_HA_FAULTY_H_
+#define SRC_HA_FAULTY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/net/transport_spec.h"
+
+namespace dstress::ha {
+
+class FaultyTransport : public net::Transport {
+ public:
+  // Builds the inner backend from `spec` with backend = spec.faulty_inner
+  // and arms spec.faults (sorted by after_sends).
+  FaultyTransport(int num_nodes, const net::TransportSpec& spec);
+
+  int num_nodes() const override { return inner_->num_nodes(); }
+  void SetObserver(net::NetworkObserver* observer) override { inner_->SetObserver(observer); }
+  void Send(net::NodeId from, net::NodeId to, Bytes message,
+            net::SessionId session = 0) override;
+  void SendBatch(net::NodeId from, net::NodeId to, std::vector<Bytes> messages,
+                 net::SessionId session = 0) override;
+  Bytes Recv(net::NodeId to, net::NodeId from, net::SessionId session = 0) override {
+    return inner_->Recv(to, from, session);
+  }
+  std::vector<Bytes> RecvBatch(net::NodeId to, net::NodeId from, size_t count,
+                               net::SessionId session = 0) override {
+    return inner_->RecvBatch(to, from, count, session);
+  }
+  net::TrafficStats NodeStats(net::NodeId node) const override {
+    return inner_->NodeStats(node);
+  }
+  uint64_t TotalBytes() const override { return inner_->TotalBytes(); }
+  uint64_t MaxBytesPerNode() const override { return inner_->MaxBytesPerNode(); }
+  void ResetStats() override { inner_->ResetStats(); }
+  uint64_t HaControlBytes() const override { return inner_->HaControlBytes(); }
+  int HaResumeCount() const override { return inner_->HaResumeCount(); }
+
+  // Cumulative sends observed (SendBatch counts each element), for tuning
+  // a scenario's after_sends against a trial run.
+  uint64_t sends() const { return sends_.load(std::memory_order_relaxed); }
+
+  net::Transport* inner() { return inner_.get(); }
+
+ private:
+  // Fires every not-yet-fired fault with after_sends <= count; called with
+  // the counter value that includes the Send about to be forwarded, so a
+  // kDelay stalls the offending Send itself.
+  void MaybeFire(uint64_t count);
+  void Fire(const net::FaultSpec& fault);
+
+  std::unique_ptr<net::Transport> inner_;
+  std::vector<net::FaultSpec> faults_;  // sorted by after_sends
+  std::atomic<uint64_t> sends_{0};
+  std::mutex fault_mu_;
+  size_t next_fault_ = 0;  // under fault_mu_
+};
+
+// Installs the "faulty" backend in the transport registry. Idempotent and
+// thread-safe; called by the engine at construction so scenarios can name
+// the backend. (Explicit registration because the linker may drop
+// self-registering objects from a static library.)
+void RegisterHaTransports();
+
+}  // namespace dstress::ha
+
+#endif  // SRC_HA_FAULTY_H_

@@ -1,0 +1,89 @@
+#include "src/ha/resume.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace dstress::ha {
+
+Bytes WrapSeq(uint64_t seq, const Bytes& payload) {
+  Bytes out;
+  out.reserve(payload.size() + 8);
+  for (int i = 0; i < 8; i++) out.push_back(static_cast<uint8_t>(seq >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+uint64_t PeekSeq(const Bytes& wrapped) {
+  DSTRESS_CHECK(wrapped.size() >= 8);
+  uint64_t seq = 0;
+  for (int i = 0; i < 8; i++) seq |= static_cast<uint64_t>(wrapped[i]) << (8 * i);
+  return seq;
+}
+
+Bytes StripSeq(Bytes wrapped) {
+  DSTRESS_CHECK(wrapped.size() >= 8);
+  wrapped.erase(wrapped.begin(), wrapped.begin() + 8);
+  return wrapped;
+}
+
+ResumeLog::ResumeLog(size_t max_buffered_bytes) : max_buffered_bytes_(max_buffered_bytes) {}
+
+uint64_t ResumeLog::NextSendSeq(const ChannelId& ch) { return channels_[ch].next_send++; }
+
+void ResumeLog::Buffer(const ChannelId& ch, uint64_t seq, Bytes encoded_frame) {
+  ChannelState& state = channels_[ch];
+  // Sends are buffered in issue order, so the pending window stays contiguous.
+  DSTRESS_CHECK(seq == state.next_deliver + (state.pending.size() - state.pending_head));
+  buffered_bytes_ += encoded_frame.size();
+  buffered_frames_++;
+  if (buffered_bytes_ > max_buffered_bytes_) {
+    std::fprintf(stderr,
+                 "ha: resume buffer overflow: %zu bytes of undelivered frames exceed the "
+                 "%zu-byte budget (raise `ha resume_buffer_mb` or lower the fault window)\n",
+                 buffered_bytes_, max_buffered_bytes_);
+    DSTRESS_CHECK(false);
+  }
+  state.pending.push_back(std::move(encoded_frame));
+}
+
+bool ResumeLog::Deliver(const ChannelId& ch, uint64_t seq) {
+  ChannelState& state = channels_[ch];
+  if (seq != state.next_deliver) return false;  // duplicate (below) or stray (above)
+  state.next_deliver++;
+  DSTRESS_CHECK(state.pending_head < state.pending.size());
+  Bytes& front = state.pending[state.pending_head];
+  buffered_bytes_ -= front.size();
+  buffered_frames_--;
+  Bytes().swap(front);
+  state.pending_head++;
+  if (state.pending_head == state.pending.size() || state.pending_head >= 1024) {
+    state.pending.erase(state.pending.begin(),
+                        state.pending.begin() + static_cast<ptrdiff_t>(state.pending_head));
+    state.pending_head = 0;
+  }
+  return true;
+}
+
+std::vector<ResumeLog::ReplayFrame> ResumeLog::UndeliveredFor(int32_t node) const {
+  std::vector<const std::pair<const ChannelId, ChannelState>*> touched;
+  for (const auto& entry : channels_) {
+    if (entry.first.from != node && entry.first.to != node) continue;
+    if (entry.second.pending_head == entry.second.pending.size()) continue;
+    touched.push_back(&entry);
+  }
+  std::sort(touched.begin(), touched.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::vector<ReplayFrame> out;
+  for (const auto* entry : touched) {
+    const ChannelState& state = entry->second;
+    for (size_t i = state.pending_head; i < state.pending.size(); i++) {
+      out.push_back(ReplayFrame{entry->first.from, state.pending[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace dstress::ha

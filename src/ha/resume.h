@@ -1,0 +1,105 @@
+// Session-resume bookkeeping for the TCP driver (docs/ha.md).
+//
+// With HA enabled the driver prefixes every data payload with a per-channel
+// monotonic sequence number and keeps the encoded wire frame in a bounded
+// retransmit buffer until the frame has been observed back at the driver
+// (frames travel driver -> from-bank -> to-bank -> driver, so driver receipt
+// is proof of end-to-end delivery). When a bank's session is resumed, every
+// still-undelivered frame touching that bank is replayed in order; the
+// delivery cursor makes redelivery exactly-once — duplicates (seq below the
+// cursor) and in-flight strays that overtook the replay (seq above it) are
+// both dropped, because the replay itself carries every pending sequence in
+// FIFO order.
+//
+// The class is pure bookkeeping and not thread-safe; net::TcpNetwork guards
+// it with its own HA mutex.
+#ifndef DSTRESS_HA_RESUME_H_
+#define DSTRESS_HA_RESUME_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace dstress::ha {
+
+// One transport channel: the wire codec's (from, to, session) triple.
+struct ChannelId {
+  int32_t from = 0;
+  int32_t to = 0;
+  uint64_t session = 0;
+
+  bool operator==(const ChannelId& o) const {
+    return from == o.from && to == o.to && session == o.session;
+  }
+  bool operator<(const ChannelId& o) const {
+    if (from != o.from) return from < o.from;
+    if (to != o.to) return to < o.to;
+    return session < o.session;
+  }
+};
+
+struct ChannelIdHash {
+  size_t operator()(const ChannelId& c) const {
+    uint64_t h = static_cast<uint32_t>(c.from);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(c.to);
+    h = h * 0x9e3779b97f4a7c15ULL + c.session;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+// Sequence prefix helpers: payloads travel as [u64 seq][original payload].
+Bytes WrapSeq(uint64_t seq, const Bytes& payload);
+uint64_t PeekSeq(const Bytes& wrapped);
+// Removes the 8-byte prefix in place and returns the original payload.
+Bytes StripSeq(Bytes wrapped);
+
+class ResumeLog {
+ public:
+  // Aborts when buffered retransmit state would exceed `max_buffered_bytes`
+  // (the run is holding more undelivered traffic than the operator budgeted).
+  explicit ResumeLog(size_t max_buffered_bytes);
+
+  // Next sequence number to send on `ch` (0, 1, 2, ... per channel).
+  uint64_t NextSendSeq(const ChannelId& ch);
+
+  // Retains a sent frame (already seq-wrapped and wire-encoded) for replay.
+  void Buffer(const ChannelId& ch, uint64_t seq, Bytes encoded_frame);
+
+  // Called when a frame with `seq` arrives back at the driver. Returns true
+  // exactly when the frame is the next expected one — the caller delivers it
+  // and this log prunes it (and nothing else) from the retransmit buffer.
+  // False means drop: a duplicate or a stray that overtook a replay.
+  bool Deliver(const ChannelId& ch, uint64_t seq);
+
+  struct ReplayFrame {
+    int32_t from = 0;  // bank whose driver link carries the replay
+    Bytes encoded;
+  };
+
+  // Every undelivered frame on channels touching `node`, ordered by channel
+  // then sequence — push these onto the from-banks' links after a resume.
+  std::vector<ReplayFrame> UndeliveredFor(int32_t node) const;
+
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  size_t buffered_frames() const { return buffered_frames_; }
+
+ private:
+  struct ChannelState {
+    uint64_t next_send = 0;
+    uint64_t next_deliver = 0;
+    // Undelivered frames in seq order: front() has seq == next_deliver.
+    std::vector<Bytes> pending;
+    size_t pending_head = 0;  // lazily compacted pop index
+  };
+
+  size_t max_buffered_bytes_;
+  size_t buffered_bytes_ = 0;
+  size_t buffered_frames_ = 0;
+  std::unordered_map<ChannelId, ChannelState, ChannelIdHash> channels_;
+};
+
+}  // namespace dstress::ha
+
+#endif  // DSTRESS_HA_RESUME_H_

@@ -58,6 +58,12 @@ class DealerTripleSource : public TripleSource {
   DealerTripleSource(int party_index, int num_parties, uint64_t dealer_seed);
   BitTriples Generate(size_t count) override;
 
+  // Checkpoint support (src/ha/checkpoint.h): the call counter is this
+  // source's only cross-call state, so persisting it and fast-forwarding a
+  // freshly constructed source reproduces the tape position exactly.
+  uint64_t calls() const { return calls_; }
+  void FastForward(uint64_t calls) { calls_ = calls; }
+
  private:
   int party_index_;
   int num_parties_;

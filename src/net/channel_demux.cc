@@ -1,5 +1,7 @@
 #include "src/net/channel_demux.h"
 
+#include <cstdio>
+
 #include "src/common/check.h"
 
 namespace dstress::net {
@@ -8,9 +10,42 @@ ChannelDemuxTransport::ChannelDemuxTransport(int num_nodes, TransportOptions opt
     : num_nodes_(num_nodes), options_(options) {
   DSTRESS_CHECK(num_nodes > 0);
   counters_.reserve(num_nodes);
+  dead_peers_.reserve(num_nodes);
   for (int i = 0; i < num_nodes; i++) {
     counters_.push_back(std::make_unique<PerNodeCounters>());
+    dead_peers_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+}
+
+void ChannelDemuxTransport::DeclarePeerDead(NodeId node, const std::string& reason) {
+  DSTRESS_CHECK(node >= 0 && node < num_nodes_);
+  {
+    std::lock_guard<std::mutex> lock(dead_reason_mu_);
+    if (!dead_reason_.empty()) dead_reason_ += "; ";
+    dead_reason_ += reason;
+  }
+  dead_peers_[static_cast<size_t>(node)]->store(true, std::memory_order_release);
+  // Wake every parked receiver so its predicate re-checks the dead flags.
+  std::shared_lock<std::shared_mutex> read(channels_mu_);
+  for (auto& entry : channels_) {
+    std::lock_guard<std::mutex> lock(entry.second->mu);
+    entry.second->cv.notify_all();
+  }
+}
+
+void ChannelDemuxTransport::AbortDeadPeer(NodeId to, NodeId from, SessionId session) const {
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(dead_reason_mu_);
+    reason = dead_reason_;
+  }
+  std::fprintf(stderr,
+               "transport: Recv(to=%d, from=%d, session=%llu) woke on a dead peer with no "
+               "message to deliver: %s\n",
+               to, from, static_cast<unsigned long long>(session),
+               reason.empty() ? "peer declared dead" : reason.c_str());
+  DSTRESS_CHECK(false);
+  std::abort();  // DSTRESS_CHECK(false) never returns; this placates [[noreturn]]
 }
 
 void ChannelDemuxTransport::SetObserver(NetworkObserver* observer) {
@@ -55,7 +90,10 @@ Bytes ChannelDemuxTransport::Recv(NodeId to, NodeId from, SessionId session) {
   Bytes msg;
   {
     std::unique_lock<std::mutex> lock(ch.mu);
-    ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+    ch.cv.wait(lock, [&] { return !ch.queue.empty() || PairDead(from, to); });
+    if (ch.queue.empty()) {
+      AbortDeadPeer(to, from, session);
+    }
     // Loaded after the wait: a Recv parked before an (otherwise legal)
     // pre-traffic attach must still record its OnRecv.
     NetworkObserver* observer = observer_.load(std::memory_order_acquire);
@@ -84,7 +122,10 @@ std::vector<Bytes> ChannelDemuxTransport::RecvBatch(NodeId to, NodeId from, size
   {
     std::unique_lock<std::mutex> lock(ch.mu);
     while (messages.size() < count) {
-      ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+      ch.cv.wait(lock, [&] { return !ch.queue.empty() || PairDead(from, to); });
+      if (ch.queue.empty()) {
+        AbortDeadPeer(to, from, session);
+      }
       NetworkObserver* observer = observer_.load(std::memory_order_acquire);
       while (!ch.queue.empty() && messages.size() < count) {
         Bytes msg = std::move(ch.queue.front());

@@ -63,6 +63,17 @@ class ChannelDemuxTransport : public Transport {
   uint64_t MaxBytesPerNode() const override;
   void ResetStats() override;
 
+  // Declares `node` dead (failure detector verdict, or an injected kill on
+  // the sim backend): every Recv/RecvBatch blocked on — or later reaching —
+  // an empty channel to or from it aborts with `reason` instead of hanging
+  // forever. Messages already queued still drain first, so a receiver that
+  // is merely behind does not lose data.
+  void DeclarePeerDead(NodeId node, const std::string& reason);
+
+  bool PeerDead(NodeId node) const {
+    return dead_peers_[static_cast<size_t>(node)]->load(std::memory_order_acquire);
+  }
+
  protected:
   struct Channel {
     std::mutex mu;
@@ -99,6 +110,11 @@ class ChannelDemuxTransport : public Transport {
   void CheckWatermark(const Channel& ch) const;
   void MeterSend(NodeId from, uint64_t bytes, uint64_t messages);
 
+  // True when the (from, to) pair touches a dead peer — the Recv wait
+  // predicates wake on it and abort via AbortDeadPeer.
+  bool PairDead(NodeId from, NodeId to) const { return PeerDead(from) || PeerDead(to); }
+  [[noreturn]] void AbortDeadPeer(NodeId to, NodeId from, SessionId session) const;
+
   int num_nodes_;
   TransportOptions options_;
   // Atomic so a SetObserver that loses the race with the first Send is a
@@ -109,6 +125,12 @@ class ChannelDemuxTransport : public Transport {
   std::shared_mutex channels_mu_;
   std::unordered_map<ChannelKey, std::unique_ptr<Channel>, ChannelKeyHash> channels_;
   std::vector<std::unique_ptr<PerNodeCounters>> counters_;
+
+  // Dead-peer flags (unique_ptr so the vector of atomics can be built once
+  // in the constructor) plus the human-readable reason for the abort.
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_peers_;
+  mutable std::mutex dead_reason_mu_;
+  std::string dead_reason_;
 };
 
 }  // namespace dstress::net

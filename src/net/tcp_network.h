@@ -46,6 +46,20 @@
 // failures (a bank that never dials in, a duplicate registration, a
 // version mismatch, a misplaced bank) abort with a message naming the
 // offending bank instead of hanging.
+//
+// HA mode (TransportSpec::ha.enabled, docs/ha.md): the driver anchors the
+// fault-tolerance layer. Every data payload is prefixed with a per-channel
+// sequence number and the encoded frame is kept in a bounded retransmit
+// buffer (ha::ResumeLog) until the frame is observed back at the driver —
+// driver receipt is end-to-end delivery proof, since every frame's last
+// hop lands here. A monitor thread heartbeats every bank and runs the
+// failure detector; an acceptor thread keeps the rendezvous listener open
+// and resumes a re-dialing bank's session: retire the old socket, replay
+// every undelivered frame touching that bank, splice in the new socket.
+// The sequence cursor makes redelivery exactly-once, so recovered runs
+// release figures and per-node TrafficStats bit-identical to fault-free
+// runs (HA control traffic and replays are metered separately, in
+// HaControlBytes).
 #ifndef SRC_NET_TCP_NETWORK_H_
 #define SRC_NET_TCP_NETWORK_H_
 
@@ -54,10 +68,13 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/ha/failure_detector.h"
+#include "src/ha/resume.h"
 #include "src/net/channel_demux.h"
 #include "src/net/tcp_socket.h"
 #include "src/net/transport.h"
@@ -65,7 +82,7 @@
 
 namespace dstress::net {
 
-class TcpNetwork : public ChannelDemuxTransport {
+class TcpNetwork : public ChannelDemuxTransport, public FaultInjectable {
  public:
   // Spawns the bank processes and completes the bootstrap handshake;
   // returns with the mesh established. Aborts if a bank fails to rendezvous
@@ -82,24 +99,67 @@ class TcpNetwork : public ChannelDemuxTransport {
   void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
                  SessionId session = 0) override;
 
+  uint64_t HaControlBytes() const override {
+    return ha_control_bytes_.load(std::memory_order_relaxed);
+  }
+  int HaResumeCount() const override { return ha_resumes_.load(std::memory_order_relaxed); }
+
+  // FaultInjectable (ha::FaultyTransport): both require HA mode, since
+  // without it nobody recovers.
+  void InjectNodeKill(NodeId node) override;
+  void InjectLinkDrop(NodeId node) override;
+
  private:
   // One bank process: its driver-side socket, outgoing writer queue, and
-  // the reader thread delivering its inbound frames.
+  // the reader thread delivering its inbound frames. `out` is a pointer
+  // because a writer queue whose peer vanished is permanently quiet — a
+  // session resume installs a fresh queue (under channels_mu_ exclusive)
+  // rather than reviving the old one.
   struct Link {
     int fd = -1;
-    pid_t pid = -1;
+    std::atomic<pid_t> pid{-1};
     // Orders OnSend callbacks with the enqueue, per sending bank.
     std::mutex send_mu;
-    FrameWriterQueue out;
-    FrameDecoder decoder;
+    std::unique_ptr<FrameWriterQueue> out;
+    FrameDecoder decoder;  // bootstrap only; moved into the reader thread
     std::thread reader;
+    // HA: the reader saw EOF mid-run and the link awaits a session resume.
+    std::atomic<bool> down{false};
+    bool respawned = false;  // monitor thread only
   };
 
   void SpawnNodes(const TransportSpec& spec, int listen_fd, int rendezvous_port);
-  void ReaderLoop(NodeId bank);
+  // Exec-mode spawn of one dstress_node (initial bootstrap and HA respawn).
+  pid_t SpawnNodeProcess(NodeId node, bool resume) const;
+  void StartReader(NodeId bank);
+  void ReaderLoop(NodeId bank, int fd, FrameDecoder decoder);
+
+  // HA threads (spec.ha.enabled only).
+  void MonitorLoop();
+  void AcceptorLoop();
+  // Retires bank `node`'s old session and splices in the freshly accepted
+  // socket `fd`, replaying every undelivered frame that touches the bank.
+  void HandleResume(NodeId node, const PeerEndpoint& endpoint, int fd, FrameDecoder decoder);
 
   std::atomic<bool> shutting_down_{false};
   std::vector<std::unique_ptr<Link>> links_;
+
+  // --- HA state (docs/ha.md) ---------------------------------------------
+  bool ha_ = false;
+  TransportSpec spec_;       // respawn + HA knobs
+  std::string dial_host_;    // address spawned nodes dial
+  int rendezvous_port_ = 0;
+  int listen_fd_ = -1;       // kept open for session resumes (HA only)
+  std::vector<PeerEndpoint> endpoints_;
+  std::thread monitor_;
+  std::thread acceptor_;
+  std::atomic<uint64_t> ha_control_bytes_{0};
+  std::atomic<int> ha_resumes_{0};
+  // Guards the resume log and failure detector. Lock order:
+  // channels_mu_ (shared) -> Link::send_mu -> ha_mu_.
+  std::mutex ha_mu_;
+  std::unique_ptr<ha::ResumeLog> resume_log_;
+  std::unique_ptr<ha::FailureDetector> detector_;
 };
 
 }  // namespace dstress::net

@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,133 +15,419 @@
 
 namespace dstress::net {
 
-int RunTcpNode(const TcpNodeConfig& config) {
-  const int n = config.num_nodes;
-  const NodeId self = config.node_id;
-  const int timeout = config.bootstrap_timeout_ms;
-  DSTRESS_CHECK(self >= 0 && self < n);
+namespace {
 
-  // Rendezvous: listen first, then report the advertised endpoint to the
-  // driver. The listen interface defaults to the wildcard, which is right
-  // on any machine — the advertised host (below) is what peers dial.
-  const std::string listen_host = config.listen_host.empty() ? "0.0.0.0" : config.listen_host;
-  int listen_fd = TcpListen(listen_host, config.listen_port, /*backlog=*/n);
-  int my_port = TcpListenPort(listen_fd);
-  int driver_fd = TcpConnect(config.driver_host, config.driver_port, timeout);
-  PeerEndpoint my_endpoint;
-  my_endpoint.port = my_port;
-  if (!config.advertise_host.empty()) {
-    my_endpoint.host = config.advertise_host;
-  } else if (!config.listen_host.empty() && config.listen_host != "0.0.0.0") {
-    my_endpoint.host = config.listen_host;
-  } else {
-    // The address this machine has on the route to the driver — what peers
-    // on that network can dial.
-    my_endpoint.host = TcpLocalHost(driver_fd);
-  }
-  {
-    Bytes hello = EncodeFrame(MakeHelloFrame(self, my_endpoint));
-    DSTRESS_CHECK(TcpWriteAll(driver_fd, hello.data(), hello.size()));
-  }
-  FrameDecoder driver_decoder;
-  WireFrame frame;
-  DSTRESS_CHECK(TcpReadFrameTimed(driver_fd, &driver_decoder, &frame, timeout));
-  std::vector<PeerEndpoint> peers = ParsePeersFrame(frame);
-  DSTRESS_CHECK(static_cast<int>(peers.size()) == n);
+// One bank's relay session. The plain bootstrap path is the non-HA flow
+// unchanged; the HA additions (heartbeat acks, the mesh-resume acceptor,
+// driver reconnection, --resume rejoin) only activate when the PEERS frame
+// carries the ha flag. Thread shape in HA mode:
+//
+//   relay (main)  reads the driver socket, routes to mesh/upstream
+//   mesh readers  one per peer link, push inbound frames upstream
+//   acceptor      accepts MESH_RESUME dials from restarted peers
+//
+// mesh_mu_ guards the peer-link table (readers of it: relay pushes, with
+// the lock shared; writer: the acceptor splicing a fresh socket in,
+// exclusive). up_mu_ guards the upstream queue the same way (shared for
+// pushes, exclusive while ReconnectDriver swaps it).
+class NodeSession {
+ public:
+  explicit NodeSession(const TcpNodeConfig& config)
+      : config_(config),
+        n_(config.num_nodes),
+        self_(config.node_id),
+        timeout_(config.bootstrap_timeout_ms) {}
 
-  // Mesh: dial every lower id at its advertised endpoint, accept from every
-  // higher id. The MESH_HELLO maps each accepted socket to its NodeId.
-  std::vector<int> peer_fd(n, -1);
-  std::vector<FrameDecoder> peer_decoder(n);
-  for (NodeId j = 0; j < self; j++) {
-    peer_fd[j] = TcpConnect(peers[j].host, peers[j].port, timeout);
-    Bytes mesh_hello = EncodeFrame(MakeMeshHelloFrame(self));
-    DSTRESS_CHECK(TcpWriteAll(peer_fd[j], mesh_hello.data(), mesh_hello.size()));
+  int Run() {
+    DSTRESS_CHECK(self_ >= 0 && self_ < n_);
+    peers_.reserve(static_cast<size_t>(n_));
+    for (NodeId j = 0; j < n_; j++) {
+      peers_.push_back(std::make_unique<PeerLink>());
+    }
+    Listen();
+    if (config_.resume) {
+      BootstrapResume();
+    } else {
+      BootstrapFresh();
+    }
+    StartDataPlane();
+    return RelayLoop();
   }
-  for (int pending = n - 1 - self; pending > 0; pending--) {
-    int fd = TcpAccept(listen_fd, timeout);
-    if (fd < 0) {
-      std::fprintf(stderr, "bank %d: bootstrap timed out after %d ms with %d peer link(s)"
-                   " still missing\n", self, timeout, pending);
+
+ private:
+  // One mesh link to a peer bank. `out` is a pointer because a writer queue
+  // whose peer died stays quiet forever — a mesh resume installs a fresh
+  // queue instead of reviving the old one.
+  struct PeerLink {
+    int fd = -1;
+    FrameDecoder decoder;  // holds bytes read past the handshake frame
+    std::unique_ptr<FrameWriterQueue> out;
+    std::thread reader;
+  };
+
+  void Listen() {
+    // Rendezvous: listen first, then report the advertised endpoint to the
+    // driver. The listen interface defaults to the wildcard, which is right
+    // on any machine — the advertised host (below) is what peers dial.
+    const std::string listen_host =
+        config_.listen_host.empty() ? "0.0.0.0" : config_.listen_host;
+    listen_fd_ = TcpListen(listen_host, config_.listen_port, /*backlog=*/n_);
+    my_endpoint_.port = TcpListenPort(listen_fd_);
+  }
+
+  void ResolveAdvertiseHost() {
+    if (!config_.advertise_host.empty()) {
+      my_endpoint_.host = config_.advertise_host;
+    } else if (!config_.listen_host.empty() && config_.listen_host != "0.0.0.0") {
+      my_endpoint_.host = config_.listen_host;
+    } else {
+      // The address this machine has on the route to the driver — what
+      // peers on that network can dial.
+      my_endpoint_.host = TcpLocalHost(driver_fd_);
+    }
+  }
+
+  void BootstrapFresh() {
+    driver_fd_ = TcpConnect(config_.driver_host, config_.driver_port, timeout_);
+    ResolveAdvertiseHost();
+    {
+      Bytes hello = EncodeFrame(MakeHelloFrame(self_, my_endpoint_));
+      DSTRESS_CHECK(TcpWriteAll(driver_fd_, hello.data(), hello.size()));
+    }
+    WireFrame frame;
+    DSTRESS_CHECK(TcpReadFrameTimed(driver_fd_, &driver_decoder_, &frame, timeout_));
+    peer_endpoints_ = ParsePeersFrame(frame, &ha_);
+    DSTRESS_CHECK(static_cast<int>(peer_endpoints_.size()) == n_);
+
+    // Mesh: dial every lower id at its advertised endpoint, accept from
+    // every higher id. The MESH_HELLO maps each accepted socket to its
+    // NodeId.
+    for (NodeId j = 0; j < self_; j++) {
+      PeerLink& pl = *peers_[j];
+      pl.fd = TcpConnect(peer_endpoints_[j].host, peer_endpoints_[j].port, timeout_);
+      Bytes mesh_hello = EncodeFrame(MakeMeshHelloFrame(self_));
+      DSTRESS_CHECK(TcpWriteAll(pl.fd, mesh_hello.data(), mesh_hello.size()));
+    }
+    for (int pending = n_ - 1 - self_; pending > 0; pending--) {
+      std::string accept_error;
+      int fd = TcpAccept(listen_fd_, timeout_, &accept_error);
+      if (fd < 0) {
+        std::fprintf(stderr, "bank %d: bootstrap timed out after %d ms with %d peer link(s)"
+                     " still missing (%s); waiting on bank(s):", self_, timeout_, pending,
+                     accept_error.c_str());
+        for (NodeId j = self_ + 1; j < n_; j++) {
+          if (peers_[j]->fd < 0) {
+            std::fprintf(stderr, " %d(%s)", j, peer_endpoints_[j].ToString().c_str());
+          }
+        }
+        std::fprintf(stderr, "\n");
+        DSTRESS_CHECK(false);
+      }
+      FrameDecoder decoder;
+      WireFrame mesh_hello;
+      DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &mesh_hello, timeout_));
+      NodeId peer = ParseMeshHelloFrame(mesh_hello);
+      DSTRESS_CHECK(peer > self_ && peer < n_ && peers_[peer]->fd == -1);
+      peers_[peer]->fd = fd;
+      peers_[peer]->decoder = std::move(decoder);
+      std::fprintf(stderr, "bank %d: mesh link from bank %d up (%d peer link(s) to go)\n",
+                   self_, peer, pending - 1);
+    }
+    {
+      Bytes ready = EncodeFrame(MakeReadyFrame(self_));
+      DSTRESS_CHECK(TcpWriteAll(driver_fd_, ready.data(), ready.size()));
+    }
+  }
+
+  // --resume rejoin (docs/ha.md): a replacement process re-runs this bank's
+  // slice of the rendezvous. RESUME_HELLO instead of HELLO, the same PEERS
+  // reply, then a MESH_RESUME dial to *every* peer (each splices the fresh
+  // socket in place of the dead one and answers MESH_RESUME_OK), then
+  // RESUME_READY — after which the driver replays undelivered frames.
+  void BootstrapResume() {
+    driver_fd_ = TcpConnectBackoff(config_.driver_host, config_.driver_port, timeout_);
+    if (driver_fd_ < 0) {
+      std::fprintf(stderr, "bank %d: --resume could not reach the driver at %s:%d\n",
+                   self_, config_.driver_host.c_str(), config_.driver_port);
       DSTRESS_CHECK(false);
     }
-    FrameDecoder decoder;
-    WireFrame mesh_hello;
-    DSTRESS_CHECK(TcpReadFrameTimed(fd, &decoder, &mesh_hello, timeout));
-    NodeId peer = ParseMeshHelloFrame(mesh_hello);
-    DSTRESS_CHECK(peer > self && peer < n && peer_fd[peer] == -1);
-    peer_fd[peer] = fd;
-    peer_decoder[peer] = std::move(decoder);
-  }
-  close(listen_fd);
-  {
-    Bytes ready = EncodeFrame(MakeReadyFrame(self));
-    DSTRESS_CHECK(TcpWriteAll(driver_fd, ready.data(), ready.size()));
-  }
-
-  // Data phase: per-peer writer queues keep forwarding non-blocking.
-  FrameWriterQueue upstream;
-  upstream.Start(driver_fd);
-  std::vector<std::unique_ptr<FrameWriterQueue>> outbound(n);
-  for (NodeId j = 0; j < n; j++) {
-    if (peer_fd[j] >= 0) {
-      outbound[j] = std::make_unique<FrameWriterQueue>();
-      outbound[j]->Start(peer_fd[j]);
+    ResolveAdvertiseHost();
+    {
+      Bytes hello = EncodeFrame(MakeResumeHelloFrame(self_, my_endpoint_, /*full_mesh=*/true));
+      DSTRESS_CHECK(TcpWriteAll(driver_fd_, hello.data(), hello.size()));
     }
-  }
-
-  // Mesh readers: everything a peer sends us is addressed to this bank and
-  // goes up to the driver. A reader exits on its peer's EOF (that peer has
-  // finished its own shutdown).
-  std::vector<std::thread> mesh_readers;
-  for (NodeId j = 0; j < n; j++) {
-    if (peer_fd[j] < 0) {
-      continue;
-    }
-    mesh_readers.emplace_back([&, j] {
-      WireFrame incoming;
-      Bytes raw;
-      while (TcpReadFrame(peer_fd[j], &peer_decoder[j], &incoming, &raw)) {
-        DSTRESS_CHECK(incoming.to == self);
-        upstream.Push(std::move(raw));
+    WireFrame frame;
+    DSTRESS_CHECK(TcpReadFrameTimed(driver_fd_, &driver_decoder_, &frame, timeout_));
+    peer_endpoints_ = ParsePeersFrame(frame, &ha_);
+    DSTRESS_CHECK(ha_);  // --resume against a run without the HA layer
+    DSTRESS_CHECK(static_cast<int>(peer_endpoints_.size()) == n_);
+    for (NodeId j = 0; j < n_; j++) {
+      if (j == self_) {
+        continue;
       }
+      PeerLink& pl = *peers_[j];
+      pl.fd = TcpConnect(peer_endpoints_[j].host, peer_endpoints_[j].port, timeout_);
+      Bytes req = EncodeFrame(MakeMeshResumeFrame(self_));
+      DSTRESS_CHECK(TcpWriteAll(pl.fd, req.data(), req.size()));
+      WireFrame ok;
+      DSTRESS_CHECK(TcpReadFrameTimed(pl.fd, &pl.decoder, &ok, timeout_));
+      DSTRESS_CHECK(ParseMeshResumeOkFrame(ok) == j);
+    }
+    std::fprintf(stderr, "bank %d: rejoined the mesh with --resume\n", self_);
+    {
+      Bytes ready = EncodeFrame(MakeResumeReadyFrame(self_));
+      DSTRESS_CHECK(TcpWriteAll(driver_fd_, ready.data(), ready.size()));
+    }
+  }
+
+  void StartDataPlane() {
+    upstream_ = std::make_unique<FrameWriterQueue>();
+    upstream_->Start(driver_fd_);
+    for (NodeId j = 0; j < n_; j++) {
+      PeerLink& pl = *peers_[j];
+      if (pl.fd < 0) {
+        continue;
+      }
+      pl.out = std::make_unique<FrameWriterQueue>();
+      pl.out->Start(pl.fd);
+      StartMeshReader(j);
+    }
+    if (ha_) {
+      // The listener stays open: a restarted peer re-dials it with
+      // MESH_RESUME mid-run.
+      acceptor_ = std::thread([this] { AcceptorLoop(); });
+    } else {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  void StartMeshReader(NodeId j) {
+    PeerLink& pl = *peers_[j];
+    pl.reader = std::thread([this, j, fd = pl.fd, decoder = std::move(pl.decoder)]() mutable {
+      MeshReaderLoop(j, fd, std::move(decoder));
     });
   }
 
-  // Driver reader (this thread): route our bank's outgoing frames onto the
-  // mesh verbatim; a self-send loops straight back up.
-  Bytes raw;
-  while (TcpReadFrame(driver_fd, &driver_decoder, &frame, &raw)) {
-    DSTRESS_CHECK(frame.from == self && frame.to >= 0 && frame.to < n);
-    if (frame.to == self) {
-      upstream.Push(std::move(raw));
-    } else {
-      outbound[frame.to]->Push(std::move(raw));
+  // Mesh reader: everything a peer sends us is addressed to this bank and
+  // goes up to the driver. Exits on the peer's EOF — its clean shutdown, or
+  // (HA) its death, in which case the acceptor later revives the link.
+  void MeshReaderLoop(NodeId j, int fd, FrameDecoder decoder) {
+    WireFrame incoming;
+    Bytes raw;
+    while (TcpReadFrame(fd, &decoder, &incoming, &raw)) {
+      DSTRESS_CHECK(incoming.to == self_);
+      PushUpstream(std::move(raw));
     }
+    if (ha_ && !shutting_down_.load(std::memory_order_acquire)) {
+      std::fprintf(stderr, "bank %d: mesh link to bank %d dropped; awaiting its resume\n",
+                   self_, j);
+    }
+  }
+
+  void PushUpstream(Bytes raw) {
+    std::shared_lock<std::shared_mutex> guard(up_mu_);
+    upstream_->Push(std::move(raw));
+  }
+
+  // Accepts MESH_RESUME dials from restarted peers and splices the fresh
+  // socket in place of the dead link. HA mode only.
+  void AcceptorLoop() {
+    while (!shutting_down_.load(std::memory_order_acquire)) {
+      int fd = TcpAccept(listen_fd_, /*timeout_ms=*/200);
+      if (fd < 0) {
+        continue;
+      }
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        close(fd);
+        return;
+      }
+      FrameDecoder decoder;
+      WireFrame frame;
+      if (!TcpReadFrameTimed(fd, &decoder, &frame, timeout_)) {
+        close(fd);  // dialer went away before identifying itself
+        continue;
+      }
+      NodeId peer = ParseMeshResumeFrame(frame);
+      DSTRESS_CHECK(peer >= 0 && peer < n_ && peer != self_);
+      std::unique_lock<std::shared_mutex> guard(mesh_mu_);
+      PeerLink& pl = *peers_[peer];
+      if (pl.fd >= 0) {
+        shutdown(pl.fd, SHUT_RDWR);  // wake the old reader if EOF hasn't landed yet
+      }
+      if (pl.reader.joinable()) {
+        pl.reader.join();
+      }
+      if (pl.out != nullptr) {
+        pl.out->CloseAndJoin();
+      }
+      if (pl.fd >= 0) {
+        close(pl.fd);
+      }
+      pl.fd = fd;
+      pl.decoder = std::move(decoder);
+      pl.out = std::make_unique<FrameWriterQueue>();
+      pl.out->Start(fd);
+      pl.out->Push(EncodeFrame(MakeMeshResumeOkFrame(self_)));
+      StartMeshReader(peer);
+      std::fprintf(stderr, "bank %d: mesh link to bank %d resumed\n", self_, peer);
+    }
+  }
+
+  // An HA node whose driver socket died (driver restart is not supported —
+  // this covers transient link drops) re-dials the rendezvous and resumes
+  // just its driver session; the mesh is still intact, so full_mesh=false.
+  bool ReconnectDriver() {
+    int fd = TcpConnectBackoff(config_.driver_host, config_.driver_port, timeout_);
+    if (fd < 0) {
+      return false;
+    }
+    Bytes hello = EncodeFrame(MakeResumeHelloFrame(self_, my_endpoint_, /*full_mesh=*/false));
+    if (!TcpWriteAll(fd, hello.data(), hello.size())) {
+      close(fd);
+      return false;
+    }
+    FrameDecoder decoder;
+    WireFrame frame;
+    if (!TcpReadFrameTimed(fd, &decoder, &frame, timeout_)) {
+      close(fd);
+      return false;
+    }
+    bool ha = false;
+    std::vector<PeerEndpoint> peers = ParsePeersFrame(frame, &ha);
+    DSTRESS_CHECK(ha && static_cast<int>(peers.size()) == n_);
+    peer_endpoints_ = std::move(peers);
+    {
+      // Swap the upstream queue under the exclusive lock so mesh readers
+      // never push into a queue whose socket is being retired.
+      std::unique_lock<std::shared_mutex> guard(up_mu_);
+      upstream_->CloseAndJoin();
+      Bytes ready = EncodeFrame(MakeResumeReadyFrame(self_));
+      DSTRESS_CHECK(TcpWriteAll(fd, ready.data(), ready.size()));
+      close(driver_fd_);
+      driver_fd_ = fd;
+      driver_decoder_ = std::move(decoder);
+      upstream_ = std::make_unique<FrameWriterQueue>();
+      upstream_->Start(fd);
+    }
+    std::fprintf(stderr, "bank %d: driver session resumed\n", self_);
+    return true;
+  }
+
+  // Driver reader (the main thread): route our bank's outgoing frames onto
+  // the mesh verbatim; a self-send loops straight back up. HA control
+  // frames are answered here, before the from==self relay invariant.
+  int RelayLoop() {
+    WireFrame frame;
+    Bytes raw;
+    for (;;) {
+      if (!TcpReadFrame(driver_fd_, &driver_decoder_, &frame, &raw)) {
+        if (!ha_ || shutdown_seen_) {
+          break;  // deliberate teardown: run the shutdown cascade
+        }
+        std::fprintf(stderr, "bank %d: driver link dropped; re-dialing for session resume\n",
+                     self_);
+        if (!ReconnectDriver()) {
+          std::fprintf(stderr, "bank %d: driver session resume failed; exiting\n", self_);
+          ShutdownCascade();
+          return 1;
+        }
+        continue;
+      }
+      if (frame.session == kControlSession) {
+        uint8_t type = ControlFrameType(frame);
+        if (type == kCtrlHeartbeat) {
+          uint64_t seq = ParseHeartbeatFrame(frame);
+          PushUpstream(EncodeFrame(MakeHeartbeatAckFrame(self_, seq)));
+          continue;
+        }
+        if (type == kCtrlShutdown) {
+          ParseShutdownFrame(frame);
+          shutdown_seen_ = true;
+          continue;
+        }
+        std::fprintf(stderr, "bank %d: unexpected control frame type %u from the driver\n",
+                     self_, type);
+        DSTRESS_CHECK(false);
+      }
+      DSTRESS_CHECK(frame.from == self_ && frame.to >= 0 && frame.to < n_);
+      if (frame.to == self_) {
+        PushUpstream(std::move(raw));
+      } else {
+        std::shared_lock<std::shared_mutex> guard(mesh_mu_);
+        peers_[frame.to]->out->Push(std::move(raw));
+      }
+    }
+    ShutdownCascade();
+    return 0;
   }
 
   // Driver EOF: drain and half-close every mesh link, wait for the peers'
   // half-closes, then flush the upstream queue and leave. Ordering matters:
   // the upstream socket must stay open until every mesh reader has drained,
   // or late frames from slower peers would be dropped.
-  for (NodeId j = 0; j < n; j++) {
-    if (outbound[j] != nullptr) {
-      outbound[j]->CloseAndJoin();
-      shutdown(peer_fd[j], SHUT_WR);
+  void ShutdownCascade() {
+    shutting_down_.store(true, std::memory_order_release);
+    {
+      std::unique_lock<std::shared_mutex> guard(mesh_mu_);
+      for (NodeId j = 0; j < n_; j++) {
+        PeerLink& pl = *peers_[j];
+        if (pl.out != nullptr) {
+          pl.out->CloseAndJoin();
+          shutdown(pl.fd, SHUT_WR);
+        }
+      }
     }
-  }
-  for (std::thread& reader : mesh_readers) {
-    reader.join();
-  }
-  upstream.CloseAndJoin();
-  shutdown(driver_fd, SHUT_WR);
-  for (NodeId j = 0; j < n; j++) {
-    if (peer_fd[j] >= 0) {
-      close(peer_fd[j]);
+    for (NodeId j = 0; j < n_; j++) {
+      if (peers_[j]->reader.joinable()) {
+        peers_[j]->reader.join();
+      }
     }
+    {
+      std::unique_lock<std::shared_mutex> guard(up_mu_);
+      upstream_->CloseAndJoin();
+    }
+    shutdown(driver_fd_, SHUT_WR);
+    if (acceptor_.joinable()) {
+      acceptor_.join();  // wakes within one 200 ms accept tick
+    }
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (NodeId j = 0; j < n_; j++) {
+      if (peers_[j]->fd >= 0) {
+        close(peers_[j]->fd);
+      }
+    }
+    close(driver_fd_);
   }
-  close(driver_fd);
-  return 0;
+
+  const TcpNodeConfig config_;
+  const int n_;
+  const NodeId self_;
+  const int timeout_;
+
+  int listen_fd_ = -1;
+  PeerEndpoint my_endpoint_;
+  int driver_fd_ = -1;
+  FrameDecoder driver_decoder_;
+  std::vector<PeerEndpoint> peer_endpoints_;
+  std::vector<std::unique_ptr<PeerLink>> peers_;  // peers_[self_] unused
+  std::shared_mutex mesh_mu_;
+  std::shared_mutex up_mu_;
+  std::unique_ptr<FrameWriterQueue> upstream_;
+  std::thread acceptor_;
+  bool ha_ = false;
+  std::atomic<bool> shutting_down_{false};
+  bool shutdown_seen_ = false;  // relay thread only
+};
+
+}  // namespace
+
+int RunTcpNode(const TcpNodeConfig& config) {
+  NodeSession session(config);
+  return session.Run();
 }
 
 }  // namespace dstress::net

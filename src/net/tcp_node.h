@@ -22,6 +22,16 @@
 //   4. data frames flow; driver EOF starts the shutdown cascade (drain and
 //      close mesh writes, wait for peer EOFs, flush upstream, exit).
 //
+// HA mode (signalled by the PEERS frame's ha flag; docs/ha.md): the node
+// keeps its mesh listener open, answers driver heartbeats, and survives
+// faults instead of dying with the socket. A dropped driver link makes the
+// relay loop re-dial the rendezvous with exponential backoff and resume
+// its session (RESUME_HELLO / RESUME_READY); a restarted replacement
+// process (`dstress_node --resume`) additionally re-dials every peer with
+// MESH_RESUME, and each peer splices the fresh socket into its mesh in
+// place of the dead one. The driver tells a deliberate teardown apart from
+// a crash with an explicit SHUTDOWN frame before its half-close.
+//
 // RunTcpNode is the whole process body: TcpNetwork forks it directly for
 // same-machine runs, and the dstress_node CLI (examples/dstress_node.cpp,
 // src/cli/node_main.h) wraps it for spawning real separate processes —
@@ -53,10 +63,15 @@ struct TcpNodeConfig {
   // the route to the driver, the right default on a flat network.
   std::string advertise_host;
   int bootstrap_timeout_ms = 30000;
+  // Rejoin a live run as bank `node_id`'s replacement (docs/ha.md): dial
+  // the rendezvous with RESUME_HELLO instead of HELLO and rebuild the mesh
+  // with MESH_RESUME. Requires the run to have the HA layer enabled.
+  bool resume = false;
 };
 
 // Runs one bank's relay loop to completion (driver EOF). Returns 0 on a
-// clean shutdown; aborts on protocol violations.
+// clean shutdown, 1 when an HA session resume failed; aborts on protocol
+// violations.
 int RunTcpNode(const TcpNodeConfig& config);
 
 }  // namespace dstress::net

@@ -62,7 +62,7 @@ int TcpListenPort(int listen_fd) {
   return static_cast<int>(ntohs(addr.sin_port));
 }
 
-int TcpAccept(int listen_fd, int timeout_ms) {
+int TcpAccept(int listen_fd, int timeout_ms, std::string* error) {
   auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     pollfd p{};
@@ -75,7 +75,14 @@ int TcpAccept(int listen_fd, int timeout_ms) {
       continue;
     }
     if (ready == 0) {
-      return -1;  // bootstrap timeout: nobody dialed in
+      // Bootstrap timeout: nobody dialed in. Surface the poll verdict so a
+      // multi-machine operator can tell "nothing arrived" from a socket
+      // error that merely looked like silence.
+      if (error != nullptr) {
+        *error = "poll(listen_fd) saw no incoming connection (errno " +
+                 std::to_string(errno) + ": " + std::strerror(errno) + ")";
+      }
+      return -1;
     }
     DSTRESS_CHECK(ready == 1);
     break;
@@ -121,6 +128,29 @@ int TcpConnect(const std::string& host, int port, int timeout_ms) {
       DSTRESS_CHECK(false);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+int TcpConnectBackoff(const std::string& host, int port, int budget_ms) {
+  sockaddr_in addr = MakeAddr(host, port);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  int backoff_ms = 10;
+  for (;;) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    DSTRESS_CHECK(fd >= 0);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      SetNoDelay(fd);
+      return fd;
+    }
+    int err = errno;
+    close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "reconnect %s:%d gave up after %d ms (last error: %s)\n",
+                   host.c_str(), port, budget_ms, std::strerror(err));
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 500);
   }
 }
 

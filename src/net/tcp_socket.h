@@ -28,8 +28,9 @@ int TcpListenPort(int listen_fd);
 // Accepts one connection, waiting up to timeout_ms. Returns -1 on timeout
 // (so the caller can abort with bootstrap context — who is missing, how
 // long it waited); aborts on other errors. Sets TCP_NODELAY on the
-// accepted socket.
-int TcpAccept(int listen_fd, int timeout_ms);
+// accepted socket. When `error` is non-null a timeout fills it with the
+// poll/errno detail for the caller's abort message.
+int TcpAccept(int listen_fd, int timeout_ms, std::string* error = nullptr);
 
 // The numeric local (our-side) address of a connected socket — the address
 // this machine has on the route to the peer. Nodes use it as the default
@@ -39,6 +40,13 @@ std::string TcpLocalHost(int fd);
 // Connects to host:port, retrying briefly (the listener may not be up yet
 // during bootstrap) up to timeout_ms; aborts on timeout. TCP_NODELAY set.
 int TcpConnect(const std::string& host, int port, int timeout_ms);
+
+// Reconnect variant for the HA layer (docs/ha.md): retries with
+// exponential backoff (10 ms doubling, capped at 500 ms) until budget_ms
+// runs out, treating every connect failure as transient, and returns -1
+// instead of aborting — a resuming bank reports the failure and exits
+// rather than taking the deployment down with a CHECK.
+int TcpConnectBackoff(const std::string& host, int port, int budget_ms);
 
 // Writes the whole buffer (MSG_NOSIGNAL). Returns false if the peer is
 // gone; aborts on other errors.

@@ -126,6 +126,32 @@ class Transport {
     int n = num_nodes();
     return n > 0 ? static_cast<double>(TotalBytes()) / n : 0.0;
   }
+
+  // --- HA surface (src/ha, docs/ha.md) -----------------------------------
+  // Bytes of transport-internal fault-tolerance traffic (heartbeats, resume
+  // handshakes, replayed frames). Excluded from the payload metering above,
+  // so TrafficStats stay bit-identical between a fault-free run and one
+  // that recovered from a fault.
+  virtual uint64_t HaControlBytes() const { return 0; }
+
+  // Completed session resumes: reconnects that replayed undelivered frames.
+  virtual int HaResumeCount() const { return 0; }
+};
+
+// Implemented by transports that can inject deterministic faults into a
+// live run; ha::FaultyTransport discovers it with a dynamic_cast. Both
+// calls are asynchronous triggers: they start the fault and return, and
+// the transport's HA machinery recovers on its own schedule.
+class FaultInjectable {
+ public:
+  virtual ~FaultInjectable() = default;
+
+  // SIGKILLs the spawned bank process (the bank must be driver-spawned).
+  virtual void InjectNodeKill(NodeId node) = 0;
+
+  // Severs the driver <-> bank socket; the bank itself stays up and is
+  // expected to re-dial and resume its session.
+  virtual void InjectLinkDrop(NodeId node) = 0;
 };
 
 }  // namespace dstress::net

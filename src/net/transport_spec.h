@@ -26,6 +26,38 @@
 
 namespace dstress::net {
 
+// Knobs for the fault-tolerance layer (src/ha, docs/ha.md). Only the TCP
+// backend acts on them; the sim backend has no sockets to lose.
+struct HaSpec {
+  // Master switch: heartbeats, session resume, kept-open rendezvous.
+  bool enabled = false;
+  // Driver -> bank heartbeat period.
+  int heartbeat_ms = 250;
+  // Silence thresholds of the failure detector (ha::FailureDetector).
+  int suspect_after_ms = 1000;
+  int dead_after_ms = 3000;
+  // How long a bank may stay dead before the run is declared lost and
+  // blocked receivers abort instead of waiting forever.
+  int resume_timeout_ms = 15000;
+  // Cap on buffered undelivered frames kept for replay; overflow aborts.
+  size_t resume_buffer_bytes = size_t{256} << 20;
+  // Respawn a crashed driver-spawned bank with --resume. Requires
+  // node_program (a forked in-library node cannot be re-exec'd).
+  bool auto_respawn = true;
+};
+
+// One scripted fault for ha::FaultyTransport (`transport faulty`): fire
+// `action` when the wrapped transport's cumulative send count reaches
+// `after_sends`. Deterministic by construction — send counts, unlike
+// timers, are identical across runs of the same scenario.
+struct FaultSpec {
+  enum class Action { kKillNode, kDropLink, kDelay };
+  Action action = Action::kDelay;
+  int node = 0;            // target bank (kKillNode / kDropLink)
+  uint64_t after_sends = 0;
+  int delay_ms = 0;        // kDelay: stall the offending Send this long
+};
+
 struct TransportSpec {
   // Registry key; see KnownTransportBackends().
   std::string backend = "sim";
@@ -62,6 +94,15 @@ struct TransportSpec {
   // external_nodes is set.
   std::string node_program;
   int bootstrap_timeout_ms = 30000;
+
+  // --- HA layer (src/ha) --------------------------------------------------
+  HaSpec ha;
+
+  // --- "faulty" backend only (ha::FaultyTransport) ------------------------
+  // The real backend the fault-injection wrapper decorates ("sim"/"tcp")
+  // and the scripted fault schedule it fires.
+  std::string faulty_inner = "sim";
+  std::vector<FaultSpec> faults;
 
   // Copy of this spec with the channel high-watermark overridden when
   // `cap` is nonzero — the rule every scheduler-level knob

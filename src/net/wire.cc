@@ -42,13 +42,6 @@ void FrameDecoder::Feed(const uint8_t* data, size_t len) {
 
 namespace {
 
-enum ControlType : uint8_t {
-  kHello = 1,
-  kPeers = 2,
-  kMeshHello = 3,
-  kReady = 4,
-};
-
 WireFrame ControlFrame(NodeId from, Bytes payload) {
   WireFrame frame;
   frame.from = from;
@@ -97,9 +90,15 @@ PeerEndpoint ReadEndpoint(ByteReader* reader) {
 
 }  // namespace
 
+uint8_t ControlFrameType(const WireFrame& frame) {
+  DSTRESS_CHECK(frame.session == kControlSession);
+  DSTRESS_CHECK(!frame.payload.empty());
+  return frame.payload[0];
+}
+
 WireFrame MakeHelloFrame(NodeId node, const PeerEndpoint& endpoint) {
   ByteWriter w;
-  w.U8(kHello);
+  w.U8(kCtrlHello);
   w.U8(kBootstrapProtocolVersion);
   w.U32(static_cast<uint32_t>(node));
   WriteEndpoint(&w, endpoint);
@@ -107,44 +106,47 @@ WireFrame MakeHelloFrame(NodeId node, const PeerEndpoint& endpoint) {
 }
 
 void ParseHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint) {
-  ByteReader reader = ControlReader(frame, kHello);
+  ByteReader reader = ControlReader(frame, kCtrlHello);
   *node = static_cast<NodeId>(reader.U32());
   *endpoint = ReadEndpoint(&reader);
   DSTRESS_CHECK(reader.AtEnd());
 }
 
-WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers) {
+WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers, bool ha_enabled) {
   ByteWriter w;
-  w.U8(kPeers);
+  w.U8(kCtrlPeers);
   w.U8(kBootstrapProtocolVersion);
   w.U32(static_cast<uint32_t>(peers.size()));
   for (const PeerEndpoint& endpoint : peers) {
     WriteEndpoint(&w, endpoint);
   }
+  w.U8(ha_enabled ? 1 : 0);
   return ControlFrame(-1, w.Take());
 }
 
-std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kPeers);
+std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame, bool* ha_enabled) {
+  ByteReader reader = ControlReader(frame, kCtrlPeers);
   uint32_t count = reader.U32();
   std::vector<PeerEndpoint> peers(count);
   for (uint32_t i = 0; i < count; i++) {
     peers[i] = ReadEndpoint(&reader);
   }
+  bool ha = reader.U8() != 0;
+  if (ha_enabled != nullptr) *ha_enabled = ha;
   DSTRESS_CHECK(reader.AtEnd());
   return peers;
 }
 
 WireFrame MakeMeshHelloFrame(NodeId node) {
   ByteWriter w;
-  w.U8(kMeshHello);
+  w.U8(kCtrlMeshHello);
   w.U8(kBootstrapProtocolVersion);
   w.U32(static_cast<uint32_t>(node));
   return ControlFrame(node, w.Take());
 }
 
 NodeId ParseMeshHelloFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kMeshHello);
+  ByteReader reader = ControlReader(frame, kCtrlMeshHello);
   NodeId node = static_cast<NodeId>(reader.U32());
   DSTRESS_CHECK(reader.AtEnd());
   return node;
@@ -152,17 +154,116 @@ NodeId ParseMeshHelloFrame(const WireFrame& frame) {
 
 WireFrame MakeReadyFrame(NodeId node) {
   ByteWriter w;
-  w.U8(kReady);
+  w.U8(kCtrlReady);
   w.U8(kBootstrapProtocolVersion);
   w.U32(static_cast<uint32_t>(node));
   return ControlFrame(node, w.Take());
 }
 
 NodeId ParseReadyFrame(const WireFrame& frame) {
-  ByteReader reader = ControlReader(frame, kReady);
+  ByteReader reader = ControlReader(frame, kCtrlReady);
   NodeId node = static_cast<NodeId>(reader.U32());
   DSTRESS_CHECK(reader.AtEnd());
   return node;
+}
+
+WireFrame MakeHeartbeatFrame(uint64_t seq) {
+  ByteWriter w;
+  w.U8(kCtrlHeartbeat);
+  w.U8(kBootstrapProtocolVersion);
+  w.U64(seq);
+  return ControlFrame(-1, w.Take());
+}
+
+uint64_t ParseHeartbeatFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kCtrlHeartbeat);
+  uint64_t seq = reader.U64();
+  DSTRESS_CHECK(reader.AtEnd());
+  return seq;
+}
+
+WireFrame MakeHeartbeatAckFrame(NodeId node, uint64_t seq) {
+  ByteWriter w;
+  w.U8(kCtrlHeartbeatAck);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  w.U64(seq);
+  return ControlFrame(node, w.Take());
+}
+
+void ParseHeartbeatAckFrame(const WireFrame& frame, NodeId* node, uint64_t* seq) {
+  ByteReader reader = ControlReader(frame, kCtrlHeartbeatAck);
+  *node = static_cast<NodeId>(reader.U32());
+  *seq = reader.U64();
+  DSTRESS_CHECK(reader.AtEnd());
+}
+
+WireFrame MakeResumeHelloFrame(NodeId node, const PeerEndpoint& endpoint, bool full_mesh) {
+  ByteWriter w;
+  w.U8(kCtrlResumeHello);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  WriteEndpoint(&w, endpoint);
+  w.U8(full_mesh ? 1 : 0);
+  return ControlFrame(node, w.Take());
+}
+
+void ParseResumeHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint,
+                           bool* full_mesh) {
+  ByteReader reader = ControlReader(frame, kCtrlResumeHello);
+  *node = static_cast<NodeId>(reader.U32());
+  *endpoint = ReadEndpoint(&reader);
+  *full_mesh = reader.U8() != 0;
+  DSTRESS_CHECK(reader.AtEnd());
+}
+
+namespace {
+
+WireFrame MakeNodeOnlyFrame(ControlType type, NodeId node) {
+  ByteWriter w;
+  w.U8(type);
+  w.U8(kBootstrapProtocolVersion);
+  w.U32(static_cast<uint32_t>(node));
+  return ControlFrame(node, w.Take());
+}
+
+NodeId ParseNodeOnlyFrame(const WireFrame& frame, ControlType type) {
+  ByteReader reader = ControlReader(frame, type);
+  NodeId node = static_cast<NodeId>(reader.U32());
+  DSTRESS_CHECK(reader.AtEnd());
+  return node;
+}
+
+}  // namespace
+
+WireFrame MakeMeshResumeFrame(NodeId node) { return MakeNodeOnlyFrame(kCtrlMeshResume, node); }
+
+NodeId ParseMeshResumeFrame(const WireFrame& frame) {
+  return ParseNodeOnlyFrame(frame, kCtrlMeshResume);
+}
+
+WireFrame MakeMeshResumeOkFrame(NodeId node) { return MakeNodeOnlyFrame(kCtrlMeshResumeOk, node); }
+
+NodeId ParseMeshResumeOkFrame(const WireFrame& frame) {
+  return ParseNodeOnlyFrame(frame, kCtrlMeshResumeOk);
+}
+
+WireFrame MakeResumeReadyFrame(NodeId node) { return MakeNodeOnlyFrame(kCtrlResumeReady, node); }
+
+NodeId ParseResumeReadyFrame(const WireFrame& frame) {
+  return ParseNodeOnlyFrame(frame, kCtrlResumeReady);
+}
+
+WireFrame MakeShutdownFrame() {
+  ByteWriter w;
+  w.U8(kCtrlShutdown);
+  w.U8(kBootstrapProtocolVersion);
+  return ControlFrame(-1, w.Take());
+}
+
+void ParseShutdownFrame(const WireFrame& frame) {
+  ByteReader reader = ControlReader(frame, kCtrlShutdown);
+  DSTRESS_CHECK(reader.AtEnd());
 }
 
 bool FrameDecoder::Next(WireFrame* out, Bytes* raw) {

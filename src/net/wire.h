@@ -93,9 +93,30 @@ class FrameDecoder {
 // instead of corrupting a run. Version 2 introduced per-bank (host, port)
 // endpoints in HELLO and PEERS — the multi-machine deployment format;
 // version 1 carried bare ports and assumed every bank lived on the
-// driver's host.
+// driver's host. Version 3 added the HA frames (heartbeats, session
+// resume, shutdown — docs/ha.md) and the trailing ha flag in PEERS.
 
-constexpr uint8_t kBootstrapProtocolVersion = 2;
+constexpr uint8_t kBootstrapProtocolVersion = 3;
+
+// Control frame type byte (first payload byte of every kControlSession
+// frame). In the header so relays can dispatch on it without parsing.
+enum ControlType : uint8_t {
+  kCtrlHello = 1,
+  kCtrlPeers = 2,
+  kCtrlMeshHello = 3,
+  kCtrlReady = 4,
+  kCtrlHeartbeat = 5,
+  kCtrlHeartbeatAck = 6,
+  kCtrlResumeHello = 7,
+  kCtrlMeshResume = 8,
+  kCtrlMeshResumeOk = 9,
+  kCtrlResumeReady = 10,
+  kCtrlShutdown = 11,
+};
+
+// Peeks a control frame's type byte. Aborts when `frame` is not a control
+// frame or has an empty payload.
+uint8_t ControlFrameType(const WireFrame& frame);
 
 // One bank's advertised mesh listener: the address its peers dial.
 struct PeerEndpoint {
@@ -112,9 +133,11 @@ WireFrame MakeHelloFrame(NodeId node, const PeerEndpoint& endpoint);
 void ParseHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint);
 
 // PEERS — driver -> every node: the full bank -> endpoint table, sent once
-// all banks have said HELLO. Index = NodeId.
-WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers);
-std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame);
+// all banks have said HELLO (and again as the reply to RESUME_HELLO). The
+// trailing flag tells nodes whether the HA layer is on — an HA node keeps
+// its mesh listener open after bootstrap and answers heartbeats.
+WireFrame MakePeersFrame(const std::vector<PeerEndpoint>& peers, bool ha_enabled = false);
+std::vector<PeerEndpoint> ParsePeersFrame(const WireFrame& frame, bool* ha_enabled = nullptr);
 
 // MESH_HELLO — dialing node -> accepting node: identifies which bank just
 // connected on the mesh.
@@ -124,6 +147,44 @@ NodeId ParseMeshHelloFrame(const WireFrame& frame);
 // READY — node -> driver: the node's mesh links are all up.
 WireFrame MakeReadyFrame(NodeId node);
 NodeId ParseReadyFrame(const WireFrame& frame);
+
+// ---------------------------------------------------------------------------
+// HA frames (version 3, docs/ha.md). Heartbeats ride the links between data
+// frames; the resume frames re-run a bank's slice of the rendezvous after a
+// crash or link drop.
+
+// HEARTBEAT — driver -> node, every `ha heartbeat_ms`.
+WireFrame MakeHeartbeatFrame(uint64_t seq);
+uint64_t ParseHeartbeatFrame(const WireFrame& frame);
+
+// HEARTBEAT_ACK — node -> driver: echo of the heartbeat sequence.
+WireFrame MakeHeartbeatAckFrame(NodeId node, uint64_t seq);
+void ParseHeartbeatAckFrame(const WireFrame& frame, NodeId* node, uint64_t* seq);
+
+// RESUME_HELLO — node -> driver on a fresh socket: "resume bank `node`'s
+// session; peers reach me at `endpoint`". full_mesh says whether the node is
+// a restarted process that must re-dial every peer (true) or an already
+// meshed node whose driver link alone dropped (false).
+WireFrame MakeResumeHelloFrame(NodeId node, const PeerEndpoint& endpoint, bool full_mesh);
+void ParseResumeHelloFrame(const WireFrame& frame, NodeId* node, PeerEndpoint* endpoint,
+                           bool* full_mesh);
+
+// MESH_RESUME — restarted node -> peer: replace your mesh link to me with
+// this socket. Answered with MESH_RESUME_OK once the swap is done.
+WireFrame MakeMeshResumeFrame(NodeId node);
+NodeId ParseMeshResumeFrame(const WireFrame& frame);
+WireFrame MakeMeshResumeOkFrame(NodeId node);
+NodeId ParseMeshResumeOkFrame(const WireFrame& frame);
+
+// RESUME_READY — node -> driver: the resumed session is fully wired; the
+// driver replays undelivered frames after reading this.
+WireFrame MakeResumeReadyFrame(NodeId node);
+NodeId ParseResumeReadyFrame(const WireFrame& frame);
+
+// SHUTDOWN — driver -> node before the clean end-of-run half-close, so HA
+// nodes can tell a deliberate teardown from a driver crash.
+WireFrame MakeShutdownFrame();
+void ParseShutdownFrame(const WireFrame& frame);
 
 }  // namespace dstress::net
 

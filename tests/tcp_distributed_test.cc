@@ -18,6 +18,7 @@
 
 #include "src/cli/scenario.h"
 #include "src/engine/engine.h"
+#include "src/ha/faulty.h"
 #include "src/net/tcp_socket.h"
 #include "src/net/transport_spec.h"
 
@@ -185,6 +186,124 @@ TEST(TcpDistributedTest, PinnedEndpointsAcceptMatchingNodes) {
   }
 
   ReapClean(pids);
+}
+
+// --- HA recovery (docs/ha.md) ----------------------------------------------
+//
+// The fidelity contract: a secure run that loses a bank process (SIGKILL)
+// or a driver link mid-run and recovers through the src/ha session-resume
+// machinery must release figures and per-bank TrafficStats bit-identical
+// to the fault-free run. Faults are scripted by cumulative send count
+// (ha::FaultyTransport), so they hit the same protocol position every run.
+
+// The HA scenario over the deterministic fault wrapper; the inner backend
+// starts as sim (the reference) and the test rewires it to tcp.
+std::string HaScenario(int banks) {
+  std::string text =
+      "network core_periphery " + std::to_string(banks) +
+      " 2\n"
+      "model en\n"
+      "mode secure\n"
+      "transport faulty sim\n"
+      "ha on\n"
+      "ha heartbeat_ms 50\n"
+      "ha suspect_after_ms 200\n"
+      "ha dead_after_ms 400\n"
+      "ha resume_timeout_ms 20000\n"
+      "block_size 3\n"
+      "iterations 2\n"
+      "shock 0\n"
+      "seed 7\n";
+  return text;
+}
+
+// Runs the spec and collects the report plus per-bank stats; `sends_out`
+// (optional) receives the wrapper's cumulative send count, used to aim the
+// fault at the middle of the protocol.
+void RunAndCollect(const engine::RunSpec& spec, int banks, engine::RunReport* report,
+                   std::vector<net::TrafficStats>* stats, uint64_t* sends_out,
+                   int* resumes_out) {
+  engine::Engine engine(spec);
+  *report = engine.Run();
+  for (int bank = 0; bank < banks; bank++) {
+    stats->push_back(engine.transport().NodeStats(bank));
+  }
+  if (sends_out != nullptr) {
+    const auto* faulty = dynamic_cast<const ha::FaultyTransport*>(&engine.transport());
+    ASSERT_NE(faulty, nullptr) << "spec did not resolve the faulty wrapper";
+    *sends_out = faulty->sends();
+  }
+  if (resumes_out != nullptr) {
+    *resumes_out = engine.transport().HaResumeCount();
+  }
+}
+
+void ExpectIdenticalRun(const engine::RunReport& got, const engine::RunReport& want,
+                        const std::vector<net::TrafficStats>& got_stats,
+                        const std::vector<net::TrafficStats>& want_stats) {
+  EXPECT_EQ(got.released, want.released);
+  EXPECT_EQ(got.reference, want.reference);
+  EXPECT_EQ(got.iterations, want.iterations);
+  ASSERT_EQ(got_stats.size(), want_stats.size());
+  for (size_t bank = 0; bank < got_stats.size(); bank++) {
+    EXPECT_EQ(got_stats[bank].bytes_sent, want_stats[bank].bytes_sent) << "bank " << bank;
+    EXPECT_EQ(got_stats[bank].bytes_received, want_stats[bank].bytes_received)
+        << "bank " << bank;
+    EXPECT_EQ(got_stats[bank].messages_sent, want_stats[bank].messages_sent)
+        << "bank " << bank;
+    EXPECT_EQ(got_stats[bank].messages_received, want_stats[bank].messages_received)
+        << "bank " << bank;
+  }
+}
+
+void RunHaRecoveryCase(net::FaultSpec::Action action, int victim) {
+  constexpr int kBanks = 5;
+  std::string program = FindNodeBinary();
+  if (program.empty()) {
+    GTEST_SKIP() << "dstress_node binary not found";
+  }
+
+  std::string error;
+  auto base = cli::ParseScenario(HaScenario(kBanks), &error);
+  ASSERT_TRUE(base.has_value()) << error;
+
+  // Fault-free reference over faulty(sim): yields the expected figures and
+  // stats, and the total send count that aims the fault mid-protocol.
+  std::vector<net::TrafficStats> want_stats;
+  uint64_t total_sends = 0;
+  engine::RunReport want;
+  RunAndCollect(*base, kBanks, &want, &want_stats, &total_sends, nullptr);
+  ASSERT_GT(total_sends, 3u);
+
+  // The same scenario over faulty(tcp) with exec'd bank processes and one
+  // scripted fault a third of the way through the run.
+  engine::RunSpec tcp_spec = *base;
+  tcp_spec.transport.faulty_inner = "tcp";
+  tcp_spec.transport.node_program = program;
+  net::FaultSpec fault;
+  fault.action = action;
+  fault.node = victim;
+  fault.after_sends = total_sends / 3;
+  tcp_spec.transport.faults = {fault};
+
+  std::vector<net::TrafficStats> got_stats;
+  int resumes = 0;
+  engine::RunReport got;
+  RunAndCollect(tcp_spec, kBanks, &got, &got_stats, nullptr, &resumes);
+  EXPECT_GE(resumes, 1) << "the fault never triggered a session resume";
+  ExpectIdenticalRun(got, want, got_stats, want_stats);
+}
+
+// SIGKILL one exec'd dstress_node mid-run; the driver auto-respawns it with
+// --resume and replays the undelivered window.
+TEST(TcpDistributedTest, HaRunSurvivesNodeKillWithIdenticalFigures) {
+  RunHaRecoveryCase(net::FaultSpec::Action::kKillNode, /*victim=*/2);
+}
+
+// Sever one driver <-> bank socket mid-run; the surviving process dials
+// back in and resumes its driver session in place.
+TEST(TcpDistributedTest, HaRunSurvivesLinkDropWithIdenticalFigures) {
+  RunHaRecoveryCase(net::FaultSpec::Action::kDropLink, /*victim=*/1);
 }
 
 }  // namespace

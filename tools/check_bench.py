@@ -17,6 +17,10 @@ baseline means "no baseline measured this run", and dividing by it would
 crash the gate); a row with missing or non-numeric wall_ms / wall_ms_baseline
 is a FAILURE naming the offending row's N, D, and mode.
 
+`secure-ha` rows (docs/ha.md) carry ha_control_bytes / ha_checkpoint_ms;
+those are printed as informational columns — HA overhead vs the plain run,
+heartbeat/control traffic, checkpoint wall time — and are never gated.
+
 Usage: tools/check_bench.py BENCH_fig6.json [--min-speedup 5.0]
                                             [--mode secure-projected]
                                             [--ensemble-min-speedup 10.0]
@@ -86,6 +90,24 @@ def main() -> int:
         print(f"FAIL: no '{args.mode}' entries in {args.bench_json}")
         return 1
     failures, skips, worst = gate_rows(rows, args.mode, args.min_speedup)
+
+    # HA overhead rows (mode "secure-ha", docs/ha.md): purely informational
+    # — heartbeat traffic scales with wall time, not protocol work, so these
+    # columns are printed but never gated.
+    for e in entries:
+        if not is_number(e.get("ha_control_bytes")):
+            continue
+        wall = e.get("wall_ms")
+        plain = e.get("wall_ms_baseline")
+        if is_number(wall) and is_number(plain) and plain > 0:
+            overhead = f"{(wall / plain - 1.0) * 100.0:+.1f}% wall overhead vs plain"
+        else:
+            overhead = "no plain-run baseline"
+        ckpt_ms = e.get("ha_checkpoint_ms")
+        ckpt = f"{ckpt_ms / 1e3:.3f}" if is_number(ckpt_ms) else "?"
+        print(f"ha: N={e.get('N')} D={e.get('D')}: {overhead}, "
+              f"{e['ha_control_bytes'] / 1e6:.2f} MB heartbeat/control traffic, "
+              f"{ckpt} s checkpointing (informational, not gated)")
 
     ensemble_rows = []
     if args.ensemble_min_speedup is not None:
