@@ -549,6 +549,35 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         p.Fail("transfer_batching must be 'on' or 'off'");
         return std::nullopt;
       }
+    } else if (directive == "graph_plane") {
+      // Cleartext data-plane A/B (docs/graph-plane.md): "arena" is the flat
+      // bitsliced plane (default), "legacy" the original container plane.
+      // Figures, states and per-node traffic are bit-identical either way.
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "arena") {
+        spec.cleartext_arena = true;
+      } else if (p.tokens[1] == "legacy") {
+        spec.cleartext_arena = false;
+      } else {
+        p.Fail("graph_plane must be 'arena' or 'legacy'");
+        return std::nullopt;
+      }
+    } else if (directive == "early_exit") {
+      // Arena-plane convergence early exit: same released figure, fewer
+      // metered communicate rounds once every vertex lane has converged.
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "on") {
+        spec.cleartext_early_exit = true;
+      } else if (p.tokens[1] == "off") {
+        spec.cleartext_early_exit = false;
+      } else {
+        p.Fail("early_exit must be 'on' or 'off'");
+        return std::nullopt;
+      }
     } else if (directive == "seed") {
       int s = 0;
       if (!p.ArgCount(1) || !p.Int(1, 0, &s)) {

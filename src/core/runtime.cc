@@ -354,7 +354,7 @@ void Runtime::RunBatchedPhase(const std::vector<std::pair<int, int>>& roles,
       triples_consumed_.fetch_add(stats.triples_consumed, std::memory_order_relaxed);
     }
   };
-  if (!config_.use_ot_triples) {
+  if (!config_.use_ot_triples && !config_.batch_mpc_per_node) {
     // Single-scheduler mode: the dealer source needs no communication, so
     // the whole phase is one lockstep call on this thread.
     std::vector<mpc::BatchInstance> items;
@@ -371,10 +371,13 @@ void Runtime::RunBatchedPhase(const std::vector<std::pair<int, int>>& roles,
     }
     return;
   }
-  // OT triples: one lockstep task per executing node. Triples are
-  // prefetched inside make_item in role order — ascending by group at
+  // Per-node schedule (always for OT triples; opt-in for dealer triples
+  // via batch_mpc_per_node): one lockstep task per executing node. Triples
+  // are prefetched inside make_item in role order — ascending by group at
   // every node — so the collective pairwise OT sessions run in a globally
   // consistent order and the smallest unfinished group can always progress.
+  // Dealer sources are per-(node, session) streams behind a mutex, so the
+  // same prefetch order holds and the schedules stay traffic-identical.
   std::map<int, std::vector<size_t>> by_node;
   for (size_t i = 0; i < roles.size(); i++) {
     by_node[node_of(roles[i].first, roles[i].second)].push_back(i);

@@ -80,6 +80,14 @@ struct RuntimeConfig {
   // bit-identical either way (asserted in engine_test.cc); false keeps the
   // seed one-role-per-task schedule for A/B comparison.
   bool batch_mpc = true;
+  // With batch_mpc and dealer triples: run each batched phase as one
+  // lockstep task per executing node on the worker pool (the schedule OT
+  // triples always use) instead of one whole-phase lockstep call on the
+  // scheduler thread. Per-instance messages are identical — only which
+  // thread drives them changes — so figures and TrafficStats match;
+  // benchmarked as the lockstep-per-node vs hybrid A/B in
+  // bench_fig6_scalability.
+  bool batch_mpc_per_node = false;
   // Batched transfer data plane (the default): every edge's sender/source/
   // dest/receiver role work runs as per-edge batched tasks over the
   // fixed-base/batch-affine crypto engine (src/transfer/batch_engine.h)

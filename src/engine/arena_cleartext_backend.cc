@@ -1,0 +1,557 @@
+// Arena-based kCleartextFast backend: the flat graph plane (src/graphplane)
+// composed with the legacy backend's circuits, noise and aggregation
+// schedule. Selected by RunSpec::cleartext_arena (default); the container-
+// based plane in cleartext_backend.cc remains behind the flag for A/B until
+// the differential harness (tests/graphplane_test.cc) retires it. Both are
+// bit-identical in released figures, per-vertex states and per-node
+// TrafficStats — that contract is the whole point of the split.
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/eval_plan.h"
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/core/worker_pool.h"
+#include "src/crypto/chacha20.h"
+#include "src/dp/noise_circuit.h"
+#include "src/engine/cleartext_backend.h"
+#include "src/graphplane/plane.h"
+#include "src/mpc/packed.h"
+#include "src/net/transport_spec.h"
+
+namespace dstress::engine {
+
+namespace {
+
+// Session namespaces and aggregator role, identical to the container plane
+// (cleartext_backend.cc) so the two planes' wire transcripts match.
+constexpr net::SessionId kEdgeSession = 1ULL << 60;
+constexpr net::SessionId kGatherSession = 2ULL << 60;
+constexpr net::SessionId kCombineSession = 3ULL << 60;
+constexpr net::NodeId kAggregatorNode = 0;
+
+Bytes PackBits(const mpc::BitVector& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); i++) {
+    if (bits[i] & 1) {
+      out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  return out;
+}
+
+mpc::BitVector UnpackBits(const Bytes& raw, size_t bits) {
+  DSTRESS_CHECK(raw.size() == (bits + 7) / 8);
+  mpc::BitVector out(bits);
+  for (size_t i = 0; i < bits; i++) {
+    out[i] = (raw[i / 8] >> (i % 8)) & 1;
+  }
+  return out;
+}
+
+uint64_t BitsToWord(const std::vector<uint8_t>& bits) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); i++) {
+    value |= static_cast<uint64_t>(bits[i] & 1) << i;
+  }
+  return value;
+}
+
+mpc::BitVector WordToBits(uint64_t value, int bits) {
+  mpc::BitVector out(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; i++) {
+    out[i] = (value >> i) & 1;
+  }
+  return out;
+}
+
+class ArenaCleartextBackend : public ExecutionBackend {
+ public:
+  explicit ArenaCleartextBackend(const BackendContext& context)
+      : graph_(*context.graph),
+        program_(*context.program),
+        config_(context.runtime_config),
+        early_exit_(context.spec != nullptr && context.spec->cleartext_early_exit),
+        update_circuit_(core::BuildUpdateCircuit(program_)),
+        contribution_circuit_(core::BuildAggregateCircuit(program_, 1, /*with_noise=*/false)) {
+    DSTRESS_CHECK(graph_.MaxDegree() <= program_.degree_bound);
+    DSTRESS_CHECK(config_.aggregation_fanout != 1);
+
+    circuit::Builder noise_builder;
+    noise_builder.OutputWord(dp::BuildGeometricNoise(noise_builder, program_.output_noise,
+                                                     program_.aggregate_bits));
+    noise_circuit_ = std::make_unique<circuit::Circuit>(noise_builder.Build());
+
+    net_ = net::MakeTransport(
+        config_.transport.WithChannelHighWatermark(config_.channel_high_watermark_bytes),
+        graph_.num_vertices());
+    pool_ = std::make_unique<core::WorkerPool>(
+        core::ResolveThreadBudget(config_.max_parallel_tasks));
+
+    graphplane::GraphPlane::Options options;
+    options.num_scenarios = 1;
+    options.stride = 1;
+    options.edge_session_base = kEdgeSession;
+    solo_plane_ = std::make_unique<graphplane::GraphPlane>(graph_, program_, update_plan_,
+                                                           pool_.get(), net_.get(), options);
+  }
+
+  const char* name() const override { return ExecutionModeName(ExecutionMode::kCleartextFast); }
+
+  int64_t Execute(const std::vector<mpc::BitVector>& initial_states,
+                  core::RunMetrics* metrics) override;
+
+  std::vector<int64_t> ExecuteEnsemble(
+      const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+      core::RunMetrics* metrics) override;
+
+  std::vector<mpc::BitVector> DebugFinalStates() const override {
+    if (!solo_ran_) {
+      return {};
+    }
+    std::vector<mpc::BitVector> states;
+    states.reserve(static_cast<size_t>(graph_.num_vertices()));
+    for (int v = 0; v < graph_.num_vertices(); v++) {
+      states.push_back(solo_plane_->VertexState(v, 0));
+    }
+    return states;
+  }
+
+  void AttachObserver(net::NetworkObserver* observer) override { net_->SetObserver(observer); }
+
+  const net::Transport& transport() const override { return *net_; }
+
+ private:
+  // One wrapping sum per scenario from the plane's final states: packed
+  // contribution eval over every lane, then the transpose reduction. Same
+  // circuit as the container plane's per-vertex Eval, so per-lane values
+  // are bit-identical; same vertex-major addition order, so sums are too.
+  std::vector<uint64_t> PackedContributionSums(const graphplane::GraphPlane& plane) const {
+    return plane.ScenarioSums(plane.EvalOverStates(contribution_plan_),
+                              program_.aggregate_bits);
+  }
+
+  // sum + sampled noise, masked and sign-extended at aggregate_bits — the
+  // aggregation circuit's arithmetic, identical to the container plane.
+  int64_t Release(uint64_t sum, uint64_t noise) const {
+    const int agg_bits = program_.aggregate_bits;
+    const uint64_t mask = agg_bits >= 64 ? ~0ULL : (1ULL << agg_bits) - 1;
+    const uint64_t value = (sum + noise) & mask;
+    if (agg_bits < 64 && (value >> (agg_bits - 1)) != 0) {
+      return static_cast<int64_t>(value) - static_cast<int64_t>(1ULL << agg_bits);
+    }
+    return static_cast<int64_t>(value);
+  }
+
+  uint64_t SampleNoise() const {
+    auto prg = crypto::ChaCha20Prg::FromSeed(
+        core::RolePrgSeed(config_.seed, core::kNoiseRoleTag), /*instance=*/0);
+    std::vector<uint8_t> noise_input(noise_circuit_->num_inputs());
+    for (auto& bit : noise_input) {
+      bit = prg.NextBit() ? 1 : 0;
+    }
+    return BitsToWord(noise_circuit_->Eval(noise_input));
+  }
+
+  // Flat gather for a plane of S scenario lanes (the solo S=1 case
+  // included): every vertex's state payload crosses to node 0 — as one
+  // bulk-metered TrafficStats delta when the transport accepts, literally
+  // otherwise — then the packed contribution reduction releases per-lane
+  // figures.
+  void AggregateFlat(const graphplane::GraphPlane& plane, int num_scenarios, int64_t* results) {
+    const int n = graph_.num_vertices();
+    const int sb = program_.state_bits;
+    const size_t payload_bits = static_cast<size_t>(sb) * num_scenarios;
+    const size_t payload_bytes = (payload_bits + 7) / 8;
+
+    std::vector<net::TrafficStats> delta(static_cast<size_t>(n));
+    for (int v = 0; v < n; v++) {
+      delta[static_cast<size_t>(v)].bytes_sent += payload_bytes;
+      delta[static_cast<size_t>(v)].messages_sent += 1;
+      delta[static_cast<size_t>(kAggregatorNode)].bytes_received += payload_bytes;
+      delta[static_cast<size_t>(kAggregatorNode)].messages_received += 1;
+    }
+    if (!net_->MeterSelfDelivered(delta)) {
+      // Literal fallback: the exact payload bytes the container plane puts
+      // on the wire (bit r*S+s = state bit r of scenario s), so observers
+      // see identical transcripts. Contributions still come from the
+      // arena — the received copies hold the same valid-lane values.
+      for (int v = 0; v < n; v++) {
+        Bytes payload(payload_bytes, 0);
+        for (int r = 0; r < sb; r++) {
+          graphplane::InsertBits(&payload, static_cast<size_t>(r) * num_scenarios,
+                                 plane.StateLaneGroup(static_cast<size_t>(r), v, num_scenarios),
+                                 num_scenarios);
+        }
+        net_->Send(v, kAggregatorNode, std::move(payload),
+                   kGatherSession | static_cast<uint64_t>(v));
+      }
+      for (int v = 0; v < n; v++) {
+        Bytes raw = net_->Recv(kAggregatorNode, v, kGatherSession | static_cast<uint64_t>(v));
+        DSTRESS_CHECK(raw.size() == payload_bytes);
+      }
+    }
+
+    const std::vector<uint64_t> sums = PackedContributionSums(plane);
+    const uint64_t noise = SampleNoise();
+    for (int s = 0; s < num_scenarios; s++) {
+      results[s] = Release(sums[static_cast<size_t>(s)], noise);
+    }
+  }
+
+  // Tree gather (solo only; the ensemble aggregation schedule is flat,
+  // mirroring the secure plane). Bulk-metered mode replays the container
+  // plane's §3.6 tree traffic as one delta; the sum itself is the packed
+  // flat reduction — associative two's-complement addition makes it equal
+  // to the tree's level-by-level partials.
+  uint64_t MeterGatherTree() {
+    const int n = graph_.num_vertices();
+    const int fanout = config_.aggregation_fanout;
+    const uint64_t state_bytes = (static_cast<uint64_t>(program_.state_bits) + 7) / 8;
+    const uint64_t agg_bytes = (static_cast<uint64_t>(program_.aggregate_bits) + 7) / 8;
+
+    std::vector<net::TrafficStats> delta(static_cast<size_t>(n));
+    auto meter = [&](int from, int to, uint64_t bytes) {
+      delta[static_cast<size_t>(from)].bytes_sent += bytes;
+      delta[static_cast<size_t>(from)].messages_sent += 1;
+      delta[static_cast<size_t>(to)].bytes_received += bytes;
+      delta[static_cast<size_t>(to)].messages_received += 1;
+    };
+    for (int v = 0; v < n; v++) {
+      meter(v, (v / fanout) * fanout, state_bytes);
+    }
+    const int num_groups = (n + fanout - 1) / fanout;
+    std::vector<int> owners(static_cast<size_t>(num_groups));
+    for (int g = 0; g < num_groups; g++) {
+      owners[static_cast<size_t>(g)] = g * fanout;
+    }
+    while (static_cast<int>(owners.size()) > fanout) {
+      const int p = static_cast<int>(owners.size());
+      for (int g = 0; g < p; g++) {
+        meter(owners[static_cast<size_t>(g)], owners[static_cast<size_t>((g / fanout) * fanout)],
+              agg_bytes);
+      }
+      const int next_groups = (p + fanout - 1) / fanout;
+      std::vector<int> next(static_cast<size_t>(next_groups));
+      for (int g = 0; g < next_groups; g++) {
+        next[static_cast<size_t>(g)] = owners[static_cast<size_t>(g * fanout)];
+      }
+      owners = std::move(next);
+    }
+    for (int g = 0; g < static_cast<int>(owners.size()); g++) {
+      meter(owners[static_cast<size_t>(g)], kAggregatorNode, agg_bytes);
+    }
+    if (net_->MeterSelfDelivered(delta)) {
+      return PackedContributionSums(*solo_plane_)[0];
+    }
+    return GatherTreeLiteral();
+  }
+
+  // Literal tree gather — the container plane's GatherTree verbatim, with
+  // leaf states read out of the arena. Fallback path only (observer or a
+  // real wire), so per-vertex circuit evaluation is fine here.
+  uint64_t GatherTreeLiteral() {
+    const int n = graph_.num_vertices();
+    const int fanout = config_.aggregation_fanout;
+    const int num_groups = (n + fanout - 1) / fanout;
+    const size_t agg_bits = static_cast<size_t>(program_.aggregate_bits);
+
+    for (int v = 0; v < n; v++) {
+      net_->Send(v, (v / fanout) * fanout, PackBits(solo_plane_->VertexState(v, 0)),
+                 kGatherSession | static_cast<uint64_t>(v));
+    }
+    std::vector<uint64_t> partials(static_cast<size_t>(num_groups), 0);
+    std::vector<int> owners(static_cast<size_t>(num_groups), 0);
+    pool_->RunGrouped(static_cast<size_t>(num_groups), 1, [&](size_t gg, size_t) {
+      int g = static_cast<int>(gg);
+      int lo = g * fanout;
+      int hi = std::min(n, lo + fanout);
+      uint64_t sum = 0;
+      for (int v = lo; v < hi; v++) {
+        Bytes raw = net_->Recv(lo, v, kGatherSession | static_cast<uint64_t>(v));
+        mpc::BitVector state = UnpackBits(raw, static_cast<size_t>(program_.state_bits));
+        sum += BitsToWord(contribution_circuit_.Eval(state));
+      }
+      partials[gg] = sum;
+      owners[gg] = lo;
+    });
+
+    uint64_t level = 1;
+    while (static_cast<int>(partials.size()) > fanout) {
+      int p = static_cast<int>(partials.size());
+      int next_groups = (p + fanout - 1) / fanout;
+      for (int g = 0; g < p; g++) {
+        net_->Send(owners[static_cast<size_t>(g)],
+                   owners[static_cast<size_t>((g / fanout) * fanout)],
+                   PackBits(WordToBits(partials[static_cast<size_t>(g)], program_.aggregate_bits)),
+                   kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+      }
+      std::vector<uint64_t> next_partials(static_cast<size_t>(next_groups), 0);
+      std::vector<int> next_owners(static_cast<size_t>(next_groups), 0);
+      pool_->RunGrouped(static_cast<size_t>(next_groups), 1, [&](size_t gg, size_t) {
+        int g = static_cast<int>(gg);
+        int lo = g * fanout;
+        int hi = std::min(p, lo + fanout);
+        uint64_t sum = 0;
+        for (int child = lo; child < hi; child++) {
+          Bytes raw = net_->Recv(owners[static_cast<size_t>(lo)],
+                                 owners[static_cast<size_t>(child)],
+                                 kCombineSession | (level << 32) | static_cast<uint64_t>(child));
+          sum += BitsToWord(UnpackBits(raw, agg_bits));
+        }
+        next_partials[gg] = sum;
+        next_owners[gg] = owners[static_cast<size_t>(lo)];
+      });
+      partials = std::move(next_partials);
+      owners = std::move(next_owners);
+      level++;
+    }
+
+    int p = static_cast<int>(partials.size());
+    for (int g = 0; g < p; g++) {
+      net_->Send(owners[static_cast<size_t>(g)], kAggregatorNode,
+                 PackBits(WordToBits(partials[static_cast<size_t>(g)], program_.aggregate_bits)),
+                 kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+    }
+    uint64_t sum = 0;
+    for (int g = 0; g < p; g++) {
+      Bytes raw = net_->Recv(kAggregatorNode, owners[static_cast<size_t>(g)],
+                             kCombineSession | (level << 32) | static_cast<uint64_t>(g));
+      sum += BitsToWord(UnpackBits(raw, agg_bits));
+    }
+    return sum;
+  }
+
+  const graph::Graph& graph_;
+  core::VertexProgram program_;
+  core::RuntimeConfig config_;
+  bool early_exit_ = false;
+  circuit::Circuit update_circuit_;
+  circuit::EvalPlan update_plan_{update_circuit_};
+  circuit::Circuit contribution_circuit_;
+  circuit::EvalPlan contribution_plan_{contribution_circuit_};
+  std::unique_ptr<circuit::Circuit> noise_circuit_;
+  std::unique_ptr<net::Transport> net_;
+  std::unique_ptr<core::WorkerPool> pool_;
+  // The solo (S = stride = 1) plane, allocated once and Reset per run; also
+  // the source of DebugFinalStates. Ensemble chunks build their own planes
+  // (stride varies with the chunk width).
+  std::unique_ptr<graphplane::GraphPlane> solo_plane_;
+  bool solo_ran_ = false;
+};
+
+int64_t ArenaCleartextBackend::Execute(const std::vector<mpc::BitVector>& initial_states,
+                                       core::RunMetrics* metrics) {
+  const int n = graph_.num_vertices();
+  DSTRESS_CHECK(static_cast<int>(initial_states.size()) == n);
+  for (const mpc::BitVector& state : initial_states) {
+    DSTRESS_CHECK(static_cast<int>(state.size()) == program_.state_bits);
+  }
+
+  core::RunMetrics local;
+  core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
+  m->aggregate_and_gates =
+      contribution_circuit_.stats().num_and * static_cast<size_t>(n) +
+      noise_circuit_->stats().num_and;
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  Stopwatch phase;
+  solo_plane_->Reset();
+  graphplane::PackSoloStates(initial_states, &solo_plane_->input_matrix());
+  solo_ran_ = true;
+  m->init.seconds = phase.ElapsedSeconds();
+  m->init.bytes = net_->TotalBytes() - bytes_before;
+
+  uint64_t phase_bytes = net_->TotalBytes();
+  for (int iter = 0; iter < program_.iterations; iter++) {
+    phase.Reset();
+    solo_plane_->ComputeStep();
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    solo_plane_->CommunicateStep();
+    m->communicate.seconds += phase.ElapsedSeconds();
+    m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    if (early_exit_ && solo_plane_->AllConverged()) {
+      // Every remaining (compute, communicate) round is a figure-identical
+      // no-op; only the traffic shape changes, which is what the opt-in
+      // acknowledges.
+      break;
+    }
+  }
+  // Final computation step, as in the secure schedule (§3.6).
+  phase.Reset();
+  solo_plane_->ComputeStep();
+  m->compute.seconds += phase.ElapsedSeconds();
+  m->compute.bytes += net_->TotalBytes() - phase_bytes;
+  phase_bytes = net_->TotalBytes();
+
+  phase.Reset();
+  int64_t result;
+  if (config_.aggregation_fanout > 0) {
+    result = Release(MeterGatherTree(), SampleNoise());
+  } else {
+    AggregateFlat(*solo_plane_, /*num_scenarios=*/1, &result);
+  }
+  m->aggregate.seconds = phase.ElapsedSeconds();
+  m->aggregate.bytes = net_->TotalBytes() - phase_bytes;
+
+  m->iterations = static_cast<int>(solo_plane_->stats().iterations);
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / n;
+  return result;
+}
+
+std::vector<int64_t> ArenaCleartextBackend::ExecuteEnsemble(
+    const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
+    core::RunMetrics* metrics) {
+  const int total_scenarios = static_cast<int>(per_scenario_states.size());
+  DSTRESS_CHECK(total_scenarios > 0);
+  if (total_scenarios == 1) {
+    core::RunMetrics local;
+    core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+    return {Execute(per_scenario_states[0], m)};
+  }
+  DSTRESS_CHECK(config_.aggregation_fanout == 0);
+
+  const int n = graph_.num_vertices();
+  const int sb = program_.state_bits;
+
+  core::RunMetrics local;
+  core::RunMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::RunMetrics{};
+  m->iterations = program_.iterations;
+  m->update_and_gates = update_circuit_.stats().num_and;
+  m->update_and_depth = update_circuit_.stats().and_depth;
+
+  Stopwatch total;
+  uint64_t bytes_before = net_->TotalBytes();
+
+  int iterations_run = 0;
+  std::vector<int64_t> results(static_cast<size_t>(total_scenarios), 0);
+  for (int chunk_lo = 0; chunk_lo < total_scenarios; chunk_lo += 64) {
+    const int num_scenarios = std::min(64, total_scenarios - chunk_lo);
+    int stride = 1;
+    while (stride < num_scenarios) {
+      stride <<= 1;
+    }
+
+    Stopwatch phase;
+    uint64_t phase_bytes = net_->TotalBytes();
+    graphplane::GraphPlane::Options options;
+    options.num_scenarios = num_scenarios;
+    options.stride = stride;
+    options.edge_session_base = kEdgeSession;
+    graphplane::GraphPlane plane(graph_, program_, update_plan_, pool_.get(), net_.get(),
+                                 options);
+    mpc::PackedShareMatrix& in_mat = plane.input_matrix();
+    for (int s = 0; s < num_scenarios; s++) {
+      const auto& states = per_scenario_states[static_cast<size_t>(chunk_lo + s)];
+      DSTRESS_CHECK(static_cast<int>(states.size()) == n);
+      for (int v = 0; v < n; v++) {
+        DSTRESS_CHECK(static_cast<int>(states[static_cast<size_t>(v)].size()) == sb);
+      }
+    }
+    if (sb <= 64) {
+      // Per vertex: word-pack each scenario's state, transpose the S x sb
+      // block, and the rows come out as ready-made lane groups.
+      uint64_t block[64];
+      for (int v = 0; v < n; v++) {
+        for (int s = 0; s < 64; s++) {
+          uint64_t word = 0;
+          if (s < num_scenarios) {
+            const mpc::BitVector& state =
+                per_scenario_states[static_cast<size_t>(chunk_lo + s)][static_cast<size_t>(v)];
+            for (int r = 0; r < sb; r++) {
+              word |= static_cast<uint64_t>(state[static_cast<size_t>(r)] & 1) << r;
+            }
+          }
+          block[s] = word;
+        }
+        mpc::TransposeBits64x64(block);
+        for (int r = 0; r < sb; r++) {
+          in_mat.SetLaneGroup(static_cast<size_t>(r), static_cast<size_t>(v) * stride,
+                              num_scenarios, block[r]);
+        }
+      }
+    } else {
+      for (int v = 0; v < n; v++) {
+        for (int r = 0; r < sb; r++) {
+          uint64_t bits = 0;
+          for (int s = 0; s < num_scenarios; s++) {
+            if (per_scenario_states[static_cast<size_t>(chunk_lo + s)][static_cast<size_t>(v)]
+                                   [static_cast<size_t>(r)] &
+                1) {
+              bits |= 1ULL << s;
+            }
+          }
+          in_mat.SetLaneGroup(static_cast<size_t>(r), static_cast<size_t>(v) * stride,
+                              num_scenarios, bits);
+        }
+      }
+    }
+    m->init.seconds += phase.ElapsedSeconds();
+    m->init.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    for (int iter = 0; iter < program_.iterations; iter++) {
+      phase.Reset();
+      plane.ComputeStep();
+      m->compute.seconds += phase.ElapsedSeconds();
+      m->compute.bytes += net_->TotalBytes() - phase_bytes;
+      phase_bytes = net_->TotalBytes();
+
+      phase.Reset();
+      plane.CommunicateStep();
+      m->communicate.seconds += phase.ElapsedSeconds();
+      m->communicate.bytes += net_->TotalBytes() - phase_bytes;
+      phase_bytes = net_->TotalBytes();
+
+      if (early_exit_ && plane.AllConverged()) {
+        break;
+      }
+    }
+    phase.Reset();
+    plane.ComputeStep();
+    m->compute.seconds += phase.ElapsedSeconds();
+    m->compute.bytes += net_->TotalBytes() - phase_bytes;
+    phase_bytes = net_->TotalBytes();
+
+    phase.Reset();
+    AggregateFlat(plane, num_scenarios, &results[static_cast<size_t>(chunk_lo)]);
+    m->aggregate_and_gates +=
+        contribution_circuit_.stats().num_and * static_cast<size_t>(n) * num_scenarios +
+        noise_circuit_->stats().num_and;
+    m->aggregate.seconds += phase.ElapsedSeconds();
+    m->aggregate.bytes += net_->TotalBytes() - phase_bytes;
+    iterations_run = std::max(iterations_run, static_cast<int>(plane.stats().iterations));
+  }
+
+  m->iterations = iterations_run;
+  m->total_seconds = total.ElapsedSeconds();
+  m->total_bytes = net_->TotalBytes() - bytes_before;
+  m->avg_bytes_per_node = static_cast<double>(m->total_bytes) / n;
+  return results;
+}
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> MakeArenaCleartextBackend(const BackendContext& context) {
+  return std::make_unique<ArenaCleartextBackend>(context);
+}
+
+}  // namespace dstress::engine

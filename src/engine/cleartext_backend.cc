@@ -150,6 +150,8 @@ class CleartextFastBackend : public ExecutionBackend {
       const std::vector<std::vector<mpc::BitVector>>& per_scenario_states,
       core::RunMetrics* metrics) override;
 
+  std::vector<mpc::BitVector> DebugFinalStates() const override { return state_; }
+
   void AttachObserver(net::NetworkObserver* observer) override { net_->SetObserver(observer); }
 
   const net::Transport& transport() const override { return *net_; }
@@ -701,8 +703,15 @@ int64_t CleartextFastBackend::Execute(const std::vector<mpc::BitVector>& initial
 
 }  // namespace
 
-std::unique_ptr<ExecutionBackend> MakeCleartextFastBackend(const BackendContext& context) {
+std::unique_ptr<ExecutionBackend> MakeContainerCleartextBackend(const BackendContext& context) {
   return std::make_unique<CleartextFastBackend>(context);
+}
+
+std::unique_ptr<ExecutionBackend> MakeCleartextFastBackend(const BackendContext& context) {
+  if (context.spec == nullptr || context.spec->cleartext_arena) {
+    return MakeArenaCleartextBackend(context);
+  }
+  return MakeContainerCleartextBackend(context);
 }
 
 }  // namespace dstress::engine

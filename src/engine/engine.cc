@@ -28,6 +28,7 @@ core::RuntimeConfig DeriveRuntimeConfig(const RunSpec& spec) {
   config.channel_high_watermark_bytes = spec.channel_high_watermark_bytes;
   config.transport = spec.transport;
   config.batch_mpc = spec.mpc_batching;
+  config.batch_mpc_per_node = spec.mpc_per_node_schedule;
   config.batch_transfer = spec.transfer_batching;
   config.seed = spec.seed;
   config.checkpoint_every = spec.ha_checkpoint_every;
@@ -255,6 +256,8 @@ ensemble::EnsembleReport Engine::RunEnsemble() {
 void Engine::AttachObserver(net::NetworkObserver* observer) {
   backend_->AttachObserver(observer);
 }
+
+std::vector<mpc::BitVector> Engine::FinalStates() const { return backend_->DebugFinalStates(); }
 
 const net::Transport& Engine::transport() const { return backend_->transport(); }
 

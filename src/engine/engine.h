@@ -61,6 +61,12 @@ class Engine {
   // detaches). Must be called before the first Run().
   void AttachObserver(net::NetworkObserver* observer);
 
+  // Final per-vertex states of the last Run(), when the backend exposes
+  // them (ExecutionBackend::DebugFinalStates; the cleartext backends do).
+  // Empty otherwise. Differential-testing hook, not part of the release
+  // surface.
+  std::vector<mpc::BitVector> FinalStates() const;
+
   // The materialized network and compiled program.
   const graph::Graph& graph() const { return *graph_; }
   const core::VertexProgram& program() const { return program_; }

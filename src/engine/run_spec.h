@@ -160,6 +160,24 @@ struct RunSpec {
   // bytes, released figures, and per-node TrafficStats are bit-identical
   // either way; false keeps the seed per-role schedule for A/B benchmarking.
   bool transfer_batching = true;
+  // Flat-arena cleartext graph plane (src/graphplane, docs/graph-plane.md):
+  // contiguous bitsliced state/message arenas plus an active-vertex
+  // frontier. Released figures, per-vertex states and per-node TrafficStats
+  // are bit-identical either way (pinned by tests/graphplane_test.cc);
+  // false keeps the container-based plane for A/B until the differential
+  // harness retires it.
+  bool cleartext_arena = true;
+  // Opt-in early exit for the arena plane: stop iterating once every
+  // vertex lane has converged (the remaining iterations are provably
+  // figure-identical no-ops). Off by default because it changes the
+  // traffic shape — fewer communicate rounds are metered.
+  bool cleartext_early_exit = false;
+  // Secure-mode scheduling A/B (core::RuntimeConfig::batch_mpc_per_node):
+  // run the batched compute phase as one lockstep task per node instead of
+  // one whole-phase lockstep call, exercising multi-thread scheduling with
+  // dealer triples. Results and traffic are bit-identical; benchmarked in
+  // bench_fig6_scalability.
+  bool mpc_per_node_schedule = false;
   int max_parallel_tasks = 0;  // 0 = auto
   size_t channel_high_watermark_bytes = 0;  // 0 = unbounded
   double transfer_budget_alpha = 0.9;

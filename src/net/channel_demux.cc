@@ -84,6 +84,30 @@ void ChannelDemuxTransport::MeterSend(NodeId from, uint64_t bytes, uint64_t mess
   counters_[from]->messages_sent.fetch_add(messages, std::memory_order_relaxed);
 }
 
+bool ChannelDemuxTransport::TryMeterSelfDelivered(
+    const std::vector<TrafficStats>& per_node_delta) {
+  DSTRESS_CHECK(per_node_delta.size() == static_cast<size_t>(num_nodes_));
+  traffic_started_.store(true, std::memory_order_release);
+  {
+    // An attached observer must see every message individually; refuse so
+    // the caller falls back to literal sends. The shared lock orders this
+    // against SetObserver exactly like a Send (see SetObserver).
+    std::shared_lock<std::shared_mutex> read(channels_mu_);
+    if (observer_.load(std::memory_order_acquire) != nullptr) {
+      return false;
+    }
+  }
+  for (int v = 0; v < num_nodes_; v++) {
+    const TrafficStats& d = per_node_delta[static_cast<size_t>(v)];
+    PerNodeCounters& c = *counters_[static_cast<size_t>(v)];
+    c.bytes_sent.fetch_add(d.bytes_sent, std::memory_order_relaxed);
+    c.bytes_received.fetch_add(d.bytes_received, std::memory_order_relaxed);
+    c.messages_sent.fetch_add(d.messages_sent, std::memory_order_relaxed);
+    c.messages_received.fetch_add(d.messages_received, std::memory_order_relaxed);
+  }
+  return true;
+}
+
 Bytes ChannelDemuxTransport::Recv(NodeId to, NodeId from, SessionId session) {
   DSTRESS_DCHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
   Channel& ch = ChannelFor(ChannelKey{from, to, session});

@@ -110,6 +110,15 @@ class ChannelDemuxTransport : public Transport {
   void CheckWatermark(const Channel& ch) const;
   void MeterSend(NodeId from, uint64_t bytes, uint64_t messages);
 
+  // Shared implementation behind Transport::MeterSelfDelivered, protected
+  // so only backends that really keep payloads in-process expose it
+  // (SimNetwork does; TcpNetwork must not — its peers live in other
+  // processes and need the literal frames). Follows the Send-path observer
+  // contract: traffic_started_ is stored before the observer is loaded
+  // under the shared channels lock, so either an in-flight attach completes
+  // first and this call refuses, or the attach CHECK sees started traffic.
+  bool TryMeterSelfDelivered(const std::vector<TrafficStats>& per_node_delta);
+
   // True when the (from, to) pair touches a dead peer — the Recv wait
   // predicates wake on it and abort via AbortDeadPeer.
   bool PairDead(NodeId from, NodeId to) const { return PeerDead(from) || PeerDead(to); }

@@ -45,6 +45,16 @@ class SimNetwork : public ChannelDemuxTransport {
   // acquisition and one consumer wakeup for the whole run.
   void SendBatch(NodeId from, NodeId to, std::vector<Bytes> messages,
                  SessionId session = 0) override;
+
+  // Bulk self-delivery metering (transport.h): payloads that the arena
+  // graph plane moved through its own memory never leave the process on
+  // this backend, so metering the per-node deltas is observably identical
+  // to sending and receiving every message. Refuses when an observer is
+  // attached (it must see per-message callbacks); the caller then falls
+  // back to literal sends.
+  bool MeterSelfDelivered(const std::vector<TrafficStats>& per_node_delta) override {
+    return TryMeterSelfDelivered(per_node_delta);
+  }
 };
 
 }  // namespace dstress::net

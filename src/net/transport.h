@@ -122,6 +122,22 @@ class Transport {
   virtual uint64_t MaxBytesPerNode() const = 0;
   virtual void ResetStats() = 0;
 
+  // Bulk self-delivery metering (src/graphplane): a data plane that moves
+  // per-edge payloads through its own memory arenas — bit-identical to
+  // sending them — reports the skipped messages here as one TrafficStats
+  // delta per node id, all applied atomically to the traffic counters.
+  // Returns true when the deltas were applied, in which case the caller
+  // must NOT also send the messages. The default refuses, and
+  // implementations must refuse whenever per-message observation is
+  // required (an attached NetworkObserver) or the wire is real (tcp): the
+  // caller then falls back to literal per-message Send/Recv, so observers
+  // and remote peers always see every message. Only the in-process "sim"
+  // backend accepts.
+  virtual bool MeterSelfDelivered(const std::vector<TrafficStats>& per_node_delta) {
+    (void)per_node_delta;
+    return false;
+  }
+
   double AverageBytesPerNode() const {
     int n = num_nodes();
     return n > 0 ? static_cast<double>(TotalBytes()) / n : 0.0;

@@ -25,6 +25,8 @@ epsilon 0.5
 leverage 0.2
 shock 0 1 2
 transfer_batching off
+graph_plane legacy
+early_exit on
 seed 99
 )",
                             &error);
@@ -43,6 +45,8 @@ seed 99
   EXPECT_DOUBLE_EQ(spec->leverage, 0.2);
   EXPECT_EQ(spec->shock.shocked_banks, (std::vector<int>{0, 1, 2}));
   EXPECT_FALSE(spec->transfer_batching);
+  EXPECT_FALSE(spec->cleartext_arena);
+  EXPECT_TRUE(spec->cleartext_early_exit);
   EXPECT_EQ(spec->seed, 99u);
 }
 
@@ -57,6 +61,8 @@ TEST(ScenarioParseTest, DefaultsApply) {
   EXPECT_EQ(spec->block_size, 4);
   EXPECT_EQ(spec->aggregation_fanout, 0);
   EXPECT_TRUE(spec->transfer_batching);
+  EXPECT_TRUE(spec->cleartext_arena);
+  EXPECT_FALSE(spec->cleartext_early_exit);
 }
 
 TEST(ScenarioParseTest, ExplicitEdges) {
@@ -108,6 +114,8 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network scale_free 20 2\ndegree_cap 0\n", "bad integer"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
       {"network scale_free 20 2\ntransfer_batching maybe\n", "transfer_batching must be"},
+      {"network scale_free 20 2\ngraph_plane vector\n", "graph_plane must be"},
+      {"network scale_free 20 2\nearly_exit maybe\n", "early_exit must be"},
       {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
       {"network scale_free 20 2\nleverage 0\n", "leverage must be in"},
       {"network scale_free 20 2\nedge 0 1\n", "network explicit"},

@@ -1,0 +1,436 @@
+// Flat-arena cleartext graph plane tests (src/graphplane + the arena
+// backend dispatch in src/engine/cleartext_backend.cc).
+//
+// Two halves:
+//
+//  1. A randomized differential corpus pinning the arena plane
+//     (RunSpec::cleartext_arena = true, the default) bit-identical to the
+//     retired container plane (false) — released figures, cleartext
+//     references, per-vertex final states and per-node TrafficStats — over
+//     random topologies (N in {1, 7, 64, 1000}), EN / EGJ / custom vertex
+//     programs, flat and tree aggregation, and ensemble widths W in
+//     {1, 3, 64}. This harness is what lets the container plane be deleted
+//     later without a fidelity argument from first principles.
+//
+//  2. Frontier unit tests driving graphplane::GraphPlane directly: words
+//     deactivate when their inputs stop changing, reactivate when a changed
+//     message is delivered, every edge is still metered every iteration,
+//     and W > 1 scenario lanes converge independently without cross-lane
+//     contamination. Plus the engine-level early-exit A/B: stopping at
+//     AllConverged releases the same figure as running all I iterations.
+
+#include "src/graphplane/plane.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/circuit/builder.h"
+#include "src/circuit/eval_plan.h"
+#include "src/core/vertex_program.h"
+#include "src/core/worker_pool.h"
+#include "src/engine/engine.h"
+#include "src/graph/graph.h"
+#include "src/net/sim_network.h"
+#include "src/programs/private_sum.h"
+#include "src/programs/reachability.h"
+
+namespace dstress {
+namespace {
+
+using engine::ContagionModel;
+using engine::Engine;
+using engine::ExecutionMode;
+using engine::RunReport;
+using engine::RunSpec;
+
+// --- differential corpus ----------------------------------------------------
+
+void ExpectSameTraffic(const Engine& a, const Engine& b, const std::string& label) {
+  ASSERT_EQ(a.transport().num_nodes(), b.transport().num_nodes()) << label;
+  for (int v = 0; v < a.transport().num_nodes(); v++) {
+    net::TrafficStats sa = a.transport().NodeStats(v);
+    net::TrafficStats sb = b.transport().NodeStats(v);
+    EXPECT_EQ(sa.bytes_sent, sb.bytes_sent) << label << " node " << v;
+    EXPECT_EQ(sa.bytes_received, sb.bytes_received) << label << " node " << v;
+    EXPECT_EQ(sa.messages_sent, sb.messages_sent) << label << " node " << v;
+    EXPECT_EQ(sa.messages_received, sb.messages_received) << label << " node " << v;
+  }
+}
+
+// Runs `spec` once per plane and asserts the full observable surface is
+// bit-identical: released figure, reference, final states, traffic.
+void ExpectArenaMatchesLegacy(RunSpec spec, const std::string& label) {
+  RunSpec arena_spec = spec;
+  arena_spec.cleartext_arena = true;
+  RunSpec legacy_spec = spec;
+  legacy_spec.cleartext_arena = false;
+
+  Engine arena(arena_spec);
+  RunReport a = arena.Run();
+  Engine legacy(legacy_spec);
+  RunReport l = legacy.Run();
+
+  EXPECT_EQ(a.released, l.released) << label;
+  ASSERT_EQ(a.has_reference, l.has_reference) << label;
+  if (a.has_reference) {
+    EXPECT_EQ(a.reference, l.reference) << label;
+  }
+  EXPECT_EQ(a.iterations, l.iterations) << label;
+  EXPECT_EQ(a.metrics.total_bytes, l.metrics.total_bytes) << label;
+
+  std::vector<mpc::BitVector> sa = arena.FinalStates();
+  std::vector<mpc::BitVector> sl = legacy.FinalStates();
+  ASSERT_EQ(sa.size(), sl.size()) << label;
+  for (size_t v = 0; v < sa.size(); v++) {
+    EXPECT_EQ(sa[v], sl[v]) << label << " vertex " << v;
+  }
+  ExpectSameTraffic(arena, legacy, label);
+}
+
+RunSpec FinanceSpec(ContagionModel model, int n, uint64_t seed) {
+  RunSpec spec;
+  spec.mode = ExecutionMode::kCleartextFast;
+  spec.model = model;
+  if (n == 1) {
+    spec.topology = engine::ExplicitTopology(1, {});
+    spec.degree_bound = 1;
+  } else {
+    spec.topology = engine::ScaleFreeTopology(n, 2);
+    spec.topology.degree_cap = 4;
+  }
+  spec.shock.shocked_banks = {0};
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(GraphPlaneDifferentialTest, FinanceModelsAcrossSizesAndSeeds) {
+  for (ContagionModel model :
+       {ContagionModel::kEisenbergNoe, ContagionModel::kElliottGolubJackson}) {
+    for (int n : {1, 7, 64}) {
+      for (uint64_t seed : {1u, 23u, 777u}) {
+        RunSpec spec = FinanceSpec(model, n, seed);
+        ExpectArenaMatchesLegacy(
+            spec, std::string(model == ContagionModel::kEisenbergNoe ? "en" : "egj") + " n=" +
+                      std::to_string(n) + " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(GraphPlaneDifferentialTest, ThousandVertexSweepMatches) {
+  for (ContagionModel model :
+       {ContagionModel::kEisenbergNoe, ContagionModel::kElliottGolubJackson}) {
+    RunSpec spec = FinanceSpec(model, 1000, 4);
+    ExpectArenaMatchesLegacy(spec, "n=1000");
+  }
+}
+
+// Tree aggregation (aggregation_fanout > 1) exercises the arena backend's
+// gather-tree traffic simulation against the legacy literal tree.
+TEST(GraphPlaneDifferentialTest, TreeAggregationMatchesFlat) {
+  for (int fanout : {2, 4, 8}) {
+    RunSpec spec = FinanceSpec(ContagionModel::kEisenbergNoe, 64, 9);
+    spec.aggregation_fanout = fanout;
+    ExpectArenaMatchesLegacy(spec, "fanout=" + std::to_string(fanout));
+  }
+  RunSpec odd = FinanceSpec(ContagionModel::kElliottGolubJackson, 7, 5);
+  odd.aggregation_fanout = 3;
+  ExpectArenaMatchesLegacy(odd, "egj fanout=3");
+}
+
+TEST(GraphPlaneDifferentialTest, CustomProgramsMatch) {
+  for (int n : {7, 64}) {
+    Rng rng(static_cast<uint64_t>(n) * 31);
+    graph::Graph g = graph::GenerateScaleFree(n, 2, rng);
+
+    programs::PrivateSumParams sum_params;
+    sum_params.degree_bound = std::max(1, g.MaxDegree());
+    sum_params.noise.alpha = 1e-12;
+    sum_params.noise.magnitude_bits = 8;
+    sum_params.noise.threshold_bits = 10;
+    std::vector<uint32_t> values;
+    for (int v = 0; v < n; v++) {
+      values.push_back(static_cast<uint32_t>(100 + 7 * v));
+    }
+    RunSpec spec;
+    spec.graph = g;
+    spec.mode = ExecutionMode::kCleartextFast;
+    spec.model = ContagionModel::kCustom;
+    spec.custom_program = programs::BuildPrivateSumProgram(sum_params);
+    spec.custom_states = programs::MakePrivateSumStates(values, sum_params.value_bits);
+    spec.seed = static_cast<uint64_t>(n);
+    ExpectArenaMatchesLegacy(spec, "private_sum n=" + std::to_string(n));
+
+    programs::ReachabilityParams reach_params;
+    reach_params.degree_bound = std::max(1, g.MaxDegree());
+    reach_params.hops = 3;
+    reach_params.noise.alpha = 1e-12;
+    reach_params.noise.magnitude_bits = 8;
+    reach_params.noise.threshold_bits = 10;
+    RunSpec reach;
+    reach.graph = g;
+    reach.mode = ExecutionMode::kCleartextFast;
+    reach.model = ContagionModel::kCustom;
+    reach.custom_program = programs::BuildReachabilityProgram(reach_params);
+    reach.custom_states = programs::MakeReachabilityStates(n, {0});
+    reach.seed = static_cast<uint64_t>(n) + 1;
+    ExpectArenaMatchesLegacy(reach, "reachability n=" + std::to_string(n));
+  }
+}
+
+// Ensemble lanes: per-scenario figures and per-node traffic must match the
+// container ensemble plane lane for lane.
+void ExpectEnsembleMatches(RunSpec spec, const std::string& label) {
+  RunSpec arena_spec = spec;
+  arena_spec.cleartext_arena = true;
+  RunSpec legacy_spec = spec;
+  legacy_spec.cleartext_arena = false;
+
+  Engine arena(arena_spec);
+  ensemble::EnsembleReport a = arena.RunEnsemble();
+  Engine legacy(legacy_spec);
+  ensemble::EnsembleReport l = legacy.RunEnsemble();
+
+  ASSERT_EQ(a.scenarios.size(), l.scenarios.size()) << label;
+  for (size_t s = 0; s < a.scenarios.size(); s++) {
+    EXPECT_EQ(a.scenarios[s].released, l.scenarios[s].released) << label << " lane " << s;
+    ASSERT_EQ(a.scenarios[s].has_reference, l.scenarios[s].has_reference) << label;
+    if (a.scenarios[s].has_reference) {
+      EXPECT_EQ(a.scenarios[s].reference, l.scenarios[s].reference) << label << " lane " << s;
+    }
+  }
+  EXPECT_EQ(a.metrics.total_bytes, l.metrics.total_bytes) << label;
+  ExpectSameTraffic(arena, legacy, label);
+}
+
+TEST(GraphPlaneDifferentialTest, EnsembleWidthsMatch) {
+  // W = 1 (degenerate lane plane) and W = 3 (explicit scenarios).
+  for (int width : {1, 3}) {
+    RunSpec spec = FinanceSpec(ContagionModel::kEisenbergNoe, 40, 11);
+    spec.ensemble.emplace();
+    for (int s = 0; s < width; s++) {
+      ensemble::Scenario sc;
+      sc.shock.shocked_banks = {s};
+      spec.ensemble->scenarios.push_back(sc);
+    }
+    ExpectEnsembleMatches(spec, "ensemble W=" + std::to_string(width));
+  }
+  // W = 64: a full word of Monte Carlo lanes.
+  RunSpec spec = FinanceSpec(ContagionModel::kEisenbergNoe, 40, 11);
+  spec.ensemble.emplace();
+  spec.ensemble->shock_draws = 64;
+  spec.ensemble->draw_seed = 9;
+  spec.ensemble->banks_per_draw = 2;
+  spec.ensemble->has_magnitude_range = true;
+  spec.ensemble->magnitude_lo = 0.0;
+  spec.ensemble->magnitude_hi = 0.6;
+  ExpectEnsembleMatches(spec, "ensemble W=64");
+}
+
+// --- frontier semantics -----------------------------------------------------
+
+// OR-propagation: new_state = state | (OR of in-messages), out-message =
+// the *pre-update* state. Monotone, so convergence is observable, and the
+// one-iteration emission lag makes activation timing easy to pin down.
+core::VertexProgram PropagateProgram(int bits, int degree_bound) {
+  core::VertexProgram program;
+  program.state_bits = bits;
+  program.message_bits = bits;
+  program.degree_bound = degree_bound;
+  program.iterations = 8;
+  program.aggregate_bits = 16;
+  program.build_update = [](circuit::Builder& b, const circuit::Word& state,
+                            const std::vector<circuit::Word>& in_msgs, circuit::Word* new_state,
+                            std::vector<circuit::Word>* out_msgs) {
+    circuit::Word acc = state;
+    for (const circuit::Word& m : in_msgs) {
+      for (size_t i = 0; i < acc.size(); i++) {
+        acc[i] = b.Or(acc[i], m[i]);
+      }
+    }
+    *new_state = acc;
+    out_msgs->assign(in_msgs.size(), state);
+  };
+  program.build_contribution = [](circuit::Builder& b,
+                                  const circuit::Word& state) -> circuit::Word {
+    return b.ZeroExtend(state, 16);
+  };
+  return program;
+}
+
+TEST(GraphPlaneFrontierTest, WordsDeactivateAndReactivateOnDelivery) {
+  // 130 vertices = 3 lane words; one edge crossing from word 0 to word 1.
+  const int n = 130;
+  graph::Graph g(n);
+  g.AddEdge(0, 100);
+  core::VertexProgram program = PropagateProgram(4, 1);
+  circuit::Circuit update = core::BuildUpdateCircuit(program);
+  circuit::EvalPlan plan(update);
+  core::WorkerPool pool(2);
+  net::SimNetwork net(n);
+  graphplane::GraphPlane plane(g, program, plan, &pool, &net, {});
+
+  plane.Reset();
+  std::vector<mpc::BitVector> states(n, mpc::BitVector(4, 0));
+  states[0] = {1, 0, 1, 0};  // 5
+  graphplane::PackSoloStates(states, &plane.input_matrix());
+
+  // After Reset everything is active.
+  EXPECT_EQ(plane.ActiveWords(), 3u);
+
+  // Iteration 1: all 3 words evaluate; only vertex 0's out-message changes
+  // (⊥ -> 5), so only the word holding vertex 100 stays active.
+  plane.ComputeStep();
+  plane.CommunicateStep();
+  EXPECT_EQ(plane.ActiveWords(), 1u);
+  EXPECT_FALSE(plane.AllConverged());
+  EXPECT_EQ(plane.stats().words_evaluated, 3u);
+  EXPECT_EQ(plane.stats().words_skipped, 0u);
+  // Delivered but not yet evaluated: vertex 100 still holds its old state.
+  EXPECT_EQ(plane.VertexState(100, 0), mpc::BitVector(4, 0));
+
+  // Iteration 2: only word 1 evaluates (the other two are skipped); vertex
+  // 100 absorbs the message, so its word stays active for one more check.
+  plane.ComputeStep();
+  plane.CommunicateStep();
+  EXPECT_EQ(plane.stats().words_evaluated, 4u);
+  EXPECT_EQ(plane.stats().words_skipped, 2u);
+  EXPECT_EQ(plane.VertexState(100, 0), states[0]);
+  EXPECT_EQ(plane.ActiveWords(), 1u);
+
+  // Iteration 3: vertex 100 re-evaluates to a fixed point; frontier drains.
+  plane.ComputeStep();
+  plane.CommunicateStep();
+  EXPECT_EQ(plane.stats().words_evaluated, 5u);
+  EXPECT_EQ(plane.stats().words_skipped, 4u);
+  EXPECT_EQ(plane.ActiveWords(), 0u);
+  EXPECT_TRUE(plane.AllConverged());
+
+  // A converged iteration evaluates nothing — but still meters every edge:
+  // traffic is per-iteration regardless of the frontier.
+  plane.ComputeStep();
+  plane.CommunicateStep();
+  EXPECT_EQ(plane.stats().words_evaluated, 5u);
+  EXPECT_EQ(plane.stats().words_skipped, 7u);
+  EXPECT_EQ(plane.stats().iterations, 4u);
+  EXPECT_TRUE(plane.stats().bulk_metered);
+  net::TrafficStats sender = net.NodeStats(0);
+  net::TrafficStats receiver = net.NodeStats(100);
+  EXPECT_EQ(sender.messages_sent, 4u);  // one per iteration, frontier or not
+  EXPECT_EQ(receiver.messages_received, 4u);
+  EXPECT_EQ(sender.bytes_sent, 4u);  // 4-bit payload -> 1 byte per message
+
+  // States are untouched by the converged rounds.
+  EXPECT_EQ(plane.VertexState(0, 0), states[0]);
+  EXPECT_EQ(plane.VertexState(100, 0), states[0]);
+  EXPECT_EQ(plane.VertexState(64, 0), mpc::BitVector(4, 0));
+}
+
+TEST(GraphPlaneFrontierTest, EnsembleLanesConvergeIndependently) {
+  // Chain 0 -> 1 -> 2 with three scenario lanes: lane s seeds vertex s with
+  // 7. Lane 0 needs the full two-hop propagation, lane 2 is converged from
+  // the start — the shared frontier must keep iterating for the slowest
+  // lane without disturbing the finished ones.
+  const int n = 3;
+  const int kScenarios = 3;
+  const int kStride = 4;
+  graph::Graph g(n);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  core::VertexProgram program = PropagateProgram(4, 1);
+  circuit::Circuit update = core::BuildUpdateCircuit(program);
+  circuit::EvalPlan plan(update);
+  core::WorkerPool pool(2);
+  net::SimNetwork net(n);
+  graphplane::GraphPlane::Options options;
+  options.num_scenarios = kScenarios;
+  options.stride = kStride;
+  graphplane::GraphPlane plane(g, program, plan, &pool, &net, options);
+
+  plane.Reset();
+  for (int v = 0; v < n; v++) {
+    for (int s = 0; s < kScenarios; s++) {
+      if (v == s) {
+        // State 7 = bits 0..2 set.
+        for (int r = 0; r < 3; r++) {
+          plane.input_matrix().Set(static_cast<size_t>(r),
+                                   static_cast<size_t>(v * kStride + s), true);
+        }
+      }
+    }
+  }
+
+  int rounds = 0;
+  while (!plane.AllConverged() && rounds < 8) {
+    plane.ComputeStep();
+    plane.CommunicateStep();
+    rounds++;
+  }
+  EXPECT_TRUE(plane.AllConverged());
+  // Lane 0's value crosses two edges with the one-iteration emission lag;
+  // the word must have stayed active well past lane 2's instant convergence.
+  EXPECT_GE(rounds, 4);
+
+  mpc::BitVector seven = {1, 1, 1, 0};
+  mpc::BitVector zero(4, 0);
+  // Lane 0: seeded at vertex 0, reaches everyone downstream.
+  EXPECT_EQ(plane.VertexState(0, 0), seven);
+  EXPECT_EQ(plane.VertexState(1, 0), seven);
+  EXPECT_EQ(plane.VertexState(2, 0), seven);
+  // Lane 1: seeded at vertex 1 — vertex 0 must stay clean (no upstream or
+  // cross-lane leakage).
+  EXPECT_EQ(plane.VertexState(0, 1), zero);
+  EXPECT_EQ(plane.VertexState(1, 1), seven);
+  EXPECT_EQ(plane.VertexState(2, 1), seven);
+  // Lane 2: seeded at the sink, nothing propagates.
+  EXPECT_EQ(plane.VertexState(0, 2), zero);
+  EXPECT_EQ(plane.VertexState(1, 2), zero);
+  EXPECT_EQ(plane.VertexState(2, 2), seven);
+
+  // Per-lane contribution sums over the final states: 3 lanes, vertex-major
+  // reduction, garbage lanes (s = 3) excluded by the valid mask.
+  circuit::Circuit contribution = core::BuildAggregateCircuit(program, 1, /*with_noise=*/false);
+  circuit::EvalPlan contribution_plan(contribution);
+  std::vector<uint64_t> sums =
+      plane.ScenarioSums(plane.EvalOverStates(contribution_plan), program.aggregate_bits);
+  ASSERT_EQ(sums.size(), static_cast<size_t>(kScenarios));
+  EXPECT_EQ(sums[0], 21u);  // 7 + 7 + 7
+  EXPECT_EQ(sums[1], 14u);  // 0 + 7 + 7
+  EXPECT_EQ(sums[2], 7u);   // 0 + 0 + 7
+}
+
+// Engine-level early-exit A/B: breaking out of the iteration loop once the
+// frontier drains must release the same figure and final states as running
+// every scheduled iteration (the skipped rounds are figure-identical
+// no-ops) — only the traffic shrinks.
+TEST(GraphPlaneFrontierTest, EarlyExitReleasesSameFigureAsFullRun) {
+  RunSpec full = FinanceSpec(ContagionModel::kEisenbergNoe, 200, 17);
+  full.cleartext_early_exit = false;
+  RunSpec early = full;
+  early.cleartext_early_exit = true;
+
+  Engine full_engine(full);
+  RunReport f = full_engine.Run();
+  Engine early_engine(early);
+  RunReport e = early_engine.Run();
+
+  EXPECT_EQ(e.released, f.released);
+  ASSERT_TRUE(e.has_reference);
+  EXPECT_EQ(e.reference, f.reference);
+  std::vector<mpc::BitVector> sf = full_engine.FinalStates();
+  std::vector<mpc::BitVector> se = early_engine.FinalStates();
+  ASSERT_EQ(se.size(), sf.size());
+  for (size_t v = 0; v < se.size(); v++) {
+    EXPECT_EQ(se[v], sf[v]) << "vertex " << v;
+  }
+  // EN on a 200-vertex scale-free network converges long before
+  // ceil(log2 200) = 8 iterations, so the early run must be cheaper.
+  EXPECT_LE(e.iterations, f.iterations);
+  EXPECT_LT(e.metrics.total_bytes, f.metrics.total_bytes);
+}
+
+}  // namespace
+}  // namespace dstress

@@ -12,6 +12,12 @@ With --ensemble-min-speedup the gate additionally pins the scenario-ensemble
 amortization: every `cleartext-ensemble` row (wall_ms vs wall_ms_baseline =
 K independent solo runs) must be at or above that floor.
 
+With --cleartext-max-wall-ms the gate additionally pins the flat-arena graph
+plane's headline (ROADMAP item 3): every `cleartext` row with N >= 1,000,000
+must finish within that absolute wall-clock budget. When the run produced no
+such row (e.g. a reduced grid), the gate prints a named SKIP instead of
+passing silently.
+
 Row hygiene: a row whose wall_ms_baseline is 0 is SKIPPED by name (a zero
 baseline means "no baseline measured this run", and dividing by it would
 crash the gate); a row with missing or non-numeric wall_ms / wall_ms_baseline
@@ -24,6 +30,7 @@ heartbeat/control traffic, checkpoint wall time — and are never gated.
 Usage: tools/check_bench.py BENCH_fig6.json [--min-speedup 5.0]
                                             [--mode secure-projected]
                                             [--ensemble-min-speedup 10.0]
+                                            [--cleartext-max-wall-ms 10000]
 Exit status 0 = every gated row at or above its floor; nonzero prints each
 offending row. Stdlib only.
 """
@@ -79,6 +86,9 @@ def main() -> int:
     parser.add_argument("--ensemble-min-speedup", type=float, default=None,
                         help="when set, also gate 'cleartext-ensemble' rows "
                              "(wall vs K solo runs) at this amortization floor")
+    parser.add_argument("--cleartext-max-wall-ms", type=float, default=None,
+                        help="when set, every 'cleartext' row with N >= 1e6 "
+                             "must finish within this wall-clock budget (ms)")
     args = parser.parse_args()
 
     with open(args.bench_json) as f:
@@ -125,6 +135,29 @@ def main() -> int:
                 skips.append(f"ensemble: {len(ensemble_rows)} rows, worst "
                              f"{speedup:.2f}x amortization at N={e.get('N')} "
                              f"K={e.get('scenarios')} scenarios")
+
+    # Absolute wall-clock budget for the arena graph plane's large-N sweep
+    # point (ROADMAP item 3: N=1M in single-digit seconds).
+    if args.cleartext_max_wall_ms is not None:
+        million_rows = [e for e in entries
+                        if e.get("mode") == "cleartext"
+                        and is_number(e.get("N")) and e.get("N") >= 1_000_000]
+        if not million_rows:
+            skips.append("SKIP: no 'cleartext' row with N >= 1,000,000 in "
+                         f"{args.bench_json}; wall-clock gate not applied "
+                         "(reduced sweep grid?)")
+        for e in million_rows:
+            wall = e.get("wall_ms")
+            if not is_number(wall) or wall <= 0:
+                failures.append(f"FAIL: {row_name(e, 'cleartext')}: "
+                                f"malformed wall_ms {wall!r}")
+            elif wall > args.cleartext_max_wall_ms:
+                failures.append(f"FAIL: {row_name(e, 'cleartext')}: "
+                                f"{wall:.0f} ms > "
+                                f"{args.cleartext_max_wall_ms:.0f} ms budget")
+            else:
+                print(f"cleartext: N={e.get('N')} in {wall:.0f} ms "
+                      f"(budget {args.cleartext_max_wall_ms:.0f} ms)")
 
     for line in skips:
         print(line)
