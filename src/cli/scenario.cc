@@ -549,6 +549,37 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
         p.Fail("transfer_batching must be 'on' or 'off'");
         return std::nullopt;
       }
+    } else if (directive == "triples") {
+      // Offline-phase source for secure mode: "dealer" (simulated offline
+      // phase, fast, default) or "ot" (IKNP OT-extension triples — the real
+      // protocol; ~100x slower, see docs/offline-phase.md).
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "dealer") {
+        spec.use_ot_triples = false;
+      } else if (p.tokens[1] == "ot") {
+        spec.use_ot_triples = true;
+      } else {
+        p.Fail("triples must be 'dealer' or 'ot'");
+        return std::nullopt;
+      }
+    } else if (directive == "ot_batching") {
+      // A/B knob for the node-pair triple factory (docs/offline-phase.md);
+      // released figures and online traffic are bit-identical either way,
+      // only the offline phase's setup cost and overlap differ. No effect
+      // without 'triples ot'.
+      if (!p.ArgCount(1)) {
+        return std::nullopt;
+      }
+      if (p.tokens[1] == "on") {
+        spec.ot_batching = true;
+      } else if (p.tokens[1] == "off") {
+        spec.ot_batching = false;
+      } else {
+        p.Fail("ot_batching must be 'on' or 'off'");
+        return std::nullopt;
+      }
     } else if (directive == "graph_plane") {
       // Cleartext data-plane A/B (docs/graph-plane.md): "arena" is the flat
       // bitsliced plane (default), "legacy" the original container plane.
@@ -598,6 +629,11 @@ std::optional<engine::RunSpec> ParseScenario(const std::string& text, std::strin
       *error = "shocked bank " + std::to_string(bank) + " out of range";
       return std::nullopt;
     }
+  }
+  if (spec.use_ot_triples && (spec.ha_checkpoint_every > 0 || spec.ha_resume)) {
+    *error = "'triples ot' cannot be combined with HA checkpoint/resume"
+             " (OT sessions hold unrewindable key state)";
+    return std::nullopt;
   }
   if (spec.ensemble.has_value()) {
     const ensemble::EnsembleSpec& es = *spec.ensemble;

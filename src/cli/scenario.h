@@ -32,6 +32,15 @@
 //   epsilon <eps_query>                         (§4.5 output privacy)
 //   leverage <r>                                (sensitivity = 1/r or 2/r)
 //   shock <bank> [bank ...]                     (assets wiped before run)
+//   triples <dealer|ot>                         (secure-mode offline phase:
+//                                                simulated dealer (default) or
+//                                                real IKNP OT-extension
+//                                                triples)
+//   ot_batching <on|off>                        (with `triples ot`: node-pair
+//                                                triple factory + offline/
+//                                                online pipelining (default on)
+//                                                vs the per-role baseline —
+//                                                docs/offline-phase.md)
 //   seed <s>
 //
 // Unknown directives, malformed arguments, out-of-range vertices and

@@ -8,6 +8,7 @@
 #include "src/common/stopwatch.h"
 #include "src/ha/checkpoint.h"
 #include "src/net/channel.h"
+#include "src/ot/base_ot.h"
 #include "src/transfer/batch_engine.h"
 
 namespace dstress::core {
@@ -80,6 +81,12 @@ std::string RunMetrics::ToString() const {
                   resumed_from_iteration);
     out += buf;
   }
+  if (base_ot_executions > 0 || offline_seconds > 0) {
+    std::snprintf(buf, sizeof(buf), " offline: gen=%.2fs wait=%.2fs base_ots=%llu",
+                  offline_seconds, offline_wait_seconds,
+                  static_cast<unsigned long long>(base_ot_executions));
+    out += buf;
+  }
   return out;
 }
 
@@ -134,6 +141,13 @@ Runtime::Runtime(const RuntimeConfig& config, const graph::Graph& graph,
 
   threads_target_ = ResolveThreadBudget(config.max_parallel_tasks);
   pool_ = std::make_unique<WorkerPool>(threads_target_);
+
+  if (config_.use_ot_triples && config_.ot_batching) {
+    mpc::TripleFactoryOptions factory_options;
+    factory_options.prg_seed = RolePrgSeed(config_.seed, 0x78);
+    factory_options.pipeline = config_.ot_prefetch;
+    triple_factory_ = std::make_unique<mpc::TripleFactory>(net_.get(), factory_options);
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -143,8 +157,12 @@ crypto::ChaCha20Prg Runtime::RolePrg(uint64_t role_tag, uint64_t instance) {
 }
 
 mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
-                                            net::SessionId session,
                                             const std::vector<int>& block) {
+  if (triple_factory_ != nullptr) {
+    // Factory mode: the offline waves enqueued per phase carry this role's
+    // triples; the view is a local blocking cursor over them.
+    return triple_factory_->ViewFor(tag, member_index);
+  }
   std::pair<uint64_t, int> key{tag, member_index};
   {
     std::lock_guard<std::mutex> lock(triple_mu_);
@@ -155,9 +173,15 @@ mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
   }
   std::unique_ptr<mpc::TripleSource> source;
   if (config_.use_ot_triples) {
+    // Legacy per-role path (ot_batching off; the A/B baseline). All triple
+    // traffic rides the offline session namespace, keyed by role tag, so
+    // observers classify offline vs online bytes the same way in both
+    // modes; the shared cache lets a regenerated role reuse its base-OT
+    // setup instead of re-running it.
     source = std::make_unique<mpc::OtTripleSource>(
         net_.get(), block, member_index,
-        RolePrg(0x77, (tag << 8) | static_cast<uint64_t>(member_index)), session);
+        RolePrg(0x77, (tag << 8) | static_cast<uint64_t>(member_index)),
+        mpc::kOfflineSessionNamespace | tag, &iknp_cache_);
   } else {
     source = std::make_unique<mpc::DealerTripleSource>(member_index, config_.block_size,
                                                        config_.seed ^ tag);
@@ -165,6 +189,105 @@ mpc::TripleSource* Runtime::TripleSourceFor(uint64_t tag, int member_index,
   std::lock_guard<std::mutex> lock(triple_mu_);
   auto [it, _] = triple_sources_.emplace(key, std::move(source));
   return it->second.get();
+}
+
+void Runtime::EnqueueComputeWave(int num_scenarios) {
+  if (triple_factory_ == nullptr) {
+    return;
+  }
+  const size_t num_and = update_circuit_.stats().num_and;
+  if (num_and == 0) {
+    return;  // the online phase draws no triples either (gmw.cc guards)
+  }
+  const int n = graph_.num_vertices();
+  std::vector<mpc::TripleDemand> demands;
+  demands.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; v++) {
+    mpc::TripleDemand d;
+    d.tag = static_cast<uint64_t>(v);
+    d.parties = setup_.blocks[v];
+    // Ensembles draw num_and once per scenario from the shared (v, m)
+    // source (ComputePhaseEnsemble), so one wave covers all lanes.
+    d.count = num_and * static_cast<size_t>(num_scenarios);
+    demands.push_back(std::move(d));
+  }
+  triple_factory_->Enqueue(std::move(demands));
+}
+
+void Runtime::EnqueueAggregateWave(int num_scenarios) {
+  if (triple_factory_ == nullptr) {
+    return;
+  }
+  const int n = graph_.num_vertices();
+  std::vector<mpc::TripleDemand> demands;
+  if (config_.aggregation_fanout == 0) {
+    const size_t num_and =
+        BuildAggregateCircuit(program_, n, /*with_noise=*/true).stats().num_and;
+    if (num_and > 0) {
+      mpc::TripleDemand d;
+      d.tag = kAggTripleTag;
+      d.parties = setup_.aggregation_block;
+      d.count = num_and * static_cast<size_t>(num_scenarios);
+      demands.push_back(std::move(d));
+    }
+    triple_factory_->Enqueue(std::move(demands));
+    return;
+  }
+  // Tree aggregation (solo runs only — RunEnsemble requires fanout 0).
+  // Re-derive the level structure exactly as AggregateTree will: same
+  // RolePrg(0x55, 0) block stream, same per-size circuits, so the demand
+  // tags and counts line up with what each tree role draws.
+  DSTRESS_CHECK(num_scenarios == 1);
+  const int fanout = config_.aggregation_fanout;
+  auto block_prg = RolePrg(0x55, 0);
+  auto add_demand = [&](uint64_t tag, std::vector<int> parties, size_t count) {
+    if (count == 0) {
+      return;
+    }
+    mpc::TripleDemand d;
+    d.tag = tag;
+    d.parties = std::move(parties);
+    d.count = count;
+    demands.push_back(std::move(d));
+  };
+  int num_groups = (n + fanout - 1) / fanout;
+  std::map<int, size_t> leaf_ands;
+  for (int g = 0; g < num_groups; g++) {
+    std::vector<int> block = setup_.MakeExtraBlock(block_prg);
+    int size = std::min(n, g * fanout + fanout) - g * fanout;
+    auto it = leaf_ands.find(size);
+    if (it == leaf_ands.end()) {
+      it = leaf_ands
+               .emplace(size,
+                        BuildAggregateCircuit(program_, size, /*with_noise=*/false).stats().num_and)
+               .first;
+    }
+    add_demand(kAggTripleTag + 1 + static_cast<uint64_t>(g), std::move(block), it->second);
+  }
+  uint64_t level = 1;
+  int p = num_groups;
+  while (p > fanout) {
+    int next_groups = (p + fanout - 1) / fanout;
+    std::map<int, size_t> combine_ands;
+    for (int g = 0; g < next_groups; g++) {
+      std::vector<int> block = setup_.MakeExtraBlock(block_prg);
+      int size = std::min(p, g * fanout + fanout) - g * fanout;
+      auto it = combine_ands.find(size);
+      if (it == combine_ands.end()) {
+        it = combine_ands
+                 .emplace(size,
+                          BuildCombineCircuit(program_, size, /*with_noise=*/false).stats().num_and)
+                 .first;
+      }
+      add_demand(kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), std::move(block),
+                 it->second);
+    }
+    p = next_groups;
+    level++;
+  }
+  add_demand(kAggTripleTag, setup_.aggregation_block,
+             BuildCombineCircuit(program_, p, /*with_noise=*/true).stats().num_and);
+  triple_factory_->Enqueue(std::move(demands));
 }
 
 void Runtime::RunGrouped(size_t groups, size_t subtasks,
@@ -330,8 +453,7 @@ void Runtime::ComputePhaseUnbatched() {
     int m = static_cast<int>(ms);
     net::SessionId session = kComputeSession | static_cast<uint64_t>(v);
 
-    mpc::TripleSource* triples =
-        TripleSourceFor(static_cast<uint64_t>(v), m, session, setup_.blocks[v]);
+    mpc::TripleSource* triples = TripleSourceFor(static_cast<uint64_t>(v), m, setup_.blocks[v]);
     mpc::GmwParty party(net_.get(), setup_.blocks[v], m, triples, session);
     mpc::PackedShareMatrix input(update_plan_.num_inputs(), 1);
     input.SetInstance(0, AssembleUpdateInput(v, m));
@@ -354,9 +476,12 @@ void Runtime::RunBatchedPhase(const std::vector<std::pair<int, int>>& roles,
       triples_consumed_.fetch_add(stats.triples_consumed, std::memory_order_relaxed);
     }
   };
-  if (!config_.use_ot_triples && !config_.batch_mpc_per_node) {
-    // Single-scheduler mode: the dealer source needs no communication, so
-    // the whole phase is one lockstep call on this thread.
+  const bool interactive_triples = config_.use_ot_triples && !config_.ot_batching;
+  if (!interactive_triples && !config_.batch_mpc_per_node) {
+    // Single-scheduler mode: the triple source needs no communication
+    // (dealer tapes, or factory views whose OT traffic already ran in the
+    // offline wave), so the whole phase is one lockstep call on this
+    // thread.
     std::vector<mpc::BatchInstance> items;
     items.reserve(roles.size());
     for (auto [g, m] : roles) {
@@ -426,9 +551,8 @@ void Runtime::ComputePhaseBatched() {
   RunBatchedPhase(
       roles, [&](int v, int m) { return setup_.blocks[v][m]; },
       [&](int v, int m) {
-        net::SessionId triple_session = kComputeSession | static_cast<uint64_t>(v);
         mpc::TripleSource* source =
-            TripleSourceFor(static_cast<uint64_t>(v), m, triple_session, setup_.blocks[v]);
+            TripleSourceFor(static_cast<uint64_t>(v), m, setup_.blocks[v]);
         mpc::BatchInstance item;
         item.plan = &update_plan_;
         item.parties = setup_.blocks[v];
@@ -629,8 +753,7 @@ int64_t Runtime::AggregateSingleLevel() {
       input.push_back(prg.NextBit() ? 1 : 0);
     }
 
-    mpc::TripleSource* triples =
-        TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+    mpc::TripleSource* triples = TripleSourceFor(kAggTripleTag, m, setup_.aggregation_block);
     mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
     mpc::BitVector out_shares = party.Eval(agg_circuit, input);
     triples_consumed_.fetch_add(agg_circuit.stats().num_and, std::memory_order_relaxed);
@@ -709,9 +832,8 @@ int64_t Runtime::AggregateTree() {
         [&](int g, int m) {
           int size = std::min(n, g * fanout + fanout) - g * fanout;
           const circuit::EvalPlan& plan = leaf_plan_for(size);
-          net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
-          mpc::TripleSource* source = TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g),
-                                                      m, session, blocks[g]);
+          mpc::TripleSource* source =
+              TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g), m, blocks[g]);
           mpc::BatchInstance item;
           item.plan = &plan;
           item.parties = blocks[g];
@@ -735,8 +857,8 @@ int64_t Runtime::AggregateTree() {
                  int size = std::min(n, g * fanout + fanout) - g * fanout;
                  const circuit::EvalPlan& plan = leaf_plan_for(size);
                  net::SessionId session = kAggEvalSession | static_cast<uint64_t>(g);
-                 mpc::TripleSource* triples = TripleSourceFor(
-                     kAggTripleTag + 1 + static_cast<uint64_t>(g), m, session, blocks[g]);
+                 mpc::TripleSource* triples =
+                     TripleSourceFor(kAggTripleTag + 1 + static_cast<uint64_t>(g), m, blocks[g]);
                  mpc::GmwParty party(net_.get(), blocks[g], m, triples, session);
                  shares[g][m] = party.Eval(plan, leaf_input(g, m));
                  triples_consumed_.fetch_add(plan.stats().num_and, std::memory_order_relaxed);
@@ -802,10 +924,8 @@ int64_t Runtime::AggregateTree() {
           [&](int g, int m) {
             int size = std::min(p, g * fanout + fanout) - g * fanout;
             const circuit::EvalPlan& plan = combine_plan_for(size);
-            net::SessionId session = kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
-            mpc::TripleSource* source =
-                TripleSourceFor(kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m,
-                                session, next_blocks[g]);
+            mpc::TripleSource* source = TripleSourceFor(
+                kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m, next_blocks[g]);
             mpc::BatchInstance item;
             item.plan = &plan;
             item.parties = next_blocks[g];
@@ -831,7 +951,7 @@ int64_t Runtime::AggregateTree() {
                    net::SessionId session =
                        kAggEvalSession | (level << 32) | static_cast<uint64_t>(g);
                    mpc::TripleSource* triples = TripleSourceFor(
-                       kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m, session,
+                       kAggTripleTag + 1 + (level << 20) + static_cast<uint64_t>(g), m,
                        next_blocks[g]);
                    mpc::GmwParty party(net_.get(), next_blocks[g], m, triples, session);
                    next_shares[g][m] = party.Eval(plan, combine_input(g, m, next_blocks));
@@ -868,8 +988,7 @@ int64_t Runtime::AggregateTree() {
     for (size_t b = 0; b < noise_bits; b++) {
       input.push_back(prg.NextBit() ? 1 : 0);
     }
-    mpc::TripleSource* triples =
-        TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+    mpc::TripleSource* triples = TripleSourceFor(kAggTripleTag, m, setup_.aggregation_block);
     mpc::GmwParty party(net_.get(), setup_.aggregation_block, m, triples, kAggEvalSession);
     mpc::BitVector out_shares = party.Eval(combine_circuit, input);
     triples_consumed_.fetch_add(combine_circuit.stats().num_and, std::memory_order_relaxed);
@@ -899,6 +1018,15 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
 
   Stopwatch total;
   uint64_t bytes_before = net_->TotalBytes();
+  uint64_t base_ots_before = ot::BaseOtExecutionCount();
+  mpc::TripleFactoryStats factory_before;
+  if (triple_factory_ != nullptr) {
+    factory_before = triple_factory_->stats();
+  }
+
+  // Offline wave for the first computation step; the per-iteration
+  // enqueues below keep the factory one phase ahead of the online plane.
+  EnqueueComputeWave(/*num_scenarios=*/1);
 
   Stopwatch phase;
   int start_iteration = 0;
@@ -916,6 +1044,11 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
 
   uint64_t phase_bytes = net_->TotalBytes();
   for (int iter = start_iteration; iter < program_.iterations; iter++) {
+    // Prefetch the NEXT computation step's triples (the loop's next
+    // iteration, or the final step after it) while this iteration's online
+    // phases evaluate.
+    EnqueueComputeWave(/*num_scenarios=*/1);
+
     phase.Reset();
     ComputePhase();
     m->compute.seconds += phase.ElapsedSeconds();
@@ -932,7 +1065,10 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
       SaveCheckpoint(iter + 1, m);
     }
   }
-  // Final computation step (§3.6).
+  // Final computation step (§3.6). Its triples were enqueued by the last
+  // loop iteration (or the pre-loop enqueue when iterations == 0); the
+  // aggregation wave overlaps this step.
+  EnqueueAggregateWave(/*num_scenarios=*/1);
   phase.Reset();
   ComputePhase();
   m->compute.seconds += phase.ElapsedSeconds();
@@ -953,6 +1089,12 @@ int64_t Runtime::Run(const std::vector<mpc::BitVector>& initial_states, RunMetri
   m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
   m->ha_control_bytes = net_->HaControlBytes();
   m->ha_resumes = net_->HaResumeCount();
+  m->base_ot_executions = ot::BaseOtExecutionCount() - base_ots_before;
+  if (triple_factory_ != nullptr) {
+    mpc::TripleFactoryStats fs = triple_factory_->stats();
+    m->offline_seconds = fs.offline_seconds - factory_before.offline_seconds;
+    m->offline_wait_seconds = fs.online_wait_seconds - factory_before.online_wait_seconds;
+  }
   return result;
 }
 
@@ -1026,9 +1168,8 @@ void Runtime::ComputePhaseEnsemble(int num_scenarios) {
         // consumed in ascending scenario order at every member, and triple
         // randomness cancels out of opened results anyway.
         const int v = g % n;
-        net::SessionId triple_session = kComputeSession | static_cast<uint64_t>(v);
         mpc::TripleSource* source =
-            TripleSourceFor(static_cast<uint64_t>(v), m, triple_session, setup_.blocks[v]);
+            TripleSourceFor(static_cast<uint64_t>(v), m, setup_.blocks[v]);
         mpc::BatchInstance item;
         item.plan = &update_plan_;
         item.parties = setup_.blocks[v];
@@ -1092,8 +1233,7 @@ std::vector<int64_t> Runtime::AggregateEnsemble(int num_scenarios) {
         for (size_t b = 0; b < noise_bits; b++) {
           input.push_back(prg.NextBit() ? 1 : 0);
         }
-        mpc::TripleSource* source =
-            TripleSourceFor(kAggTripleTag, m, kAggEvalSession, setup_.aggregation_block);
+        mpc::TripleSource* source = TripleSourceFor(kAggTripleTag, m, setup_.aggregation_block);
         mpc::BatchInstance item;
         item.plan = &agg_plan;
         item.parties = setup_.aggregation_block;
@@ -1175,6 +1315,15 @@ std::vector<int64_t> Runtime::RunEnsemble(
 
   Stopwatch total;
   uint64_t bytes_before = net_->TotalBytes();
+  uint64_t base_ots_before = ot::BaseOtExecutionCount();
+  mpc::TripleFactoryStats factory_before;
+  if (triple_factory_ != nullptr) {
+    factory_before = triple_factory_->stats();
+  }
+
+  // Offline wave for the first computation step (all S lanes at once);
+  // same prefetch schedule as Run().
+  EnqueueComputeWave(num_scenarios);
 
   Stopwatch phase;
   InitPhaseEnsemble(initial_states);
@@ -1183,6 +1332,8 @@ std::vector<int64_t> Runtime::RunEnsemble(
 
   uint64_t phase_bytes = net_->TotalBytes();
   for (int iter = 0; iter < program_.iterations; iter++) {
+    EnqueueComputeWave(num_scenarios);
+
     phase.Reset();
     ComputePhaseEnsemble(num_scenarios);
     m->compute.seconds += phase.ElapsedSeconds();
@@ -1197,6 +1348,7 @@ std::vector<int64_t> Runtime::RunEnsemble(
     m->communicate.bytes += net_->TotalBytes() - phase_bytes;
     phase_bytes = net_->TotalBytes();
   }
+  EnqueueAggregateWave(num_scenarios);
   phase.Reset();
   ComputePhaseEnsemble(num_scenarios);
   m->compute.seconds += phase.ElapsedSeconds();
@@ -1217,6 +1369,12 @@ std::vector<int64_t> Runtime::RunEnsemble(
   m->triples_consumed = triples_consumed_.load(std::memory_order_relaxed);
   m->ha_control_bytes = net_->HaControlBytes();
   m->ha_resumes = net_->HaResumeCount();
+  m->base_ot_executions = ot::BaseOtExecutionCount() - base_ots_before;
+  if (triple_factory_ != nullptr) {
+    mpc::TripleFactoryStats fs = triple_factory_->stats();
+    m->offline_seconds = fs.offline_seconds - factory_before.offline_seconds;
+    m->offline_wait_seconds = fs.online_wait_seconds - factory_before.online_wait_seconds;
+  }
   return results;
 }
 

@@ -61,6 +61,7 @@
 #include "src/core/worker_pool.h"
 #include "src/graph/graph.h"
 #include "src/mpc/gmw.h"
+#include "src/mpc/triple_factory.h"
 #include "src/net/transport.h"
 #include "src/net/transport_spec.h"
 #include "src/transfer/transfer.h"
@@ -105,6 +106,19 @@ struct RuntimeConfig {
   // false: dealer triples (simulated offline phase, fast). true: IKNP
   // OT-extension triples (the real protocol; pairwise setup per block).
   bool use_ot_triples = false;
+  // With use_ot_triples: run the offline phase through the node-pair triple
+  // factory (src/mpc/triple_factory.h) — one IKNP session pair per node
+  // pair, bulk extends sized to each phase's aggregate demand, and triple
+  // generation for iteration i+1 prefetched while iteration i evaluates.
+  // Released figures and the online phase's per-node TrafficStats are
+  // bit-identical either way (asserted in triple_factory_test.cc); false
+  // keeps the seed per-role OtTripleSource path for A/B comparison.
+  bool ot_batching = true;
+  // With ot_batching: hand waves to the factory's background dispatcher
+  // (the offline/online pipeline). False generates each wave synchronously
+  // at enqueue — the A/B knob behind the pipelined == unpipelined fidelity
+  // tests; identical figures, traffic and triple streams either way.
+  bool ot_prefetch = true;
   // 0 = single aggregation block; >0 = aggregation tree with this group
   // size per level (depth grows as log_fanout(N)).
   int aggregation_fanout = 0;
@@ -184,6 +198,16 @@ struct RunMetrics {
   int ha_resumes = 0;
   double ha_checkpoint_seconds = 0;
   int resumed_from_iteration = -1;
+  // Offline-phase surface (docs/offline-phase.md), all zero for dealer
+  // runs: wall time the triple factory spent generating waves (overlaps
+  // the phase timings above — with ot_prefetch the factory runs while the
+  // online phase evaluates), online time spent blocked on the triple pool,
+  // and base-OT protocol executions during the run (both endpoints count,
+  // so one node-pair setup contributes 4). ToString appends them only for
+  // OT runs, so dealer reports are unchanged.
+  double offline_seconds = 0;
+  double offline_wait_seconds = 0;
+  uint64_t base_ot_executions = 0;
 
   std::string ToString() const;
 };
@@ -285,9 +309,17 @@ class Runtime {
   void RunGrouped(size_t groups, size_t subtasks,
                   const std::function<void(size_t, size_t)>& fn);
 
-  mpc::TripleSource* TripleSourceFor(uint64_t tag, int member_index, net::SessionId session,
+  mpc::TripleSource* TripleSourceFor(uint64_t tag, int member_index,
                                      const std::vector<int>& block);
   crypto::ChaCha20Prg RolePrg(uint64_t role_tag, uint64_t instance);
+
+  // Offline-phase demand estimation (config_.ot_batching): registers one
+  // factory wave covering every triple the named phase will draw —
+  // update-circuit AND count x scenarios per vertex block for a
+  // computation step, the aggregation circuits' AND counts for the
+  // aggregation step (flat or tree). No-ops when the factory is off.
+  void EnqueueComputeWave(int num_scenarios);
+  void EnqueueAggregateWave(int num_scenarios);
 
   // HA checkpointing (config_.checkpoint_every / config_.resume). The
   // fingerprint covers every parameter that shapes the share arrays and
@@ -327,6 +359,11 @@ class Runtime {
   // Persistent triple sources keyed by (vertex or agg tag, member index).
   std::map<std::pair<uint64_t, int>, std::unique_ptr<mpc::TripleSource>> triple_sources_;
   std::mutex triple_mu_;
+  // Offline phase (use_ot_triples && ot_batching): the node-pair triple
+  // factory, plus the IKNP session cache the legacy per-role path uses so
+  // regenerated roles reuse their base-OT setup.
+  std::unique_ptr<mpc::TripleFactory> triple_factory_;
+  mpc::IknpSessionCache iknp_cache_;
 
   std::vector<std::pair<int, int>> edges_;
   int threads_target_ = 0;

@@ -150,6 +150,14 @@ struct RunSpec {
   int block_size = 4;  // k+1
   int aggregation_fanout = 0;  // 0 = single aggregation block
   bool use_ot_triples = false;
+  // Batched offline phase (core::RuntimeConfig::ot_batching): with OT
+  // triples, run the node-pair triple factory — one IKNP session pair per
+  // node pair, bulk extends per phase, offline generation pipelined ahead
+  // of the online phase. Released figures and the online phase's per-node
+  // TrafficStats are bit-identical either way; false keeps the seed
+  // per-role OtTripleSource path for A/B benchmarking. No effect on dealer
+  // runs.
+  bool ot_batching = true;
   // Batched MPC data plane (core::RuntimeConfig::batch_mpc): each node
   // evaluates all its block roles per step in one lockstep bitsliced batch.
   // Results and per-node TrafficStats are bit-identical either way; false

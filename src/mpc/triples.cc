@@ -86,17 +86,45 @@ BitTriples DealerTripleSource::Generate(size_t count) {
   return mine;
 }
 
+std::unique_ptr<PeerIknp> IknpSessionCache::Take(net::NodeId self, net::NodeId peer,
+                                                 net::SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({self, peer, session});
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<PeerIknp> pair = std::move(it->second);
+  entries_.erase(it);
+  return pair;
+}
+
+void IknpSessionCache::Put(net::NodeId self, net::NodeId peer, net::SessionId session,
+                           std::unique_ptr<PeerIknp> pair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[{self, peer, session}] = std::move(pair);
+}
+
 OtTripleSource::OtTripleSource(net::Transport* net, std::vector<net::NodeId> parties,
-                               int my_index, crypto::ChaCha20Prg prg, net::SessionId session)
+                               int my_index, crypto::ChaCha20Prg prg, net::SessionId session,
+                               IknpSessionCache* cache)
     : net_(net),
       parties_(std::move(parties)),
       my_index_(my_index),
       prg_(std::move(prg)),
-      session_(session) {
+      session_(session),
+      cache_(cache) {
   DSTRESS_CHECK(my_index_ >= 0 && my_index_ < static_cast<int>(parties_.size()));
 }
 
-OtTripleSource::~OtTripleSource() = default;
+OtTripleSource::~OtTripleSource() {
+  if (cache_ == nullptr) {
+    return;
+  }
+  net::NodeId self_node = parties_[my_index_];
+  for (auto& [peer, pair] : sessions_) {
+    cache_->Put(self_node, parties_[peer], session_, std::move(pair));
+  }
+}
 
 int OtTripleSource::RoundCount() const {
   int n = static_cast<int>(parties_.size());
@@ -138,16 +166,26 @@ void OtTripleSource::EnsureSetup() {
     if (peer < 0) {
       continue;
     }
-    PeerSession session;
     net::NodeId self_node = parties_[my_index_];
     net::NodeId peer_node = parties_[peer];
-    if (my_index_ < peer) {
-      // Direction lower-as-extension-sender first, then the reverse.
-      session.sender = std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
-      session.receiver = std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
-    } else {
-      session.receiver = std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
-      session.sender = std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
+    std::unique_ptr<PeerIknp> session;
+    if (cache_ != nullptr) {
+      session = cache_->Take(self_node, peer_node, session_);
+    }
+    if (session == nullptr) {
+      session = std::make_unique<PeerIknp>();
+      if (my_index_ < peer) {
+        // Direction lower-as-extension-sender first, then the reverse.
+        session->sender =
+            std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
+        session->receiver =
+            std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
+      } else {
+        session->receiver =
+            std::make_unique<ot::IknpReceiver>(net_, self_node, peer_node, prg_, session_);
+        session->sender =
+            std::make_unique<ot::IknpSender>(net_, self_node, peer_node, prg_, session_);
+      }
     }
     sessions_.emplace(peer, std::move(session));
   }
@@ -173,7 +211,7 @@ BitTriples OtTripleSource::Generate(size_t count) {
     if (peer < 0) {
       continue;
     }
-    PeerSession& session = sessions_.at(peer);
+    PeerIknp& session = *sessions_.at(peer);
     net::NodeId peer_node = parties_[peer];
 
     auto run_as_sender = [&] {

@@ -22,6 +22,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "src/crypto/chacha20.h"
@@ -47,6 +49,33 @@ class TripleSource {
   // (the batched evaluation path draws one bulk range per EvalBatch) as
   // long as all parties' call sequences match.
   virtual BitTriples Generate(size_t count) = 0;
+};
+
+// One extension-sender/receiver pair toward a peer, established with one
+// base-OT setup in each direction.
+struct PeerIknp {
+  std::unique_ptr<ot::IknpSender> sender;
+  std::unique_ptr<ot::IknpReceiver> receiver;
+};
+
+// Shared pool of established IKNP sessions keyed by (self, peer, session).
+// An OtTripleSource constructed with a cache checks pairs out in
+// EnsureSetup and returns them on destruction, so a role that is destroyed
+// and re-created over the same session resumes the peer's OT-extension
+// stream instead of re-running the 128-base-OT setup (both sides must
+// regenerate symmetrically — the extension counters only advance on
+// collective Extend calls, so a cached pair is always stream-consistent
+// with its peer). Thread-safe.
+class IknpSessionCache {
+ public:
+  std::unique_ptr<PeerIknp> Take(net::NodeId self, net::NodeId peer, net::SessionId session);
+  void Put(net::NodeId self, net::NodeId peer, net::SessionId session,
+           std::unique_ptr<PeerIknp> pair);
+
+ private:
+  std::mutex mu_;
+  std::map<std::tuple<net::NodeId, net::NodeId, net::SessionId>, std::unique_ptr<PeerIknp>>
+      entries_;
 };
 
 // Copies triples [start, start+count) of `src` into a fresh BitTriples.
@@ -81,19 +110,17 @@ class OtTripleSource : public TripleSource {
  public:
   // `parties` are the transport node ids of the group, `my_index` is this
   // party's position in that list. Base-OT setup with every peer happens
-  // lazily on the first Generate call.
+  // lazily on the first Generate call. With a non-null `cache`, established
+  // peer sessions are checked out of / returned to the cache so a
+  // regenerated role reuses its base-OT setup (see IknpSessionCache).
   OtTripleSource(net::Transport* net, std::vector<net::NodeId> parties, int my_index,
-                 crypto::ChaCha20Prg prg, net::SessionId session = 0);
+                 crypto::ChaCha20Prg prg, net::SessionId session = 0,
+                 IknpSessionCache* cache = nullptr);
   ~OtTripleSource() override;
 
   BitTriples Generate(size_t count) override;
 
  private:
-  struct PeerSession {
-    std::unique_ptr<ot::IknpSender> sender;      // for my `a` contribution
-    std::unique_ptr<ot::IknpReceiver> receiver;  // choice bits = my `b`
-  };
-
   void EnsureSetup();
   // Tournament schedule: returns the peer index this party meets in
   // `round`, or -1 for a bye. Rounds 0 .. RoundCount()-1 enumerate all
@@ -106,8 +133,9 @@ class OtTripleSource : public TripleSource {
   int my_index_;
   crypto::ChaCha20Prg prg_;
   net::SessionId session_;
+  IknpSessionCache* cache_;
   bool setup_done_ = false;
-  std::map<int, PeerSession> sessions_;  // keyed by peer index
+  std::map<int, std::unique_ptr<PeerIknp>> sessions_;  // keyed by peer index
 };
 
 }  // namespace dstress::mpc

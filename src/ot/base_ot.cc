@@ -1,5 +1,6 @@
 #include "src/ot/base_ot.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "src/common/check.h"
@@ -11,6 +12,8 @@ namespace dstress::ot {
 namespace {
 
 using crypto::EcPoint;
+
+std::atomic<uint64_t> g_base_ot_executions{0};
 
 OtKey DeriveKey(uint32_t index, const EcPoint& point) {
   crypto::Sha256 h;
@@ -27,10 +30,13 @@ OtKey DeriveKey(uint32_t index, const EcPoint& point) {
 
 }  // namespace
 
+uint64_t BaseOtExecutionCount() { return g_base_ot_executions.load(std::memory_order_relaxed); }
+
 BaseOtSenderOutput BaseOtSend(net::Transport* net, net::NodeId self, net::NodeId peer, int count,
                               crypto::ChaCha20Prg& prg, net::SessionId session) {
   using crypto::CurveOrder;
   using crypto::MulBase;
+  g_base_ot_executions.fetch_add(1, std::memory_order_relaxed);
 
   crypto::U256 a = prg.NextScalar(CurveOrder());
   EcPoint big_a = MulBase(a);
@@ -63,6 +69,7 @@ BaseOtReceiverOutput BaseOtRecv(net::Transport* net, net::NodeId self, net::Node
                                 net::SessionId session) {
   using crypto::CurveOrder;
   using crypto::MulBase;
+  g_base_ot_executions.fetch_add(1, std::memory_order_relaxed);
 
   Bytes announce = net->Recv(self, peer, session);
   DSTRESS_CHECK(announce.size() == EcPoint::kCompressedSize);

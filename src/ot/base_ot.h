@@ -38,6 +38,15 @@ BaseOtReceiverOutput BaseOtRecv(net::Transport* net, net::NodeId self, net::Node
                                 const std::vector<bool>& choices, crypto::ChaCha20Prg& prg,
                                 net::SessionId session = 0);
 
+// Process-wide count of base-OT protocol executions (one per BaseOtSend or
+// BaseOtRecv call, i.e. one per batch of `count` transfers — the unit the
+// EC-multiplication setup cost is paid in). Base OTs dominate OT-mode wall
+// time, so tests and bench_fig6 assert on deltas of this counter to pin the
+// triple factory's O(roles x peers) -> O(node pairs) setup dedup. Both
+// endpoints of an in-process (sim transport) pairing increment it, so one
+// IKNP sender/receiver setup between two nodes counts 2.
+uint64_t BaseOtExecutionCount();
+
 }  // namespace dstress::ot
 
 #endif  // SRC_OT_BASE_OT_H_

@@ -24,6 +24,8 @@ fanout 16
 epsilon 0.5
 leverage 0.2
 shock 0 1 2
+triples ot
+ot_batching off
 transfer_batching off
 graph_plane legacy
 early_exit on
@@ -44,6 +46,8 @@ seed 99
   EXPECT_DOUBLE_EQ(spec->epsilon, 0.5);
   EXPECT_DOUBLE_EQ(spec->leverage, 0.2);
   EXPECT_EQ(spec->shock.shocked_banks, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(spec->use_ot_triples);
+  EXPECT_FALSE(spec->ot_batching);
   EXPECT_FALSE(spec->transfer_batching);
   EXPECT_FALSE(spec->cleartext_arena);
   EXPECT_TRUE(spec->cleartext_early_exit);
@@ -60,6 +64,8 @@ TEST(ScenarioParseTest, DefaultsApply) {
   EXPECT_EQ(spec->iterations, 0);
   EXPECT_EQ(spec->block_size, 4);
   EXPECT_EQ(spec->aggregation_fanout, 0);
+  EXPECT_FALSE(spec->use_ot_triples);
+  EXPECT_TRUE(spec->ot_batching);
   EXPECT_TRUE(spec->transfer_batching);
   EXPECT_TRUE(spec->cleartext_arena);
   EXPECT_FALSE(spec->cleartext_early_exit);
@@ -114,6 +120,10 @@ TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
       {"network scale_free 20 2\ndegree_cap 0\n", "bad integer"},
       {"network scale_free 20 2\nfrobnicate 1\n", "unknown directive"},
       {"network scale_free 20 2\ntransfer_batching maybe\n", "transfer_batching must be"},
+      {"network scale_free 20 2\ntriples maybe\n", "triples must be"},
+      {"network scale_free 20 2\not_batching maybe\n", "ot_batching must be"},
+      {"network scale_free 20 2\ntriples ot\nha checkpoint_every 1\n",
+       "cannot be combined with HA checkpoint/resume"},
       {"network scale_free 20 2\ngraph_plane vector\n", "graph_plane must be"},
       {"network scale_free 20 2\nearly_exit maybe\n", "early_exit must be"},
       {"network scale_free 20 2\nepsilon -1\n", "epsilon must be positive"},
